@@ -1,0 +1,123 @@
+// Package barrier implements a kill-safe cyclic barrier: n parties
+// enroll, and when the n-th arrives all of them are released together
+// with the current generation number; the barrier then resets for the
+// next cycle.
+//
+// Kill-safety makes the interesting cases work: an enrolled party that is
+// terminated, breaks out, or loses a choice withdraws (its gave-up event
+// fires), so the barrier never waits for a ghost; and the manager thread
+// is yoked to every party, so the barrier survives the termination of the
+// task that created it.
+package barrier
+
+import (
+	"repro/abstractions/internal/guard"
+	"repro/internal/core"
+)
+
+// Barrier releases parties in groups of n.
+type Barrier struct {
+	rt    *core.Runtime
+	reqCh *core.Chan
+	mgr   *core.Thread
+	n     int
+}
+
+type enrollReq struct {
+	reply  *core.Chan // receives the generation number (int)
+	gaveUp core.Event
+}
+
+// New creates a barrier for groups of n parties (at least 1), managed by
+// a thread under the creating thread's current custodian.
+func New(th *core.Thread, n int) *Barrier {
+	if n < 1 {
+		n = 1
+	}
+	rt := th.Runtime()
+	b := &Barrier{
+		rt:    rt,
+		reqCh: core.NewChanNamed(rt, "barrier-enroll"),
+		n:     n,
+	}
+	b.mgr = th.Spawn("barrier-manager", b.serve)
+	return b
+}
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (b *Barrier) Manager() *core.Thread { return b.mgr }
+
+// Parties returns the barrier's group size.
+func (b *Barrier) Parties() int { return b.n }
+
+func (b *Barrier) serve(mgr *core.Thread) {
+	generation := 0
+	var enrolled []*enrollReq
+
+	removeEnrolled := func(r *enrollReq) {
+		for i, x := range enrolled {
+			if x == r {
+				enrolled = append(enrolled[:i], enrolled[i+1:]...)
+				return
+			}
+		}
+	}
+
+	for {
+		var evts []core.Event
+		if len(enrolled) < b.n {
+			evts = append(evts, core.Wrap(b.reqCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					enrolled = append(enrolled, v.(*enrollReq))
+					if len(enrolled) == b.n {
+						// Trip: the barrier commits the group. Each
+						// release is delivered by a yoked helper that
+						// gives up if its party has by now given up —
+						// a party killed after the trip loses only its
+						// own notification.
+						gen := generation
+						generation++
+						for _, r := range enrolled {
+							r := r
+							core.SpawnYoked(mgr, "barrier-release", func(d *core.Thread) {
+								_, _ = core.Sync(d, core.Choice(r.reply.SendEvt(gen), r.gaveUp))
+							})
+						}
+						enrolled = nil
+					}
+				}
+			}))
+		}
+		for _, r := range enrolled {
+			r := r
+			evts = append(evts, core.Wrap(r.gaveUp, func(core.Value) core.Value {
+				return func() { removeEnrolled(r) }
+			}))
+		}
+		act, err := core.Sync(mgr, core.Choice(evts...))
+		if err != nil {
+			continue
+		}
+		act.(func())()
+	}
+}
+
+// WaitEvt returns an event that enrolls the syncing thread and becomes
+// ready, with the generation number, when the group is complete.
+func (b *Barrier) WaitEvt() core.Event {
+	return core.NackGuard(func(th *core.Thread, gaveUp core.Event) core.Event {
+		core.ResumeVia(b.mgr, th)
+		reply := core.NewChanNamed(b.rt, "barrier-release")
+		return guard.RequestReply(th, b.reqCh, &enrollReq{reply: reply, gaveUp: gaveUp}, reply)
+	})
+}
+
+// Wait enrolls and blocks until the group is complete, returning the
+// generation number.
+func (b *Barrier) Wait(th *core.Thread) (int, error) {
+	v, err := core.Sync(th, b.WaitEvt())
+	if err != nil {
+		return 0, err
+	}
+	return v.(int), nil
+}

@@ -1,0 +1,204 @@
+package barrier_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/abstractions/barrier"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestGroupRelease(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := barrier.New(th, 3)
+		gens := make(chan int, 3)
+		for i := 0; i < 2; i++ {
+			th.Spawn("party", func(x *core.Thread) {
+				if g, err := b.Wait(x); err == nil {
+					gens <- g
+				}
+			})
+		}
+		select {
+		case <-gens:
+			t.Fatal("barrier tripped before the group was complete")
+		case <-time.After(20 * time.Millisecond):
+		}
+		g, err := b.Wait(th) // the third party
+		if err != nil {
+			t.Fatal(err)
+		}
+		gens <- g
+		for i := 0; i < 3; i++ {
+			select {
+			case got := <-gens:
+				if got != 0 {
+					t.Fatalf("generation = %d, want 0", got)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("party never released")
+			}
+		}
+	})
+}
+
+func TestCyclesIncrementGeneration(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := barrier.New(th, 2)
+		for cycle := 0; cycle < 3; cycle++ {
+			got := make(chan int, 1)
+			th.Spawn("party", func(x *core.Thread) {
+				if g, err := b.Wait(x); err == nil {
+					got <- g
+				}
+			})
+			g, err := b.Wait(th)
+			if err != nil || g != cycle {
+				t.Fatalf("cycle %d: (%d, %v)", cycle, g, err)
+			}
+			if pg := <-got; pg != cycle {
+				t.Fatalf("cycle %d: partner saw %d", cycle, pg)
+			}
+		}
+	})
+}
+
+// TestKilledPartyDoesNotWedgeBarrier: an enrolled party is killed; its
+// enrollment withdraws, and the group completes with a replacement.
+func TestKilledPartyDoesNotWedgeBarrier(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := barrier.New(th, 2)
+		doomed := th.Spawn("doomed", func(x *core.Thread) {
+			_, _ = b.Wait(x)
+			t.Error("doomed wait returned")
+		})
+		time.Sleep(5 * time.Millisecond)
+		doomed.Kill()
+		time.Sleep(5 * time.Millisecond)
+
+		got := make(chan int, 1)
+		th.Spawn("replacement", func(x *core.Thread) {
+			if g, err := b.Wait(x); err == nil {
+				got <- g
+			}
+		})
+		g, err := b.Wait(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case pg := <-got:
+			if pg != g {
+				t.Fatalf("generations differ: %d vs %d", pg, g)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("replacement never released — ghost enrollment counted")
+		}
+	})
+}
+
+func TestAbandonedWaitWithdraws(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := barrier.New(th, 2)
+		// Lose a wait to a timeout.
+		v, err := core.Sync(th, core.Choice(
+			b.WaitEvt(),
+			core.Wrap(core.After(rt, 5*time.Millisecond), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil || v != "timeout" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+		// A fresh pair must be required: one more enrollment alone must
+		// not trip the barrier (the abandoned one is gone).
+		got := make(chan int, 1)
+		th.Spawn("p1", func(x *core.Thread) {
+			if g, err := b.Wait(x); err == nil {
+				got <- g
+			}
+		})
+		select {
+		case <-got:
+			t.Fatal("barrier tripped with an abandoned enrollment")
+		case <-time.After(20 * time.Millisecond):
+		}
+		if _, err := b.Wait(th); err != nil {
+			t.Fatal(err)
+		}
+		<-got
+	})
+}
+
+func TestKillSafetyAcrossCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *barrier.Barrier, 1)
+		th.WithCustodian(c, func() {
+			th.Spawn("creator", func(x *core.Thread) {
+				share <- barrier.New(x, 2)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		b := <-share
+		c.Shutdown()
+		got := make(chan int, 1)
+		th.Spawn("party", func(x *core.Thread) {
+			if g, err := b.Wait(x); err == nil {
+				got <- g
+			}
+		})
+		if _, err := b.Wait(th); err != nil {
+			t.Fatalf("wait after creator shutdown: %v", err)
+		}
+		<-got
+	})
+}
+
+func TestManyCyclesStress(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		const parties, cycles = 4, 25
+		b := barrier.New(th, parties)
+		var maxGen atomic.Int64
+		done := make(chan struct{}, parties)
+		for p := 0; p < parties; p++ {
+			th.Spawn("party", func(x *core.Thread) {
+				defer func() { done <- struct{}{} }()
+				prev := -1
+				for i := 0; i < cycles; i++ {
+					g, err := b.Wait(x)
+					if err != nil {
+						t.Errorf("wait: %v", err)
+						return
+					}
+					if g <= prev {
+						t.Errorf("generation went backwards: %d after %d", g, prev)
+						return
+					}
+					prev = g
+					if int64(g) > maxGen.Load() {
+						maxGen.Store(int64(g))
+					}
+				}
+			})
+		}
+		for p := 0; p < parties; p++ {
+			select {
+			case <-done:
+			case <-time.After(20 * time.Second):
+				t.Fatal("stress stalled")
+			}
+		}
+		if maxGen.Load() != cycles-1 {
+			t.Fatalf("max generation %d, want %d", maxGen.Load(), cycles-1)
+		}
+	})
+}

@@ -1,0 +1,96 @@
+// Package buffer implements a kill-safe bounded buffer (a buffered channel
+// with back-pressure), one of the standard Concurrent ML abstractions the
+// paper's technique applies to: sends block while the buffer is full,
+// receives block while it is empty, and a manager thread serializes access
+// so the buffer stays consistent across the suspension and resurrection of
+// any of its users.
+package buffer
+
+import "repro/internal/core"
+
+// Buffer is a bounded FIFO buffer of T with a kill-safe manager.
+type Buffer[T any] struct {
+	rt    *core.Runtime
+	inCh  *core.Chan
+	outCh *core.Chan
+	mgr   *core.Thread
+	cap   int
+}
+
+// New creates a bounded buffer with the given capacity (at least 1),
+// managed by a thread under the creating thread's current custodian.
+func New[T any](th *core.Thread, capacity int) *Buffer[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	rt := th.Runtime()
+	b := &Buffer[T]{
+		rt:    rt,
+		inCh:  core.NewChanNamed(rt, "buf-in"),
+		outCh: core.NewChanNamed(rt, "buf-out"),
+		cap:   capacity,
+	}
+	b.mgr = th.Spawn("buffer-manager", b.serve)
+	return b
+}
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (b *Buffer[T]) Manager() *core.Thread { return b.mgr }
+
+// Cap returns the buffer's capacity.
+func (b *Buffer[T]) Cap() int { return b.cap }
+
+func (b *Buffer[T]) serve(mgr *core.Thread) {
+	var items []core.Value
+	for {
+		var evts []core.Event
+		if len(items) < b.cap {
+			evts = append(evts, core.Wrap(b.inCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() { items = append(items, v) }
+			}))
+		}
+		if len(items) > 0 {
+			head := items[0]
+			evts = append(evts, core.Wrap(b.outCh.SendEvt(head), func(core.Value) core.Value {
+				return func() { items = items[1:] }
+			}))
+		}
+		act, err := core.Sync(mgr, core.Choice(evts...))
+		if err != nil {
+			continue
+		}
+		act.(func())()
+	}
+}
+
+// SendEvt returns an event that deposits v when buffer space is available.
+func (b *Buffer[T]) SendEvt(v T) core.Event {
+	return core.Guard(func(th *core.Thread) core.Event {
+		core.ResumeVia(b.mgr, th)
+		return b.inCh.SendEvt(v)
+	})
+}
+
+// RecvEvt returns an event that removes and yields the oldest item.
+func (b *Buffer[T]) RecvEvt() core.Event {
+	return core.Guard(func(th *core.Thread) core.Event {
+		core.ResumeVia(b.mgr, th)
+		return b.outCh.RecvEvt()
+	})
+}
+
+// Send deposits v, blocking while the buffer is full.
+func (b *Buffer[T]) Send(th *core.Thread, v T) error {
+	_, err := core.Sync(th, b.SendEvt(v))
+	return err
+}
+
+// Recv removes the oldest item, blocking while the buffer is empty.
+func (b *Buffer[T]) Recv(th *core.Thread) (T, error) {
+	v, err := core.Sync(th, b.RecvEvt())
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}

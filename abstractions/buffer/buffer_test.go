@@ -1,0 +1,164 @@
+package buffer_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/abstractions/buffer"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := buffer.New[int](th, 4)
+		for i := 0; i < 4; i++ {
+			if err := b.Send(th, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			v, err := b.Recv(th)
+			if err != nil || v != i {
+				t.Fatalf("got (%v, %v), want %d", v, err, i)
+			}
+		}
+	})
+}
+
+func TestBackPressure(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := buffer.New[int](th, 2)
+		var sent atomic.Int64
+		th.Spawn("sender", func(s *core.Thread) {
+			for i := 0; i < 5; i++ {
+				if err := b.Send(s, i); err != nil {
+					return
+				}
+				sent.Add(1)
+			}
+		})
+		time.Sleep(20 * time.Millisecond)
+		if n := sent.Load(); n != 2 {
+			t.Fatalf("sender deposited %d items into a capacity-2 buffer", n)
+		}
+		for i := 0; i < 5; i++ {
+			v, err := b.Recv(th)
+			if err != nil || v != i {
+				t.Fatalf("got (%v, %v), want %d", v, err, i)
+			}
+		}
+	})
+}
+
+func TestCapacityClamp(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := buffer.New[int](th, 0)
+		if b.Cap() != 1 {
+			t.Fatalf("cap = %d, want 1", b.Cap())
+		}
+	})
+}
+
+func TestKillSafetyAcrossCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *buffer.Buffer[int], 1)
+		th.WithCustodian(c1, func() {
+			th.Spawn("creator", func(x *core.Thread) {
+				b := buffer.New[int](x, 3)
+				_ = b.Send(x, 1)
+				_ = b.Send(x, 2)
+				share <- b
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		b := <-share
+		c1.Shutdown()
+		// The survivor resurrects the manager and finds the contents
+		// intact.
+		if v, err := b.Recv(th); err != nil || v != 1 {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+		if err := b.Send(th, 3); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := b.Recv(th); err != nil || v != 2 {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+		if v, err := b.Recv(th); err != nil || v != 3 {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+	})
+}
+
+func TestEventsCompose(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		full := buffer.New[string](th, 1)
+		if err := full.Send(th, "x"); err != nil {
+			t.Fatal(err)
+		}
+		// Send into a full buffer loses the choice to a timeout without
+		// corrupting the buffer.
+		v, err := core.Sync(th, core.Choice(
+			core.Wrap(full.SendEvt("y"), func(core.Value) core.Value { return "sent" }),
+			core.Wrap(core.After(rt, 5*time.Millisecond), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil || v != "timeout" {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+		if v, err := full.Recv(th); err != nil || v != "x" {
+			t.Fatalf("buffer corrupted: (%v, %v)", v, err)
+		}
+	})
+}
+
+func TestConcurrentStress(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := buffer.New[int](th, 3)
+		const n = 300
+		done := make(chan map[int]bool, 1)
+		th.Spawn("consumer", func(r *core.Thread) {
+			seen := make(map[int]bool)
+			for i := 0; i < n; i++ {
+				v, err := b.Recv(r)
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				if seen[v] {
+					t.Errorf("duplicate %d", v)
+				}
+				seen[v] = true
+			}
+			done <- seen
+		})
+		for p := 0; p < 3; p++ {
+			p := p
+			th.Spawn("producer", func(s *core.Thread) {
+				for i := 0; i < n/3; i++ {
+					if err := b.Send(s, p*(n/3)+i); err != nil {
+						return
+					}
+				}
+			})
+		}
+		select {
+		case seen := <-done:
+			if len(seen) != n {
+				t.Fatalf("saw %d distinct items, want %d", len(seen), n)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("stress test stalled")
+		}
+	})
+}

@@ -1,0 +1,21 @@
+// Package guard holds the shared client-side half of the Concurrent ML
+// request/reply idiom used by the kill-safe abstractions: inside a guard,
+// send the manager a request over its request channel, then hand the outer
+// sync the event that receives the reply on the request's private channel.
+package guard
+
+import "repro/internal/core"
+
+// RequestReply sends req over reqCh from inside a guard running on th and
+// returns the event that receives the manager's reply from replyCh. If the
+// nested send is interrupted by a break, the break is re-posted to the
+// thread — so the outer sync raises it — and a never-ready event is
+// returned; the manager never became aware of the request, so no cleanup
+// is needed (the rendezvous makes withdrawal and acceptance exclusive).
+func RequestReply(th *core.Thread, reqCh *core.Chan, req core.Value, replyCh *core.Chan) core.Event {
+	if _, err := core.Sync(th, reqCh.SendEvt(req)); err != nil {
+		th.Break()
+		return core.Never()
+	}
+	return replyCh.RecvEvt()
+}

@@ -1,0 +1,197 @@
+// Package ivar implements a kill-safe write-once synchronizing cell
+// (Concurrent ML's I-variable, Reppy ch. 5). A Put succeeds exactly once;
+// GetEvt is ready once the cell is full and yields the value to any number
+// of readers, any number of times. The cell is managed by a thread so it
+// stays usable across the termination of any subset of its users, and both
+// operations use the nack-guard request idiom of the paper's Figure 9 so
+// abandoned requests never accumulate in the manager.
+package ivar
+
+import (
+	"errors"
+
+	"repro/abstractions/internal/guard"
+	"repro/internal/core"
+)
+
+// ErrFull is returned by Put when the cell already holds a value.
+var ErrFull = errors.New("ivar: already full")
+
+// IVar is a write-once cell of T.
+type IVar[T any] struct {
+	rt    *core.Runtime
+	putCh *core.Chan // carries *putReq
+	getCh *core.Chan // carries *getReq
+	mgr   *core.Thread
+}
+
+type putReq struct {
+	v      core.Value
+	reply  *core.Chan // receives nil or ErrFull
+	gaveUp core.Event
+}
+
+type getReq struct {
+	reply     *core.Chan // receives the value once available
+	gaveUp    core.Event
+	immediate bool // reply notReady instead of queueing when empty
+}
+
+// New creates an empty IVar managed by a thread under the creating
+// thread's current custodian.
+func New[T any](th *core.Thread) *IVar[T] {
+	rt := th.Runtime()
+	iv := &IVar[T]{
+		rt:    rt,
+		putCh: core.NewChanNamed(rt, "ivar-put"),
+		getCh: core.NewChanNamed(rt, "ivar-get"),
+	}
+	iv.mgr = th.Spawn("ivar-manager", iv.serve)
+	return iv
+}
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (iv *IVar[T]) Manager() *core.Thread { return iv.mgr }
+
+func (iv *IVar[T]) serve(mgr *core.Thread) {
+	var (
+		full    bool
+		value   core.Value
+		readers []*getReq
+	)
+	removeReader := func(gr *getReq) {
+		for i, x := range readers {
+			if x == gr {
+				readers = append(readers[:i], readers[i+1:]...)
+				return
+			}
+		}
+	}
+	for {
+		evts := []core.Event{
+			core.Wrap(iv.putCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					pr := v.(*putReq)
+					var res core.Value
+					if full {
+						res = ErrFull
+					} else {
+						full, value = true, pr.v
+					}
+					replyEventually(mgr, pr.reply, res, pr.gaveUp)
+				}
+			}),
+			core.Wrap(iv.getCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					gr := v.(*getReq)
+					switch {
+					case full:
+						replyEventually(mgr, gr.reply, value, gr.gaveUp)
+					case gr.immediate:
+						replyEventually(mgr, gr.reply, notReady{}, gr.gaveUp)
+					default:
+						readers = append(readers, gr)
+					}
+				}
+			}),
+		}
+		if full && len(readers) > 0 {
+			// Wake queued readers one per iteration so the loop stays
+			// responsive to new puts and gets.
+			gr := readers[0]
+			evts = append(evts, core.Wrap(core.Always(nil), func(core.Value) core.Value {
+				return func() {
+					readers = readers[1:]
+					replyEventually(mgr, gr.reply, value, gr.gaveUp)
+				}
+			}))
+		}
+		// Prune queued readers whose sync gave up (lost choice, escape,
+		// or termination), so they do not accumulate while the cell is
+		// empty.
+		for _, gr := range readers {
+			gr := gr
+			evts = append(evts, core.Wrap(gr.gaveUp, func(core.Value) core.Value {
+				return func() { removeReader(gr) }
+			}))
+		}
+		act, err := core.Sync(mgr, core.Choice(evts...))
+		if err != nil {
+			continue
+		}
+		act.(func())()
+	}
+}
+
+// replyEventually answers a request in a fresh thread so an absent
+// requester cannot block the manager; the delivery gives up when the
+// requester's gave-up event fires.
+func replyEventually(mgr *core.Thread, ch *core.Chan, v core.Value, gaveUp core.Event) {
+	core.SpawnYoked(mgr, "ivar-reply", func(d *core.Thread) {
+		_, _ = core.Sync(d, core.Choice(ch.SendEvt(v), gaveUp))
+	})
+}
+
+// PutEvt returns an event that attempts to fill the cell with v; its value
+// is nil on success or ErrFull.
+func (iv *IVar[T]) PutEvt(v T) core.Event {
+	return core.NackGuard(func(th *core.Thread, gaveUp core.Event) core.Event {
+		core.ResumeVia(iv.mgr, th)
+		reply := core.NewChanNamed(iv.rt, "ivar-put-reply")
+		return guard.RequestReply(th, iv.putCh, &putReq{v: v, reply: reply, gaveUp: gaveUp}, reply)
+	})
+}
+
+// GetEvt returns an event that is ready once the cell is full; its value
+// is the cell's value.
+func (iv *IVar[T]) GetEvt() core.Event {
+	return core.NackGuard(func(th *core.Thread, gaveUp core.Event) core.Event {
+		core.ResumeVia(iv.mgr, th)
+		reply := core.NewChanNamed(iv.rt, "ivar-get-reply")
+		return guard.RequestReply(th, iv.getCh, &getReq{reply: reply, gaveUp: gaveUp}, reply)
+	})
+}
+
+// Put fills the cell, failing with ErrFull if it already holds a value.
+func (iv *IVar[T]) Put(th *core.Thread, v T) error {
+	res, err := core.Sync(th, iv.PutEvt(v))
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return nil
+	}
+	return res.(error)
+}
+
+// Get blocks until the cell is full and returns its value.
+func (iv *IVar[T]) Get(th *core.Thread) (T, error) {
+	v, err := core.Sync(th, iv.GetEvt())
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// TryGet returns the value and true if the cell is already full, without
+// blocking for a Put: the manager answers an immediate request with a
+// not-ready marker when the cell is empty.
+func (iv *IVar[T]) TryGet(th *core.Thread) (T, bool, error) {
+	var zero T
+	ev := core.NackGuard(func(g *core.Thread, gaveUp core.Event) core.Event {
+		core.ResumeVia(iv.mgr, g)
+		reply := core.NewChanNamed(iv.rt, "ivar-tryget-reply")
+		return guard.RequestReply(g, iv.getCh, &getReq{reply: reply, gaveUp: gaveUp, immediate: true}, reply)
+	})
+	v, err := core.Sync(th, ev)
+	if err != nil {
+		return zero, false, err
+	}
+	if _, miss := v.(notReady); miss {
+		return zero, false, nil
+	}
+	return v.(T), true, nil
+}
+
+type notReady struct{}

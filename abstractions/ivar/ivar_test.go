@@ -1,0 +1,156 @@
+package ivar_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/abstractions/ivar"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestPutThenGet(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		iv := ivar.New[string](th)
+		if err := iv.Put(th, "value"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ { // reads are idempotent
+			v, err := iv.Get(th)
+			if err != nil || v != "value" {
+				t.Fatalf("get %d: (%v, %v)", i, v, err)
+			}
+		}
+	})
+}
+
+func TestSecondPutFails(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		iv := ivar.New[int](th)
+		if err := iv.Put(th, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := iv.Put(th, 2); err != ivar.ErrFull {
+			t.Fatalf("second put: %v, want ErrFull", err)
+		}
+		if v, _ := iv.Get(th); v != 1 {
+			t.Fatalf("value overwritten: %v", v)
+		}
+	})
+}
+
+func TestGetBlocksUntilPut(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		iv := ivar.New[int](th)
+		got := make(chan int, 3)
+		for i := 0; i < 3; i++ {
+			th.Spawn("getter", func(x *core.Thread) {
+				if v, err := iv.Get(x); err == nil {
+					got <- v
+				}
+			})
+		}
+		select {
+		case <-got:
+			t.Fatal("get completed before put")
+		case <-time.After(20 * time.Millisecond):
+		}
+		if err := iv.Put(th, 9); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			select {
+			case v := <-got:
+				if v != 9 {
+					t.Fatalf("got %d", v)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatalf("getter %d never woke", i)
+			}
+		}
+	})
+}
+
+func TestTryGet(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		iv := ivar.New[int](th)
+		if _, ok, err := iv.TryGet(th); err != nil || ok {
+			t.Fatalf("tryget on empty: ok=%v err=%v", ok, err)
+		}
+		if err := iv.Put(th, 5); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok, err := iv.TryGet(th); err != nil || !ok || v != 5 {
+			t.Fatalf("tryget on full: (%v, %v, %v)", v, ok, err)
+		}
+	})
+}
+
+func TestAbandonedGetterDoesNotLeak(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		iv := ivar.New[int](th)
+		// Lose a get in a choice many times; then a real put/get works
+		// and the abandoned readers are gone (delivery would otherwise
+		// spawn reply threads that block forever).
+		for i := 0; i < 10; i++ {
+			v, err := core.Sync(th, core.Choice(
+				iv.GetEvt(),
+				core.Wrap(core.After(rt, time.Millisecond), func(core.Value) core.Value { return "timeout" }),
+			))
+			if err != nil || v != "timeout" {
+				t.Fatalf("iteration %d: (%v, %v)", i, v, err)
+			}
+		}
+		if err := iv.Put(th, 1); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := iv.Get(th); err != nil || v != 1 {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}
+
+func TestKillSafetyAcrossCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *ivar.IVar[int], 1)
+		th.WithCustodian(c, func() {
+			th.Spawn("creator", func(x *core.Thread) {
+				iv := ivar.New[int](x)
+				_ = iv.Put(x, 11)
+				share <- iv
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		iv := <-share
+		c.Shutdown()
+		if v, err := iv.Get(th); err != nil || v != 11 {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}
+
+func TestKilledGetterDoesNotStrandOthers(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		iv := ivar.New[int](th)
+		doomed := th.Spawn("doomed", func(x *core.Thread) {
+			_, _ = iv.Get(x)
+		})
+		time.Sleep(5 * time.Millisecond)
+		doomed.Kill()
+		if err := iv.Put(th, 3); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := iv.Get(th); err != nil || v != 3 {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}

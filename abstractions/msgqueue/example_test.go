@@ -1,0 +1,29 @@
+package msgqueue_test
+
+import (
+	"fmt"
+
+	"repro/abstractions/msgqueue"
+	"repro/internal/core"
+)
+
+// Selective dequeue takes the first matching item, leaving the others in
+// order — a GUI can handle refresh messages while leaving clicks queued.
+func ExampleQueue_Recv() {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *core.Thread) {
+		q := msgqueue.New[string](th)
+		for _, m := range []string{"click:1", "refresh", "click:2"} {
+			_ = q.Send(th, m)
+		}
+		isRefresh := func(m string) bool { return m == "refresh" }
+		m, _ := q.Recv(th, isRefresh)
+		fmt.Println("handled:", m)
+		rest, _ := q.Recv(th, msgqueue.Any[string])
+		fmt.Println("still queued first:", rest)
+	})
+	// Output:
+	// handled: refresh
+	// still queued first: click:1
+}

@@ -1,0 +1,317 @@
+// Package msgqueue implements the paper's selective-dequeue message queue
+// (Figures 8–10 of "Kill-Safe Synchronization Abstractions"), the kind of
+// queue a GUI needs when a task wants to handle only refresh messages while
+// leaving mouse clicks intact.
+//
+// A receive takes a predicate; the manager satisfies the request with the
+// first queued item the predicate accepts, preserving the queue order of
+// the other items. The request idiom is Concurrent ML's client–server
+// pattern: the client sends the manager a request carrying a private reply
+// channel, then syncs on the reply. Three design stages from the paper are
+// selectable:
+//
+//   - Figure 8 (Options{Nacks: false}): abandoned requests — a losing
+//     branch of a choice, or a terminated client — pile up in the manager's
+//     request list forever. The leak is observable via PendingRequests.
+//   - Figure 9 (Options{Nacks: true}, the default): each request carries a
+//     gave-up event (the nack of the client's guard); the manager services
+//     a request or observes its abandonment, never both, thanks to the
+//     rendezvous commit.
+//   - Figure 10 (Options{RemotePredicates: true}): predicates run in a
+//     fresh thread under the *client's* custodian instead of the manager
+//     thread, so a hostile predicate — one that blocks forever or suspends
+//     its own thread — incapacitates only its submitter, and the
+//     predicate-running thread can execute only while the client may.
+package msgqueue
+
+import (
+	"sync/atomic"
+
+	"repro/abstractions/internal/guard"
+	"repro/internal/core"
+)
+
+// Options selects the design stage. The zero value plus Nacks:true is the
+// paper's recommended configuration (Figure 9).
+type Options struct {
+	// Nacks enables gave-up tracking so the manager drops abandoned
+	// requests (Figure 9). Without it the queue reproduces Figure 8's
+	// space leak.
+	Nacks bool
+	// RemotePredicates runs each predicate in a fresh thread under the
+	// requesting client's custodian (Figure 10).
+	RemotePredicates bool
+}
+
+// Queue is a selective-dequeue message queue of T.
+type Queue[T any] struct {
+	rt      *core.Runtime
+	inCh    *core.Chan
+	reqCh   *core.Chan
+	mgr     *core.Thread
+	opts    Options
+	pending atomic.Int64
+}
+
+// box gives queued items an identity independent of their (possibly
+// non-comparable) values, plus a monotonic enqueue sequence number so
+// predicate-testing progress survives removals elsewhere in the queue.
+type box struct {
+	v   core.Value
+	seq int64
+}
+
+// request is the manager's record of one outstanding selective receive.
+type request struct {
+	pred    func(*core.Thread, core.Value) bool
+	outCh   *core.Chan
+	gaveUp  core.Event      // nil without nacks
+	cust    *core.Custodian // client's custodian, for remote predicates
+	okItems []*box          // remote mode: known acceptable items
+	reply   *core.Chan      // remote mode: in-flight predicate reply, or nil
+	tested  int64           // remote mode: sequence high-water mark of
+	// items already submitted to a predicate run; sequence-based (not
+	// index-based) so removals by other requests cannot cause an
+	// untested item to be skipped.
+}
+
+// New creates a message queue with the paper's recommended configuration
+// (nacks on, inline predicates).
+func New[T any](th *core.Thread) *Queue[T] {
+	return NewWith[T](th, Options{Nacks: true})
+}
+
+// NewWith creates a message queue with explicit options.
+func NewWith[T any](th *core.Thread, opts Options) *Queue[T] {
+	rt := th.Runtime()
+	q := &Queue[T]{
+		rt:    rt,
+		inCh:  core.NewChanNamed(rt, "msgq-in"),
+		reqCh: core.NewChanNamed(rt, "msgq-req"),
+		opts:  opts,
+	}
+	q.mgr = th.Spawn("msgq-manager", q.serve)
+	return q
+}
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (q *Queue[T]) Manager() *core.Thread { return q.mgr }
+
+// PendingRequests reports the number of receive requests currently held by
+// the manager. Figure 8 mode leaks abandoned requests here.
+func (q *Queue[T]) PendingRequests() int { return int(q.pending.Load()) }
+
+func (q *Queue[T]) serve(mgr *core.Thread) {
+	var items []*box
+	var reqs []*request
+	var nextSeq int64
+
+	removeItem := func(b *box) {
+		for i, x := range items {
+			if x == b {
+				items = append(items[:i], items[i+1:]...)
+				break
+			}
+		}
+		for _, r := range reqs {
+			for i, x := range r.okItems {
+				if x == b {
+					r.okItems = append(r.okItems[:i], r.okItems[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	removeReq := func(r *request) {
+		for i, x := range reqs {
+			if x == r {
+				reqs = append(reqs[:i], reqs[i+1:]...)
+				q.pending.Add(-1)
+				break
+			}
+		}
+		if r.reply != nil {
+			// A predicate run is in flight; drain its eventual reply so
+			// the predicate thread is not blocked forever. The drainer
+			// runs under the client's custodian, like the predicate.
+			reply := r.reply
+			mgr.WithCustodian(r.cust, func() {
+				mgr.Spawn("msgq-pred-drain", func(d *core.Thread) {
+					_, _ = core.Sync(d, reply.RecvEvt())
+				})
+			})
+			r.reply = nil
+		}
+	}
+
+	// serviceEvt returns an event that advances one request, or nil if
+	// the request cannot make progress right now.
+	serviceEvt := func(r *request) core.Event {
+		if !q.opts.RemotePredicates {
+			// Figure 8/9: the manager runs the predicate itself, at
+			// event-construction time — the hazard Figure 10 removes.
+			for _, b := range items {
+				if r.pred(mgr, b.v) {
+					b := b
+					return core.Wrap(r.outCh.SendEvt(b.v), func(core.Value) core.Value {
+						return func() {
+							removeItem(b)
+							removeReq(r)
+						}
+					})
+				}
+			}
+			return nil
+		}
+		// Figure 10: remote predicates.
+		if len(r.okItems) > 0 {
+			b := r.okItems[0]
+			return core.Wrap(r.outCh.SendEvt(b.v), func(core.Value) core.Value {
+				return func() {
+					removeItem(b)
+					removeReq(r)
+				}
+			})
+		}
+		if r.reply == nil && len(items) > 0 && items[len(items)-1].seq >= r.tested {
+			// Start a predicate run over the untested items, in a new
+			// thread under the client's custodian: the predicate can
+			// execute only when the client is still allowed to execute,
+			// and it cannot harm the manager. As in the paper's
+			// ok-items-evt, the reply-receive event joins this very
+			// sync's choice (deferring it a round would deadlock the
+			// manager against its own predicate runner).
+			var snapshot []*box
+			for _, b := range items {
+				if b.seq >= r.tested {
+					snapshot = append(snapshot, b)
+				}
+			}
+			r.tested = items[len(items)-1].seq + 1
+			reply := core.NewChanNamed(q.rt, "msgq-pred-reply")
+			r.reply = reply
+			pred := r.pred
+			mgr.WithCustodian(r.cust, func() {
+				mgr.Spawn("msgq-pred-run", func(p *core.Thread) {
+					var ok []*box
+					for _, b := range snapshot {
+						if pred(p, b.v) {
+							ok = append(ok, b)
+						}
+					}
+					_, _ = core.Sync(p, reply.SendEvt(ok))
+				})
+			})
+		}
+		if r.reply != nil {
+			reply := r.reply
+			return core.Wrap(reply.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					r.reply = nil
+					// Keep only results that are still queued.
+					still := make(map[*box]bool, len(items))
+					for _, b := range items {
+						still[b] = true
+					}
+					for _, b := range v.([]*box) {
+						if still[b] {
+							r.okItems = append(r.okItems, b)
+						}
+					}
+				}
+			})
+		}
+		return nil
+	}
+
+	for {
+		evts := []core.Event{
+			core.Wrap(q.inCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					items = append(items, &box{v: v, seq: nextSeq})
+					nextSeq++
+				}
+			}),
+			core.Wrap(q.reqCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					reqs = append(reqs, v.(*request))
+					q.pending.Add(1)
+				}
+			}),
+		}
+		for _, r := range reqs {
+			r := r
+			if ev := serviceEvt(r); ev != nil {
+				evts = append(evts, ev)
+			}
+			if r.gaveUp != nil {
+				evts = append(evts, core.Wrap(r.gaveUp, func(core.Value) core.Value {
+					return func() { removeReq(r) }
+				}))
+			}
+		}
+		act, err := core.Sync(mgr, core.Choice(evts...))
+		if err != nil {
+			continue
+		}
+		act.(func())()
+	}
+}
+
+// SendEvt returns an event that posts v to the queue when chosen.
+func (q *Queue[T]) SendEvt(v T) core.Event {
+	return core.Guard(func(th *core.Thread) core.Event {
+		core.ResumeVia(q.mgr, th)
+		return q.inCh.SendEvt(v)
+	})
+}
+
+// Send posts v to the queue; it never blocks except to synchronize with
+// the manager.
+func (q *Queue[T]) Send(th *core.Thread, v T) error {
+	_, err := core.Sync(th, q.SendEvt(v))
+	return err
+}
+
+// RecvEvt returns an event that dequeues the first queued item satisfying
+// pred, leaving other items intact and ordered.
+func (q *Queue[T]) RecvEvt(pred func(T) bool) core.Event {
+	return q.RecvThreadEvt(func(_ *core.Thread, v T) bool { return pred(v) })
+}
+
+// RecvThreadEvt is RecvEvt for predicates that need a thread handle (for
+// example to block via runtime primitives). With RemotePredicates the
+// handle is the predicate-running thread under the client's custodian;
+// otherwise it is the manager thread — which is exactly how a hostile
+// predicate incapacitates a Figure 8/9 queue.
+func (q *Queue[T]) RecvThreadEvt(pred func(*core.Thread, T) bool) core.Event {
+	p := func(th *core.Thread, v core.Value) bool { return pred(th, v.(T)) }
+	mk := func(th *core.Thread, gaveUp core.Event) core.Event {
+		core.ResumeVia(q.mgr, th)
+		r := &request{
+			pred:   p,
+			outCh:  core.NewChanNamed(q.rt, "msgq-out"),
+			gaveUp: gaveUp,
+			cust:   th.CurrentCustodian(),
+		}
+		return guard.RequestReply(th, q.reqCh, r, r.outCh)
+	}
+	if q.opts.Nacks {
+		return core.NackGuard(mk)
+	}
+	return core.Guard(func(th *core.Thread) core.Event { return mk(th, nil) })
+}
+
+// Recv dequeues the first item satisfying pred, blocking until one exists.
+func (q *Queue[T]) Recv(th *core.Thread, pred func(T) bool) (T, error) {
+	v, err := core.Sync(th, q.RecvEvt(pred))
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// Any is a predicate accepting every item, making Recv behave like a plain
+// queue receive.
+func Any[T any](T) bool { return true }

@@ -1,0 +1,60 @@
+package msgqueue_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/abstractions/msgqueue"
+	"repro/internal/core"
+)
+
+// Property: selective dequeue partitions the queue — draining with
+// predicate P and then with not-P yields the P-items in order followed by
+// the rest in order, for arbitrary items and arbitrary residue-class
+// predicates, in both predicate disciplines.
+func TestQuickSelectivePartition(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	prop := func(vals []int16, m, r uint8, remote bool) bool {
+		mod := int16(m%5) + 2
+		res := int16(r) % mod
+		pred := func(v int16) bool { return ((v%mod)+mod)%mod == res }
+		notPred := func(v int16) bool { return !pred(v) }
+		if len(vals) > 24 {
+			vals = vals[:24]
+		}
+		var ok bool
+		_ = rt.Run(func(th *core.Thread) {
+			q := msgqueue.NewWith[int16](th, msgqueue.Options{Nacks: true, RemotePredicates: remote})
+			var want, rest []int16
+			for _, v := range vals {
+				if err := q.Send(th, v); err != nil {
+					return
+				}
+				if pred(v) {
+					want = append(want, v)
+				} else {
+					rest = append(rest, v)
+				}
+			}
+			for _, w := range want {
+				got, err := q.Recv(th, pred)
+				if err != nil || got != w {
+					return
+				}
+			}
+			for _, w := range rest {
+				got, err := q.Recv(th, notPred)
+				if err != nil || got != w {
+					return
+				}
+			}
+			q.Manager().Kill()
+			ok = true
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package multicast implements a kill-safe multicast channel (Reppy ch. 5):
+// every value sent is delivered to every subscribed port, in order. Each
+// port buffers independently, so a slow — or suspended, or terminated —
+// subscriber never blocks the sender or the other subscribers; this
+// isolation is exactly the paper's motivation for building abstractions
+// from manager threads and unbounded queues.
+package multicast
+
+import (
+	"repro/abstractions/queue"
+	"repro/internal/core"
+)
+
+// Chan is a multicast channel of T.
+type Chan[T any] struct {
+	rt    *core.Runtime
+	sendC *core.Chan // carries values
+	ctlC  *core.Chan // carries *ctl
+	mgr   *core.Thread
+}
+
+// Port receives the values sent to a multicast channel after the port's
+// creation.
+type Port[T any] struct {
+	mc *Chan[T]
+	q  *queue.Queue[T]
+}
+
+type ctl struct {
+	port        any // *Port[T]
+	unsubscribe bool
+	reply       *core.Chan
+}
+
+// New creates a multicast channel managed by a thread under the creating
+// thread's current custodian.
+func New[T any](th *core.Thread) *Chan[T] {
+	rt := th.Runtime()
+	mc := &Chan[T]{
+		rt:    rt,
+		sendC: core.NewChanNamed(rt, "mcast-send"),
+		ctlC:  core.NewChanNamed(rt, "mcast-ctl"),
+	}
+	mc.mgr = th.Spawn("mcast-manager", mc.serve)
+	return mc
+}
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (mc *Chan[T]) Manager() *core.Thread { return mc.mgr }
+
+func (mc *Chan[T]) serve(mgr *core.Thread) {
+	var ports []*Port[T]
+	for {
+		act, err := core.Sync(mgr, core.Choice(
+			core.Wrap(mc.sendC.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					// Forward into each port's unbounded queue; a queue
+					// send never blocks, so one dead subscriber cannot
+					// stall the fan-out.
+					for _, p := range ports {
+						_ = p.q.Send(mgr, v.(T))
+					}
+				}
+			}),
+			core.Wrap(mc.ctlC.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					c := v.(*ctl)
+					p := c.port.(*Port[T])
+					if c.unsubscribe {
+						for i, x := range ports {
+							if x == p {
+								ports = append(ports[:i], ports[i+1:]...)
+								break
+							}
+						}
+					} else {
+						ports = append(ports, p)
+					}
+					core.SpawnYoked(mgr, "mcast-ack", func(d *core.Thread) {
+						_, _ = core.Sync(d, c.reply.SendEvt(nil))
+					})
+				}
+			}),
+		))
+		if err != nil {
+			continue
+		}
+		act.(func())()
+	}
+}
+
+// SendEvt returns an event that multicasts v to all current ports.
+func (mc *Chan[T]) SendEvt(v T) core.Event {
+	return core.Guard(func(th *core.Thread) core.Event {
+		core.ResumeVia(mc.mgr, th)
+		return mc.sendC.SendEvt(v)
+	})
+}
+
+// Send multicasts v; it never blocks except to synchronize with the
+// manager.
+func (mc *Chan[T]) Send(th *core.Thread, v T) error {
+	_, err := core.Sync(th, mc.SendEvt(v))
+	return err
+}
+
+// Subscribe creates a new port that will receive every value sent after
+// this call returns. The port's buffer is itself a kill-safe queue whose
+// manager runs under th's current custodian.
+func (mc *Chan[T]) Subscribe(th *core.Thread) (*Port[T], error) {
+	p := &Port[T]{mc: mc, q: queue.New[T](th)}
+	// The port queue's manager must run whenever the multicast manager
+	// needs to forward into it, so yoke it to the multicast manager.
+	core.ResumeVia(p.q.Manager(), mc.mgr)
+	if err := mc.control(th, p, false); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Unsubscribe removes the port; values sent afterwards are not delivered
+// to it (already-buffered values remain receivable).
+func (p *Port[T]) Unsubscribe(th *core.Thread) error {
+	return p.mc.control(th, p, true)
+}
+
+func (mc *Chan[T]) control(th *core.Thread, p *Port[T], unsub bool) error {
+	core.ResumeVia(mc.mgr, th)
+	reply := core.NewChanNamed(mc.rt, "mcast-ctl-reply")
+	if _, err := core.Sync(th, mc.ctlC.SendEvt(&ctl{port: p, unsubscribe: unsub, reply: reply})); err != nil {
+		return err
+	}
+	_, err := core.Sync(th, reply.RecvEvt())
+	return err
+}
+
+// RecvEvt returns an event yielding the port's next value.
+func (p *Port[T]) RecvEvt() core.Event { return p.q.RecvEvt() }
+
+// Recv blocks until the port has a value and returns it.
+func (p *Port[T]) Recv(th *core.Thread) (T, error) { return p.q.Recv(th) }

@@ -1,0 +1,153 @@
+package multicast_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/abstractions/multicast"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFanOutInOrder(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		mc := multicast.New[int](th)
+		p1, err := mc.Subscribe(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := mc.Subscribe(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 5; i++ {
+			if err := mc.Send(th, i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 5; i++ {
+			if v, err := p1.Recv(th); err != nil || v != i {
+				t.Fatalf("p1: (%v, %v), want %d", v, err, i)
+			}
+			if v, err := p2.Recv(th); err != nil || v != i {
+				t.Fatalf("p2: (%v, %v), want %d", v, err, i)
+			}
+		}
+	})
+}
+
+func TestLateSubscriberMissesEarlierSends(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		mc := multicast.New[int](th)
+		if err := mc.Send(th, 1); err != nil {
+			t.Fatal(err)
+		}
+		p, err := mc.Subscribe(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mc.Send(th, 2); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := p.Recv(th); err != nil || v != 2 {
+			t.Fatalf("(%v, %v), want 2", v, err)
+		}
+	})
+}
+
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		mc := multicast.New[int](th)
+		p, err := mc.Subscribe(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mc.Send(th, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Unsubscribe(th); err != nil {
+			t.Fatal(err)
+		}
+		if err := mc.Send(th, 2); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := p.Recv(th); err != nil || v != 1 {
+			t.Fatalf("(%v, %v), want 1", v, err)
+		}
+		// Nothing further arrives.
+		v, err := core.Sync(th, core.Choice(
+			p.RecvEvt(),
+			core.Wrap(core.After(rt, 10*time.Millisecond), func(core.Value) core.Value { return "silence" }),
+		))
+		if err != nil || v != "silence" {
+			t.Fatalf("(%v, %v), want silence", v, err)
+		}
+	})
+}
+
+func TestSuspendedSubscriberDoesNotBlockOthers(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		mc := multicast.New[int](th)
+		cSlow := core.NewCustodian(rt.RootCustodian())
+		ready := make(chan *multicast.Port[int], 1)
+		th.WithCustodian(cSlow, func() {
+			th.Spawn("slow", func(x *core.Thread) {
+				p, err := mc.Subscribe(x)
+				if err != nil {
+					t.Errorf("subscribe: %v", err)
+					return
+				}
+				ready <- p
+				_ = core.Sleep(x, time.Hour) // never reads
+			})
+		})
+		<-ready
+		pFast, err := mc.Subscribe(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cSlow.Shutdown() // the slow subscriber's task dies
+
+		for i := 0; i < 10; i++ {
+			if err := mc.Send(th, i); err != nil {
+				t.Fatal(err)
+			}
+			if v, err := pFast.Recv(th); err != nil || v != i {
+				t.Fatalf("fast subscriber stalled at %d: (%v, %v)", i, v, err)
+			}
+		}
+	})
+}
+
+func TestKillSafetyAcrossCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *multicast.Chan[int], 1)
+		th.WithCustodian(c, func() {
+			th.Spawn("creator", func(x *core.Thread) {
+				share <- multicast.New[int](x)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		mc := <-share
+		c.Shutdown()
+		p, err := mc.Subscribe(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mc.Send(th, 42); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := p.Recv(th); err != nil || v != 42 {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+// Package pipe implements the socket-like abstraction at the core of the
+// DrScheme help system described in Section 2.2 of the paper: a byte
+// stream whose core is an asynchronous buffered (kill-safe) queue. The PLT
+// web server and the browser run in the same virtual machine and talk
+// through a pair of such streams instead of TCP sockets; because the
+// underlying queue is kill-safe, terminating browser- or server-internal
+// tasks (a cancelled click, an aborted request) cannot wreak havoc with
+// the stream.
+package pipe
+
+import (
+	"errors"
+	"io"
+
+	"repro/abstractions/queue"
+	"repro/internal/core"
+)
+
+// ErrClosed is returned by writes to a closed stream.
+var ErrClosed = errors.New("pipe: closed")
+
+// eof is the in-band end-of-stream marker.
+type eof struct{}
+
+// Stream is a unidirectional byte stream: any number of writers, any
+// number of readers, kill-safe in both directions.
+type Stream struct {
+	q *queue.Queue[core.Value] // []byte chunks or eof
+}
+
+// NewStream creates a byte stream whose queue manager runs under th's
+// current custodian.
+func NewStream(th *core.Thread) *Stream {
+	return &Stream{q: queue.New[core.Value](th)}
+}
+
+// Manager exposes the underlying queue's manager thread.
+func (s *Stream) Manager() *core.Thread { return s.q.Manager() }
+
+// Write enqueues p (copied); it never blocks except to synchronize with
+// the queue manager.
+func (s *Stream) Write(th *core.Thread, p []byte) (int, error) {
+	buf := make([]byte, len(p))
+	copy(buf, p)
+	if err := s.q.Send(th, buf); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// WriteString writes the bytes of str.
+func (s *Stream) WriteString(th *core.Thread, str string) (int, error) {
+	return s.Write(th, []byte(str))
+}
+
+// Close marks end-of-stream; readers see io.EOF after draining buffered
+// data. Writes after Close are still accepted by the queue but appear
+// after the EOF marker and are never read; callers should stop writing.
+func (s *Stream) Close(th *core.Thread) error {
+	return s.q.Send(th, eof{})
+}
+
+// RecvEvt returns an event yielding the next chunk ([]byte) or eof.
+func (s *Stream) recvEvt() core.Event { return s.q.RecvEvt() }
+
+// Conn is a bidirectional connection: a pair of streams.
+type Conn struct {
+	in  *Stream // what this side reads
+	out *Stream // what this side writes
+}
+
+// NewConnPair creates two connected endpoints, like a socketpair. Each
+// stream's manager runs under th's current custodian and is yoked to every
+// user by the queue's kill-safety guard.
+func NewConnPair(th *core.Thread) (*Conn, *Conn) {
+	a2b := NewStream(th)
+	b2a := NewStream(th)
+	return &Conn{in: b2a, out: a2b}, &Conn{in: a2b, out: b2a}
+}
+
+// Write sends p to the peer.
+func (c *Conn) Write(th *core.Thread, p []byte) (int, error) { return c.out.Write(th, p) }
+
+// WriteString sends str to the peer.
+func (c *Conn) WriteString(th *core.Thread, s string) (int, error) { return c.out.WriteString(th, s) }
+
+// Close closes the outgoing direction.
+func (c *Conn) Close(th *core.Thread) error { return c.out.Close(th) }
+
+// Reader returns a stateful reader of the incoming direction, bound to th.
+// Readers are not safe for concurrent use from multiple threads; create
+// one per reading thread.
+func (c *Conn) Reader(th *core.Thread) *Reader { return NewReader(th, c.in) }
+
+// Reader adapts a Stream to io.Reader for a particular thread, buffering
+// partially consumed chunks.
+type Reader struct {
+	th     *core.Thread
+	s      *Stream
+	buf    []byte
+	sawEOF bool
+}
+
+// NewReader creates a reader of s bound to th.
+func NewReader(th *core.Thread, s *Stream) *Reader {
+	return &Reader{th: th, s: s}
+}
+
+// Use rebinds the reader to another thread for subsequent reads. The
+// caller is responsible for serializing use across threads.
+func (r *Reader) Use(th *core.Thread) { r.th = th }
+
+var _ io.Reader = (*Reader)(nil)
+
+// Read implements io.Reader: it blocks until data or end-of-stream
+// arrives. A break signal surfaces as the underlying error. Empty chunks
+// are consumed transparently rather than misread as end-of-stream.
+func (r *Reader) Read(p []byte) (int, error) {
+	for len(r.buf) == 0 && !r.sawEOF {
+		v, err := core.Sync(r.th, r.s.recvEvt())
+		if err != nil {
+			return 0, err
+		}
+		switch x := v.(type) {
+		case eof:
+			r.sawEOF = true
+		case []byte:
+			r.buf = x
+		}
+	}
+	if len(r.buf) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, r.buf)
+	r.buf = r.buf[n:]
+	return n, nil
+}
+
+// ReadLine reads up to and including the next '\n' (or EOF) and returns
+// the line without the newline.
+func (r *Reader) ReadLine() (string, error) {
+	var line []byte
+	for {
+		for i, b := range r.buf {
+			if b == '\n' {
+				line = append(line, r.buf[:i]...)
+				r.buf = r.buf[i+1:]
+				return string(line), nil
+			}
+		}
+		line = append(line, r.buf...)
+		r.buf = nil
+		if r.sawEOF {
+			if len(line) == 0 {
+				return "", io.EOF
+			}
+			return string(line), nil
+		}
+		v, err := core.Sync(r.th, r.s.recvEvt())
+		if err != nil {
+			return string(line), err
+		}
+		switch x := v.(type) {
+		case eof:
+			r.sawEOF = true
+		case []byte:
+			r.buf = x
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package pipe_test
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/abstractions/pipe"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		a, b := pipe.NewConnPair(th)
+		echoed := make(chan string, 1)
+		th.Spawn("peer", func(x *core.Thread) {
+			r := b.Reader(x)
+			line, err := r.ReadLine()
+			if err != nil {
+				t.Errorf("peer read: %v", err)
+				return
+			}
+			if _, err := b.WriteString(x, "echo:"+line+"\n"); err != nil {
+				t.Errorf("peer write: %v", err)
+			}
+		})
+		if _, err := a.WriteString(th, "hello\n"); err != nil {
+			t.Fatal(err)
+		}
+		th.Spawn("collector", func(x *core.Thread) {
+			line, err := a.Reader(x).ReadLine()
+			if err == nil {
+				echoed <- line
+			}
+		})
+		select {
+		case line := <-echoed:
+			if line != "echo:hello" {
+				t.Fatalf("got %q", line)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("round trip stalled")
+		}
+	})
+}
+
+func TestReadAcrossChunkBoundaries(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		s := pipe.NewStream(th)
+		for _, chunk := range []string{"ab", "c\nde", "f\n"} {
+			if _, err := s.WriteString(th, chunk); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := pipe.NewReader(th, s)
+		if line, err := r.ReadLine(); err != nil || line != "abc" {
+			t.Fatalf("(%q, %v)", line, err)
+		}
+		if line, err := r.ReadLine(); err != nil || line != "def" {
+			t.Fatalf("(%q, %v)", line, err)
+		}
+	})
+}
+
+func TestCloseYieldsEOFAfterDrain(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		s := pipe.NewStream(th)
+		if _, err := s.WriteString(th, "tail"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(th); err != nil {
+			t.Fatal(err)
+		}
+		r := pipe.NewReader(th, s)
+		buf := make([]byte, 16)
+		n, err := r.Read(buf)
+		if err != nil || string(buf[:n]) != "tail" {
+			t.Fatalf("(%q, %v)", buf[:n], err)
+		}
+		if _, err := r.Read(buf); err != io.EOF {
+			t.Fatalf("err = %v, want io.EOF", err)
+		}
+		// ReadLine at EOF.
+		if _, err := r.ReadLine(); err != io.EOF {
+			t.Fatalf("err = %v, want io.EOF", err)
+		}
+	})
+}
+
+func TestPartialReads(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		s := pipe.NewStream(th)
+		if _, err := s.WriteString(th, "abcdef"); err != nil {
+			t.Fatal(err)
+		}
+		r := pipe.NewReader(th, s)
+		buf := make([]byte, 2)
+		var got string
+		for len(got) < 6 {
+			n, err := r.Read(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got += string(buf[:n])
+		}
+		if got != "abcdef" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+// TestStreamSurvivesWriterTermination: the help-system property — internal
+// tasks of one side are terminated mid-conversation and the stream keeps
+// working for everyone else.
+func TestStreamSurvivesWriterTermination(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		s := pipe.NewStream(th)
+		c := core.NewCustodian(rt.RootCustodian())
+		wrote := make(chan struct{})
+		th.WithCustodian(c, func() {
+			th.Spawn("doomed-writer", func(x *core.Thread) {
+				if _, err := x2write(x, s, "first\n"); err != nil {
+					return
+				}
+				close(wrote)
+				for {
+					if _, err := x2write(x, s, "noise\n"); err != nil {
+						return
+					}
+					if err := core.Sleep(x, time.Millisecond); err != nil {
+						return
+					}
+				}
+			})
+		})
+		<-wrote
+		c.Shutdown() // terminate the writer's task mid-stream
+		// The reader still gets everything that was committed, and the
+		// stream still accepts new traffic.
+		r := pipe.NewReader(th, s)
+		if line, err := r.ReadLine(); err != nil || line != "first" {
+			t.Fatalf("(%q, %v)", line, err)
+		}
+		if _, err := s.WriteString(th, "after\n"); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			line, err := r.ReadLine()
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			if line == "after" {
+				return
+			}
+			if line != "noise" {
+				t.Fatalf("unexpected line %q", line)
+			}
+		}
+	})
+}
+
+func x2write(x *core.Thread, s *pipe.Stream, str string) (int, error) {
+	return s.WriteString(x, str)
+}

@@ -1,0 +1,32 @@
+package pool_test
+
+import (
+	"fmt"
+	"time"
+
+	"repro/abstractions/pool"
+	"repro/internal/core"
+)
+
+// A kill-safe mutex releases automatically when its holder is terminated:
+// termination cannot leak the lock.
+func ExampleMutex() {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *core.Thread) {
+		m := pool.NewMutex(th)
+		locked := make(chan struct{})
+		holder := th.Spawn("holder", func(x *core.Thread) {
+			_ = m.Lock(x)
+			close(locked)
+			_ = core.Sleep(x, time.Hour) // never unlocks
+		})
+		<-locked
+		holder.Kill()
+
+		if err := m.Lock(th); err == nil {
+			fmt.Println("lock reclaimed from terminated holder")
+		}
+	})
+	// Output: lock reclaimed from terminated holder
+}

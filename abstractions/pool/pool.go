@@ -1,0 +1,213 @@
+// Package pool implements a kill-safe resource pool: n tokens, acquired
+// and released through a manager thread. It showcases a capability that
+// falls out of the paper's machinery but none of its figures spell out:
+// because the manager can sync on a holder thread's done event, a token
+// whose holder is *terminated* is reclaimed automatically — termination
+// cannot leak pool capacity — while a holder that is merely suspended
+// (custodian down, possibly to be resumed) keeps its token, exactly
+// matching the paper's distinction between mostly dead and all dead.
+//
+// A Mutex is the capacity-1 pool.
+package pool
+
+import (
+	"errors"
+
+	"repro/abstractions/internal/guard"
+	"repro/internal/core"
+)
+
+// ErrNotHolder is returned by Release when the calling thread does not
+// hold a token.
+var ErrNotHolder = errors.New("pool: calling thread holds no token")
+
+// Pool is a kill-safe pool of n identical tokens.
+type Pool struct {
+	rt    *core.Runtime
+	reqCh *core.Chan // *acquireReq
+	relCh *core.Chan // *releaseReq
+	mgr   *core.Thread
+	cap   int
+}
+
+type acquireReq struct {
+	th     *core.Thread // the would-be holder
+	reply  *core.Chan
+	gaveUp core.Event
+}
+
+type releaseReq struct {
+	th    *core.Thread
+	reply *core.Chan // error or nil
+}
+
+// New creates a pool with n tokens (at least 1), managed by a thread
+// under the creating thread's current custodian.
+func New(th *core.Thread, n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	rt := th.Runtime()
+	p := &Pool{
+		rt:    rt,
+		reqCh: core.NewChanNamed(rt, "pool-acquire"),
+		relCh: core.NewChanNamed(rt, "pool-release"),
+		cap:   n,
+	}
+	p.mgr = th.Spawn("pool-manager", p.serve)
+	return p
+}
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (p *Pool) Manager() *core.Thread { return p.mgr }
+
+// Cap returns the pool's capacity.
+func (p *Pool) Cap() int { return p.cap }
+
+func (p *Pool) serve(mgr *core.Thread) {
+	free := p.cap
+	holders := map[*core.Thread]int{} // thread -> tokens held
+	var waiting []*acquireReq
+
+	removeWaiter := func(r *acquireReq) {
+		for i, x := range waiting {
+			if x == r {
+				waiting = append(waiting[:i], waiting[i+1:]...)
+				return
+			}
+		}
+	}
+	grant := func(r *acquireReq) core.Event {
+		return core.Wrap(r.reply.SendEvt(nil), func(core.Value) core.Value {
+			return func() {
+				free--
+				holders[r.th]++
+				removeWaiter(r)
+			}
+		})
+	}
+
+	for {
+		evts := []core.Event{
+			core.Wrap(p.reqCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() { waiting = append(waiting, v.(*acquireReq)) }
+			}),
+			core.Wrap(p.relCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() {
+					r := v.(*releaseReq)
+					var res core.Value
+					if holders[r.th] == 0 {
+						res = ErrNotHolder
+					} else {
+						holders[r.th]--
+						if holders[r.th] == 0 {
+							delete(holders, r.th)
+						}
+						free++
+					}
+					core.SpawnYoked(mgr, "pool-reply", func(d *core.Thread) {
+						_, _ = core.Sync(d, r.reply.SendEvt(res))
+					})
+				}
+			}),
+		}
+		// Reclaim tokens from terminated holders. Suspension is not
+		// termination: a mostly-dead holder keeps its token.
+		for h, n := range holders {
+			h, n := h, n
+			evts = append(evts, core.Wrap(h.DoneEvt(), func(core.Value) core.Value {
+				return func() {
+					delete(holders, h)
+					free += n
+				}
+			}))
+		}
+		if free > 0 {
+			for _, r := range waiting {
+				evts = append(evts, grant(r))
+			}
+		}
+		// Drop acquirers that gave up (lost a choice, broke, or died).
+		for _, r := range waiting {
+			r := r
+			evts = append(evts, core.Wrap(r.gaveUp, func(core.Value) core.Value {
+				return func() { removeWaiter(r) }
+			}))
+		}
+		act, err := core.Sync(mgr, core.Choice(evts...))
+		if err != nil {
+			continue
+		}
+		act.(func())()
+	}
+}
+
+// AcquireEvt returns an event that obtains a token for the syncing
+// thread when one is available.
+func (p *Pool) AcquireEvt() core.Event {
+	return core.NackGuard(func(th *core.Thread, gaveUp core.Event) core.Event {
+		core.ResumeVia(p.mgr, th)
+		reply := core.NewChanNamed(p.rt, "pool-grant")
+		return guard.RequestReply(th, p.reqCh, &acquireReq{th: th, reply: reply, gaveUp: gaveUp}, reply)
+	})
+}
+
+// Acquire blocks until the calling thread obtains a token.
+func (p *Pool) Acquire(th *core.Thread) error {
+	_, err := core.Sync(th, p.AcquireEvt())
+	return err
+}
+
+// Release returns one of the calling thread's tokens to the pool. It
+// returns ErrNotHolder if the thread holds none.
+func (p *Pool) Release(th *core.Thread) error {
+	core.ResumeVia(p.mgr, th)
+	reply := core.NewChanNamed(p.rt, "pool-release-reply")
+	if _, err := core.Sync(th, p.relCh.SendEvt(&releaseReq{th: th, reply: reply})); err != nil {
+		return err
+	}
+	res, err := core.Sync(th, reply.RecvEvt())
+	if err != nil {
+		return err
+	}
+	if res == nil {
+		return nil
+	}
+	return res.(error)
+}
+
+// With acquires a token, runs fn, and releases the token even if fn
+// panics.
+func (p *Pool) With(th *core.Thread, fn func() error) error {
+	if err := p.Acquire(th); err != nil {
+		return err
+	}
+	defer func() { _ = p.Release(th) }()
+	return fn()
+}
+
+// Mutex is a kill-safe mutual-exclusion lock: a capacity-1 Pool. A lock
+// whose holder is terminated is released automatically; a lock whose
+// holder is merely suspended stays held until the holder is resumed or
+// finally collected.
+type Mutex struct {
+	p *Pool
+}
+
+// NewMutex creates a kill-safe mutex.
+func NewMutex(th *core.Thread) *Mutex { return &Mutex{p: New(th, 1)} }
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (m *Mutex) Manager() *core.Thread { return m.p.Manager() }
+
+// LockEvt returns an event that locks the mutex for the syncing thread.
+func (m *Mutex) LockEvt() core.Event { return m.p.AcquireEvt() }
+
+// Lock blocks until the calling thread holds the mutex.
+func (m *Mutex) Lock(th *core.Thread) error { return m.p.Acquire(th) }
+
+// Unlock releases the mutex; ErrNotHolder if the thread does not hold it.
+func (m *Mutex) Unlock(th *core.Thread) error { return m.p.Release(th) }
+
+// With runs fn while holding the mutex.
+func (m *Mutex) With(th *core.Thread, fn func() error) error { return m.p.With(th, fn) }

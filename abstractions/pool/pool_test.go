@@ -1,0 +1,278 @@
+package pool_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/abstractions/pool"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestAcquireRelease(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		p := pool.New(th, 2)
+		if err := p.Acquire(th); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Acquire(th); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Release(th); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Release(th); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Release(th); err != pool.ErrNotHolder {
+			t.Fatalf("over-release: %v, want ErrNotHolder", err)
+		}
+	})
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		p := pool.New(th, 1)
+		if err := p.Acquire(th); err != nil {
+			t.Fatal(err)
+		}
+		var got atomic.Bool
+		th.Spawn("waiter", func(x *core.Thread) {
+			if err := p.Acquire(x); err == nil {
+				got.Store(true)
+			}
+		})
+		time.Sleep(10 * time.Millisecond)
+		if got.Load() {
+			t.Fatal("second acquire succeeded on a capacity-1 pool")
+		}
+		if err := p.Release(th); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, "waiter acquisition", got.Load)
+	})
+}
+
+func TestMutualExclusion(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		m := pool.NewMutex(th)
+		var inside, maxInside, violations atomic.Int64
+		done := make(chan struct{}, 8)
+		for i := 0; i < 8; i++ {
+			th.Spawn("worker", func(x *core.Thread) {
+				defer func() { done <- struct{}{} }()
+				for j := 0; j < 20; j++ {
+					err := m.With(x, func() error {
+						n := inside.Add(1)
+						if n > maxInside.Load() {
+							maxInside.Store(n)
+						}
+						if n > 1 {
+							violations.Add(1)
+						}
+						_ = x.Yield()
+						inside.Add(-1)
+						return nil
+					})
+					if err != nil {
+						return
+					}
+				}
+			})
+		}
+		for i := 0; i < 8; i++ {
+			select {
+			case <-done:
+			case <-time.After(20 * time.Second):
+				t.Fatal("workers stalled")
+			}
+		}
+		if violations.Load() > 0 {
+			t.Fatalf("%d mutual-exclusion violations (max inside %d)",
+				violations.Load(), maxInside.Load())
+		}
+	})
+}
+
+// TestTerminatedHolderReleasesToken: the headline property — killing a
+// token holder cannot leak pool capacity.
+func TestTerminatedHolderReleasesToken(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		m := pool.NewMutex(th)
+		acquired := make(chan struct{})
+		holder := th.Spawn("holder", func(x *core.Thread) {
+			if err := m.Lock(x); err != nil {
+				return
+			}
+			close(acquired)
+			_ = core.Sleep(x, time.Hour)
+		})
+		<-acquired
+		holder.Kill()
+		// The manager reclaims the token via the holder's done event.
+		errCh := make(chan error, 1)
+		th.Spawn("next", func(x *core.Thread) { errCh <- m.Lock(x) })
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Fatalf("lock after holder kill: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("lock not reclaimed from terminated holder")
+		}
+	})
+}
+
+// TestSuspendedHolderKeepsToken: suspension is not termination — a
+// mostly-dead holder's token is NOT reclaimed, and resuming the holder
+// lets it release normally.
+func TestSuspendedHolderKeepsToken(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		m := pool.NewMutex(th)
+		c := core.NewCustodian(rt.RootCustodian())
+		acquired := make(chan *core.Thread, 1)
+		th.WithCustodian(c, func() {
+			th.Spawn("holder", func(x *core.Thread) {
+				if err := m.Lock(x); err != nil {
+					return
+				}
+				acquired <- x
+				_ = core.Sleep(x, 30*time.Millisecond)
+				_ = m.Unlock(x)
+			})
+		})
+		holder := <-acquired
+		c.Shutdown() // holder suspended, not dead
+		var got atomic.Bool
+		th.Spawn("waiter", func(x *core.Thread) {
+			if err := m.Lock(x); err == nil {
+				got.Store(true)
+			}
+		})
+		time.Sleep(20 * time.Millisecond)
+		if got.Load() {
+			t.Fatal("token reclaimed from a merely suspended holder")
+		}
+		// Resume the holder: it finishes its sleep and unlocks.
+		core.ResumeWith(holder, rt.RootCustodian())
+		waitUntil(t, "waiter gets lock after resume", got.Load)
+	})
+}
+
+func TestAbandonedAcquireWithdraws(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		p := pool.New(th, 1)
+		if err := p.Acquire(th); err != nil {
+			t.Fatal(err)
+		}
+		// Lose an acquire to a timeout; the manager must drop the
+		// waiter so a later release does not grant to a ghost.
+		v, err := core.Sync(th, core.Choice(
+			p.AcquireEvt(),
+			core.Wrap(core.After(rt, 5*time.Millisecond), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil || v != "timeout" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+		if err := p.Release(th); err != nil {
+			t.Fatal(err)
+		}
+		// The token is available for a real acquirer.
+		if err := p.Acquire(th); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestKillSafetyAcrossCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *pool.Pool, 1)
+		th.WithCustodian(c, func() {
+			th.Spawn("creator", func(x *core.Thread) {
+				share <- pool.New(x, 2)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		p := <-share
+		c.Shutdown()
+		if err := p.Acquire(th); err != nil {
+			t.Fatalf("acquire after creator shutdown: %v", err)
+		}
+		if err := p.Release(th); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// Property: token conservation — after arbitrary interleavings of k
+// acquisitions and releases plus terminated holders, the number of
+// grantable tokens returns to capacity.
+func TestQuickTokenConservation(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	prop := func(capRaw, holdersRaw uint8) bool {
+		capacity := int(capRaw%3) + 1
+		holders := int(holdersRaw % 6)
+		var ok bool
+		_ = rt.Run(func(th *core.Thread) {
+			p := pool.New(th, capacity)
+			// Spawn holders that acquire and are then killed.
+			done := make(chan *core.Thread, holders)
+			for i := 0; i < holders; i++ {
+				t := th.Spawn("holder", func(x *core.Thread) {
+					if err := p.Acquire(x); err != nil {
+						return
+					}
+					_ = core.Sleep(x, time.Hour)
+				})
+				done <- t
+			}
+			time.Sleep(5 * time.Millisecond)
+			for i := 0; i < holders; i++ {
+				(<-done).Kill()
+			}
+			// All capacity must be reacquirable.
+			for i := 0; i < capacity; i++ {
+				errCh := make(chan error, 1)
+				th.Spawn("reacquire", func(x *core.Thread) { errCh <- p.Acquire(x) })
+				select {
+				case err := <-errCh:
+					if err != nil {
+						return
+					}
+				case <-time.After(5 * time.Second):
+					return
+				}
+			}
+			p.Manager().Kill()
+			ok = true
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package queue implements the paper's running example: an asynchronous
+// buffered queue (Figures 5–7 of "Kill-Safe Synchronization Abstractions").
+//
+// Values sent into the queue are parceled out one-by-one to receivers. A
+// send never blocks (except to synchronize access); a receive blocks only
+// when the queue is empty. The queue is managed by an internal thread that
+// pipes items from an input channel to an output channel, so access to the
+// internal item list is implicitly single-threaded.
+//
+// New returns the kill-safe variant of Figure 7: every operation is guarded
+// by ResumeVia(manager, currentThread), which both resumes a suspended
+// manager and adds the caller's custodians to the manager's controllers, so
+// the manager runs whenever any queue-using thread runs — and stops only
+// when every using task has been terminated. NewUnsafe returns the Figure 5
+// baseline without the guard, which a custodian shutdown of the creating
+// task wedges permanently for all other users.
+package queue
+
+import "repro/internal/core"
+
+// Queue is an asynchronous buffered channel of T.
+type Queue[T any] struct {
+	rt       *core.Runtime
+	inCh     *core.Chan
+	outCh    *core.Chan
+	mgr      *core.Thread
+	killSafe bool
+}
+
+// New creates a kill-safe queue whose manager thread is controlled, per the
+// paper, by the creating thread's current custodian.
+func New[T any](th *core.Thread) *Queue[T] {
+	return newQueue[T](th, true)
+}
+
+// NewUnsafe creates the Figure 5 baseline: thread-safe but not kill-safe.
+// It exists so that tests and benchmarks can demonstrate exactly what the
+// guard buys.
+func NewUnsafe[T any](th *core.Thread) *Queue[T] {
+	return newQueue[T](th, false)
+}
+
+func newQueue[T any](th *core.Thread, killSafe bool) *Queue[T] {
+	rt := th.Runtime()
+	q := &Queue[T]{
+		rt:       rt,
+		inCh:     core.NewChanNamed(rt, "queue-in"),
+		outCh:    core.NewChanNamed(rt, "queue-out"),
+		killSafe: killSafe,
+	}
+	q.mgr = th.Spawn("queue-manager", q.serve)
+	return q
+}
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (q *Queue[T]) Manager() *core.Thread { return q.mgr }
+
+// serve is the manager loop: accept a send, or supply a receive, whichever
+// is ready; with both enabled, choice picks fairly.
+func (q *Queue[T]) serve(mgr *core.Thread) {
+	var items []core.Value
+	for {
+		var ev core.Event
+		if len(items) == 0 {
+			// Nothing to supply a recv until we accept a send.
+			ev = core.Wrap(q.inCh.RecvEvt(), func(v core.Value) core.Value {
+				return func() { items = append(items, v) }
+			})
+		} else {
+			head := items[0]
+			ev = core.Choice(
+				core.Wrap(q.inCh.RecvEvt(), func(v core.Value) core.Value {
+					return func() { items = append(items, v) }
+				}),
+				core.Wrap(q.outCh.SendEvt(head), func(core.Value) core.Value {
+					return func() { items = items[1:] }
+				}),
+			)
+		}
+		act, err := core.Sync(mgr, ev)
+		if err != nil {
+			continue // a stray break signal; the manager keeps serving
+		}
+		act.(func())()
+	}
+}
+
+// guard makes the manager run whenever the calling thread runs. It is the
+// entire difference between Figure 5 and Figure 6.
+func (q *Queue[T]) guard(th *core.Thread) {
+	if q.killSafe {
+		core.ResumeVia(q.mgr, th)
+	}
+}
+
+// SendEvt returns an event that enqueues v when chosen. The event's value
+// is core.Unit.
+func (q *Queue[T]) SendEvt(v T) core.Event {
+	return core.Guard(func(th *core.Thread) core.Event {
+		q.guard(th)
+		return q.inCh.SendEvt(v)
+	})
+}
+
+// RecvEvt returns an event that dequeues the item at the head of the queue
+// when chosen; the event's value is the item.
+func (q *Queue[T]) RecvEvt() core.Event {
+	return core.Guard(func(th *core.Thread) core.Event {
+		q.guard(th)
+		return q.outCh.RecvEvt()
+	})
+}
+
+// Send enqueues v, blocking only to synchronize with the manager.
+func (q *Queue[T]) Send(th *core.Thread, v T) error {
+	_, err := core.Sync(th, q.SendEvt(v))
+	return err
+}
+
+// Recv dequeues the next item, blocking while the queue is empty.
+func (q *Queue[T]) Recv(th *core.Thread) (T, error) {
+	v, err := core.Sync(th, q.RecvEvt())
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}

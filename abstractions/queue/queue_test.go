@@ -1,0 +1,394 @@
+package queue_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/abstractions/queue"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		q := queue.New[string](th)
+		if err := q.Send(th, "Hello"); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Send(th, "Bye"); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := q.Recv(th); err != nil || v != "Hello" {
+			t.Fatalf("got (%q, %v)", v, err)
+		}
+		if v, err := q.Recv(th); err != nil || v != "Bye" {
+			t.Fatalf("got (%q, %v)", v, err)
+		}
+	})
+}
+
+func TestSendNeverBlocks(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		q := queue.New[int](th)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = rt.Run(func(s *core.Thread) {
+				for i := 0; i < 1000; i++ {
+					if err := q.Send(s, i); err != nil {
+						t.Errorf("send %d: %v", i, err)
+						return
+					}
+				}
+			})
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("sends blocked")
+		}
+		for i := 0; i < 1000; i++ {
+			v, err := q.Recv(th)
+			if err != nil || v != i {
+				t.Fatalf("recv %d: got (%v, %v)", i, v, err)
+			}
+		}
+	})
+}
+
+func TestRecvBlocksWhenEmpty(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		q := queue.New[int](th)
+		got := make(chan int, 1)
+		th.Spawn("receiver", func(r *core.Thread) {
+			v, err := q.Recv(r)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got <- v
+		})
+		select {
+		case <-got:
+			t.Fatal("recv completed on empty queue")
+		case <-time.After(20 * time.Millisecond):
+		}
+		if err := q.Send(th, 7); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case v := <-got:
+			if v != 7 {
+				t.Fatalf("got %d", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("recv did not complete after send")
+		}
+	})
+}
+
+func TestManyProducersManyConsumers(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		q := queue.New[int](th)
+		const producers, perProducer, consumers = 8, 50, 4
+		results := make(chan int, producers*perProducer)
+		for p := 0; p < producers; p++ {
+			p := p
+			th.Spawn("producer", func(s *core.Thread) {
+				for i := 0; i < perProducer; i++ {
+					if err := q.Send(s, p*perProducer+i); err != nil {
+						t.Errorf("send: %v", err)
+					}
+				}
+			})
+		}
+		for c := 0; c < consumers; c++ {
+			th.Spawn("consumer", func(r *core.Thread) {
+				for {
+					v, err := q.Recv(r)
+					if err != nil {
+						return
+					}
+					results <- v
+				}
+			})
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < producers*perProducer; i++ {
+			select {
+			case v := <-results:
+				if seen[v] {
+					t.Fatalf("duplicate item %d", v)
+				}
+				seen[v] = true
+			case <-time.After(10 * time.Second):
+				t.Fatalf("stalled after %d items", i)
+			}
+		}
+	})
+}
+
+// TestUnsafeQueueWedgesAfterCreatorShutdown reproduces the Figure 5 failure:
+// t1 (custodian c1) creates the queue and shares it with t2 (custodian c2);
+// shutting down c1 suspends the manager, so t2's send gets stuck — and a
+// send into a buffered queue should never get stuck.
+func TestUnsafeQueueWedgesAfterCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		c2 := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *queue.Queue[int], 1)
+		th.WithCustodian(c1, func() {
+			th.Spawn("t1", func(x *core.Thread) {
+				share <- queue.NewUnsafe[int](x)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		q := <-share
+		c1.Shutdown()
+
+		sent := make(chan error, 1)
+		th.WithCustodian(c2, func() {
+			th.Spawn("t2", func(x *core.Thread) {
+				sent <- q.Send(x, 10)
+			})
+		})
+		select {
+		case err := <-sent:
+			t.Fatalf("send into unsafe queue completed (err=%v) after creator shutdown", err)
+		case <-time.After(50 * time.Millisecond):
+			// stuck, as the paper predicts
+		}
+		if !q.Manager().Suspended() {
+			t.Fatal("unsafe queue's manager is not suspended")
+		}
+	})
+}
+
+// TestKillSafeQueueSurvivesCreatorShutdown reproduces the Figure 6 fix: the
+// ResumeVia guard resumes the manager and adds t2's custodian to it, so the
+// queue works for t2 even after c1 is shut down.
+func TestKillSafeQueueSurvivesCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		c2 := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *queue.Queue[int], 1)
+		th.WithCustodian(c1, func() {
+			th.Spawn("t1", func(x *core.Thread) {
+				share <- queue.New[int](x)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		q := <-share
+		c1.Shutdown()
+
+		got := make(chan int, 1)
+		th.WithCustodian(c2, func() {
+			th.Spawn("t2", func(x *core.Thread) {
+				if err := q.Send(x, 10); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+				v, err := q.Recv(x)
+				if err != nil {
+					t.Errorf("recv: %v", err)
+					return
+				}
+				got <- v
+			})
+		})
+		select {
+		case v := <-got:
+			if v != 10 {
+				t.Fatalf("got %d", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("kill-safe queue wedged after creator shutdown")
+		}
+	})
+}
+
+// TestManagerStopsWhenAllUsersDie verifies the no-extra-privilege property:
+// after every custodian of every using task is shut down, the manager is
+// suspended (and TerminateCondemned reaps it).
+func TestManagerStopsWhenAllUsersDie(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		c2 := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *queue.Queue[int], 1)
+		th.WithCustodian(c1, func() {
+			th.Spawn("t1", func(x *core.Thread) {
+				q := queue.New[int](x)
+				share <- q
+				_ = q.Send(x, 1)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		q := <-share
+		used := make(chan struct{})
+		th.WithCustodian(c2, func() {
+			th.Spawn("t2", func(x *core.Thread) {
+				if _, err := q.Recv(x); err != nil {
+					return
+				}
+				close(used)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		<-used // t2's guard has yoked the manager to c2
+
+		c1.Shutdown()
+		if q.Manager().Suspended() {
+			t.Fatal("manager suspended while c2 lives")
+		}
+		c2.Shutdown()
+		if !q.Manager().Suspended() {
+			t.Fatal("manager runnable after all user custodians died")
+		}
+		rt.TerminateCondemned()
+		deadline := time.Now().Add(5 * time.Second)
+		for !q.Manager().Done() {
+			if time.Now().After(deadline) {
+				t.Fatal("manager not reaped")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// TestQueueSuspensionPreservesContents verifies the essence of kill-safety:
+// consistency across suspend and resume. Items enqueued before the
+// manager's suspension are all delivered, in order, after resurrection.
+func TestQueueSuspensionPreservesContents(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *queue.Queue[int], 1)
+		th.WithCustodian(c1, func() {
+			th.Spawn("t1", func(x *core.Thread) {
+				q := queue.New[int](x)
+				for i := 0; i < 10; i++ {
+					if err := q.Send(x, i); err != nil {
+						t.Errorf("send: %v", err)
+					}
+				}
+				share <- q
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		q := <-share
+		c1.Shutdown() // manager "mostly dead" with 10 items inside
+		for i := 0; i < 10; i++ {
+			v, err := q.Recv(th) // guard resurrects the manager
+			if err != nil || v != i {
+				t.Fatalf("recv %d: got (%v, %v)", i, v, err)
+			}
+		}
+	})
+}
+
+// TestQueueEventsComposeWithChoice exercises the first-class status of
+// queue events (Section 6.1): multiplexing two queues with choice.
+func TestQueueEventsComposeWithChoice(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		qa := queue.New[string](th)
+		qb := queue.New[string](th)
+		if err := qb.Send(th, "from-b"); err != nil {
+			t.Fatal(err)
+		}
+		v, err := core.Sync(th, core.Choice(
+			core.Wrap(qa.RecvEvt(), func(v core.Value) core.Value { return "a:" + v.(string) }),
+			core.Wrap(qb.RecvEvt(), func(v core.Value) core.Value { return "b:" + v.(string) }),
+		))
+		if err != nil || v != "b:from-b" {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+		// A queue recv can also lose a choice to a timeout without
+		// corrupting the queue.
+		v, err = core.Sync(th, core.Choice(
+			qa.RecvEvt(),
+			core.Wrap(core.After(rt, 5*time.Millisecond), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil || v != "timeout" {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+		if err := qa.Send(th, "late"); err != nil {
+			t.Fatal(err)
+		}
+		if v, err := qa.Recv(th); err != nil || v != "late" {
+			t.Fatalf("queue corrupted by lost choice: (%v, %v)", v, err)
+		}
+	})
+}
+
+// TestKillStorm hammers a kill-safe queue while killing user tasks at
+// random; survivors must never wedge, and committed items must be neither
+// duplicated nor reordered relative to each producer.
+func TestKillStorm(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		q := queue.New[[2]int](th)
+		const workers = 6
+		custs := make([]*core.Custodian, workers)
+		for w := 0; w < workers; w++ {
+			w := w
+			custs[w] = core.NewCustodian(rt.RootCustodian())
+			th.WithCustodian(custs[w], func() {
+				th.Spawn("victim-producer", func(x *core.Thread) {
+					for i := 0; ; i++ {
+						if err := q.Send(x, [2]int{w, i}); err != nil {
+							return
+						}
+					}
+				})
+			})
+		}
+		// Consumer owned by the (surviving) main task.
+		type rec struct {
+			v  [2]int
+			ok bool
+		}
+		out := make(chan rec, 4096)
+		th.Spawn("consumer", func(r *core.Thread) {
+			for {
+				v, err := q.Recv(r)
+				out <- rec{v, err == nil}
+				if err != nil {
+					return
+				}
+			}
+		})
+		// Kill producers one by one while consuming.
+		lastSeen := map[int]int{}
+		killIdx := 0
+		deadline := time.Now().Add(10 * time.Second)
+		for received := 0; killIdx < workers; received++ {
+			if time.Now().After(deadline) {
+				t.Fatal("kill storm stalled")
+			}
+			if received%50 == 49 {
+				custs[killIdx].Shutdown()
+				killIdx++
+			}
+			select {
+			case r := <-out:
+				if !r.ok {
+					t.Fatal("consumer recv failed")
+				}
+				w, i := r.v[0], r.v[1]
+				if prev, seen := lastSeen[w]; seen && i <= prev {
+					t.Fatalf("producer %d items reordered or duplicated: %d after %d", w, i, prev)
+				}
+				lastSeen[w] = i
+			case <-time.After(5 * time.Second):
+				t.Fatal("consumer wedged after kills — queue is not kill-safe")
+			}
+		}
+		rt.TerminateCondemned()
+	})
+}

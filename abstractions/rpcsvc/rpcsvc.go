@@ -1,0 +1,122 @@
+// Package rpcsvc implements the kill-safe client–server (remote procedure
+// call) pattern that the paper's msg-queue example instantiates: clients
+// send requests carrying a private reply channel; a manager thread serves
+// them; nack-guarded withdrawal keeps the server's state clean when a
+// client abandons a call (loses a choice, is broken, or is terminated).
+//
+// Two serving disciplines are available, mirroring Section 8.1:
+//
+//   - Inline (default): the handler runs on the manager thread. Cheap, but
+//     the handler is trusted — a handler that blocks forever incapacitates
+//     the service. Appropriate when the service owns its handler.
+//   - Remote (PerCallThreads): each call runs in a fresh thread under the
+//     *client's* custodian, so a call can execute only while its client
+//     may, and a hostile workload cannot wedge the manager.
+package rpcsvc
+
+import (
+	"repro/abstractions/internal/guard"
+	"repro/internal/core"
+)
+
+// Handler computes a reply from a request. With PerCallThreads the thread
+// argument is the per-call worker thread; otherwise it is the manager.
+type Handler[Req, Resp any] func(*core.Thread, Req) Resp
+
+// Options configures a Service.
+type Options struct {
+	// PerCallThreads runs each call in a fresh thread under the calling
+	// client's custodian.
+	PerCallThreads bool
+}
+
+// Service is a kill-safe RPC server.
+type Service[Req, Resp any] struct {
+	rt      *core.Runtime
+	callCh  *core.Chan
+	mgr     *core.Thread
+	handler Handler[Req, Resp]
+	opts    Options
+}
+
+type call struct {
+	req    core.Value
+	reply  *core.Chan
+	gaveUp core.Event
+	cust   *core.Custodian
+}
+
+// New creates a service with an inline handler.
+func New[Req, Resp any](th *core.Thread, h Handler[Req, Resp]) *Service[Req, Resp] {
+	return NewWith(th, h, Options{})
+}
+
+// NewWith creates a service with explicit options.
+func NewWith[Req, Resp any](th *core.Thread, h Handler[Req, Resp], opts Options) *Service[Req, Resp] {
+	rt := th.Runtime()
+	s := &Service[Req, Resp]{
+		rt:      rt,
+		callCh:  core.NewChanNamed(rt, "rpc-call"),
+		handler: h,
+		opts:    opts,
+	}
+	s.mgr = th.Spawn("rpc-manager", s.serve)
+	return s
+}
+
+// Manager exposes the manager thread for tests and diagnostics.
+func (s *Service[Req, Resp]) Manager() *core.Thread { return s.mgr }
+
+func (s *Service[Req, Resp]) serve(mgr *core.Thread) {
+	for {
+		cv, err := core.Sync(mgr, s.callCh.RecvEvt())
+		if err != nil {
+			continue
+		}
+		c := cv.(*call)
+		if !s.opts.PerCallThreads {
+			resp := s.handler(mgr, c.req.(Req))
+			deliver(mgr, c, resp)
+			continue
+		}
+		// Remote discipline: the call runs under the client's custodian
+		// and delivers its own reply; the manager is immediately free.
+		h := s.handler
+		mgr.WithCustodian(c.cust, func() {
+			mgr.Spawn("rpc-worker", func(w *core.Thread) {
+				deliver(w, c, h(w, c.req.(Req)))
+			})
+		})
+	}
+}
+
+// deliver sends the reply in a fresh thread yoked to th (so the delivery
+// can run exactly when the manager or worker may), abandoning it if the
+// client gave up.
+func deliver(th *core.Thread, c *call, resp core.Value) {
+	core.SpawnYoked(th, "rpc-reply", func(d *core.Thread) {
+		_, _ = core.Sync(d, core.Choice(c.reply.SendEvt(resp), c.gaveUp))
+	})
+}
+
+// CallEvt returns an event that performs the call when synced on; its
+// value is the handler's reply. Abandoning the event withdraws the call:
+// withdrawal reliably excludes completion and vice versa.
+func (s *Service[Req, Resp]) CallEvt(req Req) core.Event {
+	return core.NackGuard(func(th *core.Thread, gaveUp core.Event) core.Event {
+		core.ResumeVia(s.mgr, th)
+		reply := core.NewChanNamed(s.rt, "rpc-reply")
+		c := &call{req: req, reply: reply, gaveUp: gaveUp, cust: th.CurrentCustodian()}
+		return guard.RequestReply(th, s.callCh, c, reply)
+	})
+}
+
+// Call performs the call, blocking until the reply arrives.
+func (s *Service[Req, Resp]) Call(th *core.Thread, req Req) (Resp, error) {
+	v, err := core.Sync(th, s.CallEvt(req))
+	if err != nil {
+		var zero Resp
+		return zero, err
+	}
+	return v.(Resp), nil
+}

@@ -1,0 +1,175 @@
+package rpcsvc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/abstractions/rpcsvc"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func double(_ *core.Thread, v int) int { return v * 2 }
+
+func TestBasicCall(t *testing.T) {
+	for _, opts := range []rpcsvc.Options{{}, {PerCallThreads: true}} {
+		withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+			svc := rpcsvc.NewWith(th, double, opts)
+			v, err := svc.Call(th, 21)
+			if err != nil || v != 42 {
+				t.Fatalf("opts=%+v: (%v, %v)", opts, v, err)
+			}
+		})
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	for _, opts := range []rpcsvc.Options{{}, {PerCallThreads: true}} {
+		withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+			svc := rpcsvc.NewWith(th, double, opts)
+			results := make(chan [2]int, 20)
+			for i := 0; i < 20; i++ {
+				i := i
+				th.Spawn("caller", func(x *core.Thread) {
+					v, err := svc.Call(x, i)
+					if err != nil {
+						t.Errorf("call %d: %v", i, err)
+						return
+					}
+					results <- [2]int{i, v}
+				})
+			}
+			for n := 0; n < 20; n++ {
+				select {
+				case r := <-results:
+					if r[1] != r[0]*2 {
+						t.Fatalf("call %d returned %d", r[0], r[1])
+					}
+				case <-time.After(10 * time.Second):
+					t.Fatal("calls stalled")
+				}
+			}
+		})
+	}
+}
+
+func TestAbandonedCallWithdraws(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		slow := func(x *core.Thread, v int) int {
+			_ = core.Sleep(x, 30*time.Millisecond)
+			return v
+		}
+		svc := rpcsvc.New(th, slow)
+		// Lose the call to a timeout: withdrawal must not corrupt the
+		// service.
+		v, err := core.Sync(th, core.Choice(
+			svc.CallEvt(1),
+			core.Wrap(core.After(rt, time.Millisecond), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil || v != "timeout" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+		// The service still answers.
+		if v, err := svc.Call(th, 5); err != nil || v != 5 {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}
+
+func TestHostileCallWedgesInlineService(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		hostile := func(x *core.Thread, v int) int {
+			if v < 0 {
+				_ = core.Sleep(x, time.Hour) // blocks the manager
+			}
+			return v
+		}
+		svc := rpcsvc.New(th, hostile)
+		th.Spawn("attacker", func(x *core.Thread) {
+			_, _ = svc.Call(x, -1)
+		})
+		time.Sleep(10 * time.Millisecond)
+		done := make(chan int, 1)
+		th.Spawn("victim", func(x *core.Thread) {
+			if v, err := svc.Call(x, 7); err == nil {
+				done <- v
+			}
+		})
+		select {
+		case <-done:
+			t.Fatal("inline service served a call while the handler was blocked")
+		case <-time.After(50 * time.Millisecond):
+			// wedged, as expected for the inline discipline
+		}
+	})
+}
+
+func TestHostileCallCannotWedgeRemoteService(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		hostile := func(x *core.Thread, v int) int {
+			if v < 0 {
+				_ = core.Sleep(x, time.Hour)
+			}
+			return v
+		}
+		svc := rpcsvc.NewWith(th, hostile, rpcsvc.Options{PerCallThreads: true})
+		attackerCust := core.NewCustodian(rt.RootCustodian())
+		th.WithCustodian(attackerCust, func() {
+			th.Spawn("attacker", func(x *core.Thread) {
+				_, _ = svc.Call(x, -1)
+			})
+		})
+		time.Sleep(10 * time.Millisecond)
+		if v, err := svc.Call(th, 7); err != nil || v != 7 {
+			t.Fatalf("victim call: (%v, %v)", v, err)
+		}
+		// Terminating the attacker reaps its worker thread.
+		attackerCust.Shutdown()
+		rt.TerminateCondemned()
+	})
+}
+
+func TestKilledCallerDoesNotStrandService(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		slow := func(x *core.Thread, v int) int {
+			_ = core.Sleep(x, 20*time.Millisecond)
+			return v
+		}
+		svc := rpcsvc.New(th, slow)
+		doomed := th.Spawn("doomed", func(x *core.Thread) {
+			_, _ = svc.Call(x, 1)
+			t.Error("doomed call returned")
+		})
+		time.Sleep(5 * time.Millisecond)
+		doomed.Kill()
+		if v, err := svc.Call(th, 9); err != nil || v != 9 {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}
+
+func TestKillSafetyAcrossCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *rpcsvc.Service[int, int], 1)
+		th.WithCustodian(c, func() {
+			th.Spawn("creator", func(x *core.Thread) {
+				share <- rpcsvc.New(x, double)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		svc := <-share
+		c.Shutdown()
+		if v, err := svc.Call(th, 4); err != nil || v != 8 {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package swapchan_test
+
+import (
+	"fmt"
+
+	"repro/abstractions/swapchan"
+	"repro/internal/core"
+)
+
+// A swap channel exchanges values between two synchronizing tasks.
+func ExampleSwap() {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *core.Thread) {
+		sc := swapchan.NewKillSafe[string](th)
+		got := make(chan string, 1)
+		th.Spawn("partner", func(x *core.Thread) {
+			v, _ := sc.Swap(x, "from partner")
+			got <- v
+		})
+		mine, _ := sc.Swap(th, "from main")
+		fmt.Println("main received:", mine)
+		fmt.Println("partner received:", <-got)
+	})
+	// Output:
+	// main received: from partner
+	// partner received: from main
+}

@@ -1,0 +1,150 @@
+// Package swapchan implements the paper's swap channels (Figures 11–12 of
+// "Kill-Safe Synchronization Abstractions"): a channel over which two
+// synchronizing threads each provide a value to the other.
+//
+// Two implementations are provided, mirroring the paper's discussion of the
+// tension between break-safety and kill-safety:
+//
+//   - New (Figure 11) is the direct, manager-less implementation. One
+//     thread is elected client and one server by the choice of who receives
+//     the request; the second phase — the server sending its value back —
+//     runs inside a wrap procedure, where breaks are implicitly disabled,
+//     so the abstraction is break-safe and preserves SyncEnableBreak's
+//     exclusive-or guarantee. It is not kill-safe: killing one party
+//     between the phases strands the other.
+//
+//   - NewKillSafe (Figure 12) routes swaps through a manager thread that
+//     pairs clients and delivers each the other's value via send-eventually
+//     threads. It is kill-safe — a swap survives the termination of the
+//     partner's task, and the manager is yoked to its users — but, exactly
+//     as the paper observes, the manager commits the swap before the
+//     clients receive their values, so SyncEnableBreak's exclusive-or
+//     guarantee is not preserved (a break can land after the manager
+//     commits but before the client's receive).
+package swapchan
+
+import (
+	"repro/abstractions/internal/guard"
+	"repro/internal/core"
+)
+
+// Swap is a two-way synchronous channel of T.
+type Swap[T any] struct {
+	rt  *core.Runtime
+	ch  *core.Chan
+	mgr *core.Thread // nil for the direct implementation
+}
+
+// request is one party's offer in the direct protocol, or one client's
+// enrollment in the kill-safe protocol.
+type request struct {
+	v      core.Value
+	ch     *core.Chan
+	gaveUp core.Event // kill-safe protocol only
+}
+
+// New creates the direct, break-safe swap channel of Figure 11.
+func New[T any](th *core.Thread) *Swap[T] {
+	return &Swap[T]{rt: th.Runtime(), ch: core.NewChanNamed(th.Runtime(), "swap")}
+}
+
+// NewKillSafe creates the manager-based, kill-safe swap channel of
+// Figure 12. The manager is controlled by the creating thread's current
+// custodian and yoked to every user by the per-operation guard.
+func NewKillSafe[T any](th *core.Thread) *Swap[T] {
+	s := &Swap[T]{rt: th.Runtime(), ch: core.NewChanNamed(th.Runtime(), "swap-req")}
+	s.mgr = th.Spawn("swap-manager", s.serve)
+	return s
+}
+
+// Manager exposes the manager thread (nil for the direct implementation).
+func (s *Swap[T]) Manager() *core.Thread { return s.mgr }
+
+// serve pairs clients two at a time: wait for a first client, then either
+// pair it with a second or observe that the first gave up and start over.
+func (s *Swap[T]) serve(mgr *core.Thread) {
+	for {
+		// Phase 1: get the first client.
+		av, err := core.Sync(mgr, s.ch.RecvEvt())
+		if err != nil {
+			continue
+		}
+		a := av.(*request)
+		// Phase 2: get a second client, or lose the first.
+		res, err := core.Sync(mgr, core.Choice(
+			core.Wrap(s.ch.RecvEvt(), func(v core.Value) core.Value { return v }),
+			core.Wrap(a.gaveUp, func(core.Value) core.Value { return nil }),
+		))
+		if err != nil || res == nil {
+			continue // first client gave up; start over
+		}
+		b := res.(*request)
+		// Committed: deliver each the other's value, eventually — the
+		// recipient might not be ready (or might be gone), so each
+		// delivery gets its own thread rather than blocking the manager.
+		sendEventually(mgr, a, b.v)
+		sendEventually(mgr, b, a.v)
+	}
+}
+
+// sendEventually delivers v to a committed client in a fresh thread. The
+// delivery gives up if the client's gave-up event fires (it was killed, or
+// its sync escaped after the manager committed the pair — the mismatch
+// that costs the kill-safe swap its exclusive-or break guarantee).
+func sendEventually(mgr *core.Thread, to *request, v core.Value) {
+	core.SpawnYoked(mgr, "swap-deliver", func(d *core.Thread) {
+		_, _ = core.Sync(d, core.Choice(to.ch.SendEvt(v), to.gaveUp))
+	})
+}
+
+// SwapEvt returns an event that swaps v with another thread's offered
+// value; the event's value is the partner's value.
+func (s *Swap[T]) SwapEvt(v T) core.Event {
+	if s.mgr == nil {
+		return s.directSwapEvt(v)
+	}
+	return s.killSafeSwapEvt(v)
+}
+
+// directSwapEvt is Figure 11: elect roles via choice; the committed second
+// phase runs inside the wrap, where breaks are implicitly disabled.
+func (s *Swap[T]) directSwapEvt(v T) core.Event {
+	return core.Guard(func(th *core.Thread) core.Event {
+		in := core.NewChanNamed(s.rt, "swap-in")
+		return core.Choice(
+			// Maybe act as server and receive the partner's request.
+			core.Wrap(s.ch.RecvEvt(), func(rv core.Value) core.Value {
+				req := rv.(*request)
+				// Reply with our value; a break cannot interrupt this.
+				_, _ = core.Sync(th, req.ch.SendEvt(v))
+				return req.v
+			}),
+			// Maybe act as client and send our request.
+			core.Wrap(s.ch.SendEvt(&request{v: v, ch: in}), func(core.Value) core.Value {
+				res, _ := core.Sync(th, in.RecvEvt())
+				return res
+			}),
+		)
+	})
+}
+
+// killSafeSwapEvt is Figure 12: enroll with the manager under a nack
+// guard, then receive the partner's value.
+func (s *Swap[T]) killSafeSwapEvt(v T) core.Event {
+	return core.NackGuard(func(th *core.Thread, gaveUp core.Event) core.Event {
+		core.ResumeVia(s.mgr, th)
+		in := core.NewChanNamed(s.rt, "swap-in")
+		return guard.RequestReply(th, s.ch, &request{v: v, ch: in, gaveUp: gaveUp}, in)
+	})
+}
+
+// Swap exchanges v for the partner's value, blocking until a partner
+// arrives.
+func (s *Swap[T]) Swap(th *core.Thread, v T) (T, error) {
+	res, err := core.Sync(th, s.SwapEvt(v))
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return res.(T), nil
+}

@@ -1,0 +1,300 @@
+package swapchan_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/abstractions/swapchan"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func testBasicSwap(t *testing.T, mk func(*core.Thread) *swapchan.Swap[string]) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sc := mk(th)
+		got := make(chan string, 1)
+		th.Spawn("partner", func(x *core.Thread) {
+			v, err := sc.Swap(x, "from-partner")
+			if err != nil {
+				t.Errorf("partner swap: %v", err)
+				return
+			}
+			got <- v
+		})
+		v, err := sc.Swap(th, "from-main")
+		if err != nil || v != "from-partner" {
+			t.Fatalf("main got (%v, %v)", v, err)
+		}
+		select {
+		case pv := <-got:
+			if pv != "from-main" {
+				t.Fatalf("partner got %q", pv)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("partner never completed")
+		}
+	})
+}
+
+func TestDirectSwap(t *testing.T)   { testBasicSwap(t, swapchan.New[string]) }
+func TestKillSafeSwap(t *testing.T) { testBasicSwap(t, swapchan.NewKillSafe[string]) }
+
+func testManySwaps(t *testing.T, mk func(*core.Thread) *swapchan.Swap[int]) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sc := mk(th)
+		const pairs = 20
+		sum := make(chan int, 2*pairs)
+		for i := 0; i < 2*pairs; i++ {
+			i := i
+			th.Spawn("swapper", func(x *core.Thread) {
+				v, err := sc.Swap(x, i)
+				if err != nil {
+					t.Errorf("swap: %v", err)
+					return
+				}
+				sum <- v
+			})
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < 2*pairs; i++ {
+			select {
+			case v := <-sum:
+				if seen[v] {
+					t.Fatalf("value %d delivered twice", v)
+				}
+				seen[v] = true
+			case <-time.After(10 * time.Second):
+				t.Fatalf("stalled after %d swaps", i)
+			}
+		}
+	})
+}
+
+func TestDirectManySwaps(t *testing.T)   { testManySwaps(t, swapchan.New[int]) }
+func TestKillSafeManySwaps(t *testing.T) { testManySwaps(t, swapchan.NewKillSafe[int]) }
+
+// TestDirectSwapBreakSafe: a break delivered during the committed second
+// phase must not prevent either side from getting its value (the wrap
+// disables breaks).
+func TestDirectSwapBreakSafe(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		for i := 0; i < 50; i++ {
+			sc := swapchan.New[int](th)
+			res := make(chan int, 1)
+			p := th.Spawn("partner", func(x *core.Thread) {
+				v, err := sc.Swap(x, 1)
+				if err != nil {
+					res <- -1
+					return
+				}
+				res <- v
+			})
+			// Race a break against the swap, at varying offsets so both
+			// outcomes (fully broken, fully swapped) occur.
+			delay := time.Duration(i%5) * 100 * time.Microsecond
+			go func() {
+				time.Sleep(delay)
+				p.Break()
+			}()
+			// The break may exclude the swap entirely (partner aborts
+			// pre-commit), leaving nobody to swap with: bound the wait.
+			v, err := core.Sync(th, core.Choice(
+				sc.SwapEvt(2),
+				core.Wrap(core.After(rt, 100*time.Millisecond),
+					func(core.Value) core.Value { return nil }),
+			))
+			if err != nil {
+				t.Fatalf("main swap err: %v", err)
+			}
+			pv := <-res
+			mainGot := v != nil
+			partnerGot := pv != -1
+			if mainGot != partnerGot {
+				t.Fatalf("half-completed swap: main=%v partner=%d", v, pv)
+			}
+			if mainGot && (v != 1 || pv != 2) {
+				t.Fatalf("values crossed wrong: main=%v partner=%d", v, pv)
+			}
+		}
+	})
+}
+
+// TestKillSafeSwapSurvivesPartnerTaskKill: killing the creator's task
+// suspends the manager only until another user's guard resurrects it.
+func TestKillSafeSwapSurvivesCreatorShutdown(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *swapchan.Swap[int], 1)
+		th.WithCustodian(c1, func() {
+			th.Spawn("creator", func(x *core.Thread) {
+				share <- swapchan.NewKillSafe[int](x)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		sc := <-share
+		c1.Shutdown()
+		got := make(chan int, 1)
+		th.Spawn("a", func(x *core.Thread) {
+			if v, err := sc.Swap(x, 10); err == nil {
+				got <- v
+			}
+		})
+		v, err := sc.Swap(th, 20)
+		if err != nil || v != 10 {
+			t.Fatalf("swap after creator shutdown: (%v, %v)", v, err)
+		}
+		if <-got != 20 {
+			t.Fatal("partner got wrong value")
+		}
+	})
+}
+
+// TestKillSafeSwapSurvivesWaiterKill: a client waiting for a partner is
+// killed; the manager observes the gave-up event and pairs the next two
+// clients correctly.
+func TestKillSafeSwapSurvivesWaiterKill(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sc := swapchan.NewKillSafe[int](th)
+		doomed := th.Spawn("doomed", func(x *core.Thread) {
+			_, _ = sc.Swap(x, 666)
+			t.Error("doomed swap returned")
+		})
+		time.Sleep(10 * time.Millisecond)
+		doomed.Kill()
+		waitUntil(t, "doomed thread reaped", doomed.Done)
+
+		got := make(chan int, 1)
+		th.Spawn("a", func(x *core.Thread) {
+			if v, err := sc.Swap(x, 1); err == nil {
+				got <- v
+			}
+		})
+		v, err := sc.Swap(th, 2)
+		if err != nil {
+			t.Fatalf("swap: %v", err)
+		}
+		if v == 666 {
+			t.Fatal("received the killed client's value")
+		}
+		if pv := <-got; pv == 666 {
+			t.Fatal("partner received the killed client's value")
+		}
+	})
+}
+
+// TestDirectSwapNotKillSafe demonstrates why Figure 12 exists: with the
+// direct implementation, killing one party after it commits (as server)
+// but before the reply phase strands the abstraction's users... the
+// observable, deterministic version: a waiting party whose task dies
+// leaves a request in the channel that a later swapper consumes, stranding
+// that swapper waiting on a reply that never comes.
+func TestDirectSwapNotKillSafe(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sc := swapchan.New[int](th)
+		c := core.NewCustodian(rt.RootCustodian())
+		th.WithCustodian(c, func() {
+			th.Spawn("doomed", func(x *core.Thread) {
+				_, _ = sc.Swap(x, 666) // blocks waiting for a partner
+			})
+		})
+		time.Sleep(10 * time.Millisecond)
+		c.Shutdown() // doomed is suspended while its offer stands
+
+		done := make(chan int, 1)
+		th.Spawn("victim", func(x *core.Thread) {
+			if v, err := sc.Swap(x, 1); err == nil {
+				done <- v
+			}
+		})
+		select {
+		case v := <-done:
+			// The suspended party cannot rendezvous, so the victim can
+			// only complete against... nobody. Completion means the
+			// runtime let a suspended thread communicate — a bug.
+			t.Fatalf("swap with a suspended partner completed: %d", v)
+		case <-time.After(50 * time.Millisecond):
+			// The victim is stuck: the direct swap is wedged for
+			// everyone because there is no manager to resurrect.
+		}
+	})
+}
+
+// TestKillSafeSwapXorNotPreserved reproduces the paper's observation that
+// the kill-safe swap does NOT preserve SyncEnableBreak's exclusive-or
+// guarantee: a break can land between the manager's commit and the
+// client's receive. We verify the weaker property that actually holds: a
+// break never corrupts the abstraction (the next swaps still work).
+func TestKillSafeSwapBreakDoesNotCorrupt(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sc := swapchan.NewKillSafe[int](th)
+		var broken, swapped atomic.Int64
+		for i := 0; i < 30; i++ {
+			res := make(chan struct{})
+			p := th.Spawn("partner", func(x *core.Thread) {
+				defer close(res)
+				x.WithBreaks(false, func() {
+					if _, err := core.SyncEnableBreak(x, sc.SwapEvt(1)); err == core.ErrBreak {
+						broken.Add(1)
+					} else {
+						swapped.Add(1)
+					}
+				})
+			})
+			go p.Break()
+			main := make(chan error, 1)
+			th.Spawn("main-side", func(x *core.Thread) {
+				_, err := x2swap(x, sc)
+				main <- err
+			})
+			<-res
+			select {
+			case <-main:
+			case <-time.After(100 * time.Millisecond):
+				// Partner was broken mid-protocol; our side may be
+				// waiting for a new partner. Supply one.
+				th.Spawn("rescue", func(x *core.Thread) { _, _ = sc.Swap(x, 99) })
+				if err := <-main; err != nil {
+					t.Fatalf("rescue swap failed: %v", err)
+				}
+			}
+		}
+		// The abstraction still works after all that.
+		got := make(chan int, 1)
+		th.Spawn("final", func(x *core.Thread) {
+			if v, err := sc.Swap(x, 7); err == nil {
+				got <- v
+			}
+		})
+		if v, err := sc.Swap(th, 8); err != nil || v != 7 {
+			t.Fatalf("final swap got (%v, %v)", v, err)
+		}
+		if <-got != 8 {
+			t.Fatal("final partner got wrong value")
+		}
+	})
+}
+
+func x2swap(x *core.Thread, sc *swapchan.Swap[int]) (int, error) {
+	return sc.Swap(x, 2)
+}

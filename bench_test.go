@@ -1,0 +1,406 @@
+package killsafe_test
+
+// The benchmark harness for EXPERIMENTS.md. The paper (PLDI 2004) has no
+// quantitative tables — its evaluation is the set of worked figures and
+// behavioural claims — so these benchmarks characterize the reproduced
+// system and the costs of the design choices the paper discusses: the
+// per-operation kill-safety guard, the global-lock rendezvous, NACK
+// bookkeeping vs the Figure 8 leak, remote predicate execution, and the
+// manager-based vs direct swap. Experiment IDs (E1–E14) refer to the
+// experiment index in DESIGN.md.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	killsafe "repro"
+	"repro/abstractions/msgqueue"
+	"repro/abstractions/queue"
+	"repro/abstractions/swapchan"
+	"repro/internal/core"
+	"repro/internal/doc"
+	"repro/internal/interp"
+	"repro/internal/web"
+)
+
+// benchRun binds the benchmark goroutine to a runtime thread, runs fn,
+// and shuts the runtime down.
+func benchRun(b *testing.B, fn func(rt *killsafe.Runtime, th *killsafe.Thread)) {
+	b.Helper()
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *killsafe.Thread) { fn(rt, th) }); err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}
+
+// E12 baseline: the runtime's rendezvous channel vs a native Go channel.
+func BenchmarkChannelRendezvous(b *testing.B) {
+	b.Run("runtime", func(b *testing.B) {
+		benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+			ch := killsafe.NewChannel[int](rt)
+			th.Spawn("echo", func(x *killsafe.Thread) {
+				for {
+					if _, err := ch.Recv(x); err != nil {
+						return
+					}
+				}
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ch.Send(th, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	b.Run("go-native", func(b *testing.B) {
+		ch := make(chan int)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for range ch {
+			}
+		}()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ch <- i
+		}
+		b.StopTimer()
+		close(ch)
+		<-done
+	})
+}
+
+// E1/E2/E12 ablation: cost of the per-operation ResumeVia guard — the
+// entire price of kill-safety for the queue.
+func BenchmarkGuardOverhead(b *testing.B) {
+	bench := func(b *testing.B, mk func(*killsafe.Thread) *queue.Queue[int]) {
+		benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+			q := mk(th)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := q.Send(th, i); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := q.Recv(th); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("unsafe-queue", func(b *testing.B) { bench(b, queue.NewUnsafe[int]) })
+	b.Run("killsafe-queue", func(b *testing.B) { bench(b, queue.New[int]) })
+}
+
+// E2: queue throughput with concurrent producers and consumers.
+func BenchmarkQueueThroughput(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("producers-%d", workers), func(b *testing.B) {
+			benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+				q := queue.New[int](th)
+				per := b.N / workers
+				for w := 0; w < workers; w++ {
+					th.Spawn("producer", func(x *killsafe.Thread) {
+						for i := 0; i < per; i++ {
+							if err := q.Send(x, i); err != nil {
+								return
+							}
+						}
+					})
+				}
+				b.ResetTimer()
+				for i := 0; i < per*workers; i++ {
+					if _, err := q.Recv(th); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// E3: queue events as first-class values — receive through a choice.
+func BenchmarkQueueEvtChoice(b *testing.B) {
+	benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+		qa := queue.New[int](th)
+		qb := queue.New[int](th)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := qa.Send(th, i); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Sync(th, core.Choice(qa.RecvEvt(), qb.RecvEvt())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E4 vs E5: the Figure 8 space leak against the Figure 9 NACK cleanup.
+// Each iteration abandons one selective-receive request (it loses a
+// choice). Without nacks the manager's request list grows without bound —
+// reported as the final-requests metric and visible as rising ns/op.
+func BenchmarkMsgQueueAbandon(b *testing.B) {
+	bench := func(b *testing.B, opts msgqueue.Options) {
+		benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+			q := msgqueue.NewWith[int](th, opts)
+			never := func(int) bool { return false }
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := core.Sync(th, core.Choice(
+					q.RecvEvt(never),
+					core.Always(core.Unit{}),
+				))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			// Let in-flight gave-up processing settle before reading.
+			deadline := time.Now().Add(2 * time.Second)
+			for opts.Nacks && q.PendingRequests() > 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+			b.ReportMetric(float64(q.PendingRequests()), "final-requests")
+		})
+	}
+	b.Run("fig8-leaky", func(b *testing.B) { bench(b, msgqueue.Options{Nacks: false}) })
+	b.Run("fig9-nacks", func(b *testing.B) { bench(b, msgqueue.Options{Nacks: true}) })
+}
+
+// E5/E6: selective dequeue service cost, inline vs remote predicates.
+func BenchmarkMsgQueueRecv(b *testing.B) {
+	bench := func(b *testing.B, opts msgqueue.Options) {
+		benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+			q := msgqueue.NewWith[int](th, opts)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := q.Send(th, i); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := q.Recv(th, msgqueue.Any[int]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("inline-pred", func(b *testing.B) { bench(b, msgqueue.Options{Nacks: true}) })
+	b.Run("remote-pred", func(b *testing.B) {
+		bench(b, msgqueue.Options{Nacks: true, RemotePredicates: true})
+	})
+}
+
+// E7 vs E8: direct (break-safe) swap against manager-based (kill-safe)
+// swap — the cost of the extra manager hop and delivery threads.
+func BenchmarkSwap(b *testing.B) {
+	bench := func(b *testing.B, mk func(*killsafe.Thread) *swapchan.Swap[int]) {
+		benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+			sc := mk(th)
+			th.Spawn("partner", func(x *killsafe.Thread) {
+				for {
+					if _, err := sc.Swap(x, 0); err != nil {
+						return
+					}
+				}
+			})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sc.Swap(th, i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("direct", func(b *testing.B) { bench(b, swapchan.New[int]) })
+	b.Run("killsafe", func(b *testing.B) { bench(b, swapchan.NewKillSafe[int]) })
+}
+
+// E9: the servlet scenario's shared document — one edit plus snapshot.
+func BenchmarkServletDoc(b *testing.B) {
+	benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+		d := doc.New(th)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := d.Append(th, "line"); err != nil {
+				b.Fatal(err)
+			}
+			if i%64 == 0 {
+				if _, _, err := d.Snapshot(th); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// E10: help-system round trip — browser request through the kill-safe
+// byte-stream pipe to a servlet and back.
+func BenchmarkHelpSystem(b *testing.B) {
+	benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("/help", func(_ *killsafe.Thread, _ *web.Session, req *web.Request) web.Response {
+			return web.Response{Status: 200, Body: "help for " + req.Query["topic"]}
+		})
+		browser, _ := srv.Connect(th)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			status, _, err := browser.Get(th, "/help?topic=events")
+			if err != nil || status != 200 {
+				b.Fatalf("(%d, %v)", status, err)
+			}
+		}
+	})
+}
+
+// E11: ResumeVia cost — the guard primitive itself — against yoke-chain
+// depth (custodian grants propagate transitively through beneficiaries).
+func BenchmarkResumeYoke(b *testing.B) {
+	for _, depth := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("chain-%d", depth), func(b *testing.B) {
+			benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+				mgr := th.Spawn("mgr", func(x *killsafe.Thread) {
+					_ = killsafe.Sleep(x, time.Hour)
+				})
+				prev := mgr
+				for i := 1; i < depth; i++ {
+					next := th.Spawn("link", func(x *killsafe.Thread) {
+						_ = killsafe.Sleep(x, time.Hour)
+					})
+					killsafe.ResumeVia(prev, next)
+					prev = next
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					killsafe.ResumeVia(mgr, th)
+				}
+			})
+		})
+	}
+}
+
+// Custodian shutdown latency against the number of controlled threads.
+func BenchmarkCustodianShutdown(b *testing.B) {
+	for _, n := range []int{10, 100} {
+		b.Run(fmt.Sprintf("threads-%d", n), func(b *testing.B) {
+			benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+				for i := 0; i < b.N; i++ {
+					c := killsafe.NewCustodian(rt.RootCustodian())
+					th.WithCustodian(c, func() {
+						for j := 0; j < n; j++ {
+							th.Spawn("victim", func(x *killsafe.Thread) {
+								_ = killsafe.Sleep(x, time.Hour)
+							})
+						}
+					})
+					c.Shutdown()
+					rt.TerminateCondemned()
+				}
+			})
+		})
+	}
+}
+
+// E13: queue throughput while user tasks are killed continuously — the
+// kill-storm. The measured op is a consumer receive; producers come and
+// go under the axe.
+func BenchmarkKillStorm(b *testing.B) {
+	benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+		q := queue.New[int](th)
+		spawnProducer := func() *killsafe.Custodian {
+			c := killsafe.NewCustodian(rt.RootCustodian())
+			th.WithCustodian(c, func() {
+				th.Spawn("producer", func(x *killsafe.Thread) {
+					for i := 0; ; i++ {
+						if err := q.Send(x, i); err != nil {
+							return
+						}
+					}
+				})
+			})
+			return c
+		}
+		cust := spawnProducer()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if i%100 == 99 {
+				b.StopTimer()
+				cust.Shutdown() // kill the producer mid-stream
+				rt.TerminateCondemned()
+				cust = spawnProducer()
+				b.StartTimer()
+			}
+			if _, err := q.Recv(th); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E14: the paper's Figure 7 queue running as Scheme source under mzmini,
+// compared against the native Go queue (BenchmarkGuardOverhead). Each
+// iteration is one send plus one receive. The queue is recreated in
+// batches because mzmini's wrap procedures consume Go stack (documented
+// interpreter limitation).
+func BenchmarkInterpQueue(b *testing.B) {
+	const batch = 64
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+	in.SetOutput(&strings.Builder{})
+	setup := `
+(define-struct q (in-ch out-ch mgr-t))
+(define (queue)
+  (define in-ch (channel))
+  (define out-ch (channel))
+  (define (serve items)
+    (if (null? items)
+        (serve (list (sync (channel-recv-evt in-ch))))
+        (sync (choice-evt
+               (wrap-evt (channel-recv-evt in-ch)
+                         (lambda (v) (serve (append items (list v)))))
+               (wrap-evt (channel-send-evt out-ch (car items))
+                         (lambda (void) (serve (cdr items))))))))
+  (define mgr-t (spawn (lambda () (serve (list)))))
+  (make-q in-ch out-ch mgr-t))
+(define (queue-send-evt q v)
+  (guard-evt (lambda ()
+    (thread-resume (q-mgr-t q) (current-thread))
+    (channel-send-evt (q-in-ch q) v))))
+(define (queue-recv-evt q)
+  (guard-evt (lambda ()
+    (thread-resume (q-mgr-t q) (current-thread))
+    (channel-recv-evt (q-out-ch q)))))
+(define (bench-batch n)
+  (define q (queue))
+  (let loop ([i 0])
+    (if (< i n)
+        (begin
+          (sync (queue-send-evt q i))
+          (sync (queue-recv-evt q))
+          (loop (add1 i)))
+        (kill-thread (q-mgr-t q)))))
+`
+	err := rt.Run(func(th *core.Thread) {
+		if _, err := in.EvalString(th, setup); err != nil {
+			b.Fatalf("setup: %v", err)
+		}
+		b.ResetTimer()
+		remaining := b.N
+		for remaining > 0 {
+			n := batch
+			if remaining < n {
+				n = remaining
+			}
+			if _, err := in.EvalString(th, fmt.Sprintf("(bench-batch %d)", n)); err != nil {
+				b.Fatalf("batch: %v", err)
+			}
+			remaining -= n
+		}
+	})
+	if err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+// Command mzmini runs programs written for the mini-MzScheme interpreter,
+// which exposes the task-control and Concurrent ML primitives of the
+// kill-safe runtime under the names used in "Kill-Safe Synchronization
+// Abstractions" (Flatt & Findler, PLDI 2004). The paper's figures,
+// transcribed into mzmini, live under examples/figures/.
+//
+// Usage:
+//
+//	mzmini file.scm...
+//	mzmini -e '(printf "~a~n" (+ 1 2))'
+//	mzmini -i           # read-eval-print loop
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+func main() {
+	expr := flag.String("e", "", "evaluate an expression instead of files")
+	repl := flag.Bool("i", false, "interactive read-eval-print loop")
+	flag.Parse()
+
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+
+	if *expr != "" {
+		if err := in.RunString(*expr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, path := range flag.Args() {
+		if err := in.RunFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *repl {
+		runREPL(rt, in)
+		return
+	}
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: mzmini [-e expr] [-i] file.scm...")
+		os.Exit(2)
+	}
+}
+
+// runREPL reads forms from stdin, accumulating lines until parentheses
+// balance, and prints each form's value. The whole session runs on one
+// runtime thread, so definitions persist.
+func runREPL(rt *core.Runtime, in *interp.Interp) {
+	err := rt.Run(func(th *core.Thread) {
+		sc := bufio.NewScanner(os.Stdin)
+		var pending strings.Builder
+		fmt.Print("mzmini> ")
+		for sc.Scan() {
+			pending.WriteString(sc.Text())
+			pending.WriteByte('\n')
+			src := pending.String()
+			if !balanced(src) {
+				fmt.Print("   ...> ")
+				continue
+			}
+			pending.Reset()
+			if strings.TrimSpace(src) == "" {
+				fmt.Print("mzmini> ")
+				continue
+			}
+			v, err := in.EvalString(th, src)
+			switch {
+			case err != nil:
+				fmt.Println("error:", err)
+			default:
+				if _, isVoid := v.(interp.Void); !isVoid {
+					fmt.Println(interp.WriteString(v))
+				}
+			}
+			fmt.Print("mzmini> ")
+		}
+		fmt.Println()
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
+// balanced reports whether every open paren/bracket in src is closed
+// (ignoring strings and comments well enough for interactive use).
+func balanced(src string) bool {
+	depth := 0
+	inString := false
+	inComment := false
+	escaped := false
+	for _, c := range src {
+		switch {
+		case inComment:
+			if c == '\n' {
+				inComment = false
+			}
+		case inString:
+			switch {
+			case escaped:
+				escaped = false
+			case c == '\\':
+				escaped = true
+			case c == '"':
+				inString = false
+			}
+		case c == '"':
+			inString = true
+		case c == ';':
+			inComment = true
+		case c == '(' || c == '[':
+			depth++
+		case c == ')' || c == ']':
+			depth--
+		}
+	}
+	return depth <= 0 && !inString
+}

@@ -1,0 +1,206 @@
+// Command series regenerates the reproduction's quantitative "figures" as
+// CSV series (the paper itself has no numeric plots; these characterize
+// the reproduced system and the costs of its design choices, matching the
+// experiment index in DESIGN.md):
+//
+//	leak        E4/E5: manager's pending-request count vs. abandonment
+//	            rounds, Figure 8 (leaky) vs Figure 9 (nacks)
+//	throughput  E2: kill-safe queue items/sec vs. producer count
+//	guard       E1/E2/E12: ns/op of unsafe vs kill-safe queue rounds
+//	shutdown    custodian shutdown+reap latency vs. controlled threads
+//	swap        E7/E8: direct vs kill-safe swap ns/op
+//
+// Run with: go run ./cmd/series [leak|throughput|guard|shutdown|swap|all]
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	killsafe "repro"
+	"repro/abstractions/msgqueue"
+	"repro/abstractions/queue"
+	"repro/abstractions/swapchan"
+	"repro/internal/core"
+)
+
+func main() {
+	which := "all"
+	if len(os.Args) > 1 {
+		which = os.Args[1]
+	}
+	series := map[string]func(){
+		"leak":       leakSeries,
+		"throughput": throughputSeries,
+		"guard":      guardSeries,
+		"shutdown":   shutdownSeries,
+		"swap":       swapSeries,
+	}
+	if which == "all" {
+		for _, name := range []string{"leak", "throughput", "guard", "shutdown", "swap"} {
+			series[name]()
+			fmt.Println()
+		}
+		return
+	}
+	fn, ok := series[which]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown series %q\n", which)
+		os.Exit(2)
+	}
+	fn()
+}
+
+// leakSeries abandons one selective receive per round and samples the
+// manager's request list, with and without nacks.
+func leakSeries() {
+	fmt.Println("# series: msgqueue pending requests vs abandonment rounds")
+	fmt.Println("rounds,fig8_leaky_pending,fig9_nacks_pending")
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *killsafe.Thread) {
+		leaky := msgqueue.NewWith[int](th, msgqueue.Options{Nacks: false})
+		clean := msgqueue.NewWith[int](th, msgqueue.Options{Nacks: true})
+		abandonOne := func(q *msgqueue.Queue[int]) {
+			_, _ = core.Sync(th, core.Choice(
+				q.RecvEvt(func(int) bool { return false }),
+				core.Always(core.Unit{}),
+			))
+		}
+		const step, steps = 50, 10
+		for s := 1; s <= steps; s++ {
+			for i := 0; i < step; i++ {
+				abandonOne(leaky)
+				abandonOne(clean)
+			}
+			// Give gave-up processing a moment to settle.
+			deadline := time.Now().Add(time.Second)
+			for clean.PendingRequests() > 0 && time.Now().Before(deadline) {
+				_ = killsafe.Sleep(th, time.Millisecond)
+			}
+			fmt.Printf("%d,%d,%d\n", s*step, leaky.PendingRequests(), clean.PendingRequests())
+		}
+	})
+}
+
+// throughputSeries measures queue items/sec as producers scale.
+func throughputSeries() {
+	fmt.Println("# series: kill-safe queue throughput vs producers")
+	fmt.Println("producers,items_per_sec")
+	for _, producers := range []int{1, 2, 4, 8} {
+		rt := killsafe.NewRuntime()
+		const items = 20000
+		var elapsed time.Duration
+		_ = rt.Run(func(th *killsafe.Thread) {
+			q := queue.New[int](th)
+			per := items / producers
+			start := time.Now()
+			for p := 0; p < producers; p++ {
+				th.Spawn("producer", func(x *killsafe.Thread) {
+					for i := 0; i < per; i++ {
+						if err := q.Send(x, i); err != nil {
+							return
+						}
+					}
+				})
+			}
+			for i := 0; i < per*producers; i++ {
+				if _, err := q.Recv(th); err != nil {
+					return
+				}
+			}
+			elapsed = time.Since(start)
+		})
+		rt.Shutdown()
+		fmt.Printf("%d,%.0f\n", producers, float64(items)/elapsed.Seconds())
+	}
+}
+
+// guardSeries measures send+recv rounds for the unsafe and kill-safe
+// queues.
+func guardSeries() {
+	fmt.Println("# series: per-round cost, unsafe vs kill-safe queue")
+	fmt.Println("variant,ns_per_round")
+	run := func(name string, mk func(*killsafe.Thread) *queue.Queue[int]) {
+		rt := killsafe.NewRuntime()
+		const rounds = 20000
+		var elapsed time.Duration
+		_ = rt.Run(func(th *killsafe.Thread) {
+			q := mk(th)
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				if err := q.Send(th, i); err != nil {
+					return
+				}
+				if _, err := q.Recv(th); err != nil {
+					return
+				}
+			}
+			elapsed = time.Since(start)
+		})
+		rt.Shutdown()
+		fmt.Printf("%s,%.0f\n", name, float64(elapsed.Nanoseconds())/rounds)
+	}
+	run("unsafe", queue.NewUnsafe[int])
+	run("killsafe", queue.New[int])
+}
+
+// shutdownSeries measures custodian shutdown + reap latency against the
+// number of controlled threads.
+func shutdownSeries() {
+	fmt.Println("# series: custodian shutdown+reap latency vs controlled threads")
+	fmt.Println("threads,microseconds")
+	for _, n := range []int{1, 10, 50, 100, 250} {
+		rt := killsafe.NewRuntime()
+		var elapsed time.Duration
+		_ = rt.Run(func(th *killsafe.Thread) {
+			c := killsafe.NewCustodian(rt.RootCustodian())
+			th.WithCustodian(c, func() {
+				for i := 0; i < n; i++ {
+					th.Spawn("victim", func(x *killsafe.Thread) {
+						_ = killsafe.Sleep(x, time.Hour)
+					})
+				}
+			})
+			start := time.Now()
+			c.Shutdown()
+			rt.TerminateCondemned()
+			elapsed = time.Since(start)
+		})
+		rt.Shutdown()
+		fmt.Printf("%d,%.1f\n", n, float64(elapsed.Microseconds()))
+	}
+}
+
+// swapSeries measures direct vs kill-safe swap rounds.
+func swapSeries() {
+	fmt.Println("# series: swap round cost, direct vs kill-safe")
+	fmt.Println("variant,ns_per_swap")
+	run := func(name string, mk func(*killsafe.Thread) *swapchan.Swap[int]) {
+		rt := killsafe.NewRuntime()
+		const rounds = 5000
+		var elapsed time.Duration
+		_ = rt.Run(func(th *killsafe.Thread) {
+			sc := mk(th)
+			th.Spawn("partner", func(x *killsafe.Thread) {
+				for {
+					if _, err := sc.Swap(x, 0); err != nil {
+						return
+					}
+				}
+			})
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				if _, err := sc.Swap(th, i); err != nil {
+					return
+				}
+			}
+			elapsed = time.Since(start)
+		})
+		rt.Shutdown()
+		fmt.Printf("%s,%.0f\n", name, float64(elapsed.Nanoseconds())/rounds)
+	}
+	run("direct", swapchan.New[int])
+	run("killsafe", swapchan.NewKillSafe[int])
+}

@@ -1,0 +1,152 @@
+package killsafe
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Event is a typed first-class synchronization event producing a T. It
+// wraps the untyped core representation; Raw converts for interoperation
+// with abstraction packages that traffic in core events.
+type Event[T any] struct {
+	raw core.Event
+}
+
+// FromRaw types an untyped event whose values are known to be T.
+func FromRaw[T any](e core.Event) Event[T] { return Event[T]{raw: e} }
+
+// Raw returns the untyped event.
+func (e Event[T]) Raw() core.Event { return e.raw }
+
+// Sync blocks until e is ready, commits it atomically, and returns its
+// value. It returns ErrBreak if a break signal arrives while the thread
+// waits with breaks enabled.
+func Sync[T any](th *Thread, e Event[T]) (T, error) {
+	v, err := core.Sync(th, e.raw)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// SyncEnableBreak is Sync with breaks enabled during the wait and the
+// exclusive-or guarantee: a break is delivered or an event is chosen,
+// never both.
+func SyncEnableBreak[T any](th *Thread, e Event[T]) (T, error) {
+	v, err := core.SyncEnableBreak(th, e.raw)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// Choice combines events; the combination is ready when any constituent
+// is, and a ready constituent is chosen arbitrarily but fairly.
+func Choice[T any](evts ...Event[T]) Event[T] {
+	raws := make([]core.Event, len(evts))
+	for i, e := range evts {
+		raws[i] = e.raw
+	}
+	return Event[T]{raw: core.Choice(raws...)}
+}
+
+// Wrap post-processes a chosen event's value with fn, which runs in the
+// syncing thread with breaks implicitly disabled.
+func Wrap[S, T any](e Event[S], fn func(S) T) Event[T] {
+	return Event[T]{raw: core.Wrap(e.raw, func(v core.Value) core.Value {
+		return fn(v.(S))
+	})}
+}
+
+// Guard defers event construction to sync time; fn runs in the syncing
+// thread and may itself block.
+func Guard[T any](fn func(*Thread) Event[T]) Event[T] {
+	return Event[T]{raw: core.Guard(func(th *Thread) core.Event {
+		return fn(th).raw
+	})}
+}
+
+// NackGuard is Guard plus a negative-acknowledgment event that becomes
+// ready if the guarded event is not chosen: the sync chose another event,
+// escaped via a break, or the syncing thread was terminated.
+func NackGuard[T any](fn func(th *Thread, nack Event[Unit]) Event[T]) Event[T] {
+	return Event[T]{raw: core.NackGuard(func(th *Thread, nack core.Event) core.Event {
+		return fn(th, Event[Unit]{raw: nack}).raw
+	})}
+}
+
+// Always returns an event that is always ready with v.
+func Always[T any](v T) Event[T] { return Event[T]{raw: core.Always(v)} }
+
+// Never returns an event that is never ready.
+func Never[T any]() Event[T] { return Event[T]{raw: core.Never()} }
+
+// After returns an event ready once d has elapsed from sync time.
+func After(rt *Runtime, d time.Duration) Event[Unit] {
+	return Event[Unit]{raw: core.After(rt, d)}
+}
+
+// AlarmAt returns an event ready at or after the absolute time at.
+func AlarmAt(rt *Runtime, at time.Time) Event[Unit] {
+	return Event[Unit]{raw: core.AlarmAt(rt, at)}
+}
+
+// DoneEvt returns an event ready when t terminates (suspension is not
+// termination).
+func DoneEvt(t *Thread) Event[Unit] {
+	return Event[Unit]{raw: t.DoneEvt()}
+}
+
+// WaitEvt returns an event ready when s's count is positive, decrementing
+// it upon commit.
+func WaitEvt(s *Semaphore) Event[Unit] {
+	return Event[Unit]{raw: s.WaitEvt()}
+}
+
+// Channel is a typed synchronous rendezvous channel: the runtime's
+// primitive, kill-safe synchronization abstraction.
+type Channel[T any] struct {
+	c *core.Chan
+}
+
+// NewChannel creates a channel.
+func NewChannel[T any](rt *Runtime) Channel[T] {
+	return Channel[T]{c: core.NewChan(rt)}
+}
+
+// NewChannelNamed creates a channel with a diagnostic name.
+func NewChannelNamed[T any](rt *Runtime, name string) Channel[T] {
+	return Channel[T]{c: core.NewChanNamed(rt, name)}
+}
+
+// SendEvt returns an event ready when a receiver accepts v simultaneously.
+func (c Channel[T]) SendEvt(v T) Event[Unit] {
+	return Event[Unit]{raw: c.c.SendEvt(v)}
+}
+
+// RecvEvt returns an event ready when a sender provides a value
+// simultaneously.
+func (c Channel[T]) RecvEvt() Event[T] {
+	return Event[T]{raw: c.c.RecvEvt()}
+}
+
+// Send performs Sync on SendEvt.
+func (c Channel[T]) Send(th *Thread, v T) error {
+	return c.c.Send(th, v)
+}
+
+// Recv performs Sync on RecvEvt.
+func (c Channel[T]) Recv(th *Thread) (T, error) {
+	v, err := c.c.Recv(th)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return v.(T), nil
+}
+
+// Raw exposes the untyped channel for interoperation with internal/core.
+func (c Channel[T]) Raw() *core.Chan { return c.c }

@@ -1,0 +1,136 @@
+package killsafe_test
+
+import (
+	"fmt"
+	"time"
+
+	killsafe "repro"
+	"repro/abstractions/queue"
+)
+
+// The paper's Section 4 scenario as a runnable example: a queue created by
+// a terminable task keeps working for a survivor, because every operation
+// is guarded by ResumeVia.
+func Example_killSafeQueue() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *killsafe.Thread) {
+		cust := killsafe.NewCustodian(rt.RootCustodian())
+		handOff := make(chan *queue.Queue[string], 1)
+		th.WithCustodian(cust, func() {
+			th.Spawn("creator", func(x *killsafe.Thread) {
+				q := queue.New[string](x)
+				_ = q.Send(x, "survives termination")
+				handOff <- q
+				_ = killsafe.Sleep(x, time.Hour)
+			})
+		})
+		q := <-handOff
+		cust.Shutdown() // terminate the creator's task
+
+		v, _ := q.Recv(th) // the guard resurrects the manager
+		fmt.Println(v)
+	})
+	// Output: survives termination
+}
+
+// Events are first-class: a queue receive multiplexed against a timeout.
+func Example_choiceWithTimeout() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *killsafe.Thread) {
+		q := queue.New[int](th)
+		v, _ := killsafe.Sync(th, killsafe.Choice(
+			killsafe.Wrap(killsafe.FromRaw[int](q.RecvEvt()),
+				func(n int) string { return fmt.Sprint("item ", n) }),
+			killsafe.Wrap(killsafe.After(rt, 10*time.Millisecond),
+				func(killsafe.Unit) string { return "timed out" }),
+		))
+		fmt.Println(v)
+	})
+	// Output: timed out
+}
+
+// Rendezvous channels synchronize two tasks and exchange one value.
+func ExampleChannel() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *killsafe.Thread) {
+		ch := killsafe.NewChannel[string](rt)
+		th.Spawn("sender", func(s *killsafe.Thread) {
+			_ = ch.Send(s, "Hello")
+		})
+		v, _ := ch.Recv(th)
+		fmt.Println(v)
+	})
+	// Output: Hello
+}
+
+// Guard defers event construction to sync time: the paper's timeout idiom.
+func ExampleGuard() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *killsafe.Thread) {
+		// The alarm time is computed when the event is synced on, not
+		// when it is created.
+		timeout := killsafe.Guard(func(*killsafe.Thread) killsafe.Event[killsafe.Unit] {
+			return killsafe.After(rt, 5*time.Millisecond)
+		})
+		for i := 0; i < 2; i++ {
+			_, _ = killsafe.Sync(th, timeout)
+			fmt.Println("tick", i)
+		}
+	})
+	// Output:
+	// tick 0
+	// tick 1
+}
+
+// NackGuard tells an abstraction when its event was not chosen.
+func ExampleNackGuard() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *killsafe.Thread) {
+		notChosen := make(chan struct{})
+		ev := killsafe.Choice(
+			killsafe.Always("immediate"),
+			killsafe.NackGuard(func(g *killsafe.Thread, nack killsafe.Event[killsafe.Unit]) killsafe.Event[string] {
+				g.Spawn("watcher", func(w *killsafe.Thread) {
+					_, _ = killsafe.Sync(w, nack)
+					close(notChosen)
+				})
+				return killsafe.Never[string]()
+			}),
+		)
+		v, _ := killsafe.Sync(th, ev)
+		<-notChosen
+		fmt.Println(v, "(loser's nack fired)")
+	})
+	// Output: immediate (loser's nack fired)
+}
+
+// Custodians terminate whole tasks, however many threads they spawned.
+func ExampleCustodian() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *killsafe.Thread) {
+		cust := killsafe.NewCustodian(rt.RootCustodian())
+		var workers []*killsafe.Thread
+		th.WithCustodian(cust, func() {
+			for i := 0; i < 3; i++ {
+				workers = append(workers, th.Spawn("worker", func(x *killsafe.Thread) {
+					_ = killsafe.Sleep(x, time.Hour)
+				}))
+			}
+		})
+		cust.Shutdown()
+		suspended := 0
+		for _, w := range workers {
+			if w.Suspended() {
+				suspended++
+			}
+		}
+		fmt.Printf("%d of 3 workers suspended\n", suspended)
+	})
+	// Output: 3 of 3 workers suspended
+}

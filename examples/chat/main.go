@@ -1,0 +1,95 @@
+// Chat: a multicast-based chat room whose members are terminable tasks.
+//
+// Each member subscribes a port on a kill-safe multicast channel. Members
+// come and go — including by forced termination — and neither a dead nor a
+// suspended member ever blocks the room: ports buffer independently, the
+// multicast manager is yoked to every user, and terminating a member's
+// custodian cleans up exactly that member.
+//
+// Run with: go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"time"
+
+	killsafe "repro"
+	"repro/abstractions/multicast"
+	"repro/abstractions/queue"
+)
+
+func main() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+
+	err := rt.Run(func(th *killsafe.Thread) {
+		room := multicast.New[string](th)
+		transcript := queue.New[string](th) // what members observed
+
+		// join spawns a member task under its own custodian: it
+		// subscribes, relays everything it hears into the transcript,
+		// and can be terminated at any time.
+		join := func(name string) *killsafe.Custodian {
+			c := killsafe.NewCustodian(rt.RootCustodian())
+			ready := make(chan struct{})
+			th.WithCustodian(c, func() {
+				th.Spawn(name, func(x *killsafe.Thread) {
+					port, err := room.Subscribe(x)
+					if err != nil {
+						return
+					}
+					close(ready)
+					for {
+						msg, err := port.Recv(x)
+						if err != nil {
+							return
+						}
+						if err := transcript.Send(x, name+" heard: "+msg); err != nil {
+							return
+						}
+					}
+				})
+			})
+			<-ready
+			return c
+		}
+
+		alice := join("alice")
+		bob := join("bob")
+
+		say := func(msg string) {
+			if err := room.Send(th, msg); err != nil {
+				panic(err)
+			}
+		}
+		hear := func(n int) {
+			for i := 0; i < n; i++ {
+				line, err := transcript.Recv(th)
+				if err != nil {
+					panic(err)
+				}
+				fmt.Println(line)
+			}
+		}
+
+		say("hello, room")
+		hear(2) // alice and bob both heard it
+
+		fmt.Println("-- bob's task is terminated mid-conversation --")
+		bob.Shutdown()
+		say("anyone still here?")
+		hear(1) // only alice relays now; the room is unharmed
+
+		fmt.Println("-- alice's task is terminated as well --")
+		alice.Shutdown()
+		time.Sleep(5 * time.Millisecond)
+		reaped := rt.TerminateCondemned()
+		fmt.Printf("member tasks reaped (≥2): %v\n", reaped >= 2)
+		// The room itself belongs to this main task and is unharmed:
+		say("posting to an empty room is fine")
+		fmt.Println("room still accepts messages after all members died")
+	})
+	if err != nil {
+		panic(err)
+	}
+}

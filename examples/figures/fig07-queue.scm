@@ -1,0 +1,74 @@
+; Figure 7 of "Kill-Safe Synchronization Abstractions" (PLDI 2004):
+; the complete implementation of a kill-safe queue, transcribed for
+; mzmini, followed by the Section 4 sharing scenario.
+
+(define-struct q (in-ch out-ch mgr-t))
+
+;; queue : -> q
+(define (queue)
+  (define in-ch (channel))   ; to accept sends into queue
+  (define out-ch (channel))  ; to supply recvs from queue
+  ;; A manager thread loops with serve
+  (define (serve items)
+    (if (null? items)
+        ;; Nothing to supply a recv until we accept a send
+        (serve (list (sync (channel-recv-evt in-ch))))
+        ;; Accept a send or supply a recv, whichever is ready
+        (sync
+         (choice-evt
+          (wrap-evt (channel-recv-evt in-ch)
+                    (lambda (v)
+                      ;; Accepted a send; enqueue it
+                      (serve (append items (list v)))))
+          (wrap-evt (channel-send-evt out-ch (car items))
+                    (lambda (void)
+                      ;; Supplied a recv; dequeue it
+                      (serve (cdr items))))))))
+  ;; Create the manager thread
+  (define mgr-t (spawn (lambda () (serve (list)))))
+  ;; Return a queue as an opaque q record
+  (make-q in-ch out-ch mgr-t))
+
+;; queue-send-evt : q value -> evt
+(define (queue-send-evt q v)
+  (guard-evt
+   (lambda ()
+     ;; Make sure the manager thread runs
+     (thread-resume (q-mgr-t q) (current-thread))
+     ;; Channel send
+     (channel-send-evt (q-in-ch q) v))))
+
+;; queue-recv-evt : q -> evt
+(define (queue-recv-evt q)
+  (guard-evt
+   (lambda ()
+     ;; Make sure the manager thread runs
+     (thread-resume (q-mgr-t q) (current-thread))
+     ;; Channel receive
+     (channel-recv-evt (q-out-ch q)))))
+
+;; --- demo: basic use ---
+(define q0 (queue))
+(sync (queue-send-evt q0 "Hello"))
+(sync (queue-send-evt q0 "Bye"))
+(printf "~a~n" (sync (queue-recv-evt q0)))  ; => Hello
+(printf "~a~n" (sync (queue-recv-evt q0)))  ; => Bye
+
+;; --- demo: the Section 4 scenario ---
+;; t1, controlled by c1, creates q and hands it to the main task; then
+;; c1 is shut down. The guard in each operation resurrects the manager,
+;; so the main task's send and recv still work.
+(define c1 (make-custodian))
+(define hand-off (channel))
+(parameterize ([current-custodian c1])
+  (spawn (lambda ()
+           (define q (queue))
+           (sync (queue-send-evt q 10))
+           (sync (channel-send-evt hand-off q))
+           (sleep 1000000))))
+(define q (sync (channel-recv-evt hand-off)))
+(custodian-shutdown-all c1)
+(printf "manager mostly dead: ~a~n" (thread-suspended? (q-mgr-t q)))
+(printf "recv after shutdown: ~a~n" (sync (queue-recv-evt q)))
+(sync (queue-send-evt q 11))
+(printf "send+recv after shutdown: ~a~n" (sync (queue-recv-evt q)))

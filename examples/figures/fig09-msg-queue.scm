@@ -1,0 +1,96 @@
+; Figures 8 and 9 of "Kill-Safe Synchronization Abstractions" (PLDI 2004):
+; a queue with selective dequeue, including the Figure 9 revision that
+; uses nack-guard-evt so the manager can discard abandoned requests.
+
+(define-struct q (in-ch req-ch mgr-t))
+(define-struct req (pred out-ch gave-up-evt))
+
+;; find-first-item : pred list (item -> evt) (-> evt) -> evt
+;; Search queue items using pred; call k-found on the first match or
+;; k-none if there is none. (Helper assumed by the paper's figure.)
+(define (find-first-item pred items k-found k-none)
+  (cond [(null? items) (k-none)]
+        [(pred (car items)) (k-found (car items))]
+        [else (find-first-item pred (cdr items) k-found k-none)]))
+
+(define (msg-queue)
+  (define in-ch (channel))
+  (define req-ch (channel))
+  (define never-evt (channel-recv-evt (channel)))
+  (define (serve items reqs)
+    (sync (apply choice-evt
+                 ;; Maybe accept a send
+                 (wrap-evt (channel-recv-evt in-ch)
+                           (lambda (v)
+                             ;; Accepted a send; enqueue it
+                             (serve (append items (list v)) reqs)))
+                 ;; Maybe accept a recv request
+                 (wrap-evt (channel-recv-evt req-ch)
+                           (lambda (req)
+                             ;; Accepted a recv request; add it
+                             (serve items (cons req reqs))))
+                 ;; Maybe service a recv request in reqs, and watch for
+                 ;; receivers that gave up (Figure 9's addition)
+                 (append (map (make-service-evt items reqs) reqs)
+                         (map (make-abandon-evt items reqs) reqs)))))
+  (define (make-service-evt items reqs)
+    (lambda (req)
+      (find-first-item
+       (req-pred req) items
+       (lambda (item)
+         ;; Found an item; try to service req
+         (wrap-evt (channel-send-evt (req-out-ch req) item)
+                   (lambda (void)
+                     ;; Serviced, so remove item and request
+                     (serve (remove item items) (remove req reqs)))))
+       (lambda ()
+         ;; No matching item to service req
+         never-evt))))
+  (define (make-abandon-evt items reqs)
+    (lambda (req)
+      ;; Event to detect that the receiver gives up
+      (wrap-evt (req-gave-up-evt req)
+                (lambda (void)
+                  ;; Receiver gave up; remove request
+                  (serve items (remove req reqs))))))
+  (define mgr-t (spawn (lambda () (serve (list) (list)))))
+  (make-q in-ch req-ch mgr-t))
+
+(define (msg-queue-send-evt q v)
+  (guard-evt
+   (lambda ()
+     (thread-resume (q-mgr-t q) (current-thread))
+     (channel-send-evt (q-in-ch q) v))))
+
+(define (msg-queue-recv-evt q pred)
+  (nack-guard-evt
+   (lambda (gave-up-evt)
+     (define out-ch (channel))
+     ;; Make sure the manager thread runs
+     (thread-resume (q-mgr-t q) (current-thread))
+     ;; Request an item matching pred, with reply to out-ch; also send
+     ;; the server gave-up-evt so it can clean up
+     (sync (channel-send-evt (q-req-ch q)
+                             (make-req pred out-ch gave-up-evt)))
+     ;; Result arrives on out-ch
+     (channel-recv-evt out-ch))))
+
+;; --- demo: selective dequeue preserves order ---
+(define q (msg-queue))
+(sync (msg-queue-send-evt q 1))
+(sync (msg-queue-send-evt q 2))
+(sync (msg-queue-send-evt q 3))
+(printf "first even: ~a~n" (sync (msg-queue-recv-evt q even?)))
+(printf "first odd:  ~a~n" (sync (msg-queue-recv-evt q odd?)))
+(printf "next odd:   ~a~n" (sync (msg-queue-recv-evt q odd?)))
+
+;; --- demo: the Section 6.2 leak scenario, fixed by Figure 9 ---
+;; A choice of two selective receives sends two requests; one is
+;; serviced and the other's nack fires, so the manager drops it instead
+;; of accumulating it forever.
+(sync (msg-queue-send-evt q 1))
+(sync (msg-queue-send-evt q 2))
+(printf "choice got: ~a~n"
+        (sync (choice-evt (msg-queue-recv-evt q odd?)
+                          (msg-queue-recv-evt q even?))))
+(printf "remaining:  ~a~n" (sync (msg-queue-recv-evt q (lambda (x) #t))))

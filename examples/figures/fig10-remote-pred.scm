@@ -1,0 +1,110 @@
+; Figure 10 of "Kill-Safe Synchronization Abstractions" (PLDI 2004):
+; the selective-dequeue queue revised so that client-supplied predicates
+; run in a fresh thread under the *client's* custodian. A hostile
+; predicate — one that suspends the current thread — incapacitates only
+; its submitter, not the queue's manager.
+;
+; Note: as in the paper's figure, a pending request whose predicate
+; matches nothing re-runs its predicate on each serve cycle. The Go
+; implementation (abstractions/msgqueue) refines this with a tested-items
+; counter; the demo below keeps every pending request satisfiable.
+
+(define-struct q (in-ch req-ch mgr-t))
+(define-struct req (pred out-ch gave-up-evt cust ok-items))
+
+(define (msg-queue)
+  (define in-ch (channel))
+  (define req-ch (channel))
+  (define (serve items reqs)
+    (sync (apply choice-evt
+                 ;; Maybe accept a send
+                 (wrap-evt (channel-recv-evt in-ch)
+                           (lambda (v)
+                             (serve (append items (list v)) reqs)))
+                 ;; Maybe accept a recv request
+                 (wrap-evt (channel-recv-evt req-ch)
+                           (lambda (req)
+                             (serve items (cons req reqs))))
+                 (append (map (make-service-evt items reqs) reqs)
+                         (map (make-abandon-evt items reqs) reqs)))))
+  (define (make-service-evt items reqs)
+    (lambda (req)
+      (if (null? (req-ok-items req))
+          ;; Look for items acceptable to pred
+          (wrap-evt (ok-items-evt req items)
+                    (lambda (ok-items)
+                      ;; Got a list of acceptable items, so update req
+                      (serve items
+                             (cons (new-ok-items req ok-items)
+                                   (remove req reqs)))))
+          ;; Use first acceptable item to service req
+          (wrap-evt (channel-send-evt (req-out-ch req)
+                                      (car (req-ok-items req)))
+                    (lambda (void)
+                      ;; Serviced, so remove item and request
+                      (let ([item (car (req-ok-items req))])
+                        (serve (remove item items)
+                               (map (remove-ok-item item)
+                                    (remove req reqs)))))))))
+  (define (ok-items-evt req items)
+    ;; New thread runs pred and delivers a list to items-ch
+    (define items-ch (channel))
+    (parameterize ([current-custodian (req-cust req)])
+      (spawn (lambda ()
+               (define ok-items (filter (req-pred req) items))
+               (sync (channel-send-evt items-ch ok-items)))))
+    (channel-recv-evt items-ch))
+  (define (remove-ok-item item)
+    ;; Given a req, remove item from its list of acceptable items
+    (lambda (req)
+      (new-ok-items req (remove item (req-ok-items req)))))
+  (define (new-ok-items req ok-items)
+    (make-req (req-pred req) (req-out-ch req) (req-gave-up-evt req)
+              (req-cust req) ok-items))
+  (define (make-abandon-evt items reqs)
+    (lambda (req)
+      (wrap-evt (req-gave-up-evt req)
+                (lambda (void)
+                  (serve items (remove req reqs))))))
+  (define mgr-t (spawn (lambda () (serve (list) (list)))))
+  (make-q in-ch req-ch mgr-t))
+
+(define (msg-queue-send-evt q v)
+  (guard-evt
+   (lambda ()
+     (thread-resume (q-mgr-t q) (current-thread))
+     (channel-send-evt (q-in-ch q) v))))
+
+(define (msg-queue-recv-evt q pred)
+  (nack-guard-evt
+   (lambda (gave-up-evt)
+     (define out-ch (channel))
+     (thread-resume (q-mgr-t q) (current-thread))
+     ;; Include a custodian and an initially empty list of known
+     ;; acceptable items
+     (sync (channel-send-evt (q-req-ch q)
+                             (make-req pred out-ch gave-up-evt
+                                       (current-custodian) (list))))
+     ;; Result arrives on out-ch
+     (channel-recv-evt out-ch))))
+
+;; --- demo: ordinary selective receive with a remote predicate ---
+(define q (msg-queue))
+(sync (msg-queue-send-evt q 1))
+(sync (msg-queue-send-evt q 2))
+(printf "even item: ~a~n" (sync (msg-queue-recv-evt q even?)))
+
+;; --- demo: a hostile predicate harms only its submitter ---
+(define hostile-cust (make-custodian))
+(parameterize ([current-custodian hostile-cust])
+  (spawn (lambda ()
+           (define (die x) (thread-suspend (current-thread)))
+           (sync (msg-queue-recv-evt q die)))))
+(sleep 10)
+(printf "manager suspended by hostile pred: ~a~n"
+        (thread-suspended? (q-mgr-t q)))
+;; An innocent client is still served.
+(printf "odd item:  ~a~n" (sync (msg-queue-recv-evt q odd?)))
+;; Terminate the hostile session; its predicate threads go with it.
+(custodian-shutdown-all hostile-cust)
+(printf "condemned reaped: ~a~n" (>= (terminate-condemned!) 1))

@@ -1,0 +1,39 @@
+; Figure 11 of "Kill-Safe Synchronization Abstractions" (PLDI 2004): a
+; break-safe implementation of swap channels. Two synchronizing threads
+; each provide a value to the other. One thread is elected client and one
+; server by the choice of who receives the request; the committed second
+; phase runs inside a wrap procedure, where breaks are implicitly
+; disabled.
+
+(define-struct sc (ch))
+(define-struct req (v ch))
+
+(define (swap-channel)
+  (make-sc (channel)))
+
+(define (swap-evt sc v)
+  (guard-evt
+   (lambda ()
+     (define in-ch (channel))
+     (choice-evt
+      ;; Maybe act as server and receive req
+      (wrap-evt (channel-recv-evt (sc-ch sc))
+                (lambda (req)
+                  ;; Reply to req
+                  (sync (channel-send-evt (req-ch req) v))
+                  (req-v req)))
+      ;; Maybe act as client and send req
+      (wrap-evt (channel-send-evt (sc-ch sc) (make-req v in-ch))
+                (lambda (void)
+                  ;; Receive answer to req
+                  (sync (channel-recv-evt in-ch))))))))
+
+;; --- demo ---
+(define sc (swap-channel))
+(define result (channel))
+(spawn (lambda ()
+         (sync (channel-send-evt result (sync (swap-evt sc 'apple))))))
+(define mine (sync (swap-evt sc 'orange)))
+(define theirs (sync (channel-recv-evt result)))
+(printf "main got:    ~a~n" mine)    ; => apple
+(printf "partner got: ~a~n" theirs)  ; => orange

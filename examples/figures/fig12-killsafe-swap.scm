@@ -1,0 +1,63 @@
+; Figure 12 of "Kill-Safe Synchronization Abstractions" (PLDI 2004): a
+; kill-safe implementation of swap channels. A manager thread pairs
+; swapping clients and delivers a value to each; nack-guard-evt tells the
+; manager when a waiting client gives up, and the per-operation
+; thread-resume guard keeps the manager exactly as alive as its users.
+
+(define-struct sc (ch mgr-t))
+(define-struct req (v ch gave-up))
+
+(define (swap-channel)
+  (define ch (channel))
+  (define (serve-first)
+    ;; Get first thread for swap
+    (sync (wrap-evt (channel-recv-evt ch) serve-second)))
+  (define (serve-second a)
+    ;; Try to get second thread for swap
+    (sync (choice-evt
+           ;; Possibility 1 - got second thread, so swap
+           (wrap-evt (channel-recv-evt ch)
+                     (lambda (b)
+                       ;; Send each thread the other's value
+                       (send-eventually (req-ch a) (req-v b))
+                       (send-eventually (req-ch b) (req-v a))
+                       (serve-first)))
+           ;; Possibility 2 - first gave up, so start over
+           (wrap-evt (req-gave-up a)
+                     (lambda (void)
+                       (serve-first))))))
+  (define (send-eventually ch v)
+    ;; Spawn a thread, in case ch's thread isn't ready
+    (spawn (lambda ()
+             (sync (channel-send-evt ch v)))))
+  (make-sc ch (spawn serve-first)))
+
+(define (swap-evt sc v)
+  (nack-guard-evt
+   (lambda (gave-up)
+     (define in-ch (channel))
+     (thread-resume (sc-mgr-t sc) (current-thread))
+     (sync (wrap-evt (channel-send-evt (sc-ch sc)
+                                       (make-req v in-ch gave-up))
+                     (lambda (void) in-ch))))))
+
+;; --- demo: a basic swap ---
+(define sc (swap-channel))
+(define result (channel))
+(spawn (lambda ()
+         (sync (channel-send-evt result (sync (swap-evt sc 'apple))))))
+(printf "main got:    ~a~n" (sync (swap-evt sc 'orange)))
+(printf "partner got: ~a~n" (sync (channel-recv-evt result)))
+
+;; --- demo: kill-safety ---
+;; A waiting swapper's task is terminated; the manager sees the gave-up
+;; event and cleanly pairs the next two swappers.
+(define doomed
+  (spawn (lambda () (sync (swap-evt sc 'poison)))))
+(sleep 10)
+(kill-thread doomed)
+(sleep 10) ; let the manager observe the gave-up event
+(spawn (lambda ()
+         (sync (channel-send-evt result (sync (swap-evt sc 'left))))))
+(printf "after kill:  ~a~n" (sync (swap-evt sc 'right)))
+(printf "partner got: ~a~n" (sync (channel-recv-evt result)))

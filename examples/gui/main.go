@@ -1,0 +1,99 @@
+// GUI: the paper's Section 6.2 motivation for selective dequeue, made
+// concrete. A window's event queue receives mixed messages — mouse clicks
+// and refresh requests. A repaint task handles only refresh messages,
+// leaving clicks intact and ordered for the input task; re-posting
+// unwanted messages (the naive alternative) would reorder them.
+//
+// The repaint task is then killed mid-stream: the queue is kill-safe, the
+// abandoned selective request withdraws via its nack, and a replacement
+// painter picks up where the dead one left off.
+//
+// Run with: go run ./examples/gui
+package main
+
+import (
+	"fmt"
+	"time"
+
+	killsafe "repro"
+	"repro/abstractions/msgqueue"
+)
+
+type message struct {
+	Kind string // "click" or "refresh"
+	Seq  int
+}
+
+func main() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+
+	err := rt.Run(func(th *killsafe.Thread) {
+		events := msgqueue.New[message](th)
+
+		// Post a mixed stream of window messages.
+		for i, kind := range []string{"click", "refresh", "click", "refresh", "click"} {
+			if err := events.Send(th, message{Kind: kind, Seq: i}); err != nil {
+				panic(err)
+			}
+		}
+
+		isRefresh := func(m message) bool { return m.Kind == "refresh" }
+		isClick := func(m message) bool { return m.Kind == "click" }
+
+		// The painter handles only refresh messages.
+		painted := make(chan message, 16)
+		spawnPainter := func() *killsafe.Custodian {
+			c := killsafe.NewCustodian(rt.RootCustodian())
+			th.WithCustodian(c, func() {
+				th.Spawn("painter", func(x *killsafe.Thread) {
+					for {
+						m, err := events.Recv(x, isRefresh)
+						if err != nil {
+							return
+						}
+						painted <- m
+					}
+				})
+			})
+			return c
+		}
+		painter := spawnPainter()
+
+		m := <-painted
+		fmt.Printf("painter handled %s #%d\n", m.Kind, m.Seq)
+
+		// Kill the painter mid-stream (say, the window was resized and
+		// its repaint task restarted). Its pending selective request
+		// withdraws; the clicks were never disturbed.
+		painter.Shutdown()
+		rt.TerminateCondemned()
+		fmt.Println("painter task terminated; spawning a replacement")
+		_ = spawnPainter()
+
+		m = <-painted
+		fmt.Printf("new painter handled %s #%d\n", m.Kind, m.Seq)
+
+		// The input task drains the clicks — still in their original
+		// relative order, untouched by all the selective dequeuing.
+		for i := 0; i < 3; i++ {
+			m, err := events.Recv(th, isClick)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Printf("input handled %s #%d\n", m.Kind, m.Seq)
+		}
+
+		// Sanity: nothing is left.
+		v, _ := killsafe.Sync(th, killsafe.Choice(
+			killsafe.Wrap(killsafe.FromRaw[message](events.RecvEvt(msgqueue.Any[message])),
+				func(m message) string { return fmt.Sprintf("unexpected %v", m) }),
+			killsafe.Wrap(killsafe.After(rt, 20*time.Millisecond),
+				func(killsafe.Unit) string { return "queue drained" }),
+		))
+		fmt.Println(v)
+	})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Help system: the DrScheme scenario from the paper's Section 2.2.
+//
+// A web server and a browser run in the same virtual machine and talk
+// through a socket-like abstraction whose core is a kill-safe buffered
+// queue (abstractions/pipe). Both sides use termination for internal
+// tasks — here, a browser "click" that is cancelled mid-request — and
+// those terminations must not wreak havoc with the stream. Finally, the
+// whole help system runs under one custodian ("DrScheme within
+// DrScheme"), and shutting that custodian down reliably terminates the
+// server, the browser, and the queue-manager threads.
+//
+// Run with: go run ./examples/helpsystem
+package main
+
+import (
+	"fmt"
+	"time"
+
+	killsafe "repro"
+	"repro/internal/web"
+)
+
+func main() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+
+	err := rt.Run(func(th *killsafe.Thread) {
+		// The whole help system lives under one custodian, like the
+		// inner DrScheme under test.
+		helpCust := killsafe.NewCustodian(rt.RootCustodian())
+
+		type system struct {
+			srv *web.Server
+			b   *web.Browser
+		}
+		sysCh := make(chan system, 1)
+		th.WithCustodian(helpCust, func() {
+			th.Spawn("help-main", func(x *killsafe.Thread) {
+				srv := web.NewServer(x)
+				srv.Handle("/help", func(_ *killsafe.Thread, _ *web.Session, req *web.Request) web.Response {
+					topic := req.Query["topic"]
+					return web.Response{Status: 200, Body: "help page for " + topic}
+				})
+				b, _ := srv.Connect(x)
+				sysCh <- system{srv: srv, b: b}
+				_ = killsafe.Sleep(x, time.Hour)
+			})
+		})
+		sys := <-sysCh
+
+		fmt.Println("-- ordinary browsing --")
+		status, body, err := sys.b.Get(th, "/help?topic=custodians")
+		fmt.Printf("%d %q err=%v\n", status, body, err)
+
+		// A browser click spawns an internal task that issues a request
+		// over a second connection; the user cancels the click, which
+		// terminates the task mid-request. The shared stream — and the
+		// rest of the help system — must shrug it off.
+		fmt.Println("\n-- cancelled click --")
+		clickCust := killsafe.NewCustodian(rt.RootCustodian())
+		b2, _ := sys.srv.Connect(th)
+		started := make(chan struct{})
+		th.WithCustodian(clickCust, func() {
+			th.Spawn("click", func(x *killsafe.Thread) {
+				close(started)
+				for {
+					if _, _, err := b2.Get(x, "/help?topic=clicked"); err != nil {
+						return
+					}
+				}
+			})
+		})
+		<-started
+		time.Sleep(2 * time.Millisecond) // let some requests fly
+		clickCust.Shutdown()             // cancel the click mid-request
+		fmt.Println("click task terminated mid-request")
+
+		// The original browsing session is unaffected.
+		status, body, err = sys.b.Get(th, "/help?topic=events")
+		fmt.Printf("browsing still works: %d %q err=%v\n", status, body, err)
+
+		// "Testing DrScheme within DrScheme": terminate the inner help
+		// system; it reliably takes its sessions and queue managers
+		// along.
+		fmt.Println("\n-- terminating the inner help system --")
+		before := rt.LiveThreads()
+		helpCust.Shutdown()
+		sys.srv.Shutdown()
+		reaped := rt.TerminateCondemned()
+		time.Sleep(10 * time.Millisecond) // let killed threads unwind
+		fmt.Printf("live threads before: %d, condemned reaped: %d, after: %d\n",
+			before, reaped, rt.LiveThreads())
+		fmt.Println("(the survivors are this main task and the stream managers")
+		fmt.Println(" it owns — the outer system, unharmed by the inner shutdown)")
+	})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: the kill-safe queue from the paper's Section 4, in Go.
+//
+// A task creates a queue and shares it with another task; the creator's
+// custodian is shut down ("killed"); the queue keeps working for the
+// survivor because every queue operation is guarded by ResumeVia, the
+// paper's two-argument thread-resume.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	killsafe "repro"
+	"repro/abstractions/queue"
+)
+
+func main() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+
+	err := rt.Run(func(th *killsafe.Thread) {
+		// A separate task, under its own custodian, creates the queue
+		// and enqueues a greeting.
+		creatorCust := killsafe.NewCustodian(rt.RootCustodian())
+		handOff := make(chan *queue.Queue[string], 1)
+		th.WithCustodian(creatorCust, func() {
+			th.Spawn("creator", func(x *killsafe.Thread) {
+				q := queue.New[string](x)
+				_ = q.Send(x, "hello from a task that is about to die")
+				handOff <- q
+				_ = killsafe.Sleep(x, time.Hour) // simulate ongoing work
+			})
+		})
+		q := <-handOff
+
+		// The administrator terminates the creator's task. The queue's
+		// manager thread is now "only mostly dead": suspended, but
+		// resurrectable by any surviving user.
+		creatorCust.Shutdown()
+		fmt.Printf("manager suspended after creator shutdown: %v\n",
+			q.Manager().Suspended())
+
+		// The survivor's receive guard resumes the manager and adds the
+		// survivor's custodian to it, so the queue works again — with
+		// its contents intact.
+		msg, err := q.Recv(th)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("recv after shutdown: %q\n", msg)
+
+		// Ordinary use continues.
+		if err := q.Send(th, "and normal service resumes"); err != nil {
+			panic(err)
+		}
+		msg, _ = q.Recv(th)
+		fmt.Printf("send+recv after shutdown: %q\n", msg)
+
+		// Queue events are first-class: multiplex a receive against a
+		// timeout without corrupting the queue.
+		v, _ := killsafe.Sync(th, killsafe.Choice(
+			killsafe.Wrap(killsafe.FromRaw[string](q.RecvEvt()),
+				func(s string) string { return "item: " + s }),
+			killsafe.Wrap(killsafe.After(rt, 50*time.Millisecond),
+				func(killsafe.Unit) string { return "timed out (queue empty, as expected)" }),
+		))
+		fmt.Println(v)
+	})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,88 @@
+// Servlets: the paper's Section 2 motivating example, end to end.
+//
+// A web server hosts servlet sessions that the administrator may
+// terminate at any time. Two sessions discover each other and share a
+// collaborative document — a kill-safe abstraction neither the server
+// kernel nor the other session needs to trust. The administrator
+// terminates the session that created the document; the other session
+// keeps editing. Terminating every sharing session terminates the
+// document too: it gained no privilege beyond its users' sum.
+//
+// Run with: go run ./examples/servlets
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	killsafe "repro"
+	"repro/internal/doc"
+	"repro/internal/web"
+)
+
+func main() {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+
+	err := rt.Run(func(th *killsafe.Thread) {
+		srv := web.NewServer(th)
+
+		// The collaborative-document servlet: the first session to use
+		// it creates the document (under that session's custodian) and
+		// publishes it; later sessions discover and promote it.
+		srv.Handle("/edit", func(x *killsafe.Thread, s *web.Session, req *web.Request) web.Response {
+			var d *doc.Document
+			if v, ok := srv.Lookup("doc"); ok {
+				d = v.(*doc.Document)
+			} else {
+				d = doc.New(x)
+				srv.Publish("doc", d)
+			}
+			if line := req.Query["line"]; line != "" {
+				if _, err := d.Append(x, fmt.Sprintf("[session %d] %s", s.ID, line)); err != nil {
+					return web.Response{Status: 500, Body: err.Error()}
+				}
+			}
+			_, lines, err := d.Snapshot(x)
+			if err != nil {
+				return web.Response{Status: 500, Body: err.Error()}
+			}
+			return web.Response{Status: 200, Body: strings.Join(lines, "\n")}
+		})
+
+		// Two browsers connect: two servlet sessions.
+		b1, s1 := srv.Connect(th)
+		b2, _ := srv.Connect(th)
+
+		get := func(b *web.Browser, target string) string {
+			status, body, err := b.Get(th, target)
+			if err != nil {
+				return fmt.Sprintf("error: %v", err)
+			}
+			return fmt.Sprintf("%d\n%s", status, body)
+		}
+
+		fmt.Println("-- session 1 creates the document --")
+		fmt.Println(get(b1, "/edit?line=alpha"))
+		fmt.Println("-- session 2 discovers and edits it --")
+		fmt.Println(get(b2, "/edit?line=beta"))
+
+		fmt.Printf("\nadministrator terminates session %d (the creator)\n\n", s1.ID)
+		srv.Terminate(s1.ID)
+
+		fmt.Println("-- session 2 keeps editing: the document is kill-safe --")
+		fmt.Println(get(b2, "/edit?line=gamma"))
+
+		v, _ := srv.Lookup("doc")
+		d := v.(*doc.Document)
+		fmt.Printf("\ndocument manager suspended? %v (a user survives)\n", d.Manager().Suspended())
+
+		fmt.Println("\nadministrator shuts the whole server down")
+		srv.Shutdown()
+		fmt.Printf("document manager suspended? %v (no users survive)\n", d.Manager().Suspended())
+		fmt.Printf("condemned threads reaped: %d\n", rt.TerminateCondemned())
+	})
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import "time"
+
+// alarmEvt is an event that becomes ready at an absolute time.
+type alarmEvt struct {
+	rt *Runtime
+	at time.Time
+}
+
+func (*alarmEvt) isEvent() {}
+
+// AlarmAt returns an event that is ready (with Unit) at or after the
+// absolute time at.
+func AlarmAt(rt *Runtime, at time.Time) Event { return &alarmEvt{rt: rt, at: at} }
+
+// After returns an event that is ready (with Unit) once d has elapsed from
+// the moment the event is synced on (the timer starts at sync time, via a
+// guard, like the paper's one-sec-timeout example).
+func After(rt *Runtime, d time.Duration) Event {
+	return Guard(func(*Thread) Event {
+		return AlarmAt(rt, time.Now().Add(d))
+	})
+}
+
+func (e *alarmEvt) poll(op *syncOp, idx int) bool {
+	if time.Now().Before(e.at) {
+		return false
+	}
+	commitOpLocked(op, idx, Unit{})
+	return true
+}
+
+func (e *alarmEvt) register(w *waiter) {
+	rt := e.rt
+	t := time.AfterFunc(time.Until(e.at), func() {
+		rt.mu.Lock()
+		// If the thread is suspended this is a no-op; the waiter stays
+		// in place and the resume path's re-poll sees the deadline has
+		// passed.
+		commitSingleLocked(w, Unit{})
+		rt.mu.Unlock()
+	})
+	w.stop = func() { t.Stop() }
+}
+
+func (e *alarmEvt) unregister(*waiter) {}
+
+// Sleep blocks the thread for d. It is a safe point: the sleep is
+// interrupted by kill, extended by suspension, and aborted with ErrBreak
+// by a break signal when breaks are enabled.
+func Sleep(th *Thread, d time.Duration) error {
+	_, err := Sync(th, After(th.rt, d))
+	return err
+}

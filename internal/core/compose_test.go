@@ -1,0 +1,215 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestChoiceOfChoicesFlattens(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		th.Spawn("sender", func(s *core.Thread) { _ = c.Send(s, "deep") })
+		ev := core.Choice(
+			core.Choice(core.Never(), core.Choice(core.Never(), c.RecvEvt())),
+			core.Never(),
+		)
+		v, err := core.Sync(th, ev)
+		if err != nil || v != "deep" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}
+
+func TestWrapAroundChoiceAppliesToWinner(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewChan(rt)
+		c2 := core.NewChan(rt)
+		th.Spawn("s", func(s *core.Thread) { _ = c2.Send(s, 5) })
+		ev := core.Wrap(
+			core.Choice(c1.RecvEvt(), c2.RecvEvt()),
+			func(v core.Value) core.Value { return v.(int) * 10 },
+		)
+		v, err := core.Sync(th, ev)
+		if err != nil || v != 50 {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}
+
+func TestGuardInsideNackGuard(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var guardRan, nackFired atomic.Bool
+		ev := core.Choice(
+			core.Always("fast"),
+			core.NackGuard(func(g *core.Thread, nack core.Event) core.Event {
+				g.Spawn("w", func(w *core.Thread) {
+					if _, err := core.Sync(w, nack); err == nil {
+						nackFired.Store(true)
+					}
+				})
+				return core.Guard(func(*core.Thread) core.Event {
+					guardRan.Store(true)
+					return core.Never()
+				})
+			}),
+		)
+		v, err := core.Sync(th, ev)
+		if err != nil || v != "fast" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+		if !guardRan.Load() {
+			t.Fatal("inner guard did not run")
+		}
+		waitUntil(t, "nack", nackFired.Load)
+	})
+}
+
+func TestNackGuardInsideGuard(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var nackFired atomic.Bool
+		ev := core.Choice(
+			core.Always(1),
+			core.Guard(func(*core.Thread) core.Event {
+				return core.NackGuard(func(g *core.Thread, nack core.Event) core.Event {
+					g.Spawn("w", func(w *core.Thread) {
+						if _, err := core.Sync(w, nack); err == nil {
+							nackFired.Store(true)
+						}
+					})
+					return core.Never()
+				})
+			}),
+		)
+		if _, err := core.Sync(th, ev); err != nil {
+			t.Fatal(err)
+		}
+		waitUntil(t, "nested nack", nackFired.Load)
+	})
+}
+
+func TestWrapWithThreadCanBlock(t *testing.T) {
+	// The two-phase idiom: the wrap body performs a second, committed
+	// communication using the syncing thread.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		phase1 := core.NewChan(rt)
+		phase2 := core.NewChan(rt)
+		th.Spawn("peer", func(s *core.Thread) {
+			_ = phase1.Send(s, "p1")
+			v, err := phase2.Recv(s)
+			if err != nil || v != "p2" {
+				t.Errorf("peer phase2: (%v, %v)", v, err)
+			}
+		})
+		ev := core.WrapWithThread(phase1.RecvEvt(), func(x *core.Thread, v core.Value) core.Value {
+			if err := phase2.Send(x, "p2"); err != nil {
+				t.Errorf("wrap send: %v", err)
+			}
+			return v
+		})
+		v, err := core.Sync(th, ev)
+		if err != nil || v != "p1" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}
+
+func TestChoiceMixedBaseKinds(t *testing.T) {
+	// One choice over a channel, a semaphore, an alarm, and a done event.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		ch := core.NewChan(rt)
+		sem := core.NewSemaphore(rt, 0)
+		worker := th.Spawn("worker", func(x *core.Thread) {
+			_ = core.Sleep(x, 2*time.Millisecond)
+		})
+		mk := func() core.Event {
+			return core.Choice(
+				core.Wrap(ch.RecvEvt(), func(core.Value) core.Value { return "chan" }),
+				core.Wrap(sem.WaitEvt(), func(core.Value) core.Value { return "sem" }),
+				core.Wrap(worker.DoneEvt(), func(core.Value) core.Value { return "done" }),
+				core.Wrap(core.After(rt, 5*time.Second), func(core.Value) core.Value { return "alarm" }),
+			)
+		}
+		// First: the worker finishes.
+		v, err := core.Sync(th, mk())
+		if err != nil || v != "done" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+		// Then: post the semaphore; done stays ready too, so accept
+		// either of the two ready alternatives, then force the other.
+		sem.Post()
+		seen := map[any]bool{}
+		for i := 0; i < 30 && (!seen["sem"] || !seen["done"]); i++ {
+			v, err := core.Sync(th, mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v == "sem" && !seen["sem"] {
+				seen["sem"] = true
+				sem.Post() // keep it ready for fairness sampling
+			}
+			seen[v.(string)] = true
+		}
+		if !seen["sem"] || !seen["done"] {
+			t.Fatalf("fair choice never picked both ready kinds: %v", seen)
+		}
+	})
+}
+
+func TestSyncOnNeverOnlyIsKillable(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		w := th.Spawn("stuck", func(x *core.Thread) {
+			_, _ = core.Sync(x, core.Never())
+			t.Error("sync on never returned")
+		})
+		time.Sleep(5 * time.Millisecond)
+		w.Kill()
+		if _, err := core.Sync(th, w.DoneEvt()); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestManyWaitersOneSender(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		const waiters = 20
+		got := make(chan core.Value, waiters)
+		for i := 0; i < waiters; i++ {
+			th.Spawn("waiter", func(x *core.Thread) {
+				v, err := c.Recv(x)
+				if err == nil {
+					got <- v
+				}
+			})
+		}
+		time.Sleep(5 * time.Millisecond)
+		if err := c.Send(th, "one"); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case <-got:
+		case <-time.After(5 * time.Second):
+			t.Fatal("no waiter received")
+		}
+		select {
+		case v := <-got:
+			t.Fatalf("second waiter received %v from a single send", v)
+		case <-time.After(20 * time.Millisecond):
+		}
+	})
+}
+
+func TestAlwaysInChoiceWithBlockedChannel(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		for i := 0; i < 50; i++ {
+			v, err := core.Sync(th, core.Choice(c.RecvEvt(), core.Always("now")))
+			if err != nil || v != "now" {
+				t.Fatalf("(%v, %v)", v, err)
+			}
+		}
+	})
+}

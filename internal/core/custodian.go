@@ -1,0 +1,142 @@
+package core
+
+import "io"
+
+// Custodian is a resource controller. Every thread and every registered
+// resource is controlled by at least one custodian; shutting a custodian
+// down suspends the threads it controls (a thread with several custodians
+// is suspended only when all of them are shut down), closes its registered
+// resources, shuts down its sub-custodians, and prevents further resource
+// allocation under it.
+type Custodian struct {
+	rt       *Runtime
+	parent   *Custodian
+	children map[*Custodian]struct{}
+	threads  map[*Thread]struct{}
+	closers  []io.Closer
+	dead     bool
+}
+
+// NewCustodian creates a sub-custodian of parent. Shutting down the parent
+// shuts down the child. If parent is already dead, the new custodian is
+// created dead.
+func NewCustodian(parent *Custodian) *Custodian {
+	rt := parent.rt
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	c := &Custodian{
+		rt:       rt,
+		parent:   parent,
+		children: make(map[*Custodian]struct{}),
+		threads:  make(map[*Thread]struct{}),
+	}
+	if parent.dead {
+		c.dead = true
+	} else {
+		parent.children[c] = struct{}{}
+	}
+	return c
+}
+
+// Runtime returns the runtime that owns the custodian.
+func (c *Custodian) Runtime() *Runtime { return c.rt }
+
+// Dead reports whether the custodian has been shut down.
+func (c *Custodian) Dead() bool {
+	c.rt.mu.Lock()
+	defer c.rt.mu.Unlock()
+	return c.dead
+}
+
+// Register places a closable resource under the custodian's control: it
+// will be closed when the custodian is shut down. Registering a resource
+// with a dead custodian closes it immediately and returns ErrCustodianDead.
+// The Close method must not call back into the runtime.
+func (c *Custodian) Register(r io.Closer) error {
+	c.rt.mu.Lock()
+	if c.dead {
+		c.rt.mu.Unlock()
+		_ = r.Close()
+		return ErrCustodianDead
+	}
+	c.closers = append(c.closers, r)
+	c.rt.mu.Unlock()
+	return nil
+}
+
+// Unregister removes a previously registered resource without closing it.
+func (c *Custodian) Unregister(r io.Closer) {
+	c.rt.mu.Lock()
+	defer c.rt.mu.Unlock()
+	for i, x := range c.closers {
+		if x == r {
+			c.closers = append(c.closers[:i], c.closers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Shutdown shuts the custodian down: all controlled threads lose this
+// custodian (threads left with no live custodian become suspended), all
+// registered resources are closed, all sub-custodians are shut down, and
+// no further resources can be allocated under it. Shutting down a dead
+// custodian has no effect.
+//
+// Per the paper, shutdown suspends rather than kills threads: a suspended
+// thread is "only mostly dead" and a surviving task that shares an
+// abstraction with it can resurrect the abstraction's manager thread via
+// ResumeVia. Use Runtime.TerminateCondemned to model the eventual
+// collection of threads nobody can revive.
+func (c *Custodian) Shutdown() {
+	c.rt.mu.Lock()
+	closers := c.shutdownLocked(nil)
+	c.rt.mu.Unlock()
+	// Close resources outside the runtime lock; closers must not call
+	// back into the runtime, but they may do I/O.
+	for _, r := range closers {
+		_ = r.Close()
+	}
+}
+
+func (c *Custodian) shutdownLocked(closers []io.Closer) []io.Closer {
+	if c.dead {
+		return closers
+	}
+	c.dead = true
+	c.rt.traceLocked(TraceShutdown, nil, "custodian")
+	if c.parent != nil {
+		delete(c.parent.children, c)
+	}
+	for th := range c.threads {
+		delete(th.custodians, c)
+		// A thread that just lost its last custodian is now suspended;
+		// nothing to wake. Its blocked sync (if any) simply becomes
+		// unmatchable until the thread is resumed with a new custodian.
+		if len(th.custodians) == 0 {
+			c.rt.traceLocked(TraceCondemned, th, "")
+		}
+	}
+	clear(c.threads)
+	closers = append(closers, c.closers...)
+	c.closers = nil
+	for child := range c.children {
+		closers = child.shutdownLocked(closers)
+	}
+	clear(c.children)
+	return closers
+}
+
+// ManagedThreads returns the number of live threads directly controlled by
+// the custodian.
+func (c *Custodian) ManagedThreads() int {
+	c.rt.mu.Lock()
+	defer c.rt.mu.Unlock()
+	return len(c.threads)
+}
+
+// Subcustodians returns the number of live direct sub-custodians.
+func (c *Custodian) Subcustodians() int {
+	c.rt.mu.Lock()
+	defer c.rt.mu.Unlock()
+	return len(c.children)
+}

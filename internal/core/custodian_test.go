@@ -1,0 +1,214 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+type fakeResource struct{ closed atomic.Bool }
+
+func (r *fakeResource) Close() error { r.closed.Store(true); return nil }
+
+func TestCustodianShutdownSuspendsThreads(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		var progressed atomic.Int64
+		var w *core.Thread
+		th.WithCustodian(c, func() {
+			w = th.Spawn("work", func(x *core.Thread) {
+				for {
+					if err := core.Sleep(x, time.Millisecond); err != nil {
+						return
+					}
+					progressed.Add(1)
+				}
+			})
+		})
+		waitUntil(t, "progress", func() bool { return progressed.Load() > 2 })
+		c.Shutdown()
+		if !w.Suspended() {
+			t.Fatal("thread not suspended by custodian shutdown")
+		}
+		before := progressed.Load()
+		time.Sleep(20 * time.Millisecond)
+		if after := progressed.Load(); after > before+1 {
+			t.Fatalf("suspended thread progressed: %d -> %d", before, after)
+		}
+	})
+}
+
+func TestCustodianShutdownClosesResources(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		r := &fakeResource{}
+		if err := c.Register(r); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		c.Shutdown()
+		if !r.closed.Load() {
+			t.Fatal("resource not closed")
+		}
+		// Registering with a dead custodian closes immediately.
+		r2 := &fakeResource{}
+		if err := c.Register(r2); err != core.ErrCustodianDead {
+			t.Fatalf("register on dead custodian: err=%v", err)
+		}
+		if !r2.closed.Load() {
+			t.Fatal("resource registered to dead custodian not closed")
+		}
+	})
+}
+
+func TestCustodianUnregister(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		r := &fakeResource{}
+		if err := c.Register(r); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		c.Unregister(r)
+		c.Shutdown()
+		if r.closed.Load() {
+			t.Fatal("unregistered resource was closed")
+		}
+	})
+}
+
+func TestCustodianShutdownPropagatesToChildren(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		parent := core.NewCustodian(rt.RootCustodian())
+		child := core.NewCustodian(parent)
+		grandchild := core.NewCustodian(child)
+		r := &fakeResource{}
+		if err := grandchild.Register(r); err != nil {
+			t.Fatalf("register: %v", err)
+		}
+		var w *core.Thread
+		th.WithCustodian(grandchild, func() {
+			w = th.Spawn("deep", func(x *core.Thread) { _ = core.Sleep(x, time.Hour) })
+		})
+		parent.Shutdown()
+		if !child.Dead() || !grandchild.Dead() {
+			t.Fatal("shutdown did not propagate to sub-custodians")
+		}
+		if !r.closed.Load() {
+			t.Fatal("grandchild resource not closed")
+		}
+		if !w.Suspended() {
+			t.Fatal("grandchild thread not suspended")
+		}
+	})
+}
+
+func TestNewCustodianUnderDeadParentIsDead(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		c.Shutdown()
+		sub := core.NewCustodian(c)
+		if !sub.Dead() {
+			t.Fatal("sub-custodian of dead custodian is alive")
+		}
+	})
+}
+
+func TestShutdownIsIdempotent(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		c.Shutdown()
+		c.Shutdown() // must not panic or re-close
+		if !c.Dead() {
+			t.Fatal("custodian not dead")
+		}
+	})
+}
+
+func TestThreadWithTwoCustodiansSurvivesOne(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		c2 := core.NewCustodian(rt.RootCustodian())
+		var w *core.Thread
+		th.WithCustodian(c1, func() {
+			w = th.Spawn("w", func(x *core.Thread) { _ = core.Sleep(x, time.Hour) })
+		})
+		core.ResumeWith(w, c2)
+		c1.Shutdown()
+		if w.Suspended() {
+			t.Fatal("thread with a second custodian was suspended")
+		}
+		c2.Shutdown()
+		if !w.Suspended() {
+			t.Fatal("thread not suspended after losing all custodians")
+		}
+	})
+}
+
+func TestThreadInheritsCurrentCustodian(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		inherited := make(chan *core.Custodian, 1)
+		th.WithCustodian(c, func() {
+			th.Spawn("child", func(x *core.Thread) {
+				inherited <- x.CurrentCustodian()
+			})
+		})
+		select {
+		case got := <-inherited:
+			if got != c {
+				t.Fatal("child did not inherit the current custodian")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("timeout")
+		}
+	})
+}
+
+func TestShutdownReliablyStopsWholeTask(t *testing.T) {
+	// A task that spawns many threads and sub-custodians is stopped
+	// entirely by shutting down its custodian (the lots-of-work example).
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		var spawned atomic.Int64
+		var work func(x *core.Thread)
+		work = func(x *core.Thread) {
+			if spawned.Add(1) < 20 {
+				sub := core.NewCustodian(x.CurrentCustodian())
+				x.WithCustodian(sub, func() {
+					x.Spawn("more", work)
+				})
+				x.Spawn("more", work)
+			}
+			_ = core.Sleep(x, time.Hour)
+		}
+		th.WithCustodian(c, func() { th.Spawn("root-work", work) })
+		waitUntil(t, "fan-out", func() bool { return spawned.Load() >= 20 })
+		c.Shutdown()
+		waitUntil(t, "all suspended", func() bool {
+			return rt.SuspendedThreads() >= int(spawned.Load())
+		})
+		n := rt.TerminateCondemned()
+		if n < 20 {
+			t.Fatalf("terminated %d threads, want >= 20", n)
+		}
+	})
+}
+
+func TestRootCustodianShutdownViaRuntimeShutdown(t *testing.T) {
+	rt := core.NewRuntime()
+	var stopped atomic.Bool
+	err := rt.Run(func(th *core.Thread) {
+		th.Spawn("w", func(x *core.Thread) {
+			_ = core.Sleep(x, time.Hour)
+			stopped.Store(true)
+		})
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	rt.Shutdown()
+	if rt.LiveThreads() != 0 {
+		t.Fatalf("%d threads alive after Shutdown", rt.LiveThreads())
+	}
+}

@@ -1,0 +1,20 @@
+// Package core implements the task runtime from "Kill-Safe Synchronization
+// Abstractions" (Flatt & Findler, PLDI 2004): suspendable, resumable,
+// killable user-level threads; custodians for hierarchical resource control;
+// the two-argument thread-resume primitive that yokes a manager thread's
+// execution rights to its clients; and MzScheme's embedding of the
+// Concurrent ML event combinators (sync, channels, choice, wrap, guard, and
+// nack-guard with the paper's extended "not chosen" semantics).
+//
+// Go's goroutines cannot be suspended or killed from outside, so the runtime
+// builds its own thread abstraction on top of goroutines. Suspension, kill,
+// and break signals take effect at safe points; every runtime primitive is a
+// safe point. Because threads in the CML model interact only through runtime
+// primitives, a thread can be observed to stop between any two primitive
+// operations — which is exactly the hazard window that kill-safe abstraction
+// design addresses.
+//
+// All scheduler and event state is protected by a single runtime lock, which
+// makes the two-party rendezvous commit of CML trivially atomic. The cost of
+// that choice is measured by the repository's benchmark harness.
+package core

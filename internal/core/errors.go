@@ -1,0 +1,44 @@
+package core
+
+import "errors"
+
+// Errors returned by runtime operations.
+var (
+	// ErrBreak is returned from a blocking operation when a break signal
+	// (see Thread.Break) is delivered to the thread while breaks are
+	// enabled. It models MzScheme's asynchronous break exception.
+	ErrBreak = errors.New("core: break signal")
+
+	// ErrCustodianDead is returned when an operation requires a live
+	// custodian but the custodian has been shut down.
+	ErrCustodianDead = errors.New("core: custodian is shut down")
+
+	// ErrRuntimeDown is returned when the runtime has been shut down.
+	ErrRuntimeDown = errors.New("core: runtime is shut down")
+)
+
+// killSentinel is the panic value used to unwind a killed thread's stack.
+// It never escapes the thread trampoline.
+type killSentinel struct{ th *Thread }
+
+// ThreadPanicError wraps a panic raised by user code running in a runtime
+// thread. It is recorded on the thread and reported through Thread.Err.
+type ThreadPanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *ThreadPanicError) Error() string {
+	return "core: thread panicked: " + panicString(e.Value)
+}
+
+func panicString(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case error:
+		return x.Error()
+	default:
+		return "non-string panic value"
+	}
+}

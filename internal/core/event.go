@@ -1,0 +1,169 @@
+package core
+
+// Event is a first-class synchronization event in the Concurrent ML style.
+// Events describe potential communications; Sync blocks until one of the
+// described communications is ready, commits it atomically, and returns its
+// value. Events compose: Choice selects among events, Wrap post-processes a
+// chosen event's value, Guard defers event construction to sync time, and
+// NackGuard additionally provides a negative-acknowledgment event that
+// becomes ready if the guarded event is not chosen.
+type Event interface {
+	isEvent()
+}
+
+// baseEvent is a primitive event that the sync engine can poll and block
+// on. All methods are called with the runtime lock held.
+type baseEvent interface {
+	Event
+	// poll attempts to commit op's case idx immediately. It returns true
+	// if op was committed (by this base).
+	poll(op *syncOp, idx int) bool
+	// register adds a blocked waiter for this base.
+	register(w *waiter)
+	// unregister cleans up after a waiter that is no longer blocked.
+	// Queue-based bases may rely on the waiter's removed flag instead.
+	unregister(w *waiter)
+}
+
+// wrapFn is a wrap procedure: it receives the syncing thread and the
+// chosen event's value. Wrap procedures created via Wrap ignore the
+// thread; WrapWithThread exposes it so a wrap body can itself block.
+type wrapFn func(*Thread, Value) Value
+
+type wrapEvt struct {
+	inner Event
+	fn    wrapFn
+}
+
+type choiceEvt struct {
+	evts []Event
+}
+
+type guardEvt struct {
+	fn func(*Thread) Event
+}
+
+type nackGuardEvt struct {
+	fn func(*Thread, Event) Event
+}
+
+type alwaysEvt struct {
+	v Value
+}
+
+type neverEvt struct{}
+
+func (*wrapEvt) isEvent()      {}
+func (*choiceEvt) isEvent()    {}
+func (*guardEvt) isEvent()     {}
+func (*nackGuardEvt) isEvent() {}
+func (*alwaysEvt) isEvent()    {}
+func (*neverEvt) isEvent()     {}
+
+// Wrap returns an event that is ready when e is ready and whose value is
+// fn applied to e's value. The wrap procedure runs in the syncing thread
+// with breaks implicitly disabled, after the choice has committed.
+func Wrap(e Event, fn func(Value) Value) Event {
+	return &wrapEvt{inner: e, fn: func(_ *Thread, v Value) Value { return fn(v) }}
+}
+
+// WrapWithThread is Wrap for procedures that need the syncing thread —
+// for example to perform a committed second communication phase inside
+// the wrap, as the swap-channel implementation does.
+func WrapWithThread(e Event, fn func(*Thread, Value) Value) Event {
+	return &wrapEvt{inner: e, fn: fn}
+}
+
+// Choice combines events into one that is ready when any of them is; if
+// several are ready, one is chosen arbitrarily but fairly. Choice of no
+// events is never ready.
+func Choice(evts ...Event) Event {
+	return &choiceEvt{evts: evts}
+}
+
+// Guard returns an event that, at each sync, calls fn in the syncing
+// thread to produce the event to use in its place. Guard is the hook for
+// per-use setup work (such as the ResumeVia guard that makes an
+// abstraction kill-safe).
+func Guard(fn func(*Thread) Event) Event {
+	return &guardEvt{fn: fn}
+}
+
+// NackGuard generalizes Guard: fn additionally receives a nack event that
+// becomes ready if the guard-generated event is not chosen by the sync.
+// "Not chosen" covers all the ways a thread abandons an event (Section 7
+// of the paper): the sync chooses another event, control escapes the sync
+// via a break or panic, or the syncing thread is terminated.
+func NackGuard(fn func(th *Thread, nack Event) Event) Event {
+	return &nackGuardEvt{fn: fn}
+}
+
+// Always returns an event that is always ready and yields v.
+func Always(v Value) Event { return &alwaysEvt{v: v} }
+
+// Never returns an event that is never ready.
+func Never() Event { return &neverEvt{} }
+
+func (a *alwaysEvt) poll(op *syncOp, idx int) bool {
+	commitOpLocked(op, idx, a.v)
+	return true
+}
+func (a *alwaysEvt) register(*waiter)   {}
+func (a *alwaysEvt) unregister(*waiter) {}
+
+// neverEvt is not a baseEvent: flatten drops it entirely.
+
+// flatCase is one primitive alternative of a flattened sync: a base event,
+// the wrap functions to apply to its value (collected outside-in; applied
+// inside-out), and the indices into the sync's nack list that cover it.
+type flatCase struct {
+	base    baseEvent
+	wraps   []wrapFn
+	nackIdx []int
+}
+
+// maxGuardDepth bounds guard recursion so that a guard returning itself
+// fails fast instead of diverging.
+const maxGuardDepth = 1000
+
+// flatten expands an event tree into primitive cases, running guard
+// procedures in the syncing thread. It runs outside the runtime lock, so
+// guard procedures may themselves block, sync, and spawn. Nack signals
+// created for nack-guards are appended to op.nacks as they are created, so
+// that a kill arriving mid-flatten still fires them.
+func flatten(th *Thread, op *syncOp, e Event, wraps []wrapFn, nacks []int, depth int) {
+	if depth > maxGuardDepth {
+		panic("core: event guard recursion exceeds depth limit")
+	}
+	switch ev := e.(type) {
+	case *choiceEvt:
+		for _, sub := range ev.evts {
+			flatten(th, op, sub, wraps, nacks, depth+1)
+		}
+	case *wrapEvt:
+		w := make([]wrapFn, len(wraps)+1)
+		copy(w, wraps)
+		w[len(wraps)] = ev.fn
+		flatten(th, op, ev.inner, w, nacks, depth+1)
+	case *guardEvt:
+		flatten(th, op, ev.fn(th), wraps, nacks, depth+1)
+	case *nackGuardEvt:
+		sig := newNackSignal()
+		th.rt.mu.Lock()
+		op.nacks = append(op.nacks, sig)
+		idx := len(op.nacks) - 1
+		th.rt.mu.Unlock()
+		n := make([]int, len(nacks)+1)
+		copy(n, nacks)
+		n[len(nacks)] = idx
+		flatten(th, op, ev.fn(th, sig.event()), wraps, n, depth+1)
+	case *neverEvt:
+		// contributes no case
+	case baseEvent:
+		op.cases = append(op.cases, flatCase{base: ev, wraps: wraps, nackIdx: nacks})
+	case nil:
+		panic("core: nil event")
+	default:
+		panic("core: unknown event type")
+	}
+}

@@ -1,0 +1,349 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestChannelRendezvous(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		th.Spawn("sender", func(s *core.Thread) {
+			_, _ = core.Sync(s, c.SendEvt("Hello"))
+		})
+		v, err := core.Sync(th, c.RecvEvt())
+		if err != nil || v != "Hello" {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+	})
+}
+
+func TestChannelSendBlocksUntilReceiver(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		var sent atomic.Bool
+		th.Spawn("sender", func(s *core.Thread) {
+			_ = c.Send(s, 1)
+			sent.Store(true)
+		})
+		time.Sleep(10 * time.Millisecond)
+		if sent.Load() {
+			t.Fatal("send completed without a receiver")
+		}
+		if _, err := c.Recv(th); err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		waitUntil(t, "send completion", sent.Load)
+	})
+}
+
+func TestChoicePicksReadyEvent(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewChan(rt)
+		c2 := core.NewChan(rt)
+		th.Spawn("s1", func(s *core.Thread) { _ = c1.Send(s, "Hello") })
+		th.Spawn("s2", func(s *core.Thread) { _ = c2.Send(s, "Nihao") })
+		cc := core.Choice(c1.RecvEvt(), c2.RecvEvt())
+		a, err := core.Sync(th, cc)
+		if err != nil {
+			t.Fatalf("sync 1: %v", err)
+		}
+		b, err := core.Sync(th, cc)
+		if err != nil {
+			t.Fatalf("sync 2: %v", err)
+		}
+		got := map[any]bool{a: true, b: true}
+		if !got["Hello"] || !got["Nihao"] {
+			t.Fatalf("expected both strings, got %v and %v", a, b)
+		}
+	})
+}
+
+func TestChoiceCommitsExactlyOne(t *testing.T) {
+	// Even if both senders are ready, only one receive in the choice is
+	// chosen per sync; the other sender remains blocked.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewChan(rt)
+		c2 := core.NewChan(rt)
+		var completed atomic.Int64
+		th.Spawn("s1", func(s *core.Thread) {
+			_ = c1.Send(s, 1)
+			completed.Add(1)
+		})
+		th.Spawn("s2", func(s *core.Thread) {
+			_ = c2.Send(s, 2)
+			completed.Add(1)
+		})
+		time.Sleep(5 * time.Millisecond)
+		if _, err := core.Sync(th, core.Choice(c1.RecvEvt(), c2.RecvEvt())); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if n := completed.Load(); n != 1 {
+			t.Fatalf("expected exactly 1 completed sender, got %d", n)
+		}
+	})
+}
+
+func TestChoiceFairness(t *testing.T) {
+	// Syncing repeatedly on a choice of two always-ready events must pick
+	// both sides: choice is arbitrary but fair.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		counts := map[any]int{}
+		ev := core.Choice(core.Always("a"), core.Always("b"))
+		for i := 0; i < 200; i++ {
+			v, err := core.Sync(th, ev)
+			if err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+			counts[v]++
+		}
+		if counts["a"] == 0 || counts["b"] == 0 {
+			t.Fatalf("unfair choice: %v", counts)
+		}
+	})
+}
+
+func TestWrapTransformsValue(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewChan(rt)
+		th.Spawn("s", func(s *core.Thread) { _ = c1.Send(s, "Hello") })
+		v, err := core.Sync(th, core.Wrap(c1.RecvEvt(), func(x core.Value) core.Value {
+			return []any{x, "from 1"}
+		}))
+		if err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		got := v.([]any)
+		if got[0] != "Hello" || got[1] != "from 1" {
+			t.Fatalf("wrap result: %v", got)
+		}
+	})
+}
+
+func TestNestedWrapsApplyInsideOut(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		e := core.Wrap(core.Wrap(core.Always(1), func(v core.Value) core.Value {
+			return v.(int) + 1 // inner: runs first
+		}), func(v core.Value) core.Value {
+			return v.(int) * 10 // outer: runs second
+		})
+		v, err := core.Sync(th, e)
+		if err != nil || v != 20 {
+			t.Fatalf("got (%v, %v), want 20", v, err)
+		}
+	})
+}
+
+func TestGuardRunsPerSync(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var calls atomic.Int64
+		e := core.Guard(func(*core.Thread) core.Event {
+			calls.Add(1)
+			return core.Always(calls.Load())
+		})
+		for want := int64(1); want <= 3; want++ {
+			v, err := core.Sync(th, e)
+			if err != nil || v != want {
+				t.Fatalf("sync %d: got (%v, %v)", want, v, err)
+			}
+		}
+	})
+}
+
+func TestGuardTimeoutIdiom(t *testing.T) {
+	// The paper's one-sec-timeout example: the alarm time is computed at
+	// sync time, not at event creation time.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		timeout := core.After(rt, 10*time.Millisecond)
+		for i := 0; i < 2; i++ {
+			start := time.Now()
+			if _, err := core.Sync(th, timeout); err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+			if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+				t.Fatalf("iteration %d: timeout fired after %v", i, elapsed)
+			}
+		}
+	})
+}
+
+func TestAlwaysAndNever(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		v, err := core.Sync(th, core.Choice(core.Never(), core.Always(42), core.Never()))
+		if err != nil || v != 42 {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+	})
+}
+
+func TestAlarmAtAbsoluteTime(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		at := time.Now().Add(15 * time.Millisecond)
+		if _, err := core.Sync(th, core.AlarmAt(rt, at)); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		if time.Now().Before(at) {
+			t.Fatal("alarm fired early")
+		}
+		// An alarm in the past is immediately ready.
+		start := time.Now()
+		if _, err := core.Sync(th, core.AlarmAt(rt, time.Now().Add(-time.Hour))); err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		if time.Since(start) > time.Second {
+			t.Fatal("past alarm blocked")
+		}
+	})
+}
+
+func TestChoiceSendAndRecvSameChannelDoesNotSelfMatch(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = rt.Run(func(peer *core.Thread) {
+				// The peer offers both directions on one channel; it
+				// must pair with us, never with itself.
+				v, err := core.Sync(peer, core.Choice(
+					core.Wrap(c.SendEvt("from-peer"), func(core.Value) core.Value { return "sent" }),
+					core.Wrap(c.RecvEvt(), func(v core.Value) core.Value { return v }),
+				))
+				if err != nil {
+					t.Errorf("peer sync: %v", err)
+				}
+				if v != "sent" && v != "from-main" {
+					t.Errorf("peer got %v", v)
+				}
+			})
+		}()
+		v, err := core.Sync(th, core.Choice(
+			core.Wrap(c.SendEvt("from-main"), func(core.Value) core.Value { return "sent" }),
+			core.Wrap(c.RecvEvt(), func(v core.Value) core.Value { return v }),
+		))
+		if err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		if v != "sent" && v != "from-peer" {
+			t.Fatalf("main got %v", v)
+		}
+		<-done
+	})
+}
+
+func TestSemaphoreEvt(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		s := core.NewSemaphore(rt, 0)
+		var acquired atomic.Int64
+		for i := 0; i < 3; i++ {
+			th.Spawn("waiter", func(w *core.Thread) {
+				if err := s.Wait(w); err == nil {
+					acquired.Add(1)
+				}
+			})
+		}
+		time.Sleep(5 * time.Millisecond)
+		if acquired.Load() != 0 {
+			t.Fatal("semaphore granted without post")
+		}
+		s.Post()
+		waitUntil(t, "one acquisition", func() bool { return acquired.Load() == 1 })
+		time.Sleep(5 * time.Millisecond)
+		if acquired.Load() != 1 {
+			t.Fatalf("posted once, acquired %d", acquired.Load())
+		}
+		s.Post()
+		s.Post()
+		waitUntil(t, "all acquisitions", func() bool { return acquired.Load() == 3 })
+		if s.Count() != 0 {
+			t.Fatalf("count = %d, want 0", s.Count())
+		}
+	})
+}
+
+func TestSemaphoreTryWait(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		s := core.NewSemaphore(rt, 2)
+		if !s.TryWait() || !s.TryWait() {
+			t.Fatal("TryWait failed with positive count")
+		}
+		if s.TryWait() {
+			t.Fatal("TryWait succeeded with zero count")
+		}
+	})
+}
+
+func TestSuspendedThreadCannotTakeSemaphore(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		s := core.NewSemaphore(rt, 0)
+		var winner atomic.Value
+		blocked := th.Spawn("blocked", func(w *core.Thread) {
+			if err := s.Wait(w); err == nil {
+				winner.CompareAndSwap(nil, "blocked")
+			}
+		})
+		time.Sleep(5 * time.Millisecond)
+		blocked.Suspend()
+		th.Spawn("runner", func(w *core.Thread) {
+			if err := s.Wait(w); err == nil {
+				winner.CompareAndSwap(nil, "runner")
+			}
+		})
+		time.Sleep(5 * time.Millisecond)
+		s.Post()
+		waitUntil(t, "a winner", func() bool { return winner.Load() != nil })
+		if winner.Load() != "runner" {
+			t.Fatalf("suspended thread took the post: winner=%v", winner.Load())
+		}
+		blocked.Kill()
+	})
+}
+
+func TestSyncResumedThreadCompletesRendezvous(t *testing.T) {
+	// A thread suspended while blocked in sync becomes matchable again on
+	// resume and completes a pending rendezvous.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		var got atomic.Value
+		receiver := th.Spawn("receiver", func(w *core.Thread) {
+			v, err := c.Recv(w)
+			if err == nil {
+				got.Store(v)
+			}
+		})
+		time.Sleep(5 * time.Millisecond)
+		receiver.Suspend()
+
+		sendDone := make(chan struct{})
+		go func() {
+			defer close(sendDone)
+			_ = rt.Run(func(s *core.Thread) { _ = c.Send(s, "late") })
+		}()
+		time.Sleep(10 * time.Millisecond)
+		if got.Load() != nil {
+			t.Fatal("rendezvous completed with suspended receiver")
+		}
+		core.Resume(receiver)
+		<-sendDone
+		waitUntil(t, "value delivery", func() bool { return got.Load() == "late" })
+	})
+}
+
+func TestThreadDoneEvtInChoice(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		child := th.Spawn("child", func(w *core.Thread) {
+			_ = core.Sleep(w, 5*time.Millisecond)
+		})
+		v, err := core.Sync(th, core.Choice(
+			core.Wrap(child.DoneEvt(), func(core.Value) core.Value { return "done" }),
+			core.Wrap(core.After(rt, 5*time.Second), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil || v != "done" {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+	})
+}

@@ -1,0 +1,49 @@
+package core
+
+// nackSignal is a one-shot, level-triggered signal backing a nack-guard's
+// negative-acknowledgment event. Once fired it stays ready forever, so a
+// server can observe a client's withdrawal at any later time.
+type nackSignal struct {
+	fired   bool
+	waiters []*waiter
+}
+
+func newNackSignal() *nackSignal { return &nackSignal{} }
+
+func (n *nackSignal) event() Event { return &nackEvt{sig: n} }
+
+// fireLocked makes the signal ready and commits any matchable waiters.
+// Idempotent. Caller holds rt.mu.
+func (n *nackSignal) fireLocked() {
+	if n.fired {
+		return
+	}
+	n.fired = true
+	for _, w := range n.waiters {
+		commitSingleLocked(w, Unit{})
+	}
+	n.waiters = nil
+}
+
+// nackEvt is the event view of a nack signal.
+type nackEvt struct {
+	sig *nackSignal
+}
+
+func (*nackEvt) isEvent() {}
+
+func (e *nackEvt) poll(op *syncOp, idx int) bool {
+	if !e.sig.fired {
+		return false
+	}
+	commitOpLocked(op, idx, Unit{})
+	return true
+}
+
+func (e *nackEvt) register(w *waiter) {
+	e.sig.waiters = append(e.sig.waiters, w)
+}
+
+func (e *nackEvt) unregister(*waiter) {
+	e.sig.waiters = compact(e.sig.waiters)
+}

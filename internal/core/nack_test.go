@@ -1,0 +1,234 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// nackProbe builds a nack-guarded, never-ready event and reports when its
+// nack fires.
+func nackProbe(rt *core.Runtime, fired *atomic.Bool) core.Event {
+	return core.NackGuard(func(g *core.Thread, nack core.Event) core.Event {
+		g.Spawn("nack-watcher", func(w *core.Thread) {
+			if _, err := core.Sync(w, nack); err == nil {
+				fired.Store(true)
+			}
+		})
+		return core.NewChan(rt).RecvEvt() // never ready
+	})
+}
+
+func TestNackFiresWhenOtherEventChosen(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var fired atomic.Bool
+		v, err := core.Sync(th, core.Choice(
+			core.Wrap(core.After(rt, time.Millisecond), func(core.Value) core.Value { return "Hello" }),
+			nackProbe(rt, &fired),
+		))
+		if err != nil || v != "Hello" {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+		waitUntil(t, "nack", fired.Load)
+	})
+}
+
+func TestNackDoesNotFireWhenChosen(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var fired atomic.Bool
+		c := core.NewChan(rt)
+		th.Spawn("sender", func(s *core.Thread) { _ = c.Send(s, 42) })
+		v, err := core.Sync(th, core.Choice(
+			core.NackGuard(func(g *core.Thread, nack core.Event) core.Event {
+				g.Spawn("watcher", func(w *core.Thread) {
+					if _, err := core.Sync(w, nack); err == nil {
+						fired.Store(true)
+					}
+				})
+				return c.RecvEvt()
+			}),
+			core.Never(),
+		))
+		if err != nil || v != 42 {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if fired.Load() {
+			t.Fatal("nack fired although its event was chosen")
+		}
+	})
+}
+
+func TestNackFiresOnBreakEscape(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var fired atomic.Bool
+		errCh := make(chan error, 1)
+		w := th.Spawn("w", func(x *core.Thread) {
+			_, err := core.Sync(x, nackProbe(rt, &fired))
+			errCh <- err
+		})
+		time.Sleep(5 * time.Millisecond)
+		w.Break()
+		if err := <-errCh; err != core.ErrBreak {
+			t.Fatalf("err = %v, want ErrBreak", err)
+		}
+		waitUntil(t, "nack after break", fired.Load)
+	})
+}
+
+func TestNackFiresOnKill(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var fired atomic.Bool
+		w := th.Spawn("w", func(x *core.Thread) {
+			_, _ = core.Sync(x, nackProbe(rt, &fired))
+			t.Error("sync returned after kill")
+		})
+		time.Sleep(5 * time.Millisecond)
+		w.Kill()
+		waitUntil(t, "nack after kill", fired.Load)
+	})
+}
+
+func TestNackFiresOnTerminateCondemned(t *testing.T) {
+	// The paper's termination case: the syncing thread's custodian is
+	// shut down and the thread is eventually collected; the nack fires.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var fired atomic.Bool
+		c := core.NewCustodian(rt.RootCustodian())
+		th.WithCustodian(c, func() {
+			th.Spawn("client", func(x *core.Thread) {
+				// The watcher must survive the client, so spawn it
+				// under the root custodian, as a manager would be.
+				x.SetCurrentCustodian(rt.RootCustodian())
+				_, _ = core.Sync(x, nackProbe(rt, &fired))
+			})
+		})
+		time.Sleep(5 * time.Millisecond)
+		c.Shutdown()
+		// Mere suspension must NOT fire the nack: the thread could be
+		// resumed and continue the request.
+		time.Sleep(10 * time.Millisecond)
+		if fired.Load() {
+			t.Fatal("nack fired on suspension, before termination")
+		}
+		rt.TerminateCondemned()
+		waitUntil(t, "nack after condemned termination", fired.Load)
+	})
+}
+
+func TestNackGuardReceivesFreshNackPerSync(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var nacks []core.Event
+		ev := core.Choice(
+			core.Always("x"),
+			core.NackGuard(func(g *core.Thread, nack core.Event) core.Event {
+				nacks = append(nacks, nack)
+				return core.Never()
+			}),
+		)
+		for i := 0; i < 3; i++ {
+			if _, err := core.Sync(th, ev); err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+		}
+		if len(nacks) != 3 {
+			t.Fatalf("guard ran %d times, want 3", len(nacks))
+		}
+		if nacks[0] == nacks[1] || nacks[1] == nacks[2] {
+			t.Fatal("nack events were not fresh per sync")
+		}
+	})
+}
+
+func TestNackIsLevelTriggered(t *testing.T) {
+	// A nack that fired stays ready: syncing on it later still succeeds.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var captured core.Event
+		_, err := core.Sync(th, core.Choice(
+			core.Always(1),
+			core.NackGuard(func(g *core.Thread, nack core.Event) core.Event {
+				captured = nack
+				return core.Never()
+			}),
+		))
+		if err != nil {
+			t.Fatalf("sync: %v", err)
+		}
+		if _, err := core.Sync(th, captured); err != nil {
+			t.Fatalf("sync on fired nack: %v", err)
+		}
+	})
+}
+
+func TestGuardMayBlockAndSync(t *testing.T) {
+	// Guard procedures run in the syncing thread and may themselves use
+	// channels (the msg-queue request idiom).
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		req := core.NewChan(rt)
+		reply := core.NewChan(rt)
+		th.Spawn("server", func(s *core.Thread) {
+			v, err := req.Recv(s)
+			if err != nil {
+				return
+			}
+			_ = reply.Send(s, v.(int)*2)
+		})
+		v, err := core.Sync(th, core.Guard(func(g *core.Thread) core.Event {
+			if err := req.Send(g, 21); err != nil {
+				t.Errorf("nested send: %v", err)
+			}
+			return reply.RecvEvt()
+		}))
+		if err != nil || v != 42 {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+	})
+}
+
+func TestGuardDepthLimit(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var self core.Event
+		self = core.Guard(func(*core.Thread) core.Event { return self })
+		defer func() {
+			if recover() == nil {
+				t.Fatal("self-referential guard did not panic")
+			}
+		}()
+		_, _ = core.Sync(th, self)
+	})
+}
+
+func TestMultipleNacksOnlyLosersFire(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewChan(rt)
+		th.Spawn("sender", func(s *core.Thread) { _ = c.Send(s, "win") })
+		var winFired, loseFired atomic.Bool
+		watch := func(g *core.Thread, nack core.Event, flag *atomic.Bool) {
+			g.Spawn("watcher", func(w *core.Thread) {
+				if _, err := core.Sync(w, nack); err == nil {
+					flag.Store(true)
+				}
+			})
+		}
+		v, err := core.Sync(th, core.Choice(
+			core.NackGuard(func(g *core.Thread, nack core.Event) core.Event {
+				watch(g, nack, &winFired)
+				return c.RecvEvt()
+			}),
+			core.NackGuard(func(g *core.Thread, nack core.Event) core.Event {
+				watch(g, nack, &loseFired)
+				return core.Never()
+			}),
+		))
+		if err != nil || v != "win" {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+		waitUntil(t, "loser nack", loseFired.Load)
+		time.Sleep(10 * time.Millisecond)
+		if winFired.Load() {
+			t.Fatal("winner's nack fired")
+		}
+	})
+}

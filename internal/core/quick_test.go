@@ -1,0 +1,181 @@
+package core_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Property: wrap composes like function application — syncing on
+// Wrap(Always(v), f) yields f(v), for arbitrary v and f drawn from a
+// family of affine transforms.
+func TestQuickWrapIsFunctionApplication(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	prop := func(v, a, b int32) bool {
+		var ok bool
+		_ = rt.Run(func(th *core.Thread) {
+			e := core.Wrap(core.Always(int64(v)), func(x core.Value) core.Value {
+				return x.(int64)*int64(a) + int64(b)
+			})
+			got, err := core.Sync(th, e)
+			ok = err == nil && got == int64(v)*int64(a)+int64(b)
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: choice of always-events yields one of their values,
+// regardless of how many alternatives there are or where they sit.
+func TestQuickChoiceYieldsAMember(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	prop := func(vals []int16) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var ok bool
+		_ = rt.Run(func(th *core.Thread) {
+			evts := make([]core.Event, len(vals))
+			members := map[int16]bool{}
+			for i, v := range vals {
+				evts[i] = core.Always(v)
+				members[v] = true
+			}
+			got, err := core.Sync(th, core.Choice(evts...))
+			ok = err == nil && members[got.(int16)]
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a rendezvous channel delivers exactly the multiset of sent
+// values, each exactly once, for arbitrary payload batches.
+func TestQuickChannelDeliversExactly(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	prop := func(vals []uint8) bool {
+		var ok bool
+		_ = rt.Run(func(th *core.Thread) {
+			ch := core.NewChan(rt)
+			for _, v := range vals {
+				v := v
+				th.Spawn("sender", func(s *core.Thread) { _ = ch.Send(s, v) })
+			}
+			counts := map[uint8]int{}
+			for range vals {
+				v, err := ch.Recv(th)
+				if err != nil {
+					return
+				}
+				counts[v.(uint8)]++
+			}
+			want := map[uint8]int{}
+			for _, v := range vals {
+				want[v]++
+			}
+			if len(counts) != len(want) {
+				return
+			}
+			for k, n := range want {
+				if counts[k] != n {
+					return
+				}
+			}
+			ok = true
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: semaphore counts are conserved — after p posts and w ≤ p+init
+// successful waits, the remaining count is init+p−w.
+func TestQuickSemaphoreConservation(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	prop := func(init, posts, waits uint8) bool {
+		ini, p := int(init%16), int(posts%16)
+		w := int(waits) % (ini + p + 1) // w ≤ init+posts
+		var ok bool
+		_ = rt.Run(func(th *core.Thread) {
+			s := core.NewSemaphore(rt, ini)
+			for i := 0; i < p; i++ {
+				s.Post()
+			}
+			for i := 0; i < w; i++ {
+				if err := s.Wait(th); err != nil {
+					return
+				}
+			}
+			ok = s.Count() == ini+p-w
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a thread's suspension state is exactly "no live custodian and
+// not explicitly resumed" under arbitrary shutdown orders of a custodian
+// set granted via ResumeWith.
+func TestQuickCustodianSetSemantics(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	prop := func(order []uint8, size uint8) bool {
+		n := int(size%4) + 1
+		var ok bool
+		_ = rt.Run(func(th *core.Thread) {
+			custs := make([]*core.Custodian, n)
+			for i := range custs {
+				custs[i] = core.NewCustodian(rt.RootCustodian())
+			}
+			var w *core.Thread
+			th.WithCustodian(custs[0], func() {
+				w = th.Spawn("w", func(x *core.Thread) {
+					for {
+						if err := x.Checkpoint(); err != nil {
+							return
+						}
+					}
+				})
+			})
+			for _, c := range custs[1:] {
+				core.ResumeWith(w, c)
+			}
+			alive := make([]bool, n)
+			for i := range alive {
+				alive[i] = true
+			}
+			anyAlive := true
+			for _, o := range order {
+				i := int(o) % n
+				custs[i].Shutdown()
+				alive[i] = false
+				anyAlive = false
+				for _, a := range alive {
+					anyAlive = anyAlive || a
+				}
+				if w.Suspended() == anyAlive {
+					return // suspended iff no custodian alive
+				}
+			}
+			w.Kill()
+			ok = true
+		})
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

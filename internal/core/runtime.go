@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Value is the type carried by events and channels in the untyped core.
+// The public killsafe package layers Go generics on top.
+type Value = any
+
+// Unit is the value produced by events whose result carries no information
+// (send events, nack events, alarm events, and so on).
+type Unit struct{}
+
+// Runtime is an instance of the task runtime: a scheduler for suspendable
+// threads, a custodian hierarchy, and the event system. Multiple runtimes
+// may coexist; threads, custodians, channels, and events must not be shared
+// across runtimes.
+type Runtime struct {
+	mu sync.Mutex
+
+	root    *Custodian
+	threads map[int64]*Thread // live (not done) threads
+	nextID  int64
+	seq     uint64 // rotates poll order for fair choice
+	down    bool
+
+	wg sync.WaitGroup // tracks spawned goroutines
+
+	trace *traceBuf // nil unless EnableTracing
+
+	// panicHandler, if non-nil, observes panics raised by user code in
+	// runtime threads (after the panic is recorded on the thread).
+	panicHandler func(*Thread, *ThreadPanicError)
+}
+
+// NewRuntime creates a fresh runtime with a root custodian.
+func NewRuntime() *Runtime {
+	rt := &Runtime{threads: make(map[int64]*Thread)}
+	rt.root = &Custodian{
+		rt:       rt,
+		children: make(map[*Custodian]struct{}),
+		threads:  make(map[*Thread]struct{}),
+	}
+	return rt
+}
+
+// RootCustodian returns the runtime's root custodian. Shutting it down
+// terminates every task in the runtime.
+func (rt *Runtime) RootCustodian() *Custodian { return rt.root }
+
+// SetPanicHandler installs a callback invoked when user code in a runtime
+// thread panics. The default behaviour records the panic on the thread
+// (see Thread.Err) and otherwise continues.
+func (rt *Runtime) SetPanicHandler(h func(*Thread, *ThreadPanicError)) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.panicHandler = h
+}
+
+func (rt *Runtime) nextThreadID() int64 {
+	rt.nextID++
+	return rt.nextID
+}
+
+// Run binds the calling goroutine to a fresh runtime thread controlled by
+// the root custodian, runs fn, and returns after fn does. It is the bridge
+// from ordinary Go code (main functions, tests) into the runtime. If the
+// bound thread is killed while fn runs, Run returns ErrKilled wrapped in a
+// ThreadPanicError-free error; if fn panics, Run re-panics.
+func (rt *Runtime) Run(fn func(*Thread)) error {
+	return rt.RunIn(rt.root, fn)
+}
+
+// RunIn is Run with an explicit controlling custodian.
+func (rt *Runtime) RunIn(c *Custodian, fn func(*Thread)) (err error) {
+	rt.mu.Lock()
+	if rt.down {
+		rt.mu.Unlock()
+		return ErrRuntimeDown
+	}
+	if c.dead {
+		rt.mu.Unlock()
+		return ErrCustodianDead
+	}
+	th := rt.newThreadLocked("main", c)
+	rt.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			if ks, ok := r.(killSentinel); ok && ks.th == th {
+				rt.finishThread(th, nil)
+				err = fmt.Errorf("core: thread %q was killed", th.name)
+				return
+			}
+			rt.finishThread(th, nil)
+			panic(r)
+		}
+		rt.finishThread(th, nil)
+	}()
+	fn(th)
+	return nil
+}
+
+// Spawn creates a thread controlled by the root custodian. See
+// Thread.Spawn for spawning under the current custodian of a running
+// thread, which is the common case inside the runtime.
+func (rt *Runtime) Spawn(name string, fn func(*Thread)) *Thread {
+	return rt.spawn(name, rt.root, fn)
+}
+
+// spawn creates and starts a thread under custodian c. If c is already
+// dead, the returned thread is created in the done state and fn never runs
+// (resources cannot be allocated to a dead custodian).
+func (rt *Runtime) spawn(name string, c *Custodian, fn func(*Thread)) *Thread {
+	rt.mu.Lock()
+	if rt.down || c.dead {
+		th := rt.newThreadLocked(name, nil)
+		th.markDoneLocked()
+		rt.mu.Unlock()
+		return th
+	}
+	th := rt.newThreadLocked(name, c)
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+
+	go func() {
+		defer rt.wg.Done()
+		var perr *ThreadPanicError
+		defer func() {
+			if r := recover(); r != nil {
+				if ks, ok := r.(killSentinel); ok && ks.th == th {
+					rt.finishThread(th, nil)
+					return
+				}
+				perr = &ThreadPanicError{Value: r}
+				rt.finishThread(th, perr)
+				return
+			}
+			rt.finishThread(th, nil)
+		}()
+		// A thread spawned while its custodian is being shut down (or
+		// while explicitly suspended) must not run until allowed to.
+		th.gate()
+		fn(th)
+	}()
+	return th
+}
+
+// newThreadLocked allocates a thread record. c may be nil for a dead-on-
+// arrival thread. Caller holds rt.mu.
+func (rt *Runtime) newThreadLocked(name string, c *Custodian) *Thread {
+	th := &Thread{
+		rt:            rt,
+		id:            rt.nextThreadID(),
+		name:          name,
+		custodians:    make(map[*Custodian]struct{}),
+		beneficiaries: make(map[*Thread]struct{}),
+		yokedOwners:   make(map[*Thread]struct{}),
+		breaksOn:      true,
+	}
+	th.cond = sync.NewCond(&rt.mu)
+	if c != nil {
+		th.custodians[c] = struct{}{}
+		c.threads[th] = struct{}{}
+		th.current = c
+	}
+	rt.threads[th.id] = th
+	rt.traceLocked(TraceSpawn, th, "")
+	return th
+}
+
+// finishThread moves a thread to the done state, releases its custodians,
+// fires its done events, and reports any panic.
+func (rt *Runtime) finishThread(th *Thread, perr *ThreadPanicError) {
+	rt.mu.Lock()
+	th.err = perr
+	th.markDoneLocked()
+	h := rt.panicHandler
+	rt.mu.Unlock()
+	if perr != nil && h != nil {
+		h(th, perr)
+	}
+}
+
+// TerminateCondemned kills every live thread that currently has no live
+// custodian. It is the deterministic substitute for MzScheme's collection
+// of unreachable suspended threads: calling it asserts that no surviving
+// task will revive the condemned threads with a new custodian. Pending
+// nack events of the condemned threads' in-flight syncs fire, so manager
+// threads observing gave-up events see the terminations. It returns the
+// number of threads terminated.
+func (rt *Runtime) TerminateCondemned() int {
+	rt.mu.Lock()
+	var doomed []*Thread
+	for _, th := range rt.threads {
+		if !th.done && len(th.custodians) == 0 {
+			doomed = append(doomed, th)
+		}
+	}
+	for _, th := range doomed {
+		th.killLocked()
+	}
+	rt.mu.Unlock()
+	return len(doomed)
+}
+
+// Shutdown shuts down the root custodian, kills every remaining thread,
+// and waits for all thread goroutines to exit. The runtime cannot be used
+// afterwards. It is safe to call from ordinary Go code (not from inside a
+// runtime thread).
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	if rt.down {
+		rt.mu.Unlock()
+		rt.wg.Wait()
+		return
+	}
+	rt.down = true
+	rt.mu.Unlock()
+
+	rt.root.Shutdown()
+
+	rt.mu.Lock()
+	for _, th := range rt.threads {
+		if !th.done {
+			th.killLocked()
+		}
+	}
+	rt.mu.Unlock()
+	rt.wg.Wait()
+}
+
+// LiveThreads reports the number of threads that have not finished
+// (running, blocked, or suspended).
+func (rt *Runtime) LiveThreads() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := 0
+	for _, th := range rt.threads {
+		if !th.done {
+			n++
+		}
+	}
+	return n
+}
+
+// SuspendedThreads reports the number of live threads that are currently
+// suspended (explicitly or because all their custodians are shut down).
+func (rt *Runtime) SuspendedThreads() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	n := 0
+	for _, th := range rt.threads {
+		if !th.done && th.suspendedLocked() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,94 @@
+package core
+
+// Semaphore is a counting semaphore integrated with the event system. A
+// wait event is ready when the count is positive; committing it decrements
+// the count atomically with the choice, so a semaphore wait can be
+// multiplexed with other events. A suspended thread cannot take a post.
+type Semaphore struct {
+	rt      *Runtime
+	count   int
+	waiters []*waiter
+}
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(rt *Runtime, count int) *Semaphore {
+	if count < 0 {
+		count = 0
+	}
+	return &Semaphore{rt: rt, count: count}
+}
+
+// Post increments the count and wakes a blocked waiter if one can commit.
+func (s *Semaphore) Post() {
+	s.rt.mu.Lock()
+	s.count++
+	s.drainLocked()
+	s.rt.mu.Unlock()
+}
+
+// drainLocked hands available counts to matchable blocked waiters.
+func (s *Semaphore) drainLocked() {
+	if s.count == 0 {
+		return
+	}
+	s.waiters = compact(s.waiters)
+	for _, w := range s.waiters {
+		if s.count == 0 {
+			return
+		}
+		if commitSingleLocked(w, Unit{}) {
+			s.count--
+		}
+	}
+}
+
+// Count returns the current count.
+func (s *Semaphore) Count() int {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	return s.count
+}
+
+// TryWait decrements the count if it is positive, without blocking.
+func (s *Semaphore) TryWait() bool {
+	s.rt.mu.Lock()
+	defer s.rt.mu.Unlock()
+	if s.count > 0 {
+		s.count--
+		return true
+	}
+	return false
+}
+
+// WaitEvt returns an event that is ready when the count is positive and
+// decrements it upon commit.
+func (s *Semaphore) WaitEvt() Event { return &semEvt{s: s} }
+
+// Wait performs Sync on WaitEvt.
+func (s *Semaphore) Wait(th *Thread) error {
+	_, err := Sync(th, s.WaitEvt())
+	return err
+}
+
+type semEvt struct {
+	s *Semaphore
+}
+
+func (*semEvt) isEvent() {}
+
+func (e *semEvt) poll(op *syncOp, idx int) bool {
+	if e.s.count == 0 {
+		return false
+	}
+	e.s.count--
+	commitOpLocked(op, idx, Unit{})
+	return true
+}
+
+func (e *semEvt) register(w *waiter) {
+	e.s.waiters = append(e.s.waiters, w)
+}
+
+func (e *semEvt) unregister(*waiter) {
+	e.s.waiters = compact(e.s.waiters)
+}

@@ -1,0 +1,258 @@
+package core
+
+// Sync engine: flatten → poll → register → park → commit/abort.
+//
+// All matching state is protected by the runtime lock, which makes the
+// two-party rendezvous commit atomic: a commit marks both participating
+// sync operations committed in one critical section, so an event is chosen
+// exactly once and a withdrawal (nack) reliably excludes acceptance and
+// vice versa.
+
+const (
+	opSyncing = iota
+	opCommitted
+	opAbortedBreak
+	opAbortedKill
+)
+
+// syncOp is one in-flight Sync call.
+type syncOp struct {
+	th        *Thread
+	state     int
+	breakable bool // a pending break aborts the wait phase
+	chosen    int  // case index, valid when committed
+	result    Value
+	cases     []flatCase
+	waiters   []*waiter
+	nacks     []*nackSignal
+}
+
+// waiter is a registration of one sync case in a base event's wait
+// structure.
+type waiter struct {
+	op      *syncOp
+	idx     int
+	base    baseEvent
+	removed bool
+	stop    func() // optional extra cleanup (e.g. alarm timer)
+}
+
+// commitOpLocked marks op committed with the given case and value and
+// wakes its thread. Caller holds rt.mu and has verified op.state ==
+// opSyncing.
+func commitOpLocked(op *syncOp, idx int, v Value) {
+	op.state = opCommitted
+	op.chosen = idx
+	op.result = v
+	// Fire the nacks that do not cover the chosen case, promptly, so
+	// that watchers (e.g. a manager thread's gave-up events) learn of
+	// the outcome even before the syncing thread is rescheduled.
+	fireLosingNacksLocked(op)
+	op.th.cond.Broadcast()
+}
+
+// commitSingleLocked commits a blocked waiter from a "became ready" event
+// source (alarm fired, thread done, nack fired, semaphore posted). It is a
+// no-op unless the waiter is still live, its op undecided, and its thread
+// currently allowed to commit; a suspended thread's waiters are left in
+// place and re-polled when the thread is resumed.
+func commitSingleLocked(w *waiter, v Value) bool {
+	if w.removed || w.op.state != opSyncing || !w.op.th.canCommitLocked() {
+		return false
+	}
+	commitOpLocked(w.op, w.idx, v)
+	return true
+}
+
+// fireLosingNacksLocked fires every nack of a committed op that does not
+// cover the chosen case.
+func fireLosingNacksLocked(op *syncOp) {
+	if len(op.nacks) == 0 {
+		return
+	}
+	var covered map[int]bool
+	if op.state == opCommitted {
+		c := op.cases[op.chosen].nackIdx
+		if len(c) > 0 {
+			covered = make(map[int]bool, len(c))
+			for _, i := range c {
+				covered[i] = true
+			}
+		}
+	}
+	for i, n := range op.nacks {
+		if covered == nil || !covered[i] {
+			n.fireLocked()
+		}
+	}
+}
+
+// fireAllNacksLocked fires every unfired nack of an abandoned op.
+func fireAllNacksLocked(op *syncOp) {
+	for _, n := range op.nacks {
+		n.fireLocked()
+	}
+}
+
+// repollLocked re-attempts immediate commits for a parked op whose thread
+// just became matchable again (resumed, or regained a custodian). Caller
+// holds rt.mu.
+func repollLocked(op *syncOp) {
+	if op.state != opSyncing || !op.th.canCommitLocked() {
+		return
+	}
+	for i := range op.cases {
+		if op.cases[i].base.poll(op, i) {
+			return
+		}
+	}
+}
+
+// Sync blocks until one of the communications described by e is ready,
+// commits it, applies its wrap functions (with breaks implicitly disabled
+// from the commit until the outermost wrap completes), and returns the
+// resulting value.
+//
+// If a break signal is delivered while the thread waits with breaks
+// enabled, Sync returns ErrBreak and no event is chosen; every nack
+// created for this sync fires. If the thread is killed while waiting, the
+// sync's nacks fire and the thread unwinds.
+func Sync(th *Thread, e Event) (Value, error) {
+	return syncImpl(th, e, false)
+}
+
+// SyncEnableBreak is Sync with breaks enabled during the wait even if the
+// thread's break parameter is off, with an exclusive-or guarantee: either
+// a break is delivered (ErrBreak, no event chosen) or an event is chosen
+// (no break consumed) — never both. Merely wrapping Sync in WithBreaks
+// does not provide this guarantee.
+func SyncEnableBreak(th *Thread, e Event) (Value, error) {
+	return syncImpl(th, e, true)
+}
+
+func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
+	th.gate() // safe point: honor suspension and kill before doing anything
+
+	rt := th.rt
+	op := &syncOp{th: th, state: opSyncing}
+
+	rt.mu.Lock()
+	op.breakable = enableBreak || th.breaksOn
+	prevOp := th.op // nested sync inside a guard procedure
+	th.op = op
+	// A break that is already pending is delivered at sync entry, before
+	// any event can be chosen.
+	if op.breakable && th.pendingBreak {
+		th.pendingBreak = false
+		th.op = prevOp
+		rt.mu.Unlock()
+		return nil, ErrBreak
+	}
+	rt.mu.Unlock()
+
+	// On every exit path: restore the op stack, deregister waiters, and
+	// fire the nacks appropriate to the outcome (all of them if the sync
+	// was abandoned; the losers only if it committed — those already
+	// fired at commit time, and firing is idempotent).
+	finish := func() {
+		rt.mu.Lock()
+		th.op = prevOp
+		for _, w := range op.waiters {
+			w.removed = true
+			if w.stop != nil {
+				w.stop()
+			}
+			w.base.unregister(w)
+		}
+		op.waiters = nil
+		if op.state == opCommitted {
+			fireLosingNacksLocked(op)
+		} else {
+			fireAllNacksLocked(op)
+		}
+		rt.mu.Unlock()
+	}
+	defer finish()
+
+	// Flatten outside the lock: guard procedures are arbitrary user code
+	// and may block, sync, or spawn. A kill or break arriving during
+	// flatten is observed below.
+	flatten(th, op, e, nil, nil, 0)
+
+	rt.mu.Lock()
+	for {
+		if th.killed {
+			rt.mu.Unlock()
+			panic(killSentinel{th})
+		}
+		switch op.state {
+		case opAbortedBreak:
+			th.pendingBreak = false
+			rt.mu.Unlock()
+			return nil, ErrBreak
+		case opAbortedKill:
+			rt.mu.Unlock()
+			panic(killSentinel{th})
+		case opCommitted:
+			rt.mu.Unlock()
+			return applyWraps(th, op)
+		}
+		// A suspended thread must not poll or commit; park until
+		// resumed (peers skip it meanwhile).
+		if th.suspendedLocked() {
+			th.cond.Wait()
+			continue
+		}
+		if len(op.waiters) == 0 {
+			// First pass (or re-entry after resume without
+			// registration): poll cases in rotating order for
+			// fairness across choice alternatives.
+			n := len(op.cases)
+			if n > 0 {
+				rt.seq++
+				start := int(rt.seq) % n
+				for k := 0; k < n; k++ {
+					i := (start + k) % n
+					if op.cases[i].base.poll(op, i) {
+						break
+					}
+				}
+				if op.state == opCommitted {
+					continue // handled above
+				}
+			}
+			// Nothing ready: register and park.
+			for i := range op.cases {
+				w := &waiter{op: op, idx: i, base: op.cases[i].base}
+				op.cases[i].base.register(w)
+				op.waiters = append(op.waiters, w)
+			}
+		}
+		th.cond.Wait()
+	}
+}
+
+// applyWraps runs the chosen case's wrap procedures, innermost first, with
+// breaks implicitly disabled (the paper's rule: a break cannot interrupt
+// the post-commit phase unless a wrap explicitly re-enables breaks).
+func applyWraps(th *Thread, op *syncOp) (Value, error) {
+	wraps := op.cases[op.chosen].wraps
+	v := op.result
+	if len(wraps) == 0 {
+		return v, nil
+	}
+	th.rt.mu.Lock()
+	prev := th.breaksOn
+	th.breaksOn = false
+	th.rt.mu.Unlock()
+	defer func() {
+		th.rt.mu.Lock()
+		th.breaksOn = prev
+		th.rt.mu.Unlock()
+	}()
+	// wraps were collected outside-in during flatten; apply inside-out.
+	for i := len(wraps) - 1; i >= 0; i-- {
+		v = wraps[i](th, v)
+	}
+	return v, nil
+}

@@ -1,0 +1,470 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Thread is a runtime thread: a unit of execution that, unlike a raw
+// goroutine, can be suspended, resumed, killed, and sent break signals by
+// other threads, and whose right to execute is governed by custodians.
+//
+// A thread is suspended when it has been explicitly suspended (Suspend) or
+// when every custodian controlling it has been shut down. Suspension takes
+// effect at the thread's next safe point; every runtime primitive is a safe
+// point. A suspended thread cannot commit a rendezvous.
+type Thread struct {
+	rt   *Runtime
+	id   int64
+	name string
+	cond *sync.Cond // signalled on state changes; shares rt.mu
+
+	// Controlling custodians (live ones only). Empty set => suspended.
+	custodians map[*Custodian]struct{}
+	// current is the thread's current custodian parameter: the custodian
+	// that controls resources the thread allocates. It is not necessarily
+	// one of the thread's own controllers.
+	current *Custodian
+
+	// beneficiaries are threads yoked to this one by ResumeVia: whenever
+	// this thread acquires a custodian or is resumed, so are they.
+	// yokedOwners is the reverse index, used to unlink finished threads.
+	beneficiaries map[*Thread]struct{}
+	yokedOwners   map[*Thread]struct{}
+
+	explicitSuspend bool
+	killed          bool
+	done            bool
+	err             *ThreadPanicError
+
+	// Break machinery. breaksOn is the thread's break-enabled parameter
+	// (dynamic extent managed by WithBreaks). pendingBreak is a delivered
+	// but not yet raised break signal; a second break while one is
+	// pending has no effect.
+	breaksOn     bool
+	pendingBreak bool
+
+	// op is the thread's in-flight sync operation, if it is blocked in
+	// Sync. Protected by rt.mu.
+	op *syncOp
+
+	// doneWaiters are sync waiters blocked on this thread's done event.
+	doneWaiters []*waiter
+}
+
+// ID returns the thread's runtime-unique identifier.
+func (t *Thread) ID() int64 { return t.id }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Runtime returns the runtime that owns the thread.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+func (t *Thread) String() string { return fmt.Sprintf("thread(%s#%d)", t.name, t.id) }
+
+// suspendedLocked reports whether the thread may not run. Caller holds rt.mu.
+func (t *Thread) suspendedLocked() bool {
+	return t.explicitSuspend || len(t.custodians) == 0
+}
+
+// canCommitLocked reports whether the thread may take part in a rendezvous
+// commit right now. Caller holds rt.mu.
+func (t *Thread) canCommitLocked() bool {
+	return !t.done && !t.killed && !t.suspendedLocked()
+}
+
+// Spawn creates a new thread running fn, controlled by this thread's
+// current custodian (the custodian parameter, not necessarily this thread's
+// own controller). If the current custodian is dead, the new thread is
+// returned already terminated and fn never runs.
+func (t *Thread) Spawn(name string, fn func(*Thread)) *Thread {
+	t.rt.mu.Lock()
+	c := t.current
+	t.rt.mu.Unlock()
+	return t.rt.spawn(name, c, fn)
+}
+
+// CurrentCustodian returns the thread's custodian parameter.
+func (t *Thread) CurrentCustodian() *Custodian {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	return t.current
+}
+
+// SetCurrentCustodian sets the thread's custodian parameter, controlling
+// where subsequently allocated resources (threads, registered closers) are
+// placed. It does not change which custodians control this thread.
+func (t *Thread) SetCurrentCustodian(c *Custodian) {
+	t.rt.mu.Lock()
+	t.current = c
+	t.rt.mu.Unlock()
+}
+
+// WithCustodian runs fn with the thread's custodian parameter set to c,
+// restoring the previous value afterwards. It models MzScheme's
+// (parameterize ([current-custodian c]) ...).
+func (t *Thread) WithCustodian(c *Custodian, fn func()) {
+	t.rt.mu.Lock()
+	prev := t.current
+	t.current = c
+	t.rt.mu.Unlock()
+	defer func() {
+		t.rt.mu.Lock()
+		t.current = prev
+		t.rt.mu.Unlock()
+	}()
+	fn()
+}
+
+// gate blocks while the thread is suspended and panics with the kill
+// sentinel if the thread has been killed. It is the core safe point.
+func (t *Thread) gate() {
+	t.rt.mu.Lock()
+	t.gateLocked()
+	t.rt.mu.Unlock()
+}
+
+func (t *Thread) gateLocked() {
+	for {
+		if t.killed {
+			t.rt.mu.Unlock()
+			panic(killSentinel{t})
+		}
+		if !t.suspendedLocked() {
+			return
+		}
+		t.cond.Wait()
+	}
+}
+
+// Checkpoint is an explicit safe point: it blocks while the thread is
+// suspended, unwinds if the thread has been killed, and returns ErrBreak
+// if a break is pending and breaks are enabled. Long-running computations
+// that do not otherwise touch runtime primitives should call it
+// periodically to remain controllable.
+func (t *Thread) Checkpoint() error {
+	t.rt.mu.Lock()
+	t.gateLocked()
+	if t.pendingBreak && t.breaksOn {
+		t.pendingBreak = false
+		t.rt.mu.Unlock()
+		return ErrBreak
+	}
+	t.rt.mu.Unlock()
+	return nil
+}
+
+// Yield is Checkpoint under a friendlier name.
+func (t *Thread) Yield() error { return t.Checkpoint() }
+
+// Suspend explicitly suspends the thread at its next safe point. The
+// thread stays suspended until Resume (and, as always, a thread with no
+// live custodian cannot run regardless).
+func (t *Thread) Suspend() {
+	t.rt.mu.Lock()
+	if !t.done {
+		t.explicitSuspend = true
+		t.rt.traceLocked(TraceSuspend, t, "")
+	}
+	t.rt.mu.Unlock()
+}
+
+// Kill terminates the thread: it will never run again and cannot be
+// resumed. It models MzScheme's kill-thread and, together with
+// Runtime.TerminateCondemned, the collection of unreachable suspended
+// threads. Pending nack events of the thread's in-flight sync fire.
+func (t *Thread) Kill() {
+	t.rt.mu.Lock()
+	t.killLocked()
+	t.rt.mu.Unlock()
+}
+
+func (t *Thread) killLocked() {
+	if t.done || t.killed {
+		return
+	}
+	t.killed = true
+	t.rt.traceLocked(TraceKill, t, "")
+	if t.op != nil && t.op.state == opSyncing {
+		t.op.state = opAbortedKill
+		// Fire the in-flight sync's nacks immediately so that servers
+		// waiting on gave-up events learn of the termination promptly;
+		// the killed goroutine unwinds at its next wake-up.
+		fireAllNacksLocked(t.op)
+	}
+	t.cond.Broadcast()
+}
+
+// markDoneLocked finalizes a finished or killed thread. Caller holds rt.mu.
+func (t *Thread) markDoneLocked() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.killed = true
+	t.rt.traceLocked(TraceDone, t, "")
+	for c := range t.custodians {
+		delete(c.threads, t)
+	}
+	clear(t.custodians)
+	for owner := range t.yokedOwners {
+		delete(owner.beneficiaries, t)
+	}
+	clear(t.yokedOwners)
+	for b := range t.beneficiaries {
+		delete(b.yokedOwners, t)
+	}
+	clear(t.beneficiaries)
+	delete(t.rt.threads, t.id)
+	for _, w := range t.doneWaiters {
+		commitSingleLocked(w, Unit{})
+	}
+	t.doneWaiters = nil
+	t.cond.Broadcast()
+}
+
+// Done reports whether the thread has terminated (returned or killed).
+// A suspended thread is not done: it is "only mostly dead".
+func (t *Thread) Done() bool {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	return t.done
+}
+
+// Suspended reports whether the thread is currently suspended.
+func (t *Thread) Suspended() bool {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	return !t.done && t.suspendedLocked()
+}
+
+// Err returns the panic error recorded for the thread, if user code
+// running on it panicked.
+func (t *Thread) Err() error {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if t.err == nil {
+		return nil
+	}
+	return t.err
+}
+
+// Custodians returns a snapshot of the custodians currently controlling
+// the thread.
+func (t *Thread) Custodians() []*Custodian {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	out := make([]*Custodian, 0, len(t.custodians))
+	for c := range t.custodians {
+		out = append(out, c)
+	}
+	return out
+}
+
+// addCustodianLocked grants the thread a (live) controlling custodian and
+// propagates the grant to the thread's beneficiaries, per the yoking
+// semantics of two-argument thread-resume. Caller holds rt.mu.
+func (t *Thread) addCustodianLocked(c *Custodian, visited map[*Thread]struct{}) {
+	if c == nil || c.dead || t.done {
+		return
+	}
+	if _, ok := visited[t]; ok {
+		return
+	}
+	visited[t] = struct{}{}
+	if _, ok := t.custodians[c]; !ok {
+		t.custodians[c] = struct{}{}
+		c.threads[t] = struct{}{}
+		t.wakeIfRunnableLocked()
+	}
+	for b := range t.beneficiaries {
+		b.addCustodianLocked(c, visited)
+	}
+}
+
+// wakeIfRunnableLocked re-enables a thread that may have just stopped
+// being suspended: wakes a gate-parked goroutine and re-polls an in-flight
+// sync so that the newly matchable thread can pair with waiting peers.
+func (t *Thread) wakeIfRunnableLocked() {
+	if t.done || t.suspendedLocked() {
+		return
+	}
+	t.cond.Broadcast()
+	if t.op != nil && t.op.state == opSyncing {
+		repollLocked(t.op)
+	}
+}
+
+// resumeLocked clears explicit suspension (the thread still cannot run if
+// it has no custodian) and recursively resumes beneficiaries.
+func (t *Thread) resumeLocked(visited map[*Thread]struct{}) {
+	if _, ok := visited[t]; ok {
+		return
+	}
+	visited[t] = struct{}{}
+	if !t.done {
+		if t.explicitSuspend {
+			t.rt.traceLocked(TraceResume, t, "")
+		}
+		t.explicitSuspend = false
+		t.wakeIfRunnableLocked()
+	}
+	for b := range t.beneficiaries {
+		b.resumeLocked(visited)
+	}
+}
+
+// Break delivers a break signal to the thread: an asynchronous, polite
+// request to unwind, manifest as ErrBreak from the thread's next blocking
+// primitive executed with breaks enabled. A break delivered while one is
+// already pending has no effect.
+func (t *Thread) Break() {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if t.done || t.pendingBreak {
+		return
+	}
+	t.pendingBreak = true
+	t.rt.traceLocked(TraceBreak, t, "")
+	if t.op != nil && t.op.state == opSyncing && t.op.breakable {
+		t.op.state = opAbortedBreak
+		t.cond.Broadcast()
+	} else {
+		// Wake a gate-parked thread so Checkpoint can deliver.
+		t.cond.Broadcast()
+	}
+}
+
+// BreaksEnabled reports the thread's break-enabled parameter.
+func (t *Thread) BreaksEnabled() bool {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	return t.breaksOn
+}
+
+// WithBreaks runs fn with the thread's break-enabled parameter set to
+// enabled, restoring the previous value afterwards. It models
+// (parameterize ([break-enabled v]) ...). Note that merely enabling breaks
+// around Sync does not provide SyncEnableBreak's exclusive-or guarantee.
+func (t *Thread) WithBreaks(enabled bool, fn func()) {
+	t.rt.mu.Lock()
+	prev := t.breaksOn
+	t.breaksOn = enabled
+	t.rt.mu.Unlock()
+	defer func() {
+		t.rt.mu.Lock()
+		t.breaksOn = prev
+		t.rt.mu.Unlock()
+	}()
+	fn()
+}
+
+// Resume resumes the thread if it is explicitly suspended and still has a
+// live custodian. Resuming a thread whose custodians have all been shut
+// down has no effect (use ResumeWith or ResumeVia to supply one).
+func Resume(t *Thread) {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if len(t.custodians) == 0 {
+		return
+	}
+	t.resumeLocked(make(map[*Thread]struct{}))
+}
+
+// ResumeWith adds custodian c to the thread's set of controllers (and, by
+// yoking, to its beneficiaries') and then resumes it.
+func ResumeWith(t *Thread, c *Custodian) {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	t.addCustodianLocked(c, make(map[*Thread]struct{}))
+	if len(t.custodians) > 0 {
+		t.resumeLocked(make(map[*Thread]struct{}))
+	}
+}
+
+// ResumeVia is the paper's two-argument thread-resume with a thread as the
+// second argument: every custodian of by is added to t's controllers, t is
+// registered as a beneficiary of by — so that whenever by is resumed or
+// acquires a new custodian, so does t — and then t is resumed if it now
+// has a live custodian. The overall effect is that t survives at least as
+// long as by: a custodian-based suspension of t entails the suspension of
+// by, and t gains no more privilege to run than by has.
+//
+// Guarding each operation of a shared abstraction with
+// ResumeVia(managerThread, currentThread) is the key to kill-safety.
+func ResumeVia(t, by *Thread) {
+	if t == by {
+		return
+	}
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	if t.done {
+		return
+	}
+	if !by.done {
+		if _, ok := by.beneficiaries[t]; !ok {
+			t.rt.traceLocked(TraceYoke, t, "via "+by.String())
+		}
+		by.beneficiaries[t] = struct{}{}
+		t.yokedOwners[by] = struct{}{}
+	}
+	for c := range by.custodians {
+		t.addCustodianLocked(c, make(map[*Thread]struct{}))
+	}
+	if len(t.custodians) > 0 {
+		t.resumeLocked(make(map[*Thread]struct{}))
+	}
+}
+
+// DoneEvt returns an event that becomes ready (with Unit) when the thread
+// terminates — returns or is killed. Suspension is not termination.
+func (t *Thread) DoneEvt() Event {
+	return &doneEvt{th: t}
+}
+
+// SpawnYoked creates a thread that is yoked to owner from birth: it is
+// controlled by every custodian currently controlling owner and by every
+// custodian owner later acquires, and it is resumed whenever owner is.
+// It is the right way for an abstraction's manager thread to spawn helper
+// threads (reply deliverers and the like): a plain Spawn would place the
+// helper under the manager's creation-time current custodian, which may
+// long since be dead even though the manager itself has been promoted
+// into its surviving users' custodians.
+func SpawnYoked(owner *Thread, name string, fn func(*Thread)) *Thread {
+	rt := owner.rt
+	rt.mu.Lock()
+	if rt.down || owner.done {
+		th := rt.newThreadLocked(name, nil)
+		th.markDoneLocked()
+		rt.mu.Unlock()
+		return th
+	}
+	th := rt.newThreadLocked(name, nil)
+	th.current = owner.current
+	owner.beneficiaries[th] = struct{}{}
+	th.yokedOwners[owner] = struct{}{}
+	for c := range owner.custodians {
+		th.addCustodianLocked(c, make(map[*Thread]struct{}))
+	}
+	rt.wg.Add(1)
+	rt.mu.Unlock()
+
+	go func() {
+		defer rt.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if ks, ok := r.(killSentinel); ok && ks.th == th {
+					rt.finishThread(th, nil)
+					return
+				}
+				rt.finishThread(th, &ThreadPanicError{Value: r})
+				return
+			}
+			rt.finishThread(th, nil)
+		}()
+		th.gate()
+		fn(th)
+	}()
+	return th
+}

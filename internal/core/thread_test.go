@@ -1,0 +1,371 @@
+package core_test
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// withRuntime runs fn on a fresh runtime bound to the test goroutine and
+// shuts the runtime down afterwards.
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// waitUntil polls cond from outside the runtime until it holds or the
+// deadline expires.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestSpawnRunsFunction(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var ran atomic.Bool
+		child := th.Spawn("child", func(*core.Thread) { ran.Store(true) })
+		if _, err := core.Sync(th, child.DoneEvt()); err != nil {
+			t.Fatalf("sync done: %v", err)
+		}
+		if !ran.Load() {
+			t.Fatal("spawned function did not run")
+		}
+		if !child.Done() {
+			t.Fatal("child not done after done event fired")
+		}
+	})
+}
+
+func TestThreadsInterleave(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		ch := core.NewChan(rt)
+		for i := 0; i < 8; i++ {
+			i := i
+			th.Spawn("sender", func(s *core.Thread) {
+				_ = ch.Send(s, i)
+			})
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < 8; i++ {
+			v, err := ch.Recv(th)
+			if err != nil {
+				t.Fatalf("recv: %v", err)
+			}
+			seen[v.(int)] = true
+		}
+		if len(seen) != 8 {
+			t.Fatalf("expected 8 distinct values, got %d", len(seen))
+		}
+	})
+}
+
+func TestSuspendResume(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var steps atomic.Int64
+		ch := core.NewChan(rt)
+		worker := th.Spawn("worker", func(w *core.Thread) {
+			for {
+				if _, err := ch.Recv(w); err != nil {
+					return
+				}
+				steps.Add(1)
+			}
+		})
+		if err := ch.Send(th, "a"); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+		waitUntil(t, "first step", func() bool { return steps.Load() == 1 })
+
+		worker.Suspend()
+		waitUntil(t, "worker suspended", worker.Suspended)
+
+		// A suspended worker must not complete a rendezvous.
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			_ = rt.Run(func(main2 *core.Thread) {
+				_ = ch.Send(main2, "b")
+			})
+		}()
+		select {
+		case <-done:
+			t.Fatal("send to suspended worker completed")
+		case <-time.After(30 * time.Millisecond):
+		}
+
+		core.Resume(worker)
+		<-done
+		waitUntil(t, "second step", func() bool { return steps.Load() == 2 })
+	})
+}
+
+func TestKillUnblocksAndTerminates(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		ch := core.NewChan(rt)
+		victim := th.Spawn("victim", func(w *core.Thread) {
+			_, _ = ch.Recv(w) // blocks forever
+			t.Error("victim ran past a kill")
+		})
+		waitUntil(t, "victim blocked", func() bool { return rt.LiveThreads() == 2 })
+		victim.Kill()
+		if _, err := core.Sync(th, victim.DoneEvt()); err != nil {
+			t.Fatalf("sync done: %v", err)
+		}
+		if !victim.Done() {
+			t.Fatal("victim not done after kill")
+		}
+	})
+}
+
+func TestKillIsNotResumable(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		victim := th.Spawn("victim", func(w *core.Thread) {
+			_ = core.Sleep(w, time.Hour)
+		})
+		victim.Kill()
+		if _, err := core.Sync(th, victim.DoneEvt()); err != nil {
+			t.Fatalf("sync done: %v", err)
+		}
+		core.Resume(victim)
+		core.ResumeWith(victim, rt.RootCustodian())
+		if !victim.Done() {
+			t.Fatal("killed thread was resurrected")
+		}
+	})
+}
+
+func TestDoneEvtFiresOnReturn(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		child := th.Spawn("child", func(*core.Thread) {})
+		v, err := core.Sync(th, core.Wrap(child.DoneEvt(), func(core.Value) core.Value {
+			return "finished"
+		}))
+		if err != nil || v != "finished" {
+			t.Fatalf("got (%v, %v)", v, err)
+		}
+	})
+}
+
+func TestSleepElapses(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		start := time.Now()
+		if err := core.Sleep(th, 20*time.Millisecond); err != nil {
+			t.Fatalf("sleep: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+			t.Fatalf("sleep returned after %v", elapsed)
+		}
+	})
+}
+
+func TestThreadPanicIsRecorded(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	var handled atomic.Bool
+	rt.SetPanicHandler(func(*core.Thread, *core.ThreadPanicError) { handled.Store(true) })
+	err := rt.Run(func(th *core.Thread) {
+		child := th.Spawn("boom", func(*core.Thread) { panic("kaboom") })
+		if _, err := core.Sync(th, child.DoneEvt()); err != nil {
+			t.Fatalf("sync done: %v", err)
+		}
+		if child.Err() == nil {
+			t.Error("panic not recorded on thread")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !handled.Load() {
+		t.Fatal("panic handler not invoked")
+	}
+}
+
+func TestRunReportsKill(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	started := make(chan *core.Thread, 1)
+	go func() {
+		th := <-started
+		th.Kill()
+	}()
+	err := rt.Run(func(th *core.Thread) {
+		started <- th
+		for {
+			if err := core.Sleep(th, time.Millisecond); err != nil {
+				return
+			}
+		}
+	})
+	if err == nil {
+		t.Fatal("Run did not report the kill")
+	}
+}
+
+func TestCheckpointHonorsSuspension(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var count atomic.Int64
+		spinner := th.Spawn("spinner", func(w *core.Thread) {
+			for {
+				if err := w.Checkpoint(); err != nil {
+					return
+				}
+				count.Add(1)
+			}
+		})
+		waitUntil(t, "spinner progress", func() bool { return count.Load() > 10 })
+		spinner.Suspend()
+		waitUntil(t, "spinner suspended", spinner.Suspended)
+		before := count.Load()
+		time.Sleep(10 * time.Millisecond)
+		if after := count.Load(); after > before+1 {
+			t.Fatalf("spinner advanced while suspended: %d -> %d", before, after)
+		}
+		spinner.Kill()
+	})
+}
+
+func TestSpawnUnderDeadCustodianNeverRuns(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		c.Shutdown()
+		var ran atomic.Bool
+		var child *core.Thread
+		th.WithCustodian(c, func() {
+			child = th.Spawn("stillborn", func(*core.Thread) { ran.Store(true) })
+		})
+		if !child.Done() {
+			t.Fatal("thread under dead custodian is not done")
+		}
+		time.Sleep(5 * time.Millisecond)
+		if ran.Load() {
+			t.Fatal("thread under dead custodian ran")
+		}
+	})
+}
+
+func TestYokeResumeChaining(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		c2 := core.NewCustodian(rt.RootCustodian())
+		var t1, t2 *core.Thread
+		th.WithCustodian(c1, func() {
+			t1 = th.Spawn("t1", func(w *core.Thread) { _ = core.Sleep(w, time.Hour) })
+		})
+		th.WithCustodian(c2, func() {
+			t2 = th.Spawn("t2", func(w *core.Thread) { _ = core.Sleep(w, time.Hour) })
+		})
+		// Yoke t1 to t2: t1 survives at least as long as t2.
+		core.ResumeVia(t1, t2)
+
+		c1.Shutdown() // t1 keeps c2 via the yoke
+		if t1.Suspended() {
+			t.Fatal("t1 suspended although yoked to t2's custodian")
+		}
+		c2.Shutdown() // now both are out of custodians
+		if !t1.Suspended() || !t2.Suspended() {
+			t.Fatal("threads not suspended after all custodians shut down")
+		}
+
+		// Resuming t2 with a new custodian must resume t1 too (chaining).
+		c3 := core.NewCustodian(rt.RootCustodian())
+		core.ResumeWith(t2, c3)
+		if t1.Suspended() {
+			t.Fatal("resume chaining did not propagate to t1")
+		}
+	})
+}
+
+func TestYokeCustodianPropagationIsTransitive(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		var a, b, d *core.Thread
+		th.WithCustodian(c, func() {
+			a = th.Spawn("a", func(w *core.Thread) { _ = core.Sleep(w, time.Hour) })
+			b = th.Spawn("b", func(w *core.Thread) { _ = core.Sleep(w, time.Hour) })
+			d = th.Spawn("d", func(w *core.Thread) { _ = core.Sleep(w, time.Hour) })
+		})
+		core.ResumeVia(a, b) // a yoked to b
+		core.ResumeVia(b, d) // b yoked to d
+		c.Shutdown()
+		if !a.Suspended() {
+			t.Fatal("a should be suspended, all custodians dead")
+		}
+		c2 := core.NewCustodian(rt.RootCustodian())
+		core.ResumeWith(d, c2)
+		if a.Suspended() || b.Suspended() {
+			t.Fatal("custodian grant did not propagate transitively through yokes")
+		}
+	})
+}
+
+func TestNoConspiracy(t *testing.T) {
+	// Threads may share custodians via yoking, but when all custodians
+	// are shut down, nothing they created can run: the system as a whole
+	// can protect itself by terminating all collaborators.
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		c2 := core.NewCustodian(rt.RootCustodian())
+		var t1, t2, mgr *core.Thread
+		th.WithCustodian(c1, func() {
+			t1 = th.Spawn("t1", func(w *core.Thread) { _ = core.Sleep(w, time.Hour) })
+			mgr = th.Spawn("mgr", func(w *core.Thread) { _ = core.Sleep(w, time.Hour) })
+		})
+		th.WithCustodian(c2, func() {
+			t2 = th.Spawn("t2", func(w *core.Thread) { _ = core.Sleep(w, time.Hour) })
+		})
+		core.ResumeVia(mgr, t1)
+		core.ResumeVia(mgr, t2)
+
+		c1.Shutdown()
+		if mgr.Suspended() {
+			t.Fatal("manager suspended while one client custodian lives")
+		}
+		c2.Shutdown()
+		if !mgr.Suspended() {
+			t.Fatal("manager still runnable after all client custodians died")
+		}
+		// TerminateCondemned models GC of unreachable suspended threads.
+		n := rt.TerminateCondemned()
+		if n < 3 {
+			t.Fatalf("expected at least 3 condemned threads, got %d", n)
+		}
+		waitUntil(t, "condemned threads terminated", func() bool {
+			return mgr.Done() && t1.Done() && t2.Done()
+		})
+	})
+}
+
+func TestResumeWithoutCustodianHasNoEffect(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		var w *core.Thread
+		th.WithCustodian(c, func() {
+			w = th.Spawn("w", func(x *core.Thread) { _ = core.Sleep(x, time.Hour) })
+		})
+		c.Shutdown()
+		if !w.Suspended() {
+			t.Fatal("thread not suspended after custodian shutdown")
+		}
+		core.Resume(w) // no custodian: must have no effect
+		if !w.Suspended() {
+			t.Fatal("custodian-less thread resumed without a custodian")
+		}
+		core.ResumeWith(w, core.NewCustodian(rt.RootCustodian()))
+		if w.Suspended() {
+			t.Fatal("thread not resumed after being granted a custodian")
+		}
+	})
+}

@@ -1,0 +1,124 @@
+package core
+
+import "fmt"
+
+// TraceKind classifies runtime lifecycle events.
+type TraceKind int
+
+// Trace event kinds.
+const (
+	TraceSpawn     TraceKind = iota // thread created
+	TraceDone                       // thread finished (returned or killed)
+	TraceKill                       // thread killed
+	TraceSuspend                    // thread explicitly suspended
+	TraceResume                     // thread resumed
+	TraceCondemned                  // thread lost its last custodian
+	TraceShutdown                   // custodian shut down
+	TraceYoke                       // thread yoked to another (ResumeVia/SpawnYoked)
+	TraceBreak                      // break signal delivered to a thread
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceSpawn:
+		return "spawn"
+	case TraceDone:
+		return "done"
+	case TraceKill:
+		return "kill"
+	case TraceSuspend:
+		return "suspend"
+	case TraceResume:
+		return "resume"
+	case TraceCondemned:
+		return "condemned"
+	case TraceShutdown:
+		return "shutdown"
+	case TraceYoke:
+		return "yoke"
+	case TraceBreak:
+		return "break"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// TraceEvent is one recorded lifecycle transition.
+type TraceEvent struct {
+	Kind   TraceKind
+	Thread string // thread name#id, if the event concerns a thread
+	Extra  string // secondary party (yoke target, custodian note)
+	Seq    uint64 // monotonically increasing per runtime
+}
+
+func (e TraceEvent) String() string {
+	if e.Extra != "" {
+		return fmt.Sprintf("[%d] %s %s (%s)", e.Seq, e.Kind, e.Thread, e.Extra)
+	}
+	return fmt.Sprintf("[%d] %s %s", e.Seq, e.Kind, e.Thread)
+}
+
+// traceBuf is a fixed-capacity ring of recent events, recorded under the
+// runtime lock; reading takes a snapshot. Tracing costs nothing when
+// disabled.
+type traceBuf struct {
+	events []TraceEvent
+	next   int
+	full   bool
+	seq    uint64
+}
+
+const traceCapacity = 4096
+
+// EnableTracing turns on lifecycle tracing, keeping the most recent
+// events (up to an internal capacity) for inspection via TraceSnapshot.
+func (rt *Runtime) EnableTracing() {
+	rt.mu.Lock()
+	if rt.trace == nil {
+		rt.trace = &traceBuf{events: make([]TraceEvent, traceCapacity)}
+	}
+	rt.mu.Unlock()
+}
+
+// DisableTracing turns tracing off and discards recorded events.
+func (rt *Runtime) DisableTracing() {
+	rt.mu.Lock()
+	rt.trace = nil
+	rt.mu.Unlock()
+}
+
+// TraceSnapshot returns the recorded events, oldest first.
+func (rt *Runtime) TraceSnapshot() []TraceEvent {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	tb := rt.trace
+	if tb == nil {
+		return nil
+	}
+	var out []TraceEvent
+	if tb.full {
+		out = append(out, tb.events[tb.next:]...)
+	}
+	out = append(out, tb.events[:tb.next]...)
+	return out
+}
+
+// traceLocked records an event if tracing is enabled. Caller holds rt.mu.
+func (rt *Runtime) traceLocked(kind TraceKind, th *Thread, extra string) {
+	tb := rt.trace
+	if tb == nil {
+		return
+	}
+	tb.seq++
+	name := ""
+	if th != nil {
+		name = fmt.Sprintf("%s#%d", th.name, th.id)
+	}
+	tb.events[tb.next] = TraceEvent{Kind: kind, Thread: name, Extra: extra, Seq: tb.seq}
+	tb.next++
+	if tb.next == len(tb.events) {
+		tb.next = 0
+		tb.full = true
+	}
+}

@@ -1,0 +1,104 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+func kinds(events []core.TraceEvent) map[core.TraceKind]int {
+	out := map[core.TraceKind]int{}
+	for _, e := range events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+func TestTraceRecordsLifecycle(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	rt.EnableTracing()
+	err := rt.Run(func(th *core.Thread) {
+		c := core.NewCustodian(rt.RootCustodian())
+		var w *core.Thread
+		th.WithCustodian(c, func() {
+			w = th.Spawn("worker", func(x *core.Thread) { _ = core.Sleep(x, time.Hour) })
+		})
+		w.Suspend()
+		core.Resume(w)
+		mgr := th.Spawn("mgr", func(x *core.Thread) { _ = core.Sleep(x, time.Hour) })
+		core.ResumeVia(mgr, w)
+		w.Break()
+		c.Shutdown()
+		rt.TerminateCondemned()
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := kinds(rt.TraceSnapshot())
+	for _, want := range []core.TraceKind{
+		core.TraceSpawn, core.TraceSuspend, core.TraceResume, core.TraceYoke,
+		core.TraceBreak, core.TraceShutdown, core.TraceCondemned, core.TraceKill,
+	} {
+		if got[want] == 0 {
+			t.Errorf("no %v event recorded; trace kinds: %v", want, got)
+		}
+	}
+}
+
+func TestTraceDisabledRecordsNothing(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	_ = rt.Run(func(th *core.Thread) {
+		th.Spawn("w", func(*core.Thread) {})
+	})
+	if n := len(rt.TraceSnapshot()); n != 0 {
+		t.Fatalf("%d events recorded with tracing disabled", n)
+	}
+}
+
+func TestTraceSequenceIsMonotonic(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	rt.EnableTracing()
+	_ = rt.Run(func(th *core.Thread) {
+		for i := 0; i < 20; i++ {
+			w := th.Spawn("w", func(*core.Thread) {})
+			if _, err := core.Sync(th, w.DoneEvt()); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+	events := rt.TraceSnapshot()
+	if len(events) < 40 {
+		t.Fatalf("only %d events", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("sequence not monotonic at %d: %v then %v", i, events[i-1], events[i])
+		}
+	}
+}
+
+func TestTraceDisableDiscards(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	rt.EnableTracing()
+	_ = rt.Run(func(th *core.Thread) { th.Spawn("w", func(*core.Thread) {}) })
+	rt.DisableTracing()
+	if n := len(rt.TraceSnapshot()); n != 0 {
+		t.Fatalf("%d events after disable", n)
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := core.TraceEvent{Kind: core.TraceKill, Thread: "w#3", Seq: 7}
+	if s := e.String(); s != "[7] kill w#3" {
+		t.Fatalf("String() = %q", s)
+	}
+	e = core.TraceEvent{Kind: core.TraceYoke, Thread: "a#1", Extra: "via thread(b#2)", Seq: 9}
+	if s := e.String(); s != "[9] yoke a#1 (via thread(b#2))" {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,112 @@
+// Package doc implements the collaborative shared document from the
+// paper's motivating example (Section 2): two servlet sessions discover
+// each other and share a document whose implementation is specific to the
+// pair. The sessions trust the document implementation but not each other,
+// because the server may terminate either session at any time — so the
+// document must be kill-safe.
+//
+// The document is the paper's Figure 4 "gray box": a manager thread
+// initially created as a sub-task of whichever session creates it, and
+// promoted by every other user's operation guard (ResumeVia) so that it
+// survives as long as any user — and no longer.
+package doc
+
+import (
+	"repro/abstractions/rpcsvc"
+	"repro/internal/core"
+)
+
+// Document is a kill-safe, ordered sequence of text lines with optimistic
+// versioning.
+type Document struct {
+	svc *rpcsvc.Service[request, response]
+}
+
+type opKind int
+
+const (
+	opAppend opKind = iota
+	opInsert
+	opDelete
+	opSnapshot
+)
+
+type request struct {
+	kind opKind
+	pos  int
+	line string
+}
+
+type response struct {
+	version int
+	lines   []string
+	ok      bool
+}
+
+// state is owned exclusively by the service's manager thread.
+type state struct {
+	version int
+	lines   []string
+}
+
+// New creates a document whose manager runs under the creating thread's
+// current custodian. Share the *Document value with other tasks; their
+// first operation promotes the manager into their custodian.
+func New(th *core.Thread) *Document {
+	st := &state{}
+	handle := func(_ *core.Thread, r request) response {
+		switch r.kind {
+		case opAppend:
+			st.lines = append(st.lines, r.line)
+			st.version++
+			return response{version: st.version, ok: true}
+		case opInsert:
+			if r.pos < 0 || r.pos > len(st.lines) {
+				return response{version: st.version}
+			}
+			st.lines = append(st.lines[:r.pos], append([]string{r.line}, st.lines[r.pos:]...)...)
+			st.version++
+			return response{version: st.version, ok: true}
+		case opDelete:
+			if r.pos < 0 || r.pos >= len(st.lines) {
+				return response{version: st.version}
+			}
+			st.lines = append(st.lines[:r.pos], st.lines[r.pos+1:]...)
+			st.version++
+			return response{version: st.version, ok: true}
+		case opSnapshot:
+			out := make([]string, len(st.lines))
+			copy(out, st.lines)
+			return response{version: st.version, lines: out, ok: true}
+		}
+		return response{}
+	}
+	return &Document{svc: rpcsvc.New(th, handle)}
+}
+
+// Manager exposes the document's manager thread for tests.
+func (d *Document) Manager() *core.Thread { return d.svc.Manager() }
+
+// Append adds a line at the end and returns the new version.
+func (d *Document) Append(th *core.Thread, line string) (int, error) {
+	r, err := d.svc.Call(th, request{kind: opAppend, line: line})
+	return r.version, err
+}
+
+// Insert adds a line at position pos; ok is false if pos is out of range.
+func (d *Document) Insert(th *core.Thread, pos int, line string) (int, bool, error) {
+	r, err := d.svc.Call(th, request{kind: opInsert, pos: pos, line: line})
+	return r.version, r.ok, err
+}
+
+// Delete removes the line at pos; ok is false if pos is out of range.
+func (d *Document) Delete(th *core.Thread, pos int) (int, bool, error) {
+	r, err := d.svc.Call(th, request{kind: opDelete, pos: pos})
+	return r.version, r.ok, err
+}
+
+// Snapshot returns the current version and a copy of the lines.
+func (d *Document) Snapshot(th *core.Thread) (int, []string, error) {
+	r, err := d.svc.Call(th, request{kind: opSnapshot})
+	return r.version, r.lines, err
+}

@@ -1,0 +1,199 @@
+package doc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/doc"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestEditing(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		d := doc.New(th)
+		if _, err := d.Append(th, "one"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Append(th, "three"); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := d.Insert(th, 1, "two"); err != nil || !ok {
+			t.Fatalf("insert: ok=%v err=%v", ok, err)
+		}
+		v, lines, err := d.Snapshot(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != 3 {
+			t.Fatalf("version = %d, want 3", v)
+		}
+		want := []string{"one", "two", "three"}
+		for i := range want {
+			if lines[i] != want[i] {
+				t.Fatalf("lines = %v", lines)
+			}
+		}
+		if _, ok, err := d.Delete(th, 1); err != nil || !ok {
+			t.Fatalf("delete: ok=%v err=%v", ok, err)
+		}
+		if _, lines, _ := d.Snapshot(th); len(lines) != 2 {
+			t.Fatalf("after delete: %v", lines)
+		}
+	})
+}
+
+func TestOutOfRangeEdits(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		d := doc.New(th)
+		if _, ok, err := d.Insert(th, 5, "x"); err != nil || ok {
+			t.Fatalf("insert out of range: ok=%v err=%v", ok, err)
+		}
+		if _, ok, err := d.Delete(th, 0); err != nil || ok {
+			t.Fatalf("delete out of range: ok=%v err=%v", ok, err)
+		}
+	})
+}
+
+// TestSharedDocumentSurvivesEitherOwner is the paper's Figure 4 claim: the
+// document is created by one session, promoted by the other, survives the
+// termination of either, and dies with both.
+func TestSharedDocumentSurvivesEitherOwner(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		c2 := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *doc.Document, 1)
+		th.WithCustodian(c1, func() {
+			th.Spawn("servlet-1", func(x *core.Thread) {
+				d := doc.New(x)
+				if _, err := d.Append(x, "from servlet 1"); err != nil {
+					t.Errorf("append: %v", err)
+				}
+				share <- d
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		d := <-share
+
+		used := make(chan struct{})
+		edits := make(chan error, 16)
+		th.WithCustodian(c2, func() {
+			th.Spawn("servlet-2", func(x *core.Thread) {
+				_, err := d.Append(x, "from servlet 2") // promotes the doc into c2
+				edits <- err
+				close(used)
+				for {
+					if err := core.Sleep(x, time.Millisecond); err != nil {
+						return
+					}
+					if _, err := d.Append(x, "more"); err != nil {
+						return
+					}
+				}
+			})
+		})
+		<-used
+		if err := <-edits; err != nil {
+			t.Fatalf("servlet 2 first edit: %v", err)
+		}
+
+		// Terminate servlet 1; the document keeps serving servlet 2.
+		c1.Shutdown()
+		if d.Manager().Suspended() {
+			t.Fatal("document suspended while a user survives")
+		}
+		// Servlet 2 keeps editing; verify from a third task that reads.
+		if _, lines, err := d.Snapshot(th); err != nil || len(lines) < 2 {
+			t.Fatalf("snapshot after c1 death: %v, %v", lines, err)
+		}
+
+		// Now terminate servlet 2 as well. The main thread's snapshot
+		// guard has yoked the manager to the root custodian via this
+		// test's reads, so to observe "dies with both" we must not have
+		// read from the main task... (see TestDocumentDiesWithBothOwners).
+		c2.Shutdown()
+	})
+}
+
+// TestDocumentDiesWithBothOwners verifies the no-conspiracy half: when
+// every sharing task is terminated, the document's manager is suspended
+// and reapable — it gained no more privilege than its users' sum.
+func TestDocumentDiesWithBothOwners(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		c1 := core.NewCustodian(rt.RootCustodian())
+		c2 := core.NewCustodian(rt.RootCustodian())
+		share := make(chan *doc.Document, 1)
+		th.WithCustodian(c1, func() {
+			th.Spawn("servlet-1", func(x *core.Thread) {
+				d := doc.New(x)
+				share <- d
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		d := <-share
+		used := make(chan struct{})
+		th.WithCustodian(c2, func() {
+			th.Spawn("servlet-2", func(x *core.Thread) {
+				if _, err := d.Append(x, "hi"); err == nil {
+					close(used)
+				}
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		<-used
+		c1.Shutdown()
+		c2.Shutdown()
+		if !d.Manager().Suspended() {
+			t.Fatal("document manager runnable after both owners died")
+		}
+		rt.TerminateCondemned()
+		deadline := time.Now().Add(5 * time.Second)
+		for !d.Manager().Done() {
+			if time.Now().After(deadline) {
+				t.Fatal("document manager not reaped")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+}
+
+func TestConcurrentEditors(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		d := doc.New(th)
+		const editors, edits = 5, 20
+		done := make(chan struct{}, editors)
+		for e := 0; e < editors; e++ {
+			th.Spawn("editor", func(x *core.Thread) {
+				for i := 0; i < edits; i++ {
+					if _, err := d.Append(x, "line"); err != nil {
+						t.Errorf("append: %v", err)
+						return
+					}
+				}
+				done <- struct{}{}
+			})
+		}
+		for e := 0; e < editors; e++ {
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				t.Fatal("editors stalled")
+			}
+		}
+		v, lines, err := d.Snapshot(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lines) != editors*edits || v != editors*edits {
+			t.Fatalf("len=%d version=%d, want %d", len(lines), v, editors*edits)
+		}
+	})
+}

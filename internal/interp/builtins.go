@@ -1,0 +1,576 @@
+package interp
+
+import "strings"
+
+// installCoreBuiltins binds the non-concurrency primitives into env.
+func (in *Interp) installCoreBuiltins(env *Env) {
+	def := func(name string, fn func(*Ctx, []Value) Value) {
+		env.Define(Symbol(name), &Builtin{Name: name, Fn: fn})
+	}
+
+	// --- numbers ---
+	def("+", func(_ *Ctx, a []Value) Value {
+		return numFold(a, 0, func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
+	})
+	def("*", func(_ *Ctx, a []Value) Value {
+		return numFold(a, 1, func(x, y int64) int64 { return x * y }, func(x, y float64) float64 { return x * y })
+	})
+	def("-", func(_ *Ctx, a []Value) Value {
+		if len(a) == 0 {
+			raise("-: expects at least 1 argument")
+		}
+		if len(a) == 1 {
+			return numFold([]Value{int64(0), a[0]}, 0, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
+		}
+		return numFoldFrom(a, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
+	})
+	def("/", func(_ *Ctx, a []Value) Value {
+		if len(a) < 2 {
+			raise("/: expects at least 2 arguments")
+		}
+		result := toFloat(a[0])
+		for _, v := range a[1:] {
+			d := toFloat(v)
+			if d == 0 {
+				raise("/: division by zero")
+			}
+			result /= d
+		}
+		return result
+	})
+	def("quotient", func(_ *Ctx, a []Value) Value { return intOp2("quotient", a, func(x, y int64) int64 { return x / y }) })
+	def("remainder", func(_ *Ctx, a []Value) Value { return intOp2("remainder", a, func(x, y int64) int64 { return x % y }) })
+	def("modulo", func(_ *Ctx, a []Value) Value {
+		return intOp2("modulo", a, func(x, y int64) int64 {
+			m := x % y
+			if m != 0 && (m < 0) != (y < 0) {
+				m += y
+			}
+			return m
+		})
+	})
+	def("=", cmpOp("=", func(x, y float64) bool { return x == y }))
+	def("<", cmpOp("<", func(x, y float64) bool { return x < y }))
+	def(">", cmpOp(">", func(x, y float64) bool { return x > y }))
+	def("<=", cmpOp("<=", func(x, y float64) bool { return x <= y }))
+	def(">=", cmpOp(">=", func(x, y float64) bool { return x >= y }))
+	def("add1", func(_ *Ctx, a []Value) Value {
+		return numFold(append(a, int64(1)), 0, func(x, y int64) int64 { return x + y }, func(x, y float64) float64 { return x + y })
+	})
+	def("sub1", func(_ *Ctx, a []Value) Value {
+		arity("sub1", a, 1)
+		return numFoldFrom([]Value{a[0], int64(1)}, func(x, y int64) int64 { return x - y }, func(x, y float64) float64 { return x - y })
+	})
+	def("zero?", func(_ *Ctx, a []Value) Value { arity("zero?", a, 1); return toFloat(a[0]) == 0 })
+	def("odd?", func(_ *Ctx, a []Value) Value { arity("odd?", a, 1); return toInt(a[0])%2 != 0 })
+	def("even?", func(_ *Ctx, a []Value) Value { arity("even?", a, 1); return toInt(a[0])%2 == 0 })
+	def("number?", func(_ *Ctx, a []Value) Value { arity("number?", a, 1); return isNumber(a[0]) })
+	def("max", func(_ *Ctx, a []Value) Value {
+		return numFoldFrom(a, func(x, y int64) int64 { return max64(x, y) }, func(x, y float64) float64 { return maxF(x, y) })
+	})
+	def("min", func(_ *Ctx, a []Value) Value {
+		return numFoldFrom(a, func(x, y int64) int64 { return -max64(-x, -y) }, func(x, y float64) float64 { return -maxF(-x, -y) })
+	})
+
+	// --- booleans and equality ---
+	def("not", func(_ *Ctx, a []Value) Value { arity("not", a, 1); return !isTrue(a[0]) })
+	def("boolean?", func(_ *Ctx, a []Value) Value { arity("boolean?", a, 1); _, ok := a[0].(bool); return ok })
+	def("eq?", func(_ *Ctx, a []Value) Value { arity("eq?", a, 2); return eqv(a[0], a[1]) })
+	def("eqv?", func(_ *Ctx, a []Value) Value { arity("eqv?", a, 2); return eqv(a[0], a[1]) })
+	def("equal?", func(_ *Ctx, a []Value) Value { arity("equal?", a, 2); return deepEqual(a[0], a[1]) })
+
+	// --- pairs and lists ---
+	def("cons", func(_ *Ctx, a []Value) Value { arity("cons", a, 2); return Cons(a[0], a[1]) })
+	def("car", func(_ *Ctx, a []Value) Value { arity("car", a, 1); return asPair("car", a[0]).Car })
+	def("cdr", func(_ *Ctx, a []Value) Value { arity("cdr", a, 1); return asPair("cdr", a[0]).Cdr })
+	def("cadr", func(_ *Ctx, a []Value) Value {
+		arity("cadr", a, 1)
+		return asPair("cadr", asPair("cadr", a[0]).Cdr).Car
+	})
+	def("null?", func(_ *Ctx, a []Value) Value { arity("null?", a, 1); _, ok := a[0].(Empty); return ok })
+	def("pair?", func(_ *Ctx, a []Value) Value { arity("pair?", a, 1); _, ok := a[0].(*Pair); return ok })
+	def("list", func(_ *Ctx, a []Value) Value { return List(a...) })
+	def("length", func(_ *Ctx, a []Value) Value { arity("length", a, 1); return int64(len(listToSlice(a[0]))) })
+	def("append", func(_ *Ctx, a []Value) Value {
+		var all []Value
+		for i, l := range a {
+			if i == len(a)-1 {
+				// last argument may be any value (improper append);
+				// handle the common proper-list case.
+			}
+			all = append(all, listToSlice(l)...)
+		}
+		return List(all...)
+	})
+	def("reverse", func(_ *Ctx, a []Value) Value {
+		arity("reverse", a, 1)
+		s := listToSlice(a[0])
+		out := make([]Value, len(s))
+		for i, v := range s {
+			out[len(s)-1-i] = v
+		}
+		return List(out...)
+	})
+	def("list-ref", func(_ *Ctx, a []Value) Value {
+		arity("list-ref", a, 2)
+		s := listToSlice(a[0])
+		i := toInt(a[1])
+		if i < 0 || int(i) >= len(s) {
+			raise("list-ref: index %d out of range", i)
+		}
+		return s[i]
+	})
+	def("caar", func(_ *Ctx, a []Value) Value {
+		arity("caar", a, 1)
+		return asPair("caar", asPair("caar", a[0]).Car).Car
+	})
+	def("cddr", func(_ *Ctx, a []Value) Value {
+		arity("cddr", a, 1)
+		return asPair("cddr", asPair("cddr", a[0]).Cdr).Cdr
+	})
+	def("caddr", func(_ *Ctx, a []Value) Value {
+		arity("caddr", a, 1)
+		return asPair("caddr", asPair("caddr", asPair("caddr", a[0]).Cdr).Cdr).Car
+	})
+	def("list-tail", func(_ *Ctx, a []Value) Value {
+		arity("list-tail", a, 2)
+		v := a[0]
+		for i := int64(0); i < toInt(a[1]); i++ {
+			v = asPair("list-tail", v).Cdr
+		}
+		return v
+	})
+	def("last", func(_ *Ctx, a []Value) Value {
+		arity("last", a, 1)
+		s := listToSlice(a[0])
+		if len(s) == 0 {
+			raise("last: empty list")
+		}
+		return s[len(s)-1]
+	})
+	def("assq", func(_ *Ctx, a []Value) Value {
+		arity("assq", a, 2)
+		for _, entry := range listToSlice(a[1]) {
+			p, ok := entry.(*Pair)
+			if ok && eqv(p.Car, a[0]) {
+				return p
+			}
+		}
+		return false
+	})
+	def("assoc", func(_ *Ctx, a []Value) Value {
+		arity("assoc", a, 2)
+		for _, entry := range listToSlice(a[1]) {
+			p, ok := entry.(*Pair)
+			if ok && deepEqual(p.Car, a[0]) {
+				return p
+			}
+		}
+		return false
+	})
+	def("abs", func(_ *Ctx, a []Value) Value {
+		arity("abs", a, 1)
+		switch x := a[0].(type) {
+		case int64:
+			if x < 0 {
+				return -x
+			}
+			return x
+		case float64:
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		raise("abs: expects a number")
+		return nil
+	})
+	def("member", func(_ *Ctx, a []Value) Value {
+		arity("member", a, 2)
+		rest := a[1]
+		for {
+			p, ok := rest.(*Pair)
+			if !ok {
+				return false
+			}
+			if deepEqual(p.Car, a[0]) {
+				return rest
+			}
+			rest = p.Cdr
+		}
+	})
+	def("remove", func(_ *Ctx, a []Value) Value {
+		arity("remove", a, 2)
+		s := listToSlice(a[1])
+		out := make([]Value, 0, len(s))
+		removed := false
+		for _, v := range s {
+			if !removed && eqv(v, a[0]) {
+				removed = true
+				continue
+			}
+			out = append(out, v)
+		}
+		return List(out...)
+	})
+	def("map", func(ctx *Ctx, a []Value) Value {
+		if len(a) < 2 {
+			raise("map: expects a procedure and at least one list")
+		}
+		lists := make([][]Value, len(a)-1)
+		for i, l := range a[1:] {
+			lists[i] = listToSlice(l)
+		}
+		n := len(lists[0])
+		out := make([]Value, n)
+		for i := 0; i < n; i++ {
+			args := make([]Value, len(lists))
+			for j := range lists {
+				args[j] = lists[j][i]
+			}
+			out[i] = ctx.Apply(a[0], args)
+		}
+		return List(out...)
+	})
+	def("for-each", func(ctx *Ctx, a []Value) Value {
+		if len(a) != 2 {
+			raise("for-each: expects a procedure and a list")
+		}
+		for _, v := range listToSlice(a[1]) {
+			ctx.Apply(a[0], []Value{v})
+		}
+		return Void{}
+	})
+	def("filter", func(ctx *Ctx, a []Value) Value {
+		arity("filter", a, 2)
+		var out []Value
+		for _, v := range listToSlice(a[1]) {
+			if isTrue(ctx.Apply(a[0], []Value{v})) {
+				out = append(out, v)
+			}
+		}
+		return List(out...)
+	})
+	def("apply", func(ctx *Ctx, a []Value) Value {
+		if len(a) < 2 {
+			raise("apply: expects a procedure and arguments")
+		}
+		args := make([]Value, 0, len(a))
+		args = append(args, a[1:len(a)-1]...)
+		args = append(args, listToSlice(a[len(a)-1])...)
+		return ctx.Apply(a[0], args)
+	})
+	def("procedure?", func(_ *Ctx, a []Value) Value {
+		arity("procedure?", a, 1)
+		switch a[0].(type) {
+		case *Closure, *Builtin:
+			return true
+		}
+		return false
+	})
+
+	// --- strings and symbols ---
+	def("string?", func(_ *Ctx, a []Value) Value { arity("string?", a, 1); _, ok := a[0].(string); return ok })
+	def("symbol?", func(_ *Ctx, a []Value) Value { arity("symbol?", a, 1); _, ok := a[0].(Symbol); return ok })
+	def("string-append", func(_ *Ctx, a []Value) Value {
+		var sb strings.Builder
+		for _, v := range a {
+			s, ok := v.(string)
+			if !ok {
+				raise("string-append: expects strings")
+			}
+			sb.WriteString(s)
+		}
+		return sb.String()
+	})
+	def("string-length", func(_ *Ctx, a []Value) Value {
+		arity("string-length", a, 1)
+		s, ok := a[0].(string)
+		if !ok {
+			raise("string-length: expects a string")
+		}
+		return int64(len(s))
+	})
+	def("string=?", func(_ *Ctx, a []Value) Value {
+		arity("string=?", a, 2)
+		x, ok1 := a[0].(string)
+		y, ok2 := a[1].(string)
+		if !ok1 || !ok2 {
+			raise("string=?: expects strings")
+		}
+		return x == y
+	})
+	def("number->string", func(_ *Ctx, a []Value) Value { arity("number->string", a, 1); return DisplayString(a[0]) })
+	def("symbol->string", func(_ *Ctx, a []Value) Value {
+		arity("symbol->string", a, 1)
+		s, ok := a[0].(Symbol)
+		if !ok {
+			raise("symbol->string: expects a symbol")
+		}
+		return string(s)
+	})
+	def("format", func(_ *Ctx, a []Value) Value {
+		if len(a) < 1 {
+			raise("format: expects a format string")
+		}
+		f, ok := a[0].(string)
+		if !ok {
+			raise("format: expects a format string")
+		}
+		return formatScheme(f, a[1:])
+	})
+
+	// --- output ---
+	def("printf", func(ctx *Ctx, a []Value) Value {
+		if len(a) < 1 {
+			raise("printf: expects a format string")
+		}
+		f, ok := a[0].(string)
+		if !ok {
+			raise("printf: expects a format string")
+		}
+		ctx.In.print(formatScheme(f, a[1:]))
+		return Void{}
+	})
+	def("display", func(ctx *Ctx, a []Value) Value {
+		arity("display", a, 1)
+		ctx.In.print(DisplayString(a[0]))
+		return Void{}
+	})
+	def("write", func(ctx *Ctx, a []Value) Value {
+		arity("write", a, 1)
+		ctx.In.print(WriteString(a[0]))
+		return Void{}
+	})
+	def("newline", func(ctx *Ctx, a []Value) Value {
+		ctx.In.print("\n")
+		return Void{}
+	})
+	def("void", func(_ *Ctx, a []Value) Value { return Void{} })
+	def("void?", func(_ *Ctx, a []Value) Value { arity("void?", a, 1); _, ok := a[0].(Void); return ok })
+	def("error", func(_ *Ctx, a []Value) Value {
+		parts := make([]string, len(a))
+		for i, v := range a {
+			parts[i] = DisplayString(v)
+		}
+		raise("%s", strings.Join(parts, " "))
+		return nil
+	})
+}
+
+// formatScheme implements the MzScheme format directives the paper's code
+// uses: ~a (display), ~s/~v (write), ~n (newline), ~~ (tilde).
+func formatScheme(f string, args []Value) string {
+	var sb strings.Builder
+	ai := 0
+	for i := 0; i < len(f); i++ {
+		if f[i] != '~' || i+1 >= len(f) {
+			sb.WriteByte(f[i])
+			continue
+		}
+		i++
+		switch f[i] {
+		case 'a', 'A':
+			if ai >= len(args) {
+				raise("format: too few arguments for ~a")
+			}
+			sb.WriteString(DisplayString(args[ai]))
+			ai++
+		case 's', 'S', 'v', 'V':
+			if ai >= len(args) {
+				raise("format: too few arguments for ~s")
+			}
+			sb.WriteString(WriteString(args[ai]))
+			ai++
+		case 'n', '%':
+			sb.WriteByte('\n')
+		case '~':
+			sb.WriteByte('~')
+		default:
+			raise("format: unknown directive ~%c", f[i])
+		}
+	}
+	return sb.String()
+}
+
+func arity(name string, a []Value, n int) {
+	if len(a) != n {
+		raise("%s: expects %d argument(s), given %d", name, n, len(a))
+	}
+}
+
+func isNumber(v Value) bool {
+	switch v.(type) {
+	case int64, float64:
+		return true
+	}
+	return false
+}
+
+func toFloat(v Value) float64 {
+	switch x := v.(type) {
+	case int64:
+		return float64(x)
+	case float64:
+		return x
+	}
+	raise("expects a number, given %s", WriteString(v))
+	return 0
+}
+
+func toInt(v Value) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case float64:
+		return int64(x)
+	}
+	raise("expects an integer, given %s", WriteString(v))
+	return 0
+}
+
+func allInts(a []Value) bool {
+	for _, v := range a {
+		if _, ok := v.(int64); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func numFold(a []Value, id int64, fi func(int64, int64) int64, ff func(float64, float64) float64) Value {
+	if allInts(a) {
+		acc := id
+		for _, v := range a {
+			acc = fi(acc, v.(int64))
+		}
+		return acc
+	}
+	acc := float64(id)
+	for _, v := range a {
+		acc = ff(acc, toFloat(v))
+	}
+	return acc
+}
+
+func numFoldFrom(a []Value, fi func(int64, int64) int64, ff func(float64, float64) float64) Value {
+	if len(a) == 0 {
+		raise("expects at least 1 argument")
+	}
+	if allInts(a) {
+		acc := a[0].(int64)
+		for _, v := range a[1:] {
+			acc = fi(acc, v.(int64))
+		}
+		return acc
+	}
+	acc := toFloat(a[0])
+	for _, v := range a[1:] {
+		acc = ff(acc, toFloat(v))
+	}
+	return acc
+}
+
+func intOp2(name string, a []Value, f func(int64, int64) int64) Value {
+	arity(name, a, 2)
+	y := toInt(a[1])
+	if y == 0 {
+		raise("%s: division by zero", name)
+	}
+	return f(toInt(a[0]), y)
+}
+
+func cmpOp(name string, f func(float64, float64) bool) func(*Ctx, []Value) Value {
+	return func(_ *Ctx, a []Value) Value {
+		if len(a) < 2 {
+			raise("%s: expects at least 2 arguments", name)
+		}
+		for i := 0; i < len(a)-1; i++ {
+			if !f(toFloat(a[i]), toFloat(a[i+1])) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func max64(x, y int64) int64 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+func maxF(x, y float64) float64 {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+// eqv compares identities: pointers for heap values, value equality for
+// immediates. It never panics on uncomparable dynamic types.
+func eqv(x, y Value) bool {
+	switch a := x.(type) {
+	case Symbol:
+		b, ok := y.(Symbol)
+		return ok && a == b
+	case int64:
+		b, ok := y.(int64)
+		return ok && a == b
+	case float64:
+		b, ok := y.(float64)
+		return ok && a == b
+	case bool:
+		b, ok := y.(bool)
+		return ok && a == b
+	case string:
+		b, ok := y.(string)
+		return ok && a == b
+	case Empty:
+		_, ok := y.(Empty)
+		return ok
+	case Void:
+		_, ok := y.(Void)
+		return ok
+	case *Pair:
+		b, ok := y.(*Pair)
+		return ok && a == b
+	case *Closure:
+		b, ok := y.(*Closure)
+		return ok && a == b
+	case *Builtin:
+		b, ok := y.(*Builtin)
+		return ok && a == b
+	case *StructVal:
+		b, ok := y.(*StructVal)
+		return ok && a == b
+	case *StructType:
+		b, ok := y.(*StructType)
+		return ok && a == b
+	default:
+		// Runtime objects (threads, channels, custodians, events): all
+		// are pointer-shaped and comparable.
+		return x == y
+	}
+}
+
+func deepEqual(x, y Value) bool {
+	if eqv(x, y) {
+		return true
+	}
+	a, ok1 := x.(*Pair)
+	b, ok2 := y.(*Pair)
+	if ok1 && ok2 {
+		return deepEqual(a.Car, b.Car) && deepEqual(a.Cdr, b.Cdr)
+	}
+	return false
+}
+
+func asPair(name string, v Value) *Pair {
+	p, ok := v.(*Pair)
+	if !ok {
+		raise("%s: expects a pair, given %s", name, WriteString(v))
+	}
+	return p
+}

@@ -1,0 +1,297 @@
+package interp
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// installConcurrencyBuiltins binds the task and event primitives — the
+// MzScheme kernel surface the paper builds on.
+func (in *Interp) installConcurrencyBuiltins(env *Env) {
+	def := func(name string, fn func(*Ctx, []Value) Value) {
+		env.Define(Symbol(name), &Builtin{Name: name, Fn: fn})
+	}
+
+	// --- threads ---
+	def("spawn", func(ctx *Ctx, a []Value) Value {
+		arity("spawn", a, 1)
+		thunk := a[0]
+		return ctx.Th.Spawn("scheme-thread", func(t *core.Thread) {
+			sub := &Ctx{In: ctx.In, Th: t}
+			defer recoverSchemeError(ctx.In)
+			sub.Apply(thunk, nil)
+		})
+	})
+	def("current-thread", func(ctx *Ctx, a []Value) Value {
+		arity("current-thread", a, 0)
+		return ctx.Th
+	})
+	def("thread-suspend", func(_ *Ctx, a []Value) Value {
+		arity("thread-suspend", a, 1)
+		asThread("thread-suspend", a[0]).Suspend()
+		return Void{}
+	})
+	def("thread-resume", func(_ *Ctx, a []Value) Value {
+		if len(a) != 1 && len(a) != 2 {
+			raise("thread-resume: expects 1 or 2 arguments")
+		}
+		t := asThread("thread-resume", a[0])
+		if len(a) == 1 {
+			core.Resume(t)
+			return Void{}
+		}
+		switch by := a[1].(type) {
+		case *core.Thread:
+			core.ResumeVia(t, by)
+		case *core.Custodian:
+			core.ResumeWith(t, by)
+		default:
+			raise("thread-resume: second argument must be a thread or custodian")
+		}
+		return Void{}
+	})
+	def("kill-thread", func(_ *Ctx, a []Value) Value {
+		arity("kill-thread", a, 1)
+		asThread("kill-thread", a[0]).Kill()
+		return Void{}
+	})
+	def("break-thread", func(_ *Ctx, a []Value) Value {
+		arity("break-thread", a, 1)
+		asThread("break-thread", a[0]).Break()
+		return Void{}
+	})
+	def("thread-done-evt", func(_ *Ctx, a []Value) Value {
+		arity("thread-done-evt", a, 1)
+		return asThread("thread-done-evt", a[0]).DoneEvt()
+	})
+	def("thread-suspended?", func(_ *Ctx, a []Value) Value {
+		arity("thread-suspended?", a, 1)
+		return asThread("thread-suspended?", a[0]).Suspended()
+	})
+	def("thread-done?", func(_ *Ctx, a []Value) Value {
+		arity("thread-done?", a, 1)
+		return asThread("thread-done?", a[0]).Done()
+	})
+	def("sleep", func(ctx *Ctx, a []Value) Value {
+		arity("sleep", a, 1)
+		ms := toFloat(a[0])
+		if err := core.Sleep(ctx.Th, time.Duration(ms*float64(time.Millisecond))); err != nil {
+			raise("sleep: %v", err)
+		}
+		return Void{}
+	})
+	def("yield", func(ctx *Ctx, a []Value) Value {
+		if err := ctx.Th.Yield(); err != nil {
+			raise("yield: %v", err)
+		}
+		return Void{}
+	})
+
+	// --- custodians ---
+	def("make-custodian", func(ctx *Ctx, a []Value) Value {
+		switch len(a) {
+		case 0:
+			return core.NewCustodian(ctx.Th.CurrentCustodian())
+		case 1:
+			return core.NewCustodian(asCustodian("make-custodian", a[0]))
+		}
+		raise("make-custodian: expects 0 or 1 arguments")
+		return nil
+	})
+	def("custodian-shutdown-all", func(_ *Ctx, a []Value) Value {
+		arity("custodian-shutdown-all", a, 1)
+		asCustodian("custodian-shutdown-all", a[0]).Shutdown()
+		return Void{}
+	})
+	def("current-custodian", func(ctx *Ctx, a []Value) Value {
+		arity("current-custodian", a, 0)
+		return ctx.Th.CurrentCustodian()
+	})
+	def("terminate-condemned!", func(ctx *Ctx, a []Value) Value {
+		arity("terminate-condemned!", a, 0)
+		return int64(ctx.In.rt.TerminateCondemned())
+	})
+
+	// --- channels and events ---
+	def("channel", func(ctx *Ctx, a []Value) Value {
+		arity("channel", a, 0)
+		return core.NewChan(ctx.In.rt)
+	})
+	def("channel-send-evt", func(_ *Ctx, a []Value) Value {
+		arity("channel-send-evt", a, 2)
+		return asChan("channel-send-evt", a[0]).SendEvt(a[1])
+	})
+	def("channel-recv-evt", func(_ *Ctx, a []Value) Value {
+		arity("channel-recv-evt", a, 1)
+		return asChan("channel-recv-evt", a[0]).RecvEvt()
+	})
+	def("always-evt", func(_ *Ctx, a []Value) Value {
+		arity("always-evt", a, 1)
+		return core.Always(a[0])
+	})
+	def("never-evt", func(_ *Ctx, a []Value) Value {
+		arity("never-evt", a, 0)
+		return core.Never()
+	})
+	def("choice-evt", func(_ *Ctx, a []Value) Value {
+		evts := make([]core.Event, len(a))
+		for i, v := range a {
+			evts[i] = toEvent(v)
+		}
+		return core.Choice(evts...)
+	})
+	def("wrap-evt", func(ctx *Ctx, a []Value) Value {
+		arity("wrap-evt", a, 2)
+		inner := toEvent(a[0])
+		fn := a[1]
+		interp := ctx.In
+		return core.WrapWithThread(inner, func(t *core.Thread, v core.Value) core.Value {
+			sub := &Ctx{In: interp, Th: t}
+			return sub.Apply(fn, []Value{v})
+		})
+	})
+	def("guard-evt", func(ctx *Ctx, a []Value) Value {
+		arity("guard-evt", a, 1)
+		fn := a[0]
+		interp := ctx.In
+		return core.Guard(func(t *core.Thread) core.Event {
+			sub := &Ctx{In: interp, Th: t}
+			return toEvent(sub.Apply(fn, nil))
+		})
+	})
+	def("nack-guard-evt", func(ctx *Ctx, a []Value) Value {
+		arity("nack-guard-evt", a, 1)
+		fn := a[0]
+		interp := ctx.In
+		return core.NackGuard(func(t *core.Thread, nack core.Event) core.Event {
+			sub := &Ctx{In: interp, Th: t}
+			return toEvent(sub.Apply(fn, []Value{nack}))
+		})
+	})
+	def("sync", func(ctx *Ctx, a []Value) Value {
+		return doSync(ctx, a, core.Sync)
+	})
+	def("sync/enable-break", func(ctx *Ctx, a []Value) Value {
+		return doSync(ctx, a, core.SyncEnableBreak)
+	})
+
+	// --- time events ---
+	def("current-time", func(ctx *Ctx, a []Value) Value {
+		arity("current-time", a, 0)
+		return int64(time.Since(ctx.In.start) / time.Millisecond)
+	})
+	def("time-evt", func(ctx *Ctx, a []Value) Value {
+		arity("time-evt", a, 1)
+		at := ctx.In.start.Add(time.Duration(toFloat(a[0])) * time.Millisecond)
+		return core.AlarmAt(ctx.In.rt, at)
+	})
+	def("after-evt", func(ctx *Ctx, a []Value) Value {
+		arity("after-evt", a, 1)
+		return core.After(ctx.In.rt, time.Duration(toFloat(a[0])*float64(time.Millisecond)))
+	})
+
+	// --- semaphores ---
+	def("make-semaphore", func(ctx *Ctx, a []Value) Value {
+		n := int64(0)
+		if len(a) == 1 {
+			n = toInt(a[0])
+		} else if len(a) != 0 {
+			raise("make-semaphore: expects 0 or 1 arguments")
+		}
+		return core.NewSemaphore(ctx.In.rt, int(n))
+	})
+	def("semaphore-post", func(_ *Ctx, a []Value) Value {
+		arity("semaphore-post", a, 1)
+		asSem("semaphore-post", a[0]).Post()
+		return Void{}
+	})
+	def("semaphore-wait", func(ctx *Ctx, a []Value) Value {
+		arity("semaphore-wait", a, 1)
+		if err := asSem("semaphore-wait", a[0]).Wait(ctx.Th); err != nil {
+			raise("semaphore-wait: %v", err)
+		}
+		return Void{}
+	})
+	def("semaphore-wait-evt", func(_ *Ctx, a []Value) Value {
+		arity("semaphore-wait-evt", a, 1)
+		return asSem("semaphore-wait-evt", a[0]).WaitEvt()
+	})
+}
+
+func doSync(ctx *Ctx, a []Value, syncFn func(*core.Thread, core.Event) (core.Value, error)) Value {
+	if len(a) == 0 {
+		raise("sync: expects at least 1 event")
+	}
+	var ev core.Event
+	if len(a) == 1 {
+		ev = toEvent(a[0])
+	} else {
+		evts := make([]core.Event, len(a))
+		for i, v := range a {
+			evts[i] = toEvent(v)
+		}
+		ev = core.Choice(evts...)
+	}
+	v, err := syncFn(ctx.Th, ev)
+	if err != nil {
+		raise("sync: %v", err)
+	}
+	if v == nil {
+		return Void{}
+	}
+	if _, isUnit := v.(core.Unit); isUnit {
+		return Void{}
+	}
+	return v
+}
+
+// toEvent coerces a Scheme value to an event. As in MzScheme, several
+// kinds of values are events themselves: a channel syncs as a receive, a
+// thread as its done event.
+func toEvent(v Value) core.Event {
+	switch x := v.(type) {
+	case core.Event:
+		return x
+	case *core.Chan:
+		return x.RecvEvt()
+	case *core.Thread:
+		return x.DoneEvt()
+	case *core.Semaphore:
+		return x.WaitEvt()
+	}
+	raise("sync: not an event: %s", WriteString(v))
+	return nil
+}
+
+func asThread(name string, v Value) *core.Thread {
+	t, ok := v.(*core.Thread)
+	if !ok {
+		raise("%s: expects a thread, given %s", name, WriteString(v))
+	}
+	return t
+}
+
+func asCustodian(name string, v Value) *core.Custodian {
+	c, ok := v.(*core.Custodian)
+	if !ok {
+		raise("%s: expects a custodian, given %s", name, WriteString(v))
+	}
+	return c
+}
+
+func asChan(name string, v Value) *core.Chan {
+	c, ok := v.(*core.Chan)
+	if !ok {
+		raise("%s: expects a channel, given %s", name, WriteString(v))
+	}
+	return c
+}
+
+func asSem(name string, v Value) *core.Semaphore {
+	s, ok := v.(*core.Semaphore)
+	if !ok {
+		raise("%s: expects a semaphore, given %s", name, WriteString(v))
+	}
+	return s
+}

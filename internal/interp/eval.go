@@ -1,0 +1,492 @@
+package interp
+
+import "repro/internal/core"
+
+// Ctx is the evaluation context: the interpreter instance plus the runtime
+// thread the evaluation is running on. Every interpreter thread — the top
+// level and each (spawn ...) — evaluates with its own Ctx.
+type Ctx struct {
+	In *Interp
+	Th *core.Thread
+}
+
+// Eval evaluates expr in env with proper tail calls: manager loops such as
+// the paper's serve functions recur without growing the Go stack.
+func (ctx *Ctx) Eval(expr Value, env *Env) Value {
+	for {
+		switch e := expr.(type) {
+		case Symbol:
+			return env.Lookup(e)
+		case *Pair:
+			// A compound form: special form or application.
+			if sym, ok := e.Car.(Symbol); ok {
+				handled, result, tailExpr, tailEnv := ctx.special(sym, e, env)
+				if handled {
+					if tailExpr == nil {
+						return result
+					}
+					expr, env = tailExpr, tailEnv
+					continue
+				}
+			}
+			fn := ctx.Eval(e.Car, env)
+			argForms := listToSlice(e.Cdr)
+			args := make([]Value, len(argForms))
+			for i, a := range argForms {
+				args[i] = ctx.Eval(a, env)
+			}
+			switch f := fn.(type) {
+			case *Builtin:
+				return f.Fn(ctx, args)
+			case *Closure:
+				env = bindParams(f, args)
+				if len(f.Body) == 0 {
+					return Void{}
+				}
+				for i := 0; i < len(f.Body)-1; i++ {
+					ctx.Eval(f.Body[i], env)
+				}
+				expr = f.Body[len(f.Body)-1]
+				continue
+			case *StructType:
+				raise("%s: struct types are not applicable; use make-%s", f.Name, f.Name)
+			default:
+				raise("application: not a procedure: %s", WriteString(fn))
+			}
+		default:
+			return e // self-evaluating: numbers, strings, booleans, ...
+		}
+	}
+}
+
+// Apply calls a procedure value with already-evaluated arguments. It is
+// used by builtins (map, apply) and by the event combinators to run
+// Scheme-level wrap and guard procedures.
+func (ctx *Ctx) Apply(fn Value, args []Value) Value {
+	switch f := fn.(type) {
+	case *Builtin:
+		return f.Fn(ctx, args)
+	case *Closure:
+		env := bindParams(f, args)
+		var result Value = Void{}
+		for i, b := range f.Body {
+			if i == len(f.Body)-1 {
+				result = ctx.Eval(b, env)
+			} else {
+				ctx.Eval(b, env)
+			}
+		}
+		return result
+	default:
+		raise("application: not a procedure: %s", WriteString(fn))
+		return nil
+	}
+}
+
+func bindParams(f *Closure, args []Value) *Env {
+	env := NewEnv(f.Env)
+	if f.Rest == "" && len(args) != len(f.Params) {
+		raise("%s: expects %d arguments, given %d", closureName(f), len(f.Params), len(args))
+	}
+	if f.Rest != "" && len(args) < len(f.Params) {
+		raise("%s: expects at least %d arguments, given %d", closureName(f), len(f.Params), len(args))
+	}
+	for i, p := range f.Params {
+		env.Define(p, args[i])
+	}
+	if f.Rest != "" {
+		env.Define(f.Rest, List(args[len(f.Params):]...))
+	}
+	return env
+}
+
+func closureName(f *Closure) string {
+	if f.Name == "" {
+		return "#<procedure>"
+	}
+	return f.Name
+}
+
+// special dispatches special forms. It returns handled=false for ordinary
+// applications. For forms with a tail expression (if, begin, let bodies,
+// ...) it returns tailExpr/tailEnv for the caller's trampoline; otherwise
+// tailExpr is nil and result is the form's value.
+func (ctx *Ctx) special(sym Symbol, form *Pair, env *Env) (handled bool, result Value, tailExpr Value, tailEnv *Env) {
+	args := func() []Value { return listToSlice(form.Cdr) }
+	switch sym {
+	case "quote":
+		a := args()
+		if len(a) != 1 {
+			raise("quote: expects 1 part")
+		}
+		return true, a[0], nil, nil
+
+	case "if":
+		a := args()
+		if len(a) != 2 && len(a) != 3 {
+			raise("if: expects 2 or 3 parts")
+		}
+		if isTrue(ctx.Eval(a[0], env)) {
+			return true, nil, a[1], env
+		}
+		if len(a) == 3 {
+			return true, nil, a[2], env
+		}
+		return true, Void{}, nil, nil
+
+	case "when", "unless":
+		a := args()
+		if len(a) < 1 {
+			raise("%s: expects a test and a body", sym)
+		}
+		test := isTrue(ctx.Eval(a[0], env))
+		if sym == "unless" {
+			test = !test
+		}
+		if !test || len(a) == 1 {
+			return true, Void{}, nil, nil
+		}
+		return ctx.tailSeq(a[1:], env)
+
+	case "begin":
+		a := args()
+		if len(a) == 0 {
+			return true, Void{}, nil, nil
+		}
+		return ctx.tailSeq(a, env)
+
+	case "define":
+		a := args()
+		if len(a) < 1 {
+			raise("define: bad syntax")
+		}
+		switch target := a[0].(type) {
+		case Symbol:
+			if len(a) != 2 {
+				raise("define: expects an identifier and an expression")
+			}
+			v := ctx.Eval(a[1], env)
+			if cl, ok := v.(*Closure); ok && cl.Name == "" {
+				cl.Name = string(target)
+			}
+			env.Define(target, v)
+		case *Pair:
+			// (define (name . params) body...)
+			name, ok := target.Car.(Symbol)
+			if !ok {
+				raise("define: bad function name")
+			}
+			params, rest := parseParams(target.Cdr)
+			env.Define(name, &Closure{Name: string(name), Params: params, Rest: rest, Body: a[1:], Env: env})
+		default:
+			raise("define: bad syntax")
+		}
+		return true, Void{}, nil, nil
+
+	case "set!":
+		a := args()
+		if len(a) != 2 {
+			raise("set!: expects an identifier and an expression")
+		}
+		id, ok := a[0].(Symbol)
+		if !ok {
+			raise("set!: bad identifier")
+		}
+		env.Set(id, ctx.Eval(a[1], env))
+		return true, Void{}, nil, nil
+
+	case "lambda":
+		a := args()
+		if len(a) < 1 {
+			raise("lambda: missing parameter list")
+		}
+		params, rest := parseParams(a[0])
+		return true, &Closure{Params: params, Rest: rest, Body: a[1:], Env: env}, nil, nil
+
+	case "let":
+		a := args()
+		if len(a) < 1 {
+			raise("let: bad syntax")
+		}
+		// Named let: (let loop ([x e] ...) body...)
+		if name, ok := a[0].(Symbol); ok {
+			if len(a) < 2 {
+				raise("let: bad named-let syntax")
+			}
+			ids, inits := parseBindings(a[1])
+			loopEnv := NewEnv(env)
+			cl := &Closure{Name: string(name), Params: ids, Body: a[2:], Env: loopEnv}
+			loopEnv.Define(name, cl)
+			argv := make([]Value, len(inits))
+			for i, init := range inits {
+				argv[i] = ctx.Eval(init, env)
+			}
+			callEnv := bindParams(cl, argv)
+			return ctx.tailSeqIn(cl.Body, callEnv)
+		}
+		ids, inits := parseBindings(a[0])
+		newEnv := NewEnv(env)
+		for i, id := range ids {
+			newEnv.Define(id, ctx.Eval(inits[i], env))
+		}
+		return ctx.tailSeqIn(a[1:], newEnv)
+
+	case "let*":
+		a := args()
+		if len(a) < 1 {
+			raise("let*: bad syntax")
+		}
+		ids, inits := parseBindings(a[0])
+		cur := env
+		for i, id := range ids {
+			next := NewEnv(cur)
+			next.Define(id, ctx.Eval(inits[i], cur))
+			cur = next
+		}
+		return ctx.tailSeqIn(a[1:], cur)
+
+	case "letrec":
+		a := args()
+		if len(a) < 1 {
+			raise("letrec: bad syntax")
+		}
+		ids, inits := parseBindings(a[0])
+		newEnv := NewEnv(env)
+		for _, id := range ids {
+			newEnv.Define(id, Void{})
+		}
+		for i, id := range ids {
+			newEnv.Define(id, ctx.Eval(inits[i], newEnv))
+		}
+		return ctx.tailSeqIn(a[1:], newEnv)
+
+	case "cond":
+		for _, clause := range args() {
+			p, ok := clause.(*Pair)
+			if !ok {
+				raise("cond: bad clause")
+			}
+			if test, isSym := p.Car.(Symbol); isSym && test == "else" {
+				return ctx.tailSeq(listToSlice(p.Cdr), env)
+			}
+			tv := ctx.Eval(p.Car, env)
+			if isTrue(tv) {
+				body := listToSlice(p.Cdr)
+				if len(body) == 0 {
+					return true, tv, nil, nil
+				}
+				return ctx.tailSeq(body, env)
+			}
+		}
+		return true, Void{}, nil, nil
+
+	case "and":
+		a := args()
+		if len(a) == 0 {
+			return true, true, nil, nil
+		}
+		for i := 0; i < len(a)-1; i++ {
+			v := ctx.Eval(a[i], env)
+			if !isTrue(v) {
+				return true, v, nil, nil
+			}
+		}
+		return true, nil, a[len(a)-1], env
+
+	case "or":
+		a := args()
+		if len(a) == 0 {
+			return true, false, nil, nil
+		}
+		for i := 0; i < len(a)-1; i++ {
+			v := ctx.Eval(a[i], env)
+			if isTrue(v) {
+				return true, v, nil, nil
+			}
+		}
+		return true, nil, a[len(a)-1], env
+
+	case "define-struct":
+		ctx.defineStruct(args(), env)
+		return true, Void{}, nil, nil
+
+	case "parameterize":
+		a := args()
+		if len(a) < 1 {
+			raise("parameterize: bad syntax")
+		}
+		return true, ctx.parameterize(a[0], a[1:], env), nil, nil
+	}
+	return false, nil, nil, nil
+}
+
+// tailSeq evaluates all but the last expression and returns the last as
+// the tail expression in env.
+func (ctx *Ctx) tailSeq(body []Value, env *Env) (bool, Value, Value, *Env) {
+	return ctx.tailSeqIn(body, env)
+}
+
+func (ctx *Ctx) tailSeqIn(body []Value, env *Env) (bool, Value, Value, *Env) {
+	if len(body) == 0 {
+		return true, Void{}, nil, nil
+	}
+	for i := 0; i < len(body)-1; i++ {
+		ctx.Eval(body[i], env)
+	}
+	return true, nil, body[len(body)-1], env
+}
+
+// defineStruct implements (define-struct name (field ...)): it binds
+// make-name, name?, and name-field selectors.
+func (ctx *Ctx) defineStruct(a []Value, env *Env) {
+	if len(a) != 2 {
+		raise("define-struct: expects a name and a field list")
+	}
+	name, ok := a[0].(Symbol)
+	if !ok {
+		raise("define-struct: bad name")
+	}
+	var fields []Symbol
+	for _, f := range listToSlice(a[1]) {
+		fs, ok := f.(Symbol)
+		if !ok {
+			raise("define-struct: bad field name")
+		}
+		fields = append(fields, fs)
+	}
+	st := &StructType{Name: name, Fields: fields}
+	env.Define(name, st)
+	env.Define("make-"+name, &Builtin{
+		Name: "make-" + string(name),
+		Fn: func(_ *Ctx, args []Value) Value {
+			if len(args) != len(st.Fields) {
+				raise("make-%s: expects %d arguments, given %d", st.Name, len(st.Fields), len(args))
+			}
+			vals := make([]Value, len(args))
+			copy(vals, args)
+			return &StructVal{Type: st, Fields: vals}
+		},
+	})
+	env.Define(name+"?", &Builtin{
+		Name: string(name) + "?",
+		Fn: func(_ *Ctx, args []Value) Value {
+			if len(args) != 1 {
+				raise("%s?: expects 1 argument", st.Name)
+			}
+			sv, ok := args[0].(*StructVal)
+			return ok && sv.Type == st
+		},
+	})
+	for i, f := range fields {
+		i, f := i, f
+		sel := string(name) + "-" + string(f)
+		env.Define(Symbol(sel), &Builtin{
+			Name: sel,
+			Fn: func(_ *Ctx, args []Value) Value {
+				if len(args) != 1 {
+					raise("%s: expects 1 argument", sel)
+				}
+				sv, ok := args[0].(*StructVal)
+				if !ok || sv.Type != st {
+					raise("%s: expects a %s, given %s", sel, st.Name, WriteString(args[0]))
+				}
+				return sv.Fields[i]
+			},
+		})
+	}
+}
+
+// parameterize supports the two parameters the paper's code uses:
+// current-custodian and break-enabled.
+func (ctx *Ctx) parameterize(bindings Value, body []Value, env *Env) Value {
+	ids, inits := parseBindings(bindings)
+	run := func() Value {
+		var result Value = Void{}
+		for i, b := range body {
+			if i == len(body)-1 {
+				result = ctx.Eval(b, env)
+			} else {
+				ctx.Eval(b, env)
+			}
+		}
+		return result
+	}
+	// Nest the parameterizations innermost-last.
+	for i := len(ids) - 1; i >= 0; i-- {
+		id, init, next := ids[i], inits[i], run
+		switch id {
+		case "current-custodian":
+			run = func() Value {
+				c, ok := ctx.Eval(init, env).(*core.Custodian)
+				if !ok {
+					raise("parameterize: current-custodian expects a custodian")
+				}
+				var out Value
+				ctx.Th.WithCustodian(c, func() { out = next() })
+				return out
+			}
+		case "break-enabled":
+			run = func() Value {
+				on := isTrue(ctx.Eval(init, env))
+				var out Value
+				ctx.Th.WithBreaks(on, func() { out = next() })
+				return out
+			}
+		default:
+			raise("parameterize: unsupported parameter %s", id)
+		}
+	}
+	return run()
+}
+
+// parseParams parses a lambda parameter list, which may be a symbol (rest
+// only), a proper list, or a dotted list.
+func parseParams(v Value) (params []Symbol, rest Symbol) {
+	switch x := v.(type) {
+	case Symbol:
+		return nil, x
+	}
+	for {
+		switch x := v.(type) {
+		case Empty:
+			return params, ""
+		case Symbol:
+			return params, x
+		case *Pair:
+			s, ok := x.Car.(Symbol)
+			if !ok {
+				raise("lambda: bad parameter")
+			}
+			params = append(params, s)
+			v = x.Cdr
+		default:
+			raise("lambda: bad parameter list")
+		}
+	}
+}
+
+// parseBindings parses ([id expr] ...) binding lists.
+func parseBindings(v Value) (ids []Symbol, inits []Value) {
+	for _, b := range listToSlice(v) {
+		p, ok := b.(*Pair)
+		if !ok {
+			raise("bad binding")
+		}
+		id, ok := p.Car.(Symbol)
+		if !ok {
+			raise("bad binding identifier")
+		}
+		rest := listToSlice(p.Cdr)
+		if len(rest) != 1 {
+			raise("binding for %s expects one expression", id)
+		}
+		ids = append(ids, id)
+		inits = append(inits, rest[0])
+	}
+	return ids, inits
+}
+
+func isTrue(v Value) bool {
+	b, ok := v.(bool)
+	return !ok || b // everything except #f is true
+}

@@ -1,0 +1,93 @@
+package interp_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// runFigure loads a paper-figure transcription from examples/figures and
+// returns its printed output.
+func runFigure(t *testing.T, name string) string {
+	t.Helper()
+	path := filepath.Join("..", "..", "examples", "figures", name)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+	var out strings.Builder
+	in.SetOutput(&out)
+	if err := in.RunString(string(src)); err != nil {
+		t.Fatalf("%s: %v\noutput so far:\n%s", name, err, out.String())
+	}
+	return out.String()
+}
+
+func TestFigure7File(t *testing.T) {
+	out := runFigure(t, "fig07-queue.scm")
+	want := "Hello\nBye\nmanager mostly dead: #t\nrecv after shutdown: 10\nsend+recv after shutdown: 11\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestFigure9File(t *testing.T) {
+	out := runFigure(t, "fig09-msg-queue.scm")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	for i, want := range []string{"first even: 2", "first odd:  1", "next odd:   3"} {
+		if lines[i] != want {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want)
+		}
+	}
+	// The choice takes 1 or 2 arbitrarily; the remaining item is the
+	// other, and the abandoned request must not corrupt the queue.
+	got, rem := lines[3], lines[4]
+	okA := got == "choice got: 1" && rem == "remaining:  2"
+	okB := got == "choice got: 2" && rem == "remaining:  1"
+	if !okA && !okB {
+		t.Fatalf("unexpected tail: %q / %q", got, rem)
+	}
+}
+
+func TestFigure10File(t *testing.T) {
+	out := runFigure(t, "fig10-remote-pred.scm")
+	want := "even item: 2\n" +
+		"manager suspended by hostile pred: #f\n" +
+		"odd item:  1\n" +
+		"condemned reaped: #t\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestFigure11File(t *testing.T) {
+	out := runFigure(t, "fig11-swap.scm")
+	want := "main got:    apple\npartner got: orange\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestFigure12File(t *testing.T) {
+	out := runFigure(t, "fig12-killsafe-swap.scm")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+	if lines[0] != "main got:    apple" || lines[1] != "partner got: orange" {
+		t.Fatalf("basic swap: %q", out)
+	}
+	if lines[2] != "after kill:  left" || lines[3] != "partner got: right" {
+		t.Fatalf("post-kill swap: %q", out)
+	}
+}

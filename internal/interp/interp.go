@@ -1,0 +1,125 @@
+package interp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Interp is an mzmini interpreter instance bound to a runtime.
+type Interp struct {
+	rt     *core.Runtime
+	global *Env
+	start  time.Time
+
+	outMu sync.Mutex
+	out   io.Writer
+}
+
+// New creates an interpreter with the kernel builtins installed. Output
+// (printf, display) goes to os.Stdout unless redirected with SetOutput.
+func New(rt *core.Runtime) *Interp {
+	in := &Interp{
+		rt:     rt,
+		global: NewEnv(nil),
+		start:  time.Now(),
+		out:    os.Stdout,
+	}
+	in.installCoreBuiltins(in.global)
+	in.installConcurrencyBuiltins(in.global)
+	return in
+}
+
+// Runtime returns the interpreter's runtime.
+func (in *Interp) Runtime() *core.Runtime { return in.rt }
+
+// Global returns the global environment, so embedders can add builtins.
+func (in *Interp) Global() *Env { return in.global }
+
+// SetOutput redirects printf/display/write output.
+func (in *Interp) SetOutput(w io.Writer) {
+	in.outMu.Lock()
+	in.out = w
+	in.outMu.Unlock()
+}
+
+func (in *Interp) print(s string) {
+	in.outMu.Lock()
+	_, _ = io.WriteString(in.out, s)
+	in.outMu.Unlock()
+}
+
+// recoverSchemeError converts a Scheme-level panic in a spawned thread
+// into a diagnostic on the interpreter's output (a kill unwinding through
+// the trampoline is re-raised untouched).
+func recoverSchemeError(in *Interp) {
+	switch e := recover().(type) {
+	case nil:
+	case *Error:
+		in.print("thread error: " + e.Msg + "\n")
+	default:
+		panic(e)
+	}
+}
+
+// EvalString parses and evaluates src on the given runtime thread,
+// returning the value of the last top-level form.
+func (in *Interp) EvalString(th *core.Thread, src string) (Value, error) {
+	forms, err := ReadAll(src)
+	if err != nil {
+		return nil, err
+	}
+	ctx := &Ctx{In: in, Th: th}
+	var result Value = Void{}
+	for _, form := range forms {
+		v, err := in.evalProtected(ctx, form)
+		if err != nil {
+			return nil, err
+		}
+		result = v
+	}
+	return result, nil
+}
+
+func (in *Interp) evalProtected(ctx *Ctx, form Value) (v Value, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(*Error); ok {
+				err = se
+				return
+			}
+			panic(r)
+		}
+	}()
+	return ctx.Eval(form, in.global), nil
+}
+
+// RunFile loads and evaluates a source file on a fresh runtime thread
+// bound to the calling goroutine.
+func (in *Interp) RunFile(path string) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return in.RunString(string(src))
+}
+
+// RunString evaluates src on a fresh runtime thread bound to the calling
+// goroutine (the usual entry point for programs and tests).
+func (in *Interp) RunString(src string) error {
+	var evalErr error
+	runErr := in.rt.Run(func(th *core.Thread) {
+		_, evalErr = in.EvalString(th, src)
+	})
+	if evalErr != nil {
+		return evalErr
+	}
+	if runErr != nil {
+		return fmt.Errorf("mzmini: %w", runErr)
+	}
+	return nil
+}

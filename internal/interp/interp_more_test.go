@@ -1,0 +1,205 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+func TestExtendedListBuiltins(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"(caar '((1 2) 3))", "1"},
+		{"(cddr '(1 2 3 4))", "(3 4)"},
+		{"(caddr '(1 2 3 4))", "3"},
+		{"(list-tail '(a b c d) 2)", "(c d)"},
+		{"(last '(1 2 3))", "3"},
+		{"(assq 'b '((a 1) (b 2)))", "(b 2)"},
+		{"(assq 'z '((a 1)))", "#f"},
+		{"(assoc '(1) '(((1) one) ((2) two)))", "((1) one)"},
+		{"(abs -5)", "5"},
+		{"(abs 2.5)", "2.5"},
+		{"(for-each (lambda (x) x) '(1 2))", "#<void>"},
+	}
+	for _, c := range cases {
+		if got := interp.WriteString(evalValue(t, c.src)); got != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParameterizeBreakEnabled(t *testing.T) {
+	// A break sent while breaks are disabled is delayed, exactly like
+	// core.WithBreaks: the sleep completes, then the next blocking
+	// operation (with breaks re-enabled) raises.
+	out := run(t, `
+(define t
+  (spawn (lambda ()
+           (parameterize ([break-enabled #f])
+             (sleep 20))
+           (printf "slept~n")
+           ;; breaks re-enabled: the delayed break interrupts this wait
+           (sync (channel-recv-evt (channel))))))
+(sleep 5)
+(break-thread t)
+(sync (thread-done-evt t))
+(printf "done~n")`)
+	slept := strings.Index(out, "slept")
+	done := strings.Index(out, "done")
+	if slept < 0 || done < 0 || slept > done {
+		t.Fatalf("got %q: want full sleep before the delayed break", out)
+	}
+}
+
+func TestSyncEnableBreakInScheme(t *testing.T) {
+	// sync/enable-break lets a break interrupt a wait even when breaks
+	// are disabled in the surrounding extent.
+	out := run(t, `
+(define done (channel))
+(define t
+  (spawn (lambda ()
+           (parameterize ([break-enabled #f])
+             (sync/enable-break (channel-recv-evt (channel)))))))
+(sleep 5)
+(break-thread t)
+(sync (thread-done-evt t))
+(printf "interrupted~n")`)
+	if !strings.Contains(out, "interrupted") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCondemnedBuiltin(t *testing.T) {
+	out := run(t, `
+(define c (make-custodian))
+(parameterize ([current-custodian c])
+  (spawn (lambda () (sleep 1000000)))
+  (spawn (lambda () (sleep 1000000))))
+(sleep 5)
+(custodian-shutdown-all c)
+(printf "~a~n" (>= (terminate-condemned!) 2))`)
+	if out != "#t\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestNestedCustodiansInScheme(t *testing.T) {
+	out := run(t, `
+(define outer (make-custodian))
+(define inner (parameterize ([current-custodian outer]) (make-custodian)))
+(define t (parameterize ([current-custodian inner])
+            (spawn (lambda () (sleep 1000000)))))
+(custodian-shutdown-all outer)
+(printf "~a~n" (thread-suspended? t))`)
+	if out != "#t\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestSemaphoreEvtInScheme(t *testing.T) {
+	out := run(t, `
+(define s (make-semaphore 1))
+(printf "~a~n" (sync (wrap-evt (semaphore-wait-evt s) (lambda (void) 'took))))`)
+	if out != "took\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestSyncMultipleArgsIsChoice(t *testing.T) {
+	out := run(t, `
+(define c (channel))
+(spawn (lambda () (sync (channel-send-evt c 'msg))))
+(printf "~a~n" (sync (channel-recv-evt c) (after-evt 5000)))`)
+	if out != "msg\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestChannelAsEventSyncsAsReceive(t *testing.T) {
+	// MzScheme treats a channel itself as an event meaning "receive".
+	out := run(t, `
+(define c (channel))
+(spawn (lambda () (sync (channel-send-evt c 42))))
+(printf "~a~n" (sync c))`)
+	if out != "42\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestThreadAsEventSyncsAsDone(t *testing.T) {
+	out := run(t, `
+(define t (spawn (lambda () (sleep 1))))
+(sync t)
+(printf "done~n")`)
+	if out != "done\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestStructPredicatesAreTypeSpecific(t *testing.T) {
+	out := run(t, `
+(define-struct a (x))
+(define-struct b (x))
+(printf "~a ~a~n" (a? (make-a 1)) (a? (make-b 1)))`)
+	if out != "#t #f\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestSelectorErrorsOnWrongStruct(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+	err := in.RunString(`
+(define-struct a (x))
+(define-struct b (x))
+(a-x (make-b 1))`)
+	if err == nil {
+		t.Fatal("selector accepted wrong struct type")
+	}
+}
+
+func TestUnsupportedParameterizeErrors(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+	if err := in.RunString(`(parameterize ([unknown-param 1]) 2)`); err == nil {
+		t.Fatal("unsupported parameter accepted")
+	}
+}
+
+func TestDeepRecursionViaMutualTailCalls(t *testing.T) {
+	src := `
+(define (ping n) (if (zero? n) 'done (pong (sub1 n))))
+(define (pong n) (ping n))
+(ping 300000)`
+	if got := interp.WriteString(evalValue(t, src)); got != "done" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestShadowingBuiltins(t *testing.T) {
+	src := `
+(define (car x) 'shadowed)
+(car '(1 2))`
+	if got := interp.WriteString(evalValue(t, src)); got != "shadowed" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestClosureCapturesLoopVariableViaLet(t *testing.T) {
+	src := `
+(define fs
+  (let loop ([i 0] [acc '()])
+    (if (= i 3)
+        (reverse acc)
+        (loop (add1 i) (cons (lambda () i) acc)))))
+(map (lambda (f) (f)) fs)`
+	if got := interp.WriteString(evalValue(t, src)); got != "(0 1 2)" {
+		t.Fatalf("got %s", got)
+	}
+}

@@ -1,0 +1,474 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+)
+
+// run evaluates src on a fresh runtime and returns printed output.
+func run(t *testing.T, src string) string {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+	var out strings.Builder
+	in.SetOutput(&out)
+	if err := in.RunString(src); err != nil {
+		t.Fatalf("RunString: %v\noutput so far:\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+// evalValue evaluates src and returns the last form's value.
+func evalValue(t *testing.T, src string) interp.Value {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+	var v interp.Value
+	var evalErr error
+	err := rt.Run(func(th *core.Thread) {
+		v, evalErr = in.EvalString(th, src)
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if evalErr != nil {
+		t.Fatalf("EvalString: %v", evalErr)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want interp.Value
+	}{
+		{"(+ 1 2 3)", int64(6)},
+		{"(- 10 3 2)", int64(5)},
+		{"(- 4)", int64(-4)},
+		{"(* 2 3 4)", int64(24)},
+		{"(/ 10 4)", 2.5},
+		{"(modulo -7 3)", int64(2)},
+		{"(remainder -7 3)", int64(-1)},
+		{"(quotient 17 5)", int64(3)},
+		{"(max 1 9 4)", int64(9)},
+		{"(min 3 -2 8)", int64(-2)},
+		{"(add1 41)", int64(42)},
+		{"(sub1 43)", int64(42)},
+		{"(< 1 2 3)", true},
+		{"(< 1 3 2)", false},
+		{"(= 2 2 2)", true},
+		{"(+ 1 2.5)", 3.5},
+	}
+	for _, c := range cases {
+		if got := evalValue(t, c.src); got != c.want {
+			t.Errorf("%s = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestListsAndPredicates(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"(cons 1 2)", "(1 . 2)"},
+		{"(list 1 2 3)", "(1 2 3)"},
+		{"(car '(a b))", "a"},
+		{"(cdr '(a b))", "(b)"},
+		{"(cadr '(a b c))", "b"},
+		{"(append '(1 2) '(3) '())", "(1 2 3)"},
+		{"(reverse '(1 2 3))", "(3 2 1)"},
+		{"(length '(a b c))", "3"},
+		{"(map (lambda (x) (* x x)) '(1 2 3))", "(1 4 9)"},
+		{"(filter odd? '(1 2 3 4 5))", "(1 3 5)"},
+		{"(remove 2 '(1 2 3 2))", "(1 3 2)"},
+		{"(member 2 '(1 2 3))", "(2 3)"},
+		{"(apply + 1 2 '(3 4))", "10"},
+		{"(null? '())", "#t"},
+		{"(pair? '(1))", "#t"},
+		{"(equal? '(1 (2)) '(1 (2)))", "#t"},
+		{"(eq? 'a 'a)", "#t"},
+		{"(list-ref '(a b c) 1)", "b"},
+	}
+	for _, c := range cases {
+		if got := interp.WriteString(evalValue(t, c.src)); got != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestSpecialForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"(if #t 'yes 'no)", "yes"},
+		{"(if #f 'yes 'no)", "no"},
+		{"(if 0 'yes 'no)", "yes"}, // only #f is false
+		{"(cond (#f 1) (else 2))", "2"},
+		{"(cond ((= 1 1) 'eq))", "eq"},
+		{"(and 1 2 3)", "3"},
+		{"(and 1 #f 3)", "#f"},
+		{"(or #f #f 7)", "7"},
+		{"(or #f)", "#f"},
+		{"(when #t 1 2)", "2"},
+		{"(unless #f 'ran)", "ran"},
+		{"(let ([x 2] [y 3]) (+ x y))", "5"},
+		{"(let* ([x 2] [y (* x x)]) y)", "4"},
+		{"(letrec ([even2? (lambda (n) (if (zero? n) #t (odd2? (- n 1))))] [odd2? (lambda (n) (if (zero? n) #f (even2? (- n 1))))]) (even2? 10))", "#t"},
+		{"(begin 1 2 3)", "3"},
+		{"(let loop ([i 0] [acc '()]) (if (= i 3) (reverse acc) (loop (add1 i) (cons i acc))))", "(0 1 2)"},
+	}
+	for _, c := range cases {
+		if got := interp.WriteString(evalValue(t, c.src)); got != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestClosuresAndState(t *testing.T) {
+	src := `
+(define (make-counter)
+  (let ([n 0])
+    (lambda () (set! n (add1 n)) n)))
+(define c1 (make-counter))
+(define c2 (make-counter))
+(c1) (c1)
+(list (c1) (c2))`
+	if got := interp.WriteString(evalValue(t, src)); got != "(3 1)" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestProperTailCalls(t *testing.T) {
+	// A million-iteration self tail call must not grow the stack.
+	src := `
+(define (loop i)
+  (if (zero? i) 'done (loop (sub1 i))))
+(loop 1000000)`
+	if got := interp.WriteString(evalValue(t, src)); got != "done" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestDefineStruct(t *testing.T) {
+	src := `
+(define-struct point (x y))
+(define p (make-point 3 4))
+(list (point? p) (point? 5) (point-x p) (point-y p))`
+	if got := interp.WriteString(evalValue(t, src)); got != "(#t #f 3 4)" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestVariadicLambda(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"((lambda args args) 1 2 3)", "(1 2 3)"},
+		{"((lambda (a . rest) (list a rest)) 1 2 3)", "(1 (2 3))"},
+	}
+	for _, c := range cases {
+		if got := interp.WriteString(evalValue(t, c.src)); got != c.want {
+			t.Errorf("%s = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestPrintfAndFormat(t *testing.T) {
+	out := run(t, `(printf "x=~a y=~s~n" 42 "hi")`)
+	if out != "x=42 y=\"hi\"\n" {
+		t.Fatalf("got %q", out)
+	}
+	if got := evalValue(t, `(format "~a-~a" 1 2)`); got != "1-2" {
+		t.Fatalf("format: %v", got)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+	for _, src := range []string{"(", "(1 . )", `"unterminated`, "#q", ")"} {
+		if err := in.RunString(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestSchemeErrors(t *testing.T) {
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	in := interp.New(rt)
+	for _, src := range []string{
+		"unbound",
+		"(car 5)",
+		"(1 2)",
+		"(error \"boom\")",
+		"(/ 1 0)",
+		"(set! nope 1)",
+	} {
+		if err := in.RunString(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestThreadsAndChannels(t *testing.T) {
+	out := run(t, `
+(define c (channel))
+(spawn (lambda () (sync (channel-send-evt c "Hello"))))
+(printf "~a~n" (sync (channel-recv-evt c)))`)
+	if out != "Hello\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestChoiceAndWrapInScheme(t *testing.T) {
+	out := run(t, `
+(define c1 (channel))
+(define c2 (channel))
+(spawn (lambda () (sync (channel-send-evt c1 "Hello"))))
+(spawn (lambda () (sync (channel-send-evt c2 "Nihao"))))
+(define cc (choice-evt
+  (wrap-evt (channel-recv-evt c1) (lambda (x) (list x "from 1")))
+  (wrap-evt (channel-recv-evt c2) (lambda (x) (list x "from 2")))))
+(define a (sync cc))
+(define b (sync cc))
+(printf "~a~n" (length (list a b)))`)
+	if out != "2\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestThreadDoneEvtInScheme(t *testing.T) {
+	out := run(t, `
+(define t1 (spawn (lambda () (printf "Hello~n"))))
+(sync (thread-done-evt t1))
+(printf "Bye~n")`)
+	if out != "Hello\nBye\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestGuardTimeoutInScheme(t *testing.T) {
+	// The paper's one-sec-timeout example, scaled down.
+	out := run(t, `
+(define short-timeout
+  (guard-evt (lambda () (time-evt (+ 5 (current-time))))))
+(sync short-timeout)
+(sync short-timeout)
+(printf "twice~n")`)
+	if out != "twice\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestNackGuardInScheme(t *testing.T) {
+	// The paper's Section 5 nack example: the guarded event loses, so its
+	// nack fires and the watcher prints.
+	out := run(t, `
+(define done (channel))
+(sync (choice-evt
+       (wrap-evt (after-evt 1) (lambda (void) "Hello"))
+       (nack-guard-evt
+        (lambda (nack)
+          (spawn (lambda () (sync nack) (sync (channel-send-evt done 'nacked))))
+          (channel-recv-evt (channel))))))
+(printf "~a~n" (sync (channel-recv-evt done)))`)
+	if out != "nacked\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestCustodianInScheme(t *testing.T) {
+	out := run(t, `
+(define cust (make-custodian))
+(define t
+  (parameterize ([current-custodian cust])
+    (spawn (lambda () (sleep 100000)))))
+(custodian-shutdown-all cust)
+(printf "suspended=~a~n" (thread-suspended? t))
+(thread-resume t)                ; no custodian: no effect
+(printf "still=~a~n" (thread-suspended? t))`)
+	if out != "suspended=#t\nstill=#t\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestThreadResumeYokeInScheme(t *testing.T) {
+	out := run(t, `
+(define c1 (make-custodian))
+(define c2 (make-custodian))
+(define t1 (parameterize ([current-custodian c1]) (spawn (lambda () (sleep 100000)))))
+(define t2 (parameterize ([current-custodian c2]) (spawn (lambda () (sleep 100000)))))
+(thread-resume t1 t2)            ; t1 survives at least as long as t2
+(custodian-shutdown-all c1)
+(printf "after-c1=~a~n" (thread-suspended? t1))
+(custodian-shutdown-all c2)
+(printf "after-c2=~a~n" (thread-suspended? t1))`)
+	if out != "after-c1=#f\nafter-c2=#t\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+// figure7Queue is the paper's Figure 7 — the complete kill-safe queue —
+// transcribed into mzmini.
+const figure7Queue = `
+(define-struct q (in-ch out-ch mgr-t))
+
+(define (queue)
+  (define in-ch (channel))
+  (define out-ch (channel))
+  (define (serve items)
+    (if (null? items)
+        (serve (list (sync (channel-recv-evt in-ch))))
+        (sync
+         (choice-evt
+          (wrap-evt (channel-recv-evt in-ch)
+                    (lambda (v)
+                      (serve (append items (list v)))))
+          (wrap-evt (channel-send-evt out-ch (car items))
+                    (lambda (void)
+                      (serve (cdr items))))))))
+  (define mgr-t (spawn (lambda () (serve (list)))))
+  (make-q in-ch out-ch mgr-t))
+
+(define (queue-send-evt q v)
+  (guard-evt
+   (lambda ()
+     (thread-resume (q-mgr-t q) (current-thread))
+     (channel-send-evt (q-in-ch q) v))))
+
+(define (queue-recv-evt q)
+  (guard-evt
+   (lambda ()
+     (thread-resume (q-mgr-t q) (current-thread))
+     (channel-recv-evt (q-out-ch q)))))
+`
+
+func TestFigure7QueueInScheme(t *testing.T) {
+	out := run(t, figure7Queue+`
+(define q (queue))
+(sync (queue-send-evt q "Hello"))
+(sync (queue-send-evt q "Bye"))
+(printf "~a~n" (sync (queue-recv-evt q)))
+(printf "~a~n" (sync (queue-recv-evt q)))`)
+	if out != "Hello\nBye\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestFigure7QueueIsKillSafeInScheme(t *testing.T) {
+	// The paper's Section 4 scenario, in Scheme: t1 (custodian c1)
+	// creates the queue; c1 is shut down; t2 can still use the queue
+	// because the guard resumes and re-custodies the manager.
+	out := run(t, figure7Queue+`
+(define c1 (make-custodian))
+(define hand-off (channel))
+(parameterize ([current-custodian c1])
+  (spawn (lambda ()
+           (define q (queue))
+           (sync (queue-send-evt q 10))
+           (sync (channel-send-evt hand-off q))
+           (sleep 100000))))
+(define q (sync (channel-recv-evt hand-off)))
+(custodian-shutdown-all c1)
+(printf "suspended=~a~n" (thread-suspended? (q-mgr-t q)))
+(printf "got=~a~n" (sync (queue-recv-evt q)))
+(sync (queue-send-evt q 11))
+(printf "then=~a~n" (sync (queue-recv-evt q)))`)
+	want := "suspended=#t\ngot=10\nthen=11\n"
+	if out != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}
+
+func TestUnsafeQueueWedgesInScheme(t *testing.T) {
+	// Figure 5's flaw, demonstrated in Scheme: without the guards, after
+	// c1 dies a send gets stuck, and the probe's timeout wins instead.
+	out := run(t, `
+(define-struct q (in-ch out-ch mgr-t))
+(define (queue)
+  (define in-ch (channel))
+  (define out-ch (channel))
+  (define (serve items)
+    (if (null? items)
+        (serve (list (sync (channel-recv-evt in-ch))))
+        (sync
+         (choice-evt
+          (wrap-evt (channel-recv-evt in-ch)
+                    (lambda (v) (serve (append items (list v)))))
+          (wrap-evt (channel-send-evt out-ch (car items))
+                    (lambda (void) (serve (cdr items))))))))
+  (define mgr-t (spawn (lambda () (serve (list)))))
+  (make-q in-ch out-ch mgr-t))
+(define c1 (make-custodian))
+(define hand-off (channel))
+(parameterize ([current-custodian c1])
+  (spawn (lambda ()
+           (sync (channel-send-evt hand-off (queue)))
+           (sleep 100000))))
+(define q (sync (channel-recv-evt hand-off)))
+(custodian-shutdown-all c1)
+(printf "~a~n"
+  (sync (choice-evt
+         (wrap-evt (channel-send-evt (q-in-ch q) 10) (lambda (void) 'sent))
+         (wrap-evt (after-evt 30) (lambda (void) 'stuck)))))`)
+	if out != "stuck\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestBreakInScheme(t *testing.T) {
+	out := run(t, `
+(define done (channel))
+(define t (spawn (lambda ()
+                   (sync (channel-recv-evt (channel))))))
+(sleep 5)
+(break-thread t)
+(sync (thread-done-evt t))
+(printf "broke~n")`)
+	// The break unwinds the thread's blocking sync; the thread's error
+	// handler reports it and the thread finishes.
+	if !strings.Contains(out, "broke") {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestSemaphoreInScheme(t *testing.T) {
+	out := run(t, `
+(define s (make-semaphore 0))
+(define c (channel))
+(spawn (lambda () (semaphore-wait s) (sync (channel-send-evt c 'acquired))))
+(semaphore-post s)
+(printf "~a~n" (sync (channel-recv-evt c)))`)
+	if out != "acquired\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestKillThreadFiresNackInScheme(t *testing.T) {
+	out := run(t, `
+(define report (channel))
+(define victim
+  (spawn (lambda ()
+           (sync (nack-guard-evt
+                  (lambda (nack)
+                    (spawn (lambda ()
+                             (sync nack)
+                             (sync (channel-send-evt report 'gave-up))))
+                    (channel-recv-evt (channel))))))))
+(sleep 5)
+(kill-thread victim)
+(printf "~a~n" (sync (channel-recv-evt report)))`)
+	if out != "gave-up\n" {
+		t.Fatalf("got %q", out)
+	}
+}

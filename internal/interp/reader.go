@@ -1,0 +1,215 @@
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// reader parses s-expressions.
+type reader struct {
+	src []rune
+	pos int
+}
+
+// ReadAll parses every top-level form in src.
+func ReadAll(src string) ([]Value, error) {
+	r := &reader{src: []rune(src)}
+	var forms []Value
+	for {
+		r.skipAtmosphere()
+		if r.eof() {
+			return forms, nil
+		}
+		form, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		forms = append(forms, form)
+	}
+}
+
+func (r *reader) eof() bool { return r.pos >= len(r.src) }
+
+func (r *reader) peek() rune { return r.src[r.pos] }
+
+func (r *reader) next() rune {
+	c := r.src[r.pos]
+	r.pos++
+	return c
+}
+
+// skipAtmosphere skips whitespace and comments (; to end of line, #| |#
+// block comments).
+func (r *reader) skipAtmosphere() {
+	for !r.eof() {
+		c := r.peek()
+		switch {
+		case unicode.IsSpace(c):
+			r.pos++
+		case c == ';':
+			for !r.eof() && r.peek() != '\n' {
+				r.pos++
+			}
+		case c == '#' && r.pos+1 < len(r.src) && r.src[r.pos+1] == '|':
+			depth := 1
+			r.pos += 2
+			for !r.eof() && depth > 0 {
+				if r.pos+1 < len(r.src) && r.src[r.pos] == '#' && r.src[r.pos+1] == '|' {
+					depth++
+					r.pos += 2
+				} else if r.pos+1 < len(r.src) && r.src[r.pos] == '|' && r.src[r.pos+1] == '#' {
+					depth--
+					r.pos += 2
+				} else {
+					r.pos++
+				}
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (r *reader) read() (Value, error) {
+	r.skipAtmosphere()
+	if r.eof() {
+		return nil, fmt.Errorf("mzmini: unexpected end of input")
+	}
+	c := r.peek()
+	switch {
+	case c == '(' || c == '[':
+		return r.readList(c)
+	case c == ')' || c == ']':
+		return nil, fmt.Errorf("mzmini: unexpected %q", c)
+	case c == '\'':
+		r.pos++
+		q, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		return List(Symbol("quote"), q), nil
+	case c == '"':
+		return r.readString()
+	case c == '#':
+		return r.readHash()
+	default:
+		return r.readAtom()
+	}
+}
+
+func (r *reader) readList(open rune) (Value, error) {
+	close := ')'
+	if open == '[' {
+		close = ']'
+	}
+	r.pos++ // consume open
+	var items []Value
+	var tail Value = Empty{}
+	for {
+		r.skipAtmosphere()
+		if r.eof() {
+			return nil, fmt.Errorf("mzmini: unterminated list")
+		}
+		if r.peek() == close {
+			r.pos++
+			break
+		}
+		if r.peek() == '.' && r.pos+1 < len(r.src) && isDelimiter(r.src[r.pos+1]) {
+			r.pos++
+			t, err := r.read()
+			if err != nil {
+				return nil, err
+			}
+			tail = t
+			r.skipAtmosphere()
+			if r.eof() || r.next() != close {
+				return nil, fmt.Errorf("mzmini: malformed dotted list")
+			}
+			break
+		}
+		item, err := r.read()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	out := tail
+	for i := len(items) - 1; i >= 0; i-- {
+		out = Cons(items[i], out)
+	}
+	return out, nil
+}
+
+func (r *reader) readString() (Value, error) {
+	r.pos++ // consume quote
+	var sb strings.Builder
+	for {
+		if r.eof() {
+			return nil, fmt.Errorf("mzmini: unterminated string")
+		}
+		c := r.next()
+		switch c {
+		case '"':
+			return sb.String(), nil
+		case '\\':
+			if r.eof() {
+				return nil, fmt.Errorf("mzmini: unterminated string escape")
+			}
+			e := r.next()
+			switch e {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"', '\\':
+				sb.WriteRune(e)
+			default:
+				return nil, fmt.Errorf("mzmini: unknown string escape \\%c", e)
+			}
+		default:
+			sb.WriteRune(c)
+		}
+	}
+}
+
+func (r *reader) readHash() (Value, error) {
+	r.pos++ // consume '#'
+	if r.eof() {
+		return nil, fmt.Errorf("mzmini: lone #")
+	}
+	c := r.next()
+	switch c {
+	case 't':
+		return true, nil
+	case 'f':
+		return false, nil
+	default:
+		return nil, fmt.Errorf("mzmini: unsupported reader syntax #%c", c)
+	}
+}
+
+func isDelimiter(c rune) bool {
+	return unicode.IsSpace(c) || strings.ContainsRune("()[]\";", c)
+}
+
+func (r *reader) readAtom() (Value, error) {
+	start := r.pos
+	for !r.eof() && !isDelimiter(r.peek()) {
+		r.pos++
+	}
+	tok := string(r.src[start:r.pos])
+	if tok == "" {
+		return nil, fmt.Errorf("mzmini: empty token")
+	}
+	if n, err := strconv.ParseInt(tok, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(tok, 64); err == nil {
+		return f, nil
+	}
+	return Symbol(tok), nil
+}

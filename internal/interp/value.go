@@ -1,0 +1,245 @@
+// Package interp implements "mzmini", a small Scheme interpreter exposing
+// the task and event primitives of internal/core under the names the paper
+// uses — spawn, make-custodian, custodian-shutdown-all, thread-resume,
+// sync, channel, choice-evt, wrap-evt, guard-evt, nack-guard-evt, and so
+// on — so that the code in the paper's Figures 5–12 runs essentially as
+// written. It is a tree-walking evaluator with proper tail calls (manager
+// loops like the queue's serve recur indefinitely), lexical closures,
+// define-struct, and parameterize for current-custodian and break-enabled.
+package interp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Value is any Scheme value. The representations are:
+//
+//	Symbol          symbols
+//	int64, float64  numbers
+//	string          strings
+//	bool            booleans
+//	*Pair, Empty    lists
+//	Void            the unspecified value
+//	*Closure        lambdas
+//	*Builtin        primitive procedures
+//	*StructType     a define-struct type descriptor
+//	*StructVal      a structure instance
+//	*core.Thread, *core.Custodian, *core.Chan, core.Event, *core.Semaphore
+//	                runtime objects, passed through opaquely
+type Value = any
+
+// Symbol is a Scheme symbol.
+type Symbol string
+
+// Empty is the empty list '().
+type Empty struct{}
+
+// Void is the unspecified value returned by define, set!, printf, etc.
+type Void struct{}
+
+// Pair is a cons cell. Pairs are immutable (mzmini has no set-car!).
+type Pair struct {
+	Car Value
+	Cdr Value
+}
+
+// Cons builds a pair.
+func Cons(car, cdr Value) *Pair { return &Pair{Car: car, Cdr: cdr} }
+
+// List builds a proper list.
+func List(items ...Value) Value {
+	var out Value = Empty{}
+	for i := len(items) - 1; i >= 0; i-- {
+		out = Cons(items[i], out)
+	}
+	return out
+}
+
+// listToSlice converts a proper list to a slice; it panics on improper
+// lists.
+func listToSlice(v Value) []Value {
+	var out []Value
+	for {
+		switch x := v.(type) {
+		case Empty:
+			return out
+		case *Pair:
+			out = append(out, x.Car)
+			v = x.Cdr
+		default:
+			panic(&Error{Msg: "expected a proper list"})
+		}
+	}
+}
+
+// Closure is a user-defined procedure.
+type Closure struct {
+	Name   string
+	Params []Symbol
+	Rest   Symbol // "" if none
+	Body   []Value
+	Env    *Env
+}
+
+// Builtin is a primitive procedure.
+type Builtin struct {
+	Name string
+	Fn   func(ctx *Ctx, args []Value) Value
+}
+
+// StructType describes a define-struct type.
+type StructType struct {
+	Name   Symbol
+	Fields []Symbol
+}
+
+// StructVal is an instance of a StructType.
+type StructVal struct {
+	Type   *StructType
+	Fields []Value
+}
+
+// Error is a Scheme-level error, raised as a Go panic and recovered at the
+// interpreter's entry points.
+type Error struct {
+	Msg string
+}
+
+func (e *Error) Error() string { return "mzmini: " + e.Msg }
+
+func raise(format string, args ...any) {
+	panic(&Error{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Env is a lexical environment frame. Frames are shared across interpreter
+// threads, so access is locked.
+type Env struct {
+	mu     sync.RWMutex
+	vars   map[Symbol]Value
+	parent *Env
+}
+
+// NewEnv creates a frame with the given parent (nil for the global frame).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: make(map[Symbol]Value), parent: parent}
+}
+
+// Lookup resolves a symbol, panicking with a Scheme error if unbound.
+func (e *Env) Lookup(s Symbol) Value {
+	for f := e; f != nil; f = f.parent {
+		f.mu.RLock()
+		v, ok := f.vars[s]
+		f.mu.RUnlock()
+		if ok {
+			return v
+		}
+	}
+	raise("unbound identifier: %s", s)
+	return nil
+}
+
+// Define binds s in this frame.
+func (e *Env) Define(s Symbol, v Value) {
+	e.mu.Lock()
+	e.vars[s] = v
+	e.mu.Unlock()
+}
+
+// Set assigns to the nearest binding of s, panicking if unbound.
+func (e *Env) Set(s Symbol, v Value) {
+	for f := e; f != nil; f = f.parent {
+		f.mu.Lock()
+		if _, ok := f.vars[s]; ok {
+			f.vars[s] = v
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Unlock()
+	}
+	raise("set!: unbound identifier: %s", s)
+}
+
+// WriteString renders a value in write notation (strings quoted).
+func WriteString(v Value) string {
+	var sb strings.Builder
+	writeValue(&sb, v, true)
+	return sb.String()
+}
+
+// DisplayString renders a value in display notation (strings bare).
+func DisplayString(v Value) string {
+	var sb strings.Builder
+	writeValue(&sb, v, false)
+	return sb.String()
+}
+
+func writeValue(sb *strings.Builder, v Value, quoted bool) {
+	switch x := v.(type) {
+	case nil:
+		sb.WriteString("#<nil>")
+	case Symbol:
+		sb.WriteString(string(x))
+	case bool:
+		if x {
+			sb.WriteString("#t")
+		} else {
+			sb.WriteString("#f")
+		}
+	case int64:
+		fmt.Fprintf(sb, "%d", x)
+	case float64:
+		fmt.Fprintf(sb, "%g", x)
+	case string:
+		if quoted {
+			fmt.Fprintf(sb, "%q", x)
+		} else {
+			sb.WriteString(x)
+		}
+	case Empty:
+		sb.WriteString("()")
+	case Void:
+		sb.WriteString("#<void>")
+	case *Pair:
+		sb.WriteByte('(')
+		writeValue(sb, x.Car, quoted)
+		rest := x.Cdr
+		for {
+			switch r := rest.(type) {
+			case *Pair:
+				sb.WriteByte(' ')
+				writeValue(sb, r.Car, quoted)
+				rest = r.Cdr
+				continue
+			case Empty:
+				sb.WriteByte(')')
+				return
+			default:
+				sb.WriteString(" . ")
+				writeValue(sb, rest, quoted)
+				sb.WriteByte(')')
+				return
+			}
+		}
+	case *Closure:
+		name := x.Name
+		if name == "" {
+			name = "lambda"
+		}
+		fmt.Fprintf(sb, "#<procedure:%s>", name)
+	case *Builtin:
+		fmt.Fprintf(sb, "#<procedure:%s>", x.Name)
+	case *StructType:
+		fmt.Fprintf(sb, "#<struct-type:%s>", x.Name)
+	case *StructVal:
+		fmt.Fprintf(sb, "#<%s", x.Type.Name)
+		for _, f := range x.Fields {
+			sb.WriteByte(' ')
+			writeValue(sb, f, quoted)
+		}
+		sb.WriteByte('>')
+	default:
+		fmt.Fprintf(sb, "#<%T>", v)
+	}
+}

@@ -1,0 +1,260 @@
+// Package web implements the paper's motivating scenario (Section 2) as a
+// runnable substrate: an in-process web server whose servlet sessions are
+// tasks that the administrator may terminate at any time, plus the
+// in-process browser of the DrScheme help system (Section 2.2). Server and
+// browser communicate through socket-like kill-safe byte streams
+// (abstractions/pipe) rather than TCP, exactly as the help system does.
+//
+// Each session runs its servlet code in a thread under a per-session
+// custodian that is a child of the server's custodian: the administrator
+// can terminate one misbehaving session (Terminate), or the whole server
+// (its custodian), and — per the paper — terminating a session never
+// corrupts or freezes the kill-safe abstractions that sessions share.
+package web
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/abstractions/pipe"
+	"repro/internal/core"
+)
+
+// Request is a parsed servlet request.
+type Request struct {
+	Method string
+	Path   string
+	Query  map[string]string
+}
+
+// Response is a servlet's answer.
+type Response struct {
+	Status int
+	Body   string
+}
+
+// Servlet handles requests for one route. It runs on the session's thread,
+// under the session's custodian: anything it spawns or allocates dies with
+// the session unless it is a kill-safe shared abstraction.
+type Servlet func(th *core.Thread, s *Session, req *Request) Response
+
+// Server is the in-process web server.
+type Server struct {
+	rt   *core.Runtime
+	cust *core.Custodian
+
+	mu       sync.Mutex
+	routes   map[string]Servlet
+	sessions map[int]*Session
+	nextID   int
+	board    map[string]any
+}
+
+// Session is one browser connection's server-side state.
+type Session struct {
+	ID   int
+	srv  *Server
+	cust *core.Custodian
+}
+
+// NewServer creates a server whose sessions live under a fresh custodian
+// that is a child of the creating thread's current custodian.
+func NewServer(th *core.Thread) *Server {
+	return &Server{
+		rt:       th.Runtime(),
+		cust:     core.NewCustodian(th.CurrentCustodian()),
+		routes:   make(map[string]Servlet),
+		sessions: make(map[int]*Session),
+		board:    make(map[string]any),
+	}
+}
+
+// Handle registers a servlet for a path.
+func (srv *Server) Handle(path string, s Servlet) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	srv.routes[path] = s
+}
+
+// Publish places a value on the server's discovery board, which is how
+// two servlet sessions find the abstractions they share (the paper's
+// sessions "discover each other and wish to communicate").
+func (srv *Server) Publish(key string, v any) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	srv.board[key] = v
+}
+
+// Lookup retrieves a published value.
+func (srv *Server) Lookup(key string) (any, bool) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	v, ok := srv.board[key]
+	return v, ok
+}
+
+// Sessions returns the IDs of live sessions.
+func (srv *Server) Sessions() []int {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	out := make([]int, 0, len(srv.sessions))
+	for id := range srv.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Terminate shuts down one session's custodian: its servlet threads and
+// everything they allocated stop. This is the administrator's hammer for
+// a misbehaving session.
+func (srv *Server) Terminate(id int) {
+	srv.mu.Lock()
+	s := srv.sessions[id]
+	delete(srv.sessions, id)
+	srv.mu.Unlock()
+	if s != nil {
+		s.cust.Shutdown()
+	}
+}
+
+// Shutdown terminates every session and the server itself.
+func (srv *Server) Shutdown() {
+	srv.cust.Shutdown()
+	srv.mu.Lock()
+	srv.sessions = make(map[int]*Session)
+	srv.mu.Unlock()
+}
+
+// Custodian exposes the server's custodian (for nesting tests: running a
+// whole server under a disposable custodian).
+func (srv *Server) Custodian() *core.Custodian { return srv.cust }
+
+// Connect opens a new browser connection: the server spawns a session
+// handler under a fresh per-session custodian and returns the browser's
+// endpoint. The connection's streams are created by the *browser's* thread
+// so they survive session termination — they are shared, kill-safe
+// abstractions, guarded on every operation.
+func (srv *Server) Connect(th *core.Thread) (*Browser, *Session) {
+	browserEnd, serverEnd := pipe.NewConnPair(th)
+
+	cust := core.NewCustodian(srv.cust)
+	s := &Session{srv: srv, cust: cust}
+	srv.mu.Lock()
+	srv.nextID++
+	s.ID = srv.nextID
+	srv.sessions[s.ID] = s
+	srv.mu.Unlock()
+
+	th.WithCustodian(cust, func() {
+		th.Spawn(fmt.Sprintf("session-%d", s.ID), func(x *core.Thread) {
+			s.serve(x, serverEnd)
+		})
+	})
+	return &Browser{conn: browserEnd}, s
+}
+
+// serve reads requests off the connection and dispatches servlets.
+func (s *Session) serve(th *core.Thread, conn *pipe.Conn) {
+	r := conn.Reader(th)
+	for {
+		line, err := r.ReadLine()
+		if err != nil {
+			return // EOF, break, or termination
+		}
+		req := parseRequest(line)
+		s.srv.mu.Lock()
+		servlet := s.srv.routes[req.Path]
+		s.srv.mu.Unlock()
+
+		var resp Response
+		if servlet == nil {
+			resp = Response{Status: 404, Body: "not found: " + req.Path}
+		} else {
+			resp = servlet(th, s, req)
+		}
+		if err := writeResponse(th, conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func parseRequest(line string) *Request {
+	req := &Request{Method: "GET", Query: map[string]string{}}
+	fields := strings.Fields(line)
+	target := ""
+	switch len(fields) {
+	case 0:
+		return req
+	case 1:
+		target = fields[0]
+	default:
+		req.Method = fields[0]
+		target = fields[1]
+	}
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		for _, kv := range strings.Split(target[i+1:], "&") {
+			if kv == "" {
+				continue
+			}
+			k, v, _ := strings.Cut(kv, "=")
+			req.Query[k] = v
+		}
+		target = target[:i]
+	}
+	req.Path = target
+	return req
+}
+
+func writeResponse(th *core.Thread, conn *pipe.Conn, resp Response) error {
+	header := fmt.Sprintf("%d %d\n", resp.Status, len(resp.Body))
+	if _, err := conn.WriteString(th, header); err != nil {
+		return err
+	}
+	_, err := conn.WriteString(th, resp.Body)
+	return err
+}
+
+// Browser is the client endpoint: the in-process browser of the help
+// system.
+type Browser struct {
+	mu     sync.Mutex
+	conn   *pipe.Conn
+	reader *pipe.Reader
+}
+
+// Get issues a request and reads the response. Safe for use by one thread
+// at a time per Browser.
+func (b *Browser) Get(th *core.Thread, target string) (int, string, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, err := b.conn.WriteString(th, "GET "+target+"\n"); err != nil {
+		return 0, "", err
+	}
+	if b.reader == nil {
+		b.reader = b.conn.Reader(th)
+	}
+	b.reader.Use(th)
+	header, err := b.reader.ReadLine()
+	if err != nil {
+		return 0, "", err
+	}
+	var status, n int
+	if _, err := fmt.Sscanf(header, "%d %d", &status, &n); err != nil {
+		return 0, "", fmt.Errorf("web: malformed response header %q", header)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(b.reader, body); err != nil {
+		return 0, "", err
+	}
+	return status, string(body), nil
+}
+
+// Close closes the browser's outgoing stream; the session handler sees
+// EOF and exits.
+func (b *Browser) Close(th *core.Thread) error { return b.conn.Close(th) }
+
+// Itoa is a tiny convenience for servlets building query strings.
+func Itoa(v int) string { return strconv.Itoa(v) }

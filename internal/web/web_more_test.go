@@ -1,0 +1,134 @@
+package web_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/web"
+)
+
+func TestBrowserCloseEndsSession(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		b, _ := srv.Connect(th)
+		if err := b.Close(th); err != nil {
+			t.Fatal(err)
+		}
+		// The session handler sees EOF and returns; give it a moment.
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.LiveThreads() > 3 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		// A fresh connection still works.
+		srv.Handle("/ping", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+			return web.Response{Status: 200, Body: "pong"}
+		})
+		b2, _ := srv.Connect(th)
+		if _, body, err := b2.Get(th, "/ping"); err != nil || body != "pong" {
+			t.Fatalf("(%q, %v)", body, err)
+		}
+	})
+}
+
+func TestEmptyAndOddRequests(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+			return web.Response{Status: 200, Body: "empty-path"}
+		})
+		srv.Handle("/x", func(_ *core.Thread, _ *web.Session, req *web.Request) web.Response {
+			return web.Response{Status: 200, Body: req.Method}
+		})
+		b, _ := srv.Connect(th)
+		// Bare path without a method parses as GET.
+		if _, body, err := b.Get(th, "/x"); err != nil || body != "GET" {
+			t.Fatalf("(%q, %v)", body, err)
+		}
+	})
+}
+
+func TestPublishLookup(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		if _, ok := srv.Lookup("missing"); ok {
+			t.Fatal("lookup of missing key succeeded")
+		}
+		srv.Publish("k", 42)
+		v, ok := srv.Lookup("k")
+		if !ok || v != 42 {
+			t.Fatalf("(%v, %v)", v, ok)
+		}
+		srv.Publish("k", 43) // republish overwrites
+		if v, _ := srv.Lookup("k"); v != 43 {
+			t.Fatalf("got %v", v)
+		}
+	})
+}
+
+func TestManyConcurrentSessions(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("/echo", func(_ *core.Thread, s *web.Session, req *web.Request) web.Response {
+			return web.Response{Status: 200, Body: fmt.Sprintf("%d:%s", s.ID, req.Query["v"])}
+		})
+		const sessions, requests = 6, 15
+		done := make(chan error, sessions)
+		for i := 0; i < sessions; i++ {
+			b, s := srv.Connect(th)
+			b, sid := b, s.ID
+			th.Spawn("client", func(x *core.Thread) {
+				for j := 0; j < requests; j++ {
+					want := fmt.Sprintf("%d:%d", sid, j)
+					_, body, err := b.Get(x, fmt.Sprintf("/echo?v=%d", j))
+					if err != nil {
+						done <- err
+						return
+					}
+					if body != want {
+						done <- fmt.Errorf("got %q want %q", body, want)
+						return
+					}
+				}
+				done <- nil
+			})
+		}
+		for i := 0; i < sessions; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(20 * time.Second):
+				t.Fatal("sessions stalled")
+			}
+		}
+	})
+}
+
+func TestServerShutdownUnderLoad(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("/slow", func(x *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+			_ = core.Sleep(x, time.Millisecond)
+			return web.Response{Status: 200, Body: "ok"}
+		})
+		for i := 0; i < 4; i++ {
+			b, _ := srv.Connect(th)
+			th.Spawn("hammer", func(x *core.Thread) {
+				for {
+					if _, _, err := b.Get(x, "/slow"); err != nil {
+						return
+					}
+				}
+			})
+		}
+		time.Sleep(10 * time.Millisecond)
+		srv.Shutdown() // must not deadlock with requests in flight
+		if n := len(srv.Sessions()); n != 0 {
+			t.Fatalf("%d sessions after shutdown", n)
+		}
+		rt.TerminateCondemned()
+	})
+}

@@ -1,0 +1,218 @@
+package web_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/doc"
+	"repro/internal/web"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestBasicRequestResponse(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("/hello", func(_ *core.Thread, _ *web.Session, req *web.Request) web.Response {
+			name := req.Query["name"]
+			if name == "" {
+				name = "world"
+			}
+			return web.Response{Status: 200, Body: "hello " + name}
+		})
+		b, _ := srv.Connect(th)
+		status, body, err := b.Get(th, "/hello?name=plt")
+		if err != nil || status != 200 || body != "hello plt" {
+			t.Fatalf("(%d, %q, %v)", status, body, err)
+		}
+	})
+}
+
+func TestNotFound(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		b, _ := srv.Connect(th)
+		status, body, err := b.Get(th, "/missing")
+		if err != nil || status != 404 {
+			t.Fatalf("(%d, %q, %v)", status, body, err)
+		}
+	})
+}
+
+func TestQueryParsing(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("/echo", func(_ *core.Thread, _ *web.Session, req *web.Request) web.Response {
+			var sb strings.Builder
+			sb.WriteString(req.Method)
+			for _, k := range []string{"a", "b", "empty"} {
+				sb.WriteString(";" + k + "=" + req.Query[k])
+			}
+			return web.Response{Status: 200, Body: sb.String()}
+		})
+		b, _ := srv.Connect(th)
+		_, body, err := b.Get(th, "/echo?a=1&b=two&empty=")
+		if err != nil || body != "GET;a=1;b=two;empty=" {
+			t.Fatalf("(%q, %v)", body, err)
+		}
+	})
+}
+
+func TestMultipleSessionsIsolated(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("/id", func(_ *core.Thread, s *web.Session, _ *web.Request) web.Response {
+			return web.Response{Status: 200, Body: web.Itoa(s.ID)}
+		})
+		b1, s1 := srv.Connect(th)
+		b2, s2 := srv.Connect(th)
+		if s1.ID == s2.ID {
+			t.Fatal("sessions share an ID")
+		}
+		if _, body, _ := b1.Get(th, "/id"); body != web.Itoa(s1.ID) {
+			t.Fatalf("b1 got %q", body)
+		}
+		if _, body, _ := b2.Get(th, "/id"); body != web.Itoa(s2.ID) {
+			t.Fatalf("b2 got %q", body)
+		}
+		if n := len(srv.Sessions()); n != 2 {
+			t.Fatalf("%d sessions, want 2", n)
+		}
+	})
+}
+
+func TestTerminateSessionLeavesOthersWorking(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("/ping", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+			return web.Response{Status: 200, Body: "pong"}
+		})
+		b1, s1 := srv.Connect(th)
+		b2, _ := srv.Connect(th)
+		if _, body, err := b1.Get(th, "/ping"); err != nil || body != "pong" {
+			t.Fatalf("(%q, %v)", body, err)
+		}
+		srv.Terminate(s1.ID)
+		// The surviving session is unaffected.
+		if _, body, err := b2.Get(th, "/ping"); err != nil || body != "pong" {
+			t.Fatalf("survivor: (%q, %v)", body, err)
+		}
+		// The dead session no longer answers.
+		answered := make(chan struct{})
+		th.Spawn("dead-session-probe", func(x *core.Thread) {
+			if _, _, err := b1.Get(x, "/ping"); err == nil {
+				close(answered)
+			}
+		})
+		select {
+		case <-answered:
+			t.Fatal("terminated session answered a request")
+		case <-time.After(30 * time.Millisecond):
+		}
+	})
+}
+
+// TestServletSharedDocumentScenario is the paper's Section 2 scenario end
+// to end: two sessions share a collaborative document; the administrator
+// terminates one; the document keeps serving the other; terminating both
+// kills the document.
+func TestServletSharedDocumentScenario(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		srv := web.NewServer(th)
+		srv.Handle("/edit", func(x *core.Thread, s *web.Session, req *web.Request) web.Response {
+			// Discover or create the shared document. The creating
+			// session's custodian controls the manager initially; the
+			// other session's operations promote it.
+			var d *doc.Document
+			if v, ok := srv.Lookup("doc"); ok {
+				d = v.(*doc.Document)
+			} else {
+				d = doc.New(x)
+				srv.Publish("doc", d)
+			}
+			if line := req.Query["line"]; line != "" {
+				if _, err := d.Append(x, line); err != nil {
+					return web.Response{Status: 500, Body: err.Error()}
+				}
+			}
+			_, lines, err := d.Snapshot(x)
+			if err != nil {
+				return web.Response{Status: 500, Body: err.Error()}
+			}
+			return web.Response{Status: 200, Body: strings.Join(lines, "|")}
+		})
+
+		b1, s1 := srv.Connect(th)
+		b2, _ := srv.Connect(th)
+
+		if _, body, err := b1.Get(th, "/edit?line=alpha"); err != nil || body != "alpha" {
+			t.Fatalf("b1 edit: (%q, %v)", body, err)
+		}
+		if _, body, err := b2.Get(th, "/edit?line=beta"); err != nil || body != "alpha|beta" {
+			t.Fatalf("b2 edit: (%q, %v)", body, err)
+		}
+
+		// The administrator terminates session 1 (which created the
+		// document). Session 2 must be able to keep editing.
+		srv.Terminate(s1.ID)
+		if _, body, err := b2.Get(th, "/edit?line=gamma"); err != nil || body != "alpha|beta|gamma" {
+			t.Fatalf("b2 after terminate: (%q, %v)", body, err)
+		}
+
+		// Terminating the whole server kills the document too: the
+		// "gray box" gained no privilege beyond its users.
+		v, _ := srv.Lookup("doc")
+		d := v.(*doc.Document)
+		srv.Shutdown()
+		if !d.Manager().Suspended() {
+			t.Fatal("shared document survived all of its users")
+		}
+	})
+}
+
+// TestNestedServerTermination mirrors "testing DrScheme within DrScheme":
+// a whole server runs under a disposable custodian; shutting that down
+// reliably terminates the server, its sessions, and any queue managers the
+// sessions were yoked to — here represented by the shared document.
+func TestNestedServerTermination(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		inner := core.NewCustodian(rt.RootCustodian())
+		docCh := make(chan *doc.Document, 1)
+		ready := make(chan struct{})
+		th.WithCustodian(inner, func() {
+			th.Spawn("inner-main", func(x *core.Thread) {
+				srv := web.NewServer(x)
+				srv.Handle("/touch", func(y *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+					d := doc.New(y)
+					docCh <- d
+					_, _ = d.Append(y, "inner")
+					return web.Response{Status: 200, Body: "ok"}
+				})
+				b, _ := srv.Connect(x)
+				if _, _, err := b.Get(x, "/touch"); err != nil {
+					t.Errorf("inner get: %v", err)
+				}
+				close(ready)
+				_ = core.Sleep(x, time.Hour)
+			})
+		})
+		<-ready
+		d := <-docCh
+		inner.Shutdown()
+		if !d.Manager().Suspended() {
+			t.Fatal("inner document manager survived inner shutdown")
+		}
+		if n := rt.TerminateCondemned(); n == 0 {
+			t.Fatal("nothing condemned after inner shutdown")
+		}
+	})
+}

@@ -1,0 +1,82 @@
+// Package killsafe is the public API of a Go reproduction of "Kill-Safe
+// Synchronization Abstractions" (Flatt & Findler, PLDI 2004).
+//
+// It provides a task runtime in the style of MzScheme's: threads that can
+// be suspended, resumed, and killed from outside; custodians that control
+// the right of threads and resources to exist; the two-argument
+// thread-resume primitive (ResumeVia) that lets shared abstractions'
+// manager threads survive exactly as long as their users; and the
+// Concurrent ML event combinators with the paper's strengthened
+// negative-acknowledgment semantics.
+//
+// This package is a thin, generically-typed facade over internal/core; the
+// kill-safe abstractions built from these primitives — queues, selective
+// message queues, swap channels, bounded buffers, ivars, multicast
+// channels, RPC services, byte streams — live under abstractions/.
+//
+//	rt := killsafe.NewRuntime()
+//	defer rt.Shutdown()
+//	_ = rt.Run(func(th *killsafe.Thread) {
+//		q := queue.New[string](th)
+//		_ = q.Send(th, "hello")
+//		v, _ := q.Recv(th)
+//		fmt.Println(v)
+//	})
+package killsafe
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// Core type aliases: the facade and internal/core share identities so the
+// abstraction packages interoperate with both.
+type (
+	// Runtime is an instance of the task runtime.
+	Runtime = core.Runtime
+	// Thread is a suspendable, resumable, killable unit of execution.
+	Thread = core.Thread
+	// Custodian is a hierarchical resource controller.
+	Custodian = core.Custodian
+	// Unit is the value of events that carry no information.
+	Unit = core.Unit
+	// RawEvent is the untyped event representation used by internal/core
+	// and the abstraction packages.
+	RawEvent = core.Event
+	// Semaphore is a counting semaphore integrated with the event system.
+	Semaphore = core.Semaphore
+)
+
+// Errors re-exported from the core runtime.
+var (
+	ErrBreak         = core.ErrBreak
+	ErrCustodianDead = core.ErrCustodianDead
+	ErrRuntimeDown   = core.ErrRuntimeDown
+)
+
+// NewRuntime creates a fresh runtime with a root custodian.
+func NewRuntime() *Runtime { return core.NewRuntime() }
+
+// NewCustodian creates a sub-custodian of parent.
+func NewCustodian(parent *Custodian) *Custodian { return core.NewCustodian(parent) }
+
+// NewSemaphore creates a semaphore with the given initial count.
+func NewSemaphore(rt *Runtime, count int) *Semaphore { return core.NewSemaphore(rt, count) }
+
+// Resume resumes an explicitly suspended thread that still has a live
+// custodian.
+func Resume(t *Thread) { core.Resume(t) }
+
+// ResumeWith adds custodian c to t's controllers and resumes it.
+func ResumeWith(t *Thread, c *Custodian) { core.ResumeWith(t, c) }
+
+// ResumeVia is the paper's key primitive: it makes t survive at least as
+// long as by — resuming t, adding by's custodians to t, and chaining
+// future resumes and custodian grants from by to t. Guarding each
+// operation of a shared abstraction with ResumeVia(manager, currentThread)
+// is what makes the abstraction kill-safe.
+func ResumeVia(t, by *Thread) { core.ResumeVia(t, by) }
+
+// Sleep blocks th for d, honoring suspension, kill, and break signals.
+func Sleep(th *Thread, d time.Duration) error { return core.Sleep(th, d) }

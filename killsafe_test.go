@@ -1,0 +1,130 @@
+package killsafe_test
+
+import (
+	"testing"
+	"time"
+
+	killsafe "repro"
+	"repro/abstractions/queue"
+)
+
+func TestTypedChannelRoundTrip(t *testing.T) {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	err := rt.Run(func(th *killsafe.Thread) {
+		ch := killsafe.NewChannel[int](rt)
+		th.Spawn("sender", func(s *killsafe.Thread) {
+			_ = ch.Send(s, 42)
+		})
+		v, err := ch.Recv(th)
+		if err != nil || v != 42 {
+			t.Errorf("(%v, %v)", v, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypedCombinators(t *testing.T) {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	err := rt.Run(func(th *killsafe.Thread) {
+		ch := killsafe.NewChannel[string](rt)
+		th.Spawn("sender", func(s *killsafe.Thread) { _ = ch.Send(s, "hi") })
+		ev := killsafe.Choice(
+			killsafe.Wrap(ch.RecvEvt(), func(s string) int { return len(s) }),
+			killsafe.Wrap(killsafe.After(rt, 5*time.Second), func(killsafe.Unit) int { return -1 }),
+		)
+		v, err := killsafe.Sync(th, ev)
+		if err != nil || v != 2 {
+			t.Errorf("(%v, %v)", v, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTypedGuardAndNack(t *testing.T) {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	err := rt.Run(func(th *killsafe.Thread) {
+		fired := make(chan struct{}, 1)
+		ev := killsafe.Choice(
+			killsafe.Always("now"),
+			killsafe.NackGuard(func(g *killsafe.Thread, nack killsafe.Event[killsafe.Unit]) killsafe.Event[string] {
+				g.Spawn("watcher", func(w *killsafe.Thread) {
+					if _, err := killsafe.Sync(w, nack); err == nil {
+						fired <- struct{}{}
+					}
+				})
+				return killsafe.Never[string]()
+			}),
+		)
+		v, err := killsafe.Sync(th, ev)
+		if err != nil || v != "now" {
+			t.Errorf("(%v, %v)", v, err)
+		}
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Error("typed nack never fired")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeInteroperatesWithAbstractions(t *testing.T) {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	err := rt.Run(func(th *killsafe.Thread) {
+		q := queue.New[int](th)
+		// A typed view of the queue's receive event.
+		recv := killsafe.FromRaw[int](q.RecvEvt())
+		if err := q.Send(th, 5); err != nil {
+			t.Error(err)
+			return
+		}
+		v, err := killsafe.Sync(th, recv)
+		if err != nil || v != 5 {
+			t.Errorf("(%v, %v)", v, err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreFacade(t *testing.T) {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	err := rt.Run(func(th *killsafe.Thread) {
+		s := killsafe.NewSemaphore(rt, 1)
+		if _, err := killsafe.Sync(th, killsafe.WaitEvt(s)); err != nil {
+			t.Error(err)
+		}
+		if s.TryWait() {
+			t.Error("count should be exhausted")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoneEvtFacade(t *testing.T) {
+	rt := killsafe.NewRuntime()
+	defer rt.Shutdown()
+	err := rt.Run(func(th *killsafe.Thread) {
+		child := th.Spawn("c", func(*killsafe.Thread) {})
+		if _, err := killsafe.Sync(th, killsafe.DoneEvt(child)); err != nil {
+			t.Error(err)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
