@@ -10,8 +10,12 @@ package killsafe_test
 // experiment index in DESIGN.md.
 
 import (
+	"bufio"
 	"fmt"
+	"io"
+	"net"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -22,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/doc"
 	"repro/internal/interp"
+	"repro/internal/netsvc"
 	"repro/internal/web"
 )
 
@@ -403,4 +408,203 @@ func BenchmarkInterpQueue(b *testing.B) {
 	if err != nil {
 		b.Fatalf("Run: %v", err)
 	}
+}
+
+// netsvcClient is a plain-goroutine HTTP/1.0 client for the loopback
+// serving benchmarks: one keep-alive connection, redialing when the
+// server (or an administrator's kill) closes it.
+type netsvcClient struct {
+	addr string
+	c    net.Conn
+	r    *bufio.Reader
+}
+
+func (cl *netsvcClient) close() {
+	if cl.c != nil {
+		cl.c.Close()
+		cl.c = nil
+	}
+}
+
+// get performs one request, transparently redialing and retrying if the
+// connection was cut (a kill-storm casualty counts only once served).
+func (cl *netsvcClient) get(target string) error {
+	var lastErr error
+	for attempt := 0; attempt < 100; attempt++ {
+		if cl.c == nil {
+			c, err := net.Dial("tcp", cl.addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			cl.c = c
+			cl.r = bufio.NewReader(c)
+		}
+		_, err := fmt.Fprintf(cl.c, "GET %s HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", target)
+		if err == nil {
+			err = cl.readResponse()
+		}
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		cl.close()
+	}
+	return fmt.Errorf("gave up after 100 attempts: %w", lastErr)
+}
+
+func (cl *netsvcClient) readResponse() error {
+	n := -1
+	for {
+		ln, err := cl.r.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		ln = strings.TrimRight(ln, "\r\n")
+		if ln == "" {
+			break
+		}
+		if rest, ok := strings.CutPrefix(strings.ToLower(ln), "content-length:"); ok {
+			fmt.Sscanf(strings.TrimSpace(rest), "%d", &n)
+		}
+	}
+	if n < 0 {
+		return fmt.Errorf("response missing Content-Length")
+	}
+	_, err := io.CopyN(io.Discard, cl.r, int64(n))
+	return err
+}
+
+// benchServe starts a netsvc server with a trivial /ping servlet.
+func benchServe(b *testing.B, th *killsafe.Thread) (*netsvc.Server, *web.Server) {
+	b.Helper()
+	ws := web.NewServer(th)
+	ws.Handle("/ping", func(_ *killsafe.Thread, _ *web.Session, _ *web.Request) web.Response {
+		return web.Response{Status: 200, Body: "pong"}
+	})
+	s, err := netsvc.Serve(th, ws, netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s, ws
+}
+
+// E17: full TCP round-trip latency through the serving bridge — pump
+// goroutine → semaphore handoff → session thread Sync → servlet dispatch
+// → blocking-write helper — one keep-alive client, sequential requests.
+func BenchmarkNetsvcRoundTrip(b *testing.B) {
+	benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+		s, _ := benchServe(b, th)
+		cl := &netsvcClient{addr: s.Addr().String()}
+		defer cl.close()
+		if err := cl.get("/ping"); err != nil { // warm the connection
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cl.get("/ping"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		cl.close()
+		if err := s.Shutdown(th, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// E17: serving throughput with N concurrent keep-alive clients.
+func BenchmarkNetsvcThroughput(b *testing.B) {
+	for _, clients := range []int{1, 8} {
+		b.Run(fmt.Sprintf("clients-%d", clients), func(b *testing.B) {
+			benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+				s, _ := benchServe(b, th)
+				addr := s.Addr().String()
+				per := b.N / clients
+				errc := make(chan error, clients)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < clients; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						cl := &netsvcClient{addr: addr}
+						defer cl.close()
+						for i := 0; i < per; i++ {
+							if err := cl.get("/ping"); err != nil {
+								errc <- err
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				select {
+				case err := <-errc:
+					b.Fatal(err)
+				default:
+				}
+				if err := s.Shutdown(th, 2*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
+}
+
+// E17 under fire: throughput while an administrator terminates a random
+// live session every couple of milliseconds. Clients redial and retry;
+// the measured op is a *served* request, so the delta against the quiet
+// throughput run is the price of kills (reconnects + reaping).
+func BenchmarkNetsvcKillStorm(b *testing.B) {
+	benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+		s, ws := benchServe(b, th)
+		addr := s.Addr().String()
+		const clients = 4
+		per := b.N / clients
+		errc := make(chan error, clients)
+		var wg sync.WaitGroup
+		done := make(chan struct{})
+		b.ResetTimer()
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				cl := &netsvcClient{addr: addr}
+				defer cl.close()
+				for i := 0; i < per; i++ {
+					if err := cl.get("/ping"); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		go func() { wg.Wait(); close(done) }()
+		for k := 0; ; k++ {
+			select {
+			case <-done:
+			default:
+				if err := killsafe.Sleep(th, 2*time.Millisecond); err != nil {
+					b.Fatal(err)
+				}
+				if ids := ws.Sessions(); len(ids) > 0 {
+					ws.Terminate(ids[k%len(ids)])
+				}
+				continue
+			}
+			break
+		}
+		b.StopTimer()
+		select {
+		case err := <-errc:
+			b.Fatal(err)
+		default:
+		}
+		if err := s.Shutdown(th, 2*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	})
 }

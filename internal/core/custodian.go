@@ -15,6 +15,9 @@ type Custodian struct {
 	threads  map[*Thread]struct{}
 	closers  []io.Closer
 	dead     bool
+
+	// deadWaiters are sync waiters blocked on this custodian's dead event.
+	deadWaiters []*waiter
 }
 
 // NewCustodian creates a sub-custodian of parent. Shutting down the parent
@@ -104,6 +107,10 @@ func (c *Custodian) shutdownLocked(closers []io.Closer) []io.Closer {
 	}
 	c.dead = true
 	c.rt.traceLocked(TraceShutdown, nil, "custodian")
+	for _, w := range c.deadWaiters {
+		commitSingleLocked(w, Unit{})
+	}
+	c.deadWaiters = nil
 	if c.parent != nil {
 		delete(c.parent.children, c)
 	}
@@ -124,6 +131,37 @@ func (c *Custodian) shutdownLocked(closers []io.Closer) []io.Closer {
 	}
 	clear(c.children)
 	return closers
+}
+
+// DeadEvt returns an event that becomes ready (with Unit) when the
+// custodian is shut down; it is ready immediately for a custodian that is
+// already dead. Like a nack signal it is level-triggered: once the
+// custodian dies the event stays ready forever. Watchdog threads use it
+// to observe an administrator's custodian shutdown promptly — e.g. to
+// close the terminated session's half of a shared stream — without
+// polling, and without requiring the dying threads to cooperate.
+func (c *Custodian) DeadEvt() Event { return &custodianDeadEvt{c: c} }
+
+type custodianDeadEvt struct {
+	c *Custodian
+}
+
+func (*custodianDeadEvt) isEvent() {}
+
+func (e *custodianDeadEvt) poll(op *syncOp, idx int) bool {
+	if !e.c.dead {
+		return false
+	}
+	commitOpLocked(op, idx, Unit{})
+	return true
+}
+
+func (e *custodianDeadEvt) register(w *waiter) {
+	e.c.deadWaiters = append(e.c.deadWaiters, w)
+}
+
+func (e *custodianDeadEvt) unregister(*waiter) {
+	e.c.deadWaiters = compact(e.c.deadWaiters)
 }
 
 // ManagedThreads returns the number of live threads directly controlled by

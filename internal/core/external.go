@@ -1,0 +1,128 @@
+package core
+
+import "sync"
+
+// External bridges blocking OS calls (socket reads, accepts, file I/O)
+// into the event system. It is a one-shot, level-triggered completion
+// cell: a plain helper goroutine — *outside* the runtime, not suspendable
+// or killable — performs the blocking call and Completes the cell with
+// the result, while runtime threads observe the completion as a
+// first-class event via Evt.
+//
+// This is the paper's custodian/port story transplanted to Go: MzScheme
+// threads block on OS ports inside the scheduler, remaining suspendable
+// and killable, and a custodian shutdown closes the port out from under
+// them. Here a runtime thread never issues the OS call itself; it syncs
+// on the completion event, which is a safe point like any other, so it
+// can be suspended, killed, or choose a timeout alternative while the
+// helper is stuck in the kernel. The helper goroutine cannot be stopped —
+// Go provides no mechanism — so reclamation is the custodian's job:
+// register the fd (net.Conn, net.Listener, os.File) with the owning
+// custodian, and its shutdown closes the fd, forcing the blocked call to
+// return and the helper to exit.
+//
+// Complete may be called from any goroutine. Once fired the cell stays
+// ready forever (like a nack signal), so every syncing thread — and a
+// thread that syncs long after the fact — observes the same value:
+// External doubles as a one-shot broadcast, which netsvc uses as its
+// drain signal.
+type External struct {
+	rt      *Runtime
+	fired   bool
+	v       Value
+	waiters []*waiter
+}
+
+// NewExternal creates an uncompleted cell.
+func NewExternal(rt *Runtime) *External { return &External{rt: rt} }
+
+// Complete fires the cell with v and commits any matchable waiters. It
+// returns false if the cell had already fired (the first value wins).
+// Safe to call from plain goroutines.
+func (x *External) Complete(v Value) bool {
+	x.rt.mu.Lock()
+	defer x.rt.mu.Unlock()
+	if x.fired {
+		return false
+	}
+	x.fired = true
+	x.v = v
+	// A suspended waiter is skipped here and left registered; the resume
+	// path re-polls its sync, and poll sees fired. (Same discipline as
+	// nackSignal.)
+	for _, w := range x.waiters {
+		commitSingleLocked(w, x.v)
+	}
+	x.waiters = nil
+	return true
+}
+
+// Completed reports whether the cell has fired.
+func (x *External) Completed() bool {
+	x.rt.mu.Lock()
+	defer x.rt.mu.Unlock()
+	return x.fired
+}
+
+// Evt returns an event that is ready once the cell has completed; its
+// value is the completion value.
+func (x *External) Evt() Event { return &extEvt{x: x} }
+
+type extEvt struct {
+	x *External
+}
+
+func (*extEvt) isEvent() {}
+
+func (e *extEvt) poll(op *syncOp, idx int) bool {
+	if !e.x.fired {
+		return false
+	}
+	commitOpLocked(op, idx, e.x.v)
+	return true
+}
+
+func (e *extEvt) register(w *waiter) {
+	e.x.waiters = append(e.x.waiters, w)
+}
+
+func (e *extEvt) unregister(*waiter) {
+	e.x.waiters = compact(e.x.waiters)
+}
+
+// StartExternal runs fn on a helper goroutine immediately and returns the
+// External that completes with fn's result. The helper is not tracked by
+// Runtime.Shutdown; the caller must arrange for fn to unblock eventually,
+// normally by registering the resource fn blocks on with a custodian so
+// that shutdown closes it. PendingExternals counts helpers still running,
+// for leak tests.
+func StartExternal(rt *Runtime, fn func() Value) *External {
+	x := NewExternal(rt)
+	rt.externals.Add(1)
+	go func() {
+		defer rt.externals.Add(-1)
+		x.Complete(fn())
+	}()
+	return x
+}
+
+// BlockingEvt wraps a blocking call as an event: the first sync on the
+// returned event starts fn on a helper goroutine (via StartExternal), and
+// the event becomes ready with fn's result. The start is memoized, so
+// abandoning the sync — a lost choice, a break, a kill — and syncing the
+// same event again re-attaches to the in-flight call rather than issuing
+// it twice. fn therefore runs at most once per BlockingEvt value.
+func BlockingEvt(rt *Runtime, fn func() Value) Event {
+	var once sync.Once
+	var x *External
+	return Guard(func(*Thread) Event {
+		once.Do(func() { x = StartExternal(rt, fn) })
+		return x.Evt()
+	})
+}
+
+// PendingExternals reports the number of StartExternal helper goroutines
+// whose blocking call has not yet returned.
+func (rt *Runtime) PendingExternals() int {
+	return int(rt.externals.Load())
+}

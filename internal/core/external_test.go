@@ -1,0 +1,275 @@
+package core_test
+
+import (
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// blockedPipe returns an OS pipe with nothing written: a read from r
+// blocks in the kernel until the pipe is closed.
+func blockedPipe(t *testing.T) (r, w *os.File) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, w
+}
+
+func runThread(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestExternalCompletesBlockedSync(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		x := core.NewExternal(rt)
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			x.Complete("result")
+		}()
+		v, err := core.Sync(th, x.Evt())
+		if err != nil || v != "result" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+		// Level-triggered: a later sync sees the same value.
+		v, err = core.Sync(th, x.Evt())
+		if err != nil || v != "result" {
+			t.Fatalf("re-sync: (%v, %v)", v, err)
+		}
+	})
+}
+
+func TestExternalFirstCompletionWins(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		x := core.NewExternal(rt)
+		if !x.Complete(1) {
+			t.Fatal("first Complete rejected")
+		}
+		if x.Complete(2) {
+			t.Fatal("second Complete accepted")
+		}
+		if v, _ := core.Sync(th, x.Evt()); v != 1 {
+			t.Fatalf("got %v, want 1", v)
+		}
+	})
+}
+
+func TestExternalLosesChoiceToAlarm(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		x := core.NewExternal(rt) // never completes
+		v, err := core.Sync(th, core.Choice(
+			x.Evt(),
+			core.Wrap(core.After(rt, 2*time.Millisecond), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil || v != "timeout" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+	})
+}
+
+// TestExternalKillWhileBlocked is the safe-point claim: a runtime thread
+// waiting on an OS-style completion is killable, its sync's nacks fire,
+// and a completion arriving after the kill is harmless.
+func TestExternalKillWhileBlocked(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		x := core.NewExternal(rt)
+		nacked := make(chan struct{}, 1)
+		waiter := th.Spawn("ext-waiter", func(w *core.Thread) {
+			_, _ = core.Sync(w, core.NackGuard(func(_ *core.Thread, nack core.Event) core.Event {
+				w.Spawn("nack-watch", func(nw *core.Thread) {
+					if _, err := core.Sync(nw, nack); err == nil {
+						nacked <- struct{}{}
+					}
+				})
+				return x.Evt()
+			}))
+			t.Error("sync returned after kill")
+		})
+		if err := core.Sleep(th, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		waiter.Kill()
+		select {
+		case <-nacked:
+		case <-time.After(5 * time.Second):
+			t.Fatal("nack did not fire on kill")
+		}
+		if !waiter.Done() {
+			// Kill takes effect at the wait's next wake-up.
+			_, _ = core.Sync(th, waiter.DoneEvt())
+		}
+		x.Complete("late") // must not panic or wedge anything
+	})
+}
+
+func TestExternalSuspendedThreadCommitsOnResume(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		x := core.NewExternal(rt)
+		got := make(chan core.Value, 1)
+		waiter := th.Spawn("ext-waiter", func(w *core.Thread) {
+			v, err := core.Sync(w, x.Evt())
+			if err != nil {
+				t.Errorf("sync: %v", err)
+				return
+			}
+			got <- v
+		})
+		if err := core.Sleep(th, 2*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		waiter.Suspend()
+		x.Complete(42) // fires while the waiter is suspended
+		select {
+		case <-got:
+			t.Fatal("suspended thread committed an event")
+		case <-time.After(10 * time.Millisecond):
+		}
+		core.Resume(waiter)
+		select {
+		case v := <-got:
+			if v != 42 {
+				t.Fatalf("got %v", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("resumed thread never committed the completion")
+		}
+	})
+}
+
+func TestStartExternalCountsHelpers(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		release := make(chan struct{})
+		x := core.StartExternal(rt, func() core.Value {
+			<-release
+			return "done"
+		})
+		if n := rt.PendingExternals(); n != 1 {
+			t.Fatalf("PendingExternals = %d, want 1", n)
+		}
+		close(release)
+		if v, err := core.Sync(th, x.Evt()); err != nil || v != "done" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.PendingExternals() != 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if n := rt.PendingExternals(); n != 0 {
+			t.Fatalf("PendingExternals = %d after completion", n)
+		}
+	})
+}
+
+// TestBlockingEvtRunsOnce: abandoning a sync on a BlockingEvt (losing the
+// choice to an alarm) and re-syncing the same event re-attaches to the
+// in-flight call instead of issuing the blocking operation twice.
+func TestBlockingEvtRunsOnce(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		var starts atomic.Int32
+		release := make(chan struct{})
+		ev := core.BlockingEvt(rt, func() core.Value {
+			starts.Add(1)
+			<-release
+			return "io-result"
+		})
+		v, err := core.Sync(th, core.Choice(
+			ev,
+			core.Wrap(core.After(rt, 2*time.Millisecond), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil || v != "timeout" {
+			t.Fatalf("first sync: (%v, %v)", v, err)
+		}
+		close(release)
+		v, err = core.Sync(th, ev)
+		if err != nil || v != "io-result" {
+			t.Fatalf("second sync: (%v, %v)", v, err)
+		}
+		if n := starts.Load(); n != 1 {
+			t.Fatalf("blocking fn started %d times, want 1", n)
+		}
+	})
+}
+
+func TestCustodianDeadEvt(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		cust := core.NewCustodian(rt.RootCustodian())
+		observed := make(chan struct{})
+		th.Spawn("watchdog", func(w *core.Thread) {
+			if _, err := core.Sync(w, cust.DeadEvt()); err == nil {
+				close(observed)
+			}
+		})
+		select {
+		case <-observed:
+			t.Fatal("dead event fired before shutdown")
+		case <-time.After(5 * time.Millisecond):
+		}
+		cust.Shutdown()
+		select {
+		case <-observed:
+		case <-time.After(5 * time.Second):
+			t.Fatal("dead event did not fire on shutdown")
+		}
+		// Level-triggered, and ready for custodians born dead.
+		if _, err := core.Sync(th, cust.DeadEvt()); err != nil {
+			t.Fatalf("post-shutdown sync: %v", err)
+		}
+		stillborn := core.NewCustodian(cust)
+		if _, err := core.Sync(th, stillborn.DeadEvt()); err != nil {
+			t.Fatalf("stillborn sync: %v", err)
+		}
+	})
+}
+
+// TestExternalBridgesRealBlockingRead drives the intended use end to end
+// at the core level: a helper goroutine blocked in a pipe read, the fd
+// registered with a custodian, a runtime thread multiplexing the
+// completion with an alarm — and custodian shutdown unblocking the helper.
+func TestExternalBridgesRealBlockingRead(t *testing.T) {
+	runThread(t, func(rt *core.Runtime, th *core.Thread) {
+		cust := core.NewCustodian(rt.RootCustodian())
+		r, w := blockedPipe(t)
+		if err := cust.Register(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := cust.Register(w); err != nil {
+			t.Fatal(err)
+		}
+		ev := core.BlockingEvt(rt, func() core.Value {
+			buf := make([]byte, 8)
+			_, err := r.Read(buf)
+			return err
+		})
+		v, err := core.Sync(th, core.Choice(
+			ev,
+			core.Wrap(core.After(rt, 2*time.Millisecond), func(core.Value) core.Value { return "still-blocked" }),
+		))
+		if err != nil || v != "still-blocked" {
+			t.Fatalf("(%v, %v)", v, err)
+		}
+		cust.Shutdown() // closes the pipe: the helper's read must return
+		v, err = core.Sync(th, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v == nil {
+			t.Fatal("read succeeded after custodian closed the fd")
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.PendingExternals() != 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if n := rt.PendingExternals(); n != 0 {
+			t.Fatalf("%d helpers leaked after fd close", n)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Value is the type carried by events and channels in the untyped core.
@@ -27,6 +28,12 @@ type Runtime struct {
 	down    bool
 
 	wg sync.WaitGroup // tracks spawned goroutines
+
+	// externals counts in-flight StartExternal helper goroutines. They
+	// are deliberately not part of wg: a helper stuck in a blocking OS
+	// call can only be reclaimed by closing its fd (via a custodian), and
+	// Shutdown must not wait on resources nobody registered.
+	externals atomic.Int64
 
 	trace *traceBuf // nil unless EnableTracing
 

@@ -1,0 +1,140 @@
+package netsvc_test
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsvc"
+	"repro/internal/web"
+)
+
+// TestChaosRandomKillsUnderLoad hammers the server with concurrent
+// clients while an adversarial administrator randomly terminates live
+// sessions, then shuts the whole server custodian down. Invariants:
+// every client unblocks (served or cut off — never wedged), killed work
+// is accounted in stats, and after the dust settles neither goroutines
+// nor fds have leaked.
+func TestChaosRandomKillsUnderLoad(t *testing.T) {
+	const (
+		rounds      = 3
+		clients     = 24
+		killBudget  = 8
+		slowEvery   = 3 // every Nth request hits the slow route
+		slowRouteMs = 40
+	)
+	rng := rand.New(rand.NewSource(1))
+
+	g0 := runtime.NumGoroutine()
+	fd0 := openFDs(t)
+
+	for round := 0; round < rounds; round++ {
+		withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+			ws := web.NewServer(th)
+			ws.Handle("/fast", func(_ *core.Thread, _ *web.Session, req *web.Request) web.Response {
+				return web.Response{Status: 200, Body: "fast " + req.Query["n"]}
+			})
+			ws.Handle("/slow", func(x *core.Thread, _ *web.Session, req *web.Request) web.Response {
+				if err := core.Sleep(x, slowRouteMs*time.Millisecond); err != nil {
+					return web.Response{Status: 500, Body: "interrupted"}
+				}
+				return web.Response{Status: 200, Body: "slow " + req.Query["n"]}
+			})
+			s, err := netsvc.Serve(th, ws, netsvc.Config{
+				MaxConns:    8,
+				IdleTimeout: 2 * time.Second,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			addr := s.Addr().String()
+
+			var wg sync.WaitGroup
+			var mu sync.Mutex
+			served, cut := 0, 0
+			for i := 0; i < clients; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					route := "/fast"
+					if i%slowEvery == 0 {
+						route = "/slow"
+					}
+					status, body, err := get(addr, fmt.Sprintf("%s?n=%d", route, i))
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil || !strings.Contains(status, "200") {
+						cut++ // killed, rejected, or drained mid-flight: fine
+						return
+					}
+					want := strings.TrimPrefix(route, "/") + fmt.Sprintf(" %d", i)
+					if body != want {
+						t.Errorf("client %d: body %q, want %q", i, body, want)
+					}
+					served++
+				}()
+			}
+
+			// The adversary: terminate random live sessions while the
+			// clients are in flight.
+			for k := 0; k < killBudget; k++ {
+				if err := core.Sleep(th, time.Duration(rng.Intn(10)+1)*time.Millisecond); err != nil {
+					t.Fatal(err)
+				}
+				ids := ws.Sessions()
+				if len(ids) == 0 {
+					continue
+				}
+				ws.Terminate(ids[rng.Intn(len(ids))])
+			}
+
+			// Every client must come back, one way or the other.
+			allDone := make(chan struct{})
+			go func() { wg.Wait(); close(allDone) }()
+			select {
+			case <-allDone:
+			case <-time.After(30 * time.Second):
+				t.Fatal("clients wedged under chaos")
+			}
+
+			// Alternate the ending: graceful drain vs. custodian hammer.
+			if round%2 == 0 {
+				if err := s.Shutdown(th, time.Second); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				s.Custodian().Shutdown()
+				rt.TerminateCondemned()
+			}
+
+			st := s.Stats()
+			mu.Lock()
+			t.Logf("round %d: served=%d cut=%d stats=%+v", round, served, cut, st)
+			if served == 0 {
+				t.Error("chaos killed every request; expected survivors")
+			}
+			mu.Unlock()
+			if st.Accepted < int64(clients)/2 {
+				t.Errorf("accepted only %d of %d conns", st.Accepted, clients)
+			}
+		})
+	}
+
+	// Across all rounds: back to baseline.
+	waitGoroutines(t, g0, "after chaos rounds")
+	if fd0 >= 0 {
+		deadline := time.Now().Add(5 * time.Second)
+		for openFDs(t) > fd0 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		if n := openFDs(t); n > fd0 {
+			t.Errorf("%d fds open after chaos, baseline %d", n, fd0)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package netsvc
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/web"
+)
+
+// readChunk is one result from a connection's read pump.
+type readChunk struct {
+	data []byte
+	err  error
+}
+
+// connReader bridges a connection's blocking read(2) loop into the event
+// system. A plain pump goroutine reads chunks and hands them over through
+// a one-slot channel paired with a semaphore post, so a runtime thread
+// waits for socket data inside Sync — suspendable, killable, and
+// multiplexable with deadlines. The one-slot channel is the flow control:
+// the pump issues the next read only after the previous chunk is
+// consumed. quit (closed by the connection custodian) unblocks a pump
+// stuck on the handoff after its consumer was terminated.
+type connReader struct {
+	sem  *core.Semaphore
+	ch   chan readChunk
+	quit chan struct{}
+}
+
+func newConnReader(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connReader, error) {
+	r := &connReader{
+		sem:  core.NewSemaphore(rt, 0),
+		ch:   make(chan readChunk, 1),
+		quit: make(chan struct{}),
+	}
+	quit := r.quit
+	if err := cust.Register(closerFunc(func() error { close(quit); return nil })); err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			buf := make([]byte, 4096)
+			n, err := c.Read(buf)
+			select {
+			case r.ch <- readChunk{data: buf[:n], err: err}:
+				r.sem.Post()
+			case <-r.quit:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return r, nil
+}
+
+// RecvEvt returns an event ready when the next chunk is available; its
+// value is a readChunk. The channel receive inside the wrap cannot block:
+// the pump posts the semaphore only after the chunk is in the channel.
+func (r *connReader) RecvEvt() core.Event {
+	return core.Wrap(r.sem.WaitEvt(), func(core.Value) core.Value { return <-r.ch })
+}
+
+// request is a parsed HTTP/1.0 request head.
+type request struct {
+	method    string
+	target    string
+	proto     string
+	keepAlive bool
+	contentLn int
+}
+
+// serveConn is the session thread body: parse HTTP/1.0 requests off the
+// socket, dispatch them to the mounted web.Server, and write responses —
+// every wait a Sync, so an administrator's kill lands at a safe point and
+// the shared abstractions the servlets use stay coherent.
+func (s *Server) serveConn(th *core.Thread, cs *connState) {
+	reader, err := newConnReader(s.rt, cs.cust, cs.c)
+	if err != nil {
+		return // custodian already dead; conn is closed
+	}
+	var buf []byte
+	sawEOF := false
+	for {
+		// Wait for a complete request head (or timeout, or drain).
+		var req *request
+		for {
+			if r, rest, perr := parseHead(buf); perr != nil {
+				_ = s.writeResponse(th, cs.c, 400, false, "bad request: "+perr.Error())
+				s.markCompleted(cs)
+				return
+			} else if r != nil {
+				req, buf = r, rest
+				break
+			}
+			if sawEOF {
+				if len(buf) == 0 {
+					s.markCompleted(cs) // clean close between requests
+				}
+				return
+			}
+			v, serr := core.Sync(th, core.Choice(
+				reader.RecvEvt(),
+				core.Wrap(core.After(s.rt, s.cfg.IdleTimeout), func(core.Value) core.Value { return "timeout" }),
+				core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" }),
+			))
+			if serr != nil {
+				continue // stray break
+			}
+			switch x := v.(type) {
+			case string:
+				if x == "timeout" {
+					s.stats.timedOut.Add(1)
+					_ = s.writeResponse(th, cs.c, 408, false, "request timeout\n")
+				} else { // drain
+					_ = s.writeResponse(th, cs.c, 503, false, "server shutting down\n")
+				}
+				s.markCompleted(cs)
+				return
+			case readChunk:
+				buf = append(buf, x.data...)
+				if x.err != nil {
+					sawEOF = true
+				}
+			}
+		}
+
+		// Consume the body (HTTP/1.0: only if Content-Length says so);
+		// servlets are GET-shaped, so the body is read and discarded.
+		for len(buf) < req.contentLn && !sawEOF {
+			v, serr := core.Sync(th, core.Choice(
+				reader.RecvEvt(),
+				core.Wrap(core.After(s.rt, s.cfg.IdleTimeout), func(core.Value) core.Value { return "timeout" }),
+			))
+			if serr != nil {
+				continue
+			}
+			if x, ok := v.(readChunk); ok {
+				buf = append(buf, x.data...)
+				if x.err != nil {
+					sawEOF = true
+				}
+			} else {
+				s.stats.timedOut.Add(1)
+				s.markCompleted(cs)
+				return
+			}
+		}
+		if req.contentLn > 0 {
+			if req.contentLn > len(buf) {
+				// Client hung up mid-body: a client failure, not a kill.
+				s.markCompleted(cs)
+				return
+			}
+			buf = buf[req.contentLn:]
+		}
+
+		// Dispatch. /debug/stats is the serving layer's own surface.
+		var resp web.Response
+		if path, _, _ := strings.Cut(req.target, "?"); path == "/debug/stats" {
+			resp = web.Response{Status: 200, Body: s.Stats().json() + "\n"}
+		} else {
+			resp = s.web.Dispatch(th, cs.sess, toWebRequest(req))
+		}
+		keep := req.keepAlive && !s.drain.Completed()
+		if err := s.writeResponse(th, cs.c, resp.Status, keep, resp.Body); err != nil {
+			return
+		}
+		if !keep {
+			s.markCompleted(cs)
+			return
+		}
+	}
+}
+
+// markCompleted classifies the session as cleanly ended for the monitor.
+func (s *Server) markCompleted(cs *connState) {
+	s.mu.Lock()
+	cs.completed = true
+	s.mu.Unlock()
+}
+
+// writeResponse serializes and writes an HTTP/1.0 response. The blocking
+// write(2) runs on a helper goroutine via BlockingEvt; the session thread
+// waits at a safe point, so a kill mid-write unwinds cleanly (the helper
+// exits when the custodian closes the fd).
+func (s *Server) writeResponse(th *core.Thread, c net.Conn, status int, keepAlive bool, body string) error {
+	connHdr := "close"
+	if keepAlive {
+		connHdr = "keep-alive"
+	}
+	msg := fmt.Sprintf("HTTP/1.0 %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: %s\r\n\r\n%s",
+		status, statusText(status), len(body), connHdr, body)
+	ev := core.BlockingEvt(s.rt, func() core.Value {
+		_, err := c.Write([]byte(msg))
+		return err
+	})
+	for {
+		v, err := core.Sync(th, ev)
+		if err != nil {
+			continue // break mid-write: re-attach to the in-flight write
+		}
+		if werr, ok := v.(error); ok && werr != nil {
+			return werr
+		}
+		return nil
+	}
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 408:
+		return "Request Timeout"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}
+
+// parseHead tries to parse one request head from buf. It returns
+// (nil, buf, nil) if the head is not yet complete, or the parsed request
+// plus the unconsumed remainder.
+func parseHead(buf []byte) (*request, []byte, error) {
+	head, rest, ok := cutHead(buf)
+	if !ok {
+		if len(buf) > 64<<10 {
+			return nil, buf, fmt.Errorf("request head exceeds 64KiB")
+		}
+		return nil, buf, nil
+	}
+	lines := strings.Split(head, "\n")
+	fields := strings.Fields(strings.TrimRight(lines[0], "\r"))
+	if len(fields) < 2 {
+		return nil, rest, fmt.Errorf("malformed request line %q", lines[0])
+	}
+	req := &request{method: fields[0], target: fields[1]}
+	if len(fields) >= 3 {
+		req.proto = fields[2]
+	}
+	for _, ln := range lines[1:] {
+		ln = strings.TrimRight(ln, "\r")
+		if ln == "" {
+			continue
+		}
+		k, v, found := strings.Cut(ln, ":")
+		if !found {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		switch strings.ToLower(k) {
+		case "connection":
+			req.keepAlive = strings.EqualFold(v, "keep-alive")
+		case "content-length":
+			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+				req.contentLn = n
+			}
+		}
+	}
+	return req, rest, nil
+}
+
+// cutHead splits buf at the first blank line (CRLF CRLF or LF LF),
+// returning the head and the remainder.
+func cutHead(buf []byte) (head string, rest []byte, ok bool) {
+	s := string(buf)
+	best, sepLen := -1, 0
+	for _, sep := range []string{"\r\n\r\n", "\n\n"} {
+		if i := strings.Index(s, sep); i >= 0 && (best < 0 || i < best) {
+			best, sepLen = i, len(sep)
+		}
+	}
+	if best < 0 {
+		return "", buf, false
+	}
+	return s[:best], buf[best+sepLen:], true
+}
+
+// toWebRequest converts a parsed HTTP request to the servlet router's
+// request shape (method, path, query).
+func toWebRequest(req *request) *web.Request {
+	out := &web.Request{Method: req.method, Query: map[string]string{}}
+	target := req.target
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		for _, kv := range strings.Split(target[i+1:], "&") {
+			if kv == "" {
+				continue
+			}
+			k, v, _ := strings.Cut(kv, "=")
+			out.Query[k] = v
+		}
+		target = target[:i]
+	}
+	out.Path = target
+	return out
+}

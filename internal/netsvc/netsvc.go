@@ -1,0 +1,376 @@
+// Package netsvc is the kill-safe TCP serving layer: it bridges the
+// runtime's safe-point world to real OS sockets, turning the paper's
+// closed-world servlet scenario (internal/web, which speaks only
+// in-process pipes) into a servable system.
+//
+// The bridging problem is the one CQS-style production frameworks call
+// the hard part: abortable waiting on external resources. A goroutine
+// blocked in accept(2) or read(2) cannot be suspended or killed, so no
+// runtime thread ever issues a blocking OS call. Instead:
+//
+//   - A plain *pump* goroutine per listener (and per connection) performs
+//     the blocking call and hands results across a buffered Go channel,
+//     signalling availability through a core.Semaphore — Post is callable
+//     from outside the runtime, and a semaphore wait is an ordinary
+//     event, so runtime threads multiplex socket readiness with alarms,
+//     drain signals, and anything else via Choice.
+//   - One-shot calls (writes) go through core.StartExternal/BlockingEvt.
+//   - Every fd is registered with a custodian. The pump goroutines are
+//     unstoppable by construction, but closing the fd forces their
+//     blocking call to return; custodian shutdown is therefore exactly
+//     the reclamation story the paper gives for MzScheme's ports.
+//
+// Each accepted connection is served by a runtime thread under a fresh
+// per-connection custodian (a child of the server's), registered with the
+// mounted web.Server as a session — so the administrator's Terminate
+// closes the socket and reclaims the session without endangering any
+// shared kill-safe abstraction, exactly as in the in-process scenario.
+package netsvc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/web"
+)
+
+// Config carries the serving knobs.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// MaxConns caps concurrently served connections; further accepted
+	// connections wait (and eventually the OS listen backlog fills, which
+	// is the backpressure story). Default 64.
+	MaxConns int
+	// IdleTimeout bounds the wait for (the rest of) a request on an open
+	// connection; an idle connection is closed with 408. Default 10s.
+	IdleTimeout time.Duration
+	// AcceptBacklog bounds connections accepted by the pump but not yet
+	// claimed by the acceptor thread. Default 16.
+	AcceptBacklog int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 64
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 10 * time.Second
+	}
+	if c.AcceptBacklog <= 0 {
+		c.AcceptBacklog = 16
+	}
+	return c
+}
+
+// Server is a live TCP serving layer mounted on a web.Server's routes.
+type Server struct {
+	rt   *core.Runtime
+	cfg  Config
+	web  *web.Server
+	cust *core.Custodian // server custodian; conn custodians are children
+	ln   net.Listener
+
+	stats   *Stats
+	slots   *core.Semaphore // MaxConns tokens; one held per served conn
+	pending *core.Semaphore // counts conns handed off in connCh
+	connCh  chan net.Conn
+	quit    chan struct{}  // closed by custodian shutdown; unblocks the pump's handoff
+	drain   *core.External // completed when Shutdown begins
+	pumpRet *core.External // completed when the accept pump exits
+
+	mu      sync.Mutex
+	conns   map[int64]*connState
+	threads map[*core.Thread]struct{} // every runtime thread we spawned
+	nextID  int64
+}
+
+// connState is the server's record of one live connection.
+type connState struct {
+	id        int64
+	c         net.Conn
+	cust      *core.Custodian
+	sess      *web.Session
+	th        *core.Thread // session thread
+	completed bool         // set under s.mu when the session ends cleanly
+}
+
+// closerFunc adapts a func to io.Closer for Custodian.Register.
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// Serve opens a TCP listener and starts serving ws's routes through the
+// runtime. The server's custodian is a child of th's current custodian.
+func Serve(th *core.Thread, ws *web.Server, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	rt := th.Runtime()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		rt:      rt,
+		cfg:     cfg,
+		web:     ws,
+		cust:    core.NewCustodian(th.CurrentCustodian()),
+		ln:      ln,
+		stats:   &Stats{},
+		slots:   core.NewSemaphore(rt, cfg.MaxConns),
+		pending: core.NewSemaphore(rt, 0),
+		connCh:  make(chan net.Conn, cfg.AcceptBacklog),
+		quit:    make(chan struct{}),
+		drain:   core.NewExternal(rt),
+		pumpRet: core.NewExternal(rt),
+		conns:   make(map[int64]*connState),
+		threads: make(map[*core.Thread]struct{}),
+	}
+	if err := s.cust.Register(ln); err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	quit := s.quit
+	if err := s.cust.Register(closerFunc(func() error { close(quit); return nil })); err != nil {
+		return nil, err
+	}
+	go s.acceptPump()
+	var acceptor *core.Thread
+	th.WithCustodian(s.cust, func() {
+		acceptor = th.Spawn("netsvc-accept", s.acceptLoop)
+	})
+	s.mu.Lock()
+	s.threads[acceptor] = struct{}{}
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Addr returns the listener's address (useful with Addr "host:0").
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Custodian returns the server custodian. Shutting it down is the abrupt
+// ("administrator kills the whole server") path: every fd closes and every
+// serving thread is suspended; pair it with Runtime.TerminateCondemned or
+// use Shutdown for the graceful path.
+func (s *Server) Custodian() *core.Custodian { return s.cust }
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// acceptPump is the plain goroutine that owns the blocking accept(2)
+// loop. It registers each conn with the server custodian *before* the
+// handoff so an fd is never outside custodian control, then hands it to
+// the acceptor thread. A full connCh blocks the pump — and, transitively,
+// the OS listen backlog — which is the accept backpressure.
+func (s *Server) acceptPump() {
+	defer s.pumpRet.Complete(core.Unit{})
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (drain or custodian shutdown)
+		}
+		s.stats.accepted.Add(1)
+		if s.cust.Register(c) != nil {
+			// Server custodian already dead: Register closed the conn.
+			s.stats.rejected.Add(1)
+			continue
+		}
+		select {
+		case s.connCh <- c:
+			s.pending.Post()
+		case <-s.quit:
+			_ = c.Close()
+			s.stats.rejected.Add(1)
+			return
+		}
+	}
+}
+
+// acceptLoop is the acceptor runtime thread: it claims pumped
+// connections, enforces the connection cap, and spawns a session plus its
+// monitor per connection. Being a runtime thread, it is suspendable and
+// killable at every Sync.
+func (s *Server) acceptLoop(th *core.Thread) {
+	for {
+		v, err := core.Sync(th, core.Choice(
+			core.Wrap(s.pending.WaitEvt(), func(core.Value) core.Value { return "conn" }),
+			core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" }),
+		))
+		if err != nil {
+			continue // stray break
+		}
+		if v == "drain" {
+			return
+		}
+		// pending.Post happens only after the conn is in connCh, so this
+		// receive cannot block.
+		c := <-s.connCh
+
+		// Respect the connection cap before spawning: while no slot is
+		// free we also stop claiming, connCh fills, the pump blocks, and
+		// the kernel's backlog does the rest.
+		for {
+			v, err = core.Sync(th, core.Choice(
+				core.Wrap(s.slots.WaitEvt(), func(core.Value) core.Value { return "slot" }),
+				core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" }),
+			))
+			if err == nil {
+				break
+			}
+		}
+		if v == "drain" {
+			_ = c.Close()
+			s.stats.rejected.Add(1)
+			return
+		}
+		s.startConn(th, c)
+	}
+}
+
+// startConn places c under a fresh per-connection custodian, attaches a
+// web session, and spawns the session thread and its monitor.
+func (s *Server) startConn(th *core.Thread, c net.Conn) {
+	ccust := core.NewCustodian(s.cust)
+	// Move the fd under the connection custodian (register first so the
+	// conn is never uncontrolled; double close on races is harmless).
+	if ccust.Register(c) != nil {
+		s.cust.Unregister(c)
+		_ = c.Close()
+		s.stats.rejected.Add(1)
+		s.slots.Post()
+		return
+	}
+	s.cust.Unregister(c)
+
+	cs := &connState{c: c, cust: ccust, sess: s.web.AttachSession(ccust)}
+	s.mu.Lock()
+	s.nextID++
+	cs.id = s.nextID
+	s.conns[cs.id] = cs
+	s.mu.Unlock()
+	s.stats.active.Add(1)
+
+	th.WithCustodian(ccust, func() {
+		cs.th = th.Spawn(fmt.Sprintf("netsvc-conn-%d", cs.id), func(x *core.Thread) {
+			s.serveConn(x, cs)
+		})
+	})
+	var mon *core.Thread
+	th.WithCustodian(s.cust, func() {
+		mon = th.Spawn(fmt.Sprintf("netsvc-mon-%d", cs.id), func(x *core.Thread) {
+			s.monitorConn(x, cs)
+		})
+	})
+	s.mu.Lock()
+	s.threads[cs.th] = struct{}{}
+	s.threads[mon] = struct{}{}
+	s.mu.Unlock()
+}
+
+// monitorConn waits for the connection to end — the session thread
+// returning, or the connection custodian being shut down by the
+// administrator — and performs the one-time cleanup: close the fd (via
+// custodian shutdown), release the connection slot, reap the session
+// thread, and classify the outcome for the stats surface.
+func (s *Server) monitorConn(th *core.Thread, cs *connState) {
+	for {
+		if _, err := core.Sync(th, core.Choice(cs.th.DoneEvt(), cs.cust.DeadEvt())); err == nil {
+			break
+		}
+	}
+	cs.cust.Shutdown() // idempotent; closes the conn and the reader's quit closer
+	s.web.Detach(cs.sess.ID)
+	s.mu.Lock()
+	delete(s.conns, cs.id)
+	delete(s.threads, cs.th)
+	completed := cs.completed
+	s.mu.Unlock()
+	s.stats.active.Add(-1)
+	if completed {
+		s.stats.drained.Add(1)
+	} else {
+		s.stats.killed.Add(1)
+	}
+	s.slots.Post()
+	// The session thread is condemned (its only custodian is dead); reap
+	// it deterministically so long-running servers do not accumulate
+	// suspended threads. This is TerminateCondemned, scoped to one thread.
+	cs.th.Kill()
+	s.mu.Lock()
+	delete(s.threads, th)
+	s.mu.Unlock()
+}
+
+// ErrServerDown is returned by Shutdown if called twice.
+var ErrServerDown = errors.New("netsvc: server is shut down")
+
+// Shutdown gracefully drains the server from a runtime thread: stop
+// accepting, let in-flight sessions finish for up to grace, then shut the
+// server custodian down (closing every remaining fd) and reap every
+// serving thread. On return no netsvc-owned runtime thread is live and no
+// netsvc-owned goroutine remains (pumps unblock as their fds close).
+func (s *Server) Shutdown(th *core.Thread, grace time.Duration) error {
+	if !s.drain.Complete(core.Unit{}) {
+		return ErrServerDown
+	}
+	_ = s.ln.Close()
+	deadline := time.Now().Add(grace)
+	for {
+		s.mu.Lock()
+		var waitFor *core.Thread
+		for _, cs := range s.conns {
+			waitFor = cs.th
+			break
+		}
+		s.mu.Unlock()
+		if waitFor == nil {
+			break
+		}
+		v, err := core.Sync(th, core.Choice(
+			core.Wrap(waitFor.DoneEvt(), func(core.Value) core.Value { return "done" }),
+			core.Wrap(core.AlarmAt(s.rt, deadline), func(core.Value) core.Value { return "timeout" }),
+		))
+		if err != nil {
+			continue
+		}
+		if v == "timeout" {
+			break
+		}
+		// Let the monitor finish its cleanup before re-scanning.
+		if err := core.Sleep(th, time.Millisecond); err != nil {
+			return err
+		}
+	}
+	s.cust.Shutdown()
+	// Reap every thread we spawned. Loop because a startConn racing the
+	// shutdown may insert its spawns after the first snapshot; once the
+	// acceptor is dead the map stops refilling and the loop terminates.
+	for {
+		s.mu.Lock()
+		ths := make([]*core.Thread, 0, len(s.threads))
+		for t := range s.threads {
+			ths = append(ths, t)
+		}
+		s.threads = make(map[*core.Thread]struct{})
+		s.mu.Unlock()
+		if len(ths) == 0 {
+			break
+		}
+		for _, t := range ths {
+			t.Kill()
+		}
+		if err := core.Sleep(th, time.Millisecond); err != nil {
+			return err
+		}
+	}
+	// Wait for the accept pump to exit so "no goroutines leaked" holds
+	// the moment Shutdown returns.
+	_, err := core.Sync(th, s.pumpRet.Evt())
+	return err
+}

@@ -1,0 +1,47 @@
+package netsvc
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats is the serving layer's counter set. All fields are written with
+// atomics so the snapshot is safe from any goroutine (the /debug/stats
+// route, tests, plain monitoring goroutines).
+type Stats struct {
+	accepted atomic.Int64 // conns accepted by the OS listener
+	active   atomic.Int64 // conns currently being served
+	drained  atomic.Int64 // sessions that ended cleanly (EOF, close, timeout response sent)
+	killed   atomic.Int64 // sessions terminated by custodian shutdown mid-service
+	timedOut atomic.Int64 // conns closed by the idle deadline
+	rejected atomic.Int64 // conns closed unserved (shutdown races, dead custodians)
+}
+
+// StatsSnapshot is a point-in-time copy of the counters.
+type StatsSnapshot struct {
+	Accepted int64 `json:"accepted"`
+	Active   int64 `json:"active"`
+	Drained  int64 `json:"drained"`
+	Killed   int64 `json:"killed"`
+	TimedOut int64 `json:"timed_out"`
+	Rejected int64 `json:"rejected"`
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Accepted: s.accepted.Load(),
+		Active:   s.active.Load(),
+		Drained:  s.drained.Load(),
+		Killed:   s.killed.Load(),
+		TimedOut: s.timedOut.Load(),
+		Rejected: s.rejected.Load(),
+	}
+}
+
+// json renders the snapshot without importing encoding/json into the
+// serving path (the shape is fixed and flat).
+func (v StatsSnapshot) json() string {
+	return fmt.Sprintf(
+		`{"accepted":%d,"active":%d,"drained":%d,"killed":%d,"timed_out":%d,"rejected":%d}`,
+		v.Accepted, v.Active, v.Drained, v.Killed, v.TimedOut, v.Rejected)
+}

@@ -107,6 +107,47 @@ func (srv *Server) Sessions() []int {
 	return out
 }
 
+// AttachSession registers a session backed by an external transport (a
+// real TCP connection served by internal/netsvc, say) whose lifecycle the
+// caller manages through the given custodian. The session participates in
+// the administrator's view — Sessions lists it, Terminate shuts its
+// custodian down — but the server spawns no handler thread for it: the
+// transport owner drives requests through Dispatch.
+func (srv *Server) AttachSession(cust *core.Custodian) *Session {
+	s := &Session{srv: srv, cust: cust}
+	srv.mu.Lock()
+	srv.nextID++
+	s.ID = srv.nextID
+	srv.sessions[s.ID] = s
+	srv.mu.Unlock()
+	return s
+}
+
+// Detach removes a session from the administrator's view without shutting
+// its custodian down — the bookkeeping half of Terminate, for transports
+// that clean up their own resources when a connection ends normally.
+func (srv *Server) Detach(id int) {
+	srv.mu.Lock()
+	delete(srv.sessions, id)
+	srv.mu.Unlock()
+}
+
+// Dispatch routes one request to its servlet on the calling thread. It is
+// the transport-independent core of a session's serve loop, exported so
+// external transports can mount the same routes.
+func (srv *Server) Dispatch(th *core.Thread, s *Session, req *Request) Response {
+	srv.mu.Lock()
+	servlet := srv.routes[req.Path]
+	srv.mu.Unlock()
+	if servlet == nil {
+		return Response{Status: 404, Body: "not found: " + req.Path}
+	}
+	return servlet(th, s, req)
+}
+
+// Custodian returns the custodian controlling the session's resources.
+func (s *Session) Custodian() *core.Custodian { return s.cust }
+
 // Terminate shuts down one session's custodian: its servlet threads and
 // everything they allocated stop. This is the administrator's hammer for
 // a misbehaving session.
@@ -148,10 +189,29 @@ func (srv *Server) Connect(th *core.Thread) (*Browser, *Session) {
 	srv.sessions[s.ID] = s
 	srv.mu.Unlock()
 
+	var handler *core.Thread
 	th.WithCustodian(cust, func() {
-		th.Spawn(fmt.Sprintf("session-%d", s.ID), func(x *core.Thread) {
+		handler = th.Spawn(fmt.Sprintf("session-%d", s.ID), func(x *core.Thread) {
 			s.serve(x, serverEnd)
 		})
+	})
+	// The reaper watches for the session's death — the administrator's
+	// Terminate (custodian shutdown) or a normal handler exit — and closes
+	// the server→browser stream. Without it, a browser waiting on the rest
+	// of a half-written response from a terminated session would block
+	// forever: the shared stream survives the kill (it is kill-safe), but
+	// nothing would ever finish the write. The reaper runs under the
+	// browser's custodian — it polices the session, so it must not die
+	// with it.
+	th.Spawn(fmt.Sprintf("session-reaper-%d", s.ID), func(x *core.Thread) {
+		for {
+			if _, err := core.Sync(x, core.Choice(cust.DeadEvt(), handler.DoneEvt())); err == nil {
+				break
+			}
+			// A stray break: keep watching.
+		}
+		for serverEnd.Close(x) != nil {
+		}
 	})
 	return &Browser{conn: browserEnd}, s
 }
@@ -165,16 +225,7 @@ func (s *Session) serve(th *core.Thread, conn *pipe.Conn) {
 			return // EOF, break, or termination
 		}
 		req := parseRequest(line)
-		s.srv.mu.Lock()
-		servlet := s.srv.routes[req.Path]
-		s.srv.mu.Unlock()
-
-		var resp Response
-		if servlet == nil {
-			resp = Response{Status: 404, Body: "not found: " + req.Path}
-		} else {
-			resp = servlet(th, s, req)
-		}
+		resp := s.srv.Dispatch(th, s, req)
 		if err := writeResponse(th, conn, resp); err != nil {
 			return
 		}
