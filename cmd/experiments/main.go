@@ -51,8 +51,18 @@ func main() {
 	fmt.Println("Kill-Safe Synchronization Abstractions — behavioural experiments")
 	fmt.Println(strings.Repeat("-", 78))
 	failures := 0
+	// A panicking experiment must score as a FAIL row (and a nonzero
+	// exit), not tear down the harness before later rows run.
+	safeRun := func(e experiment) (obs string, ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				obs, ok = fmt.Sprintf("panic: %v", r), false
+			}
+		}()
+		return e.run()
+	}
 	for _, e := range experiments {
-		obs, ok := e.run()
+		obs, ok := safeRun(e)
 		status := "PASS"
 		if !ok {
 			status = "FAIL"

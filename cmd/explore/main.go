@@ -1,0 +1,211 @@
+// Command explore drives the systematic concurrency explorer from the
+// command line: run seeded-random schedules of a scenario, replay a
+// recorded trace, shrink a failing trace, or record a single schedule.
+//
+//	explore list
+//	explore run -scenario queue-unsafe -seeds 100 [-expect stuck] [-out wedge.trace]
+//	explore record -scenario queue -seed 7 -out run.trace
+//	explore replay -trace wedge.trace [-expect stuck]
+//	explore shrink -trace wedge.trace -out small.trace
+//
+// Exit status: 0 when the outcome matches expectations, 1 otherwise, 2
+// on usage errors. For run, the default expectation is pass (no failing
+// schedule); -expect stuck/fail inverts that for scenarios that exist to
+// be broken, which is what CI gates on.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/explore"
+	"repro/internal/explore/scenarios"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, sc := range scenarios.All() {
+			fmt.Printf("%-22s %s\n", sc.Name, sc.Desc)
+		}
+	case "run":
+		cmdRun(os.Args[2:])
+	case "record":
+		cmdRecord(os.Args[2:])
+	case "replay":
+		cmdReplay(os.Args[2:])
+	case "shrink":
+		cmdShrink(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: explore {list|run|record|replay|shrink} [flags]")
+	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "explore: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func lookup(name string) explore.Scenario {
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		fatal("unknown scenario %q (try: explore list)", name)
+	}
+	return sc
+}
+
+func optFlags(fs *flag.FlagSet) *explore.Options {
+	o := &explore.Options{}
+	fs.IntVar(&o.MaxSteps, "steps", 0, "max decisions per schedule (default 500)")
+	fs.IntVar(&o.FaultBudget, "faults", 0, "max faults per schedule (default 2)")
+	fs.Float64Var(&o.FaultProb, "prob", 0, "per-decision fault probability (default 0.25)")
+	fs.DurationVar(&o.StepTimeout, "timeout", 0, "real-time watchdog per step (default 10s)")
+	return o
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	name := fs.String("scenario", "", "scenario name (required)")
+	seeds := fs.Int("seeds", 100, "number of seeds to explore")
+	seed := fs.Int64("seed", 1, "base seed")
+	out := fs.String("out", "", "write the first failing trace here")
+	expect := fs.String("expect", "pass", "expected result: pass, stuck, or fail")
+	opts := optFlags(fs)
+	_ = fs.Parse(args)
+	if *name == "" {
+		fatal("run: -scenario is required")
+	}
+	sc := lookup(*name)
+	start := time.Now()
+	rep := explore.Explore(sc, *opts, *seed, *seeds)
+	fmt.Printf("scenario %s: %d schedules, %d decisions, %d faults injected in %v\n",
+		rep.Scenario, rep.Schedules, rep.Steps, rep.Faults, time.Since(start).Round(time.Millisecond))
+	for st, n := range rep.Outcomes {
+		fmt.Printf("  %-7s %d\n", st, n)
+	}
+	got := "pass"
+	if f := rep.FirstFailure; f != nil {
+		got = f.Status.String()
+		fmt.Printf("seed %d: %s", rep.FirstFailureSeed, f.Status)
+		if f.Err != nil {
+			fmt.Printf(" (%v)", f.Err)
+		}
+		fmt.Printf(" after %d decisions\n", len(f.Trace.Actions))
+		if *out != "" {
+			if err := f.Trace.WriteFile(*out); err != nil {
+				fatal("write %s: %v", *out, err)
+			}
+			fmt.Printf("replay trace written to %s\n", *out)
+		}
+	}
+	exitExpect(*expect, got)
+}
+
+func cmdRecord(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	name := fs.String("scenario", "", "scenario name (required)")
+	seed := fs.Int64("seed", 1, "seed for the schedule")
+	out := fs.String("out", "", "trace file to write (required)")
+	opts := optFlags(fs)
+	_ = fs.Parse(args)
+	if *name == "" || *out == "" {
+		fatal("record: -scenario and -out are required")
+	}
+	sc := lookup(*name)
+	o := explore.RunOnce(sc, explore.NewRandomPicker(*seed, opts.FaultProb), *seed, *opts)
+	fmt.Printf("scenario %s seed %d: %s (%d decisions, %d faults)\n",
+		sc.Name, *seed, o.Status, len(o.Trace.Actions), o.Faults)
+	if o.Err != nil {
+		fmt.Printf("  %v\n", o.Err)
+	}
+	if err := o.Trace.WriteFile(*out); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Printf("trace written to %s\n", *out)
+}
+
+func cmdReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file (required)")
+	name := fs.String("scenario", "", "override the scenario named in the trace")
+	expect := fs.String("expect", "", "expected result: pass, stuck, fail (default: just report)")
+	lenient := fs.Bool("lenient", false, "skip decisions that are no longer available")
+	opts := optFlags(fs)
+	_ = fs.Parse(args)
+	if *path == "" {
+		fatal("replay: -trace is required")
+	}
+	tr, err := explore.ReadTraceFile(*path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *name == "" {
+		*name = tr.Scenario
+	}
+	sc := lookup(*name)
+	var o *explore.Outcome
+	if *lenient {
+		o = explore.ReplayLenient(sc, tr, *opts)
+	} else {
+		o = explore.Replay(sc, tr, *opts)
+	}
+	fmt.Printf("scenario %s: %s (%d decisions executed)\n", sc.Name, o.Status, len(o.Trace.Actions))
+	if o.Err != nil {
+		fmt.Printf("  %v\n", o.Err)
+	}
+	if *expect != "" {
+		exitExpect(*expect, o.Status.String())
+	}
+	if o.Status == explore.StatusError {
+		os.Exit(1)
+	}
+}
+
+func cmdShrink(args []string) {
+	fs := flag.NewFlagSet("shrink", flag.ExitOnError)
+	path := fs.String("trace", "", "trace file (required)")
+	out := fs.String("out", "", "write the shrunk trace here (default: overwrite input)")
+	opts := optFlags(fs)
+	_ = fs.Parse(args)
+	if *path == "" {
+		fatal("shrink: -trace is required")
+	}
+	if *out == "" {
+		*out = *path
+	}
+	tr, err := explore.ReadTraceFile(*path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	sc := lookup(tr.Scenario)
+	o := explore.ReplayLenient(sc, tr, *opts)
+	if !o.Failing() {
+		fatal("trace does not fail (%s); nothing to shrink", o.Status)
+	}
+	shrunk, replays := explore.Shrink(sc, tr, *opts, nil)
+	fmt.Printf("shrunk %d -> %d decisions in %d replays\n",
+		len(tr.Actions), len(shrunk.Actions), replays)
+	if err := shrunk.WriteFile(*out); err != nil {
+		fatal("write %s: %v", *out, err)
+	}
+	fmt.Printf("shrunk trace written to %s\n", *out)
+}
+
+func exitExpect(expect, got string) {
+	if expect != got {
+		fmt.Printf("FAIL: expected %s, got %s\n", expect, got)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: %s\n", got)
+	os.Exit(0)
+}

@@ -16,15 +16,16 @@ func AlarmAt(rt *Runtime, at time.Time) Event { return &alarmEvt{rt: rt, at: at}
 
 // After returns an event that is ready (with Unit) once d has elapsed from
 // the moment the event is synced on (the timer starts at sync time, via a
-// guard, like the paper's one-sec-timeout example).
+// guard, like the paper's one-sec-timeout example). Time is Runtime.Now:
+// the virtual clock in deterministic mode, the wall clock otherwise.
 func After(rt *Runtime, d time.Duration) Event {
 	return Guard(func(*Thread) Event {
-		return AlarmAt(rt, time.Now().Add(d))
+		return AlarmAt(rt, rt.Now().Add(d))
 	})
 }
 
 func (e *alarmEvt) poll(op *syncOp, idx int) bool {
-	if time.Now().Before(e.at) {
+	if e.rt.nowLocked().Before(e.at) {
 		return false
 	}
 	commitOpLocked(op, idx, Unit{})
@@ -33,6 +34,13 @@ func (e *alarmEvt) poll(op *syncOp, idx int) bool {
 
 func (e *alarmEvt) register(w *waiter) {
 	rt := e.rt
+	if rt.det.Load() {
+		// Deterministic mode: no real timer. The registration sits in the
+		// runtime's virtual alarm list until the scheduler decides that
+		// time passes (AdvanceToNextAlarm).
+		rt.addAlarmLocked(w, e.at)
+		return
+	}
 	t := time.AfterFunc(time.Until(e.at), func() {
 		rt.mu.Lock()
 		// If the thread is suspended this is a no-op; the waiter stays

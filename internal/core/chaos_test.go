@@ -2,12 +2,32 @@ package core_test
 
 import (
 	"math/rand"
+	"os"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 )
+
+// chaosSeed returns the master seed for a randomized chaos run: the value
+// of KILLSAFE_CHAOS_SEED if set, a fresh random seed otherwise. The seed
+// is always logged so any failure can be reproduced by re-running with
+// the env var set to the logged value.
+func chaosSeed(t *testing.T) int64 {
+	if s := os.Getenv("KILLSAFE_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("KILLSAFE_CHAOS_SEED=%q: %v", s, err)
+		}
+		t.Logf("chaos seed %d (from KILLSAFE_CHAOS_SEED)", n)
+		return n
+	}
+	n := time.Now().UnixNano()
+	t.Logf("chaos seed %d (rerun with KILLSAFE_CHAOS_SEED=%d)", n, n)
+	return n
+}
 
 // TestChaos hammers the sync engine with many threads doing randomized
 // channel choices while a controller randomly suspends, resumes, breaks,
@@ -16,6 +36,7 @@ import (
 // under the runtime lock). This is the closest thing to a model-checking
 // run the repository has; raise iterations with -count for soak testing.
 func TestChaos(t *testing.T) {
+	seed := chaosSeed(t)
 	rt := core.NewRuntime()
 	defer rt.Shutdown()
 
@@ -27,7 +48,7 @@ func TestChaos(t *testing.T) {
 	}
 
 	err := rt.Run(func(th *core.Thread) {
-		rng := rand.New(rand.NewSource(42))
+		rng := rand.New(rand.NewSource(seed))
 		threads := make([]*core.Thread, workers)
 		custs := make([]*core.Custodian, workers)
 		for i := range threads {
@@ -35,7 +56,7 @@ func TestChaos(t *testing.T) {
 			custs[i] = core.NewCustodian(rt.RootCustodian())
 			th.WithCustodian(custs[i], func() {
 				threads[i] = th.Spawn("chaos-worker", func(x *core.Thread) {
-					lrng := rand.New(rand.NewSource(int64(i)))
+					lrng := rand.New(rand.NewSource(seed + int64(i) + 1))
 					for {
 						a := chans[lrng.Intn(len(chans))]
 						b := chans[lrng.Intn(len(chans))]

@@ -10,6 +10,7 @@ import "io"
 // allocation under it.
 type Custodian struct {
 	rt       *Runtime
+	id       int64 // creation order; deterministic-mode iteration key
 	parent   *Custodian
 	children map[*Custodian]struct{}
 	threads  map[*Thread]struct{}
@@ -27,8 +28,10 @@ func NewCustodian(parent *Custodian) *Custodian {
 	rt := parent.rt
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
+	rt.nextCustID++
 	c := &Custodian{
 		rt:       rt,
+		id:       rt.nextCustID,
 		parent:   parent,
 		children: make(map[*Custodian]struct{}),
 		threads:  make(map[*Thread]struct{}),
@@ -126,8 +129,16 @@ func (c *Custodian) shutdownLocked(closers []io.Closer) []io.Closer {
 	clear(c.threads)
 	closers = append(closers, c.closers...)
 	c.closers = nil
-	for child := range c.children {
-		closers = child.shutdownLocked(closers)
+	if c.rt.det.Load() {
+		// Child shutdowns fire dead-event commits; order them by id so
+		// deterministic runs do not depend on map iteration order.
+		for _, child := range sortedCustodians(c.children) {
+			closers = child.shutdownLocked(closers)
+		}
+	} else {
+		for child := range c.children {
+			closers = child.shutdownLocked(closers)
+		}
 	}
 	clear(c.children)
 	return closers

@@ -29,6 +29,7 @@ import "sync"
 type External struct {
 	rt      *Runtime
 	fired   bool
+	queued  bool // deterministic mode: completed but not yet delivered
 	v       Value
 	waiters []*waiter
 }
@@ -42,8 +43,18 @@ func NewExternal(rt *Runtime) *External { return &External{rt: rt} }
 func (x *External) Complete(v Value) bool {
 	x.rt.mu.Lock()
 	defer x.rt.mu.Unlock()
-	if x.fired {
+	if x.fired || x.queued {
 		return false
+	}
+	if x.rt.det.Load() {
+		// Deterministic mode: completions are funneled through a FIFO
+		// delivery queue and land only when the scheduler performs a
+		// DeliverNextExternal step, so the commit point is a recorded
+		// scheduling decision rather than a race with the completer.
+		x.queued = true
+		x.v = v
+		x.rt.extq = append(x.rt.extq, x)
+		return true
 	}
 	x.fired = true
 	x.v = v
@@ -57,11 +68,12 @@ func (x *External) Complete(v Value) bool {
 	return true
 }
 
-// Completed reports whether the cell has fired.
+// Completed reports whether Complete has been called (in deterministic
+// mode the value may still be queued, awaiting its delivery step).
 func (x *External) Completed() bool {
 	x.rt.mu.Lock()
 	defer x.rt.mu.Unlock()
-	return x.fired
+	return x.fired || x.queued
 }
 
 // Evt returns an event that is ready once the cell has completed; its

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Value is the type carried by events and channels in the untyped core.
@@ -40,13 +42,27 @@ type Runtime struct {
 	// panicHandler, if non-nil, observes panics raised by user code in
 	// runtime threads (after the panic is recorded on the thread).
 	panicHandler func(*Thread, *ThreadPanicError)
+
+	// Deterministic-mode state (see sched.go). sched is nil in normal
+	// operation; every hook call site is nil-guarded so the default
+	// scheduling path is unchanged. det mirrors sched != nil and is
+	// atomic so lock-free fast paths (Now, alarm registration) can test
+	// it cheaply.
+	sched      SchedHook
+	det        atomic.Bool
+	vnow       time.Time  // virtual clock, guarded by mu
+	valarms    []valarm   // virtual alarm registrations, guarded by mu
+	extq       []*External // queued external completions, guarded by mu
+	nextCustID int64
 }
 
 // NewRuntime creates a fresh runtime with a root custodian.
 func NewRuntime() *Runtime {
 	rt := &Runtime{threads: make(map[int64]*Thread)}
+	rt.nextCustID++
 	rt.root = &Custodian{
 		rt:       rt,
+		id:       rt.nextCustID,
 		children: make(map[*Custodian]struct{}),
 		threads:  make(map[*Thread]struct{}),
 	}
@@ -175,7 +191,18 @@ func (rt *Runtime) newThreadLocked(name string, c *Custodian) *Thread {
 	}
 	rt.threads[th.id] = th
 	rt.traceLocked(TraceSpawn, th, "")
+	if h := rt.sched; h != nil {
+		h.Spawned(th)
+	}
 	return th
+}
+
+// SpawnIn creates a thread controlled by an explicit custodian. It is the
+// plain-Go (no current thread) counterpart of Thread.Spawn, used by test
+// drivers and the deterministic explorer to place scenario threads under
+// specific custodians.
+func (rt *Runtime) SpawnIn(c *Custodian, name string, fn func(*Thread)) *Thread {
+	return rt.spawn(name, c, fn)
 }
 
 // finishThread moves a thread to the done state, releases its custodians,
@@ -206,6 +233,10 @@ func (rt *Runtime) TerminateCondemned() int {
 			doomed = append(doomed, th)
 		}
 	}
+	// Kill in id order: the pending-nack fires triggered by each kill can
+	// commit watcher syncs, and deterministic mode needs that sequence to
+	// be a function of runtime state, not of map iteration order.
+	sort.Slice(doomed, func(i, j int) bool { return doomed[i].id < doomed[j].id })
 	for _, th := range doomed {
 		th.killLocked()
 	}
@@ -230,10 +261,15 @@ func (rt *Runtime) Shutdown() {
 	rt.root.Shutdown()
 
 	rt.mu.Lock()
+	var rest []*Thread
 	for _, th := range rt.threads {
 		if !th.done {
-			th.killLocked()
+			rest = append(rest, th)
 		}
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i].id < rest[j].id })
+	for _, th := range rest {
+		th.killLocked()
 	}
 	rt.mu.Unlock()
 	rt.wg.Wait()

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// SchedHook is the pluggable scheduler interface behind deterministic
+// (sequential) execution mode. When a hook is installed via SetScheduler,
+// the runtime stops relying on Go's nondeterministic goroutine scheduling
+// for anything observable: exactly one runtime thread executes at a time,
+// and every safe point hands control back to the hook, which chooses the
+// next thread. internal/explore implements the hook; normal operation
+// leaves it nil, and every call site guards with a nil check so the
+// non-deterministic fast path is unchanged.
+//
+// Locking contract: Spawned, Runnable, Blocked, and Done are called with
+// the runtime lock held and must not block (they may take the hook's own
+// lock; the order is always runtime lock → hook lock). Pause is called
+// WITHOUT the runtime lock and blocks the calling goroutine until the
+// hook grants it the right to run.
+type SchedHook interface {
+	// Spawned reports a newly created thread. The thread is considered
+	// runnable; its goroutine will reach a Pause call before touching
+	// user code.
+	Spawned(th *Thread)
+	// Runnable reports that a parked thread may be able to proceed: its
+	// sync committed or aborted, it was killed, broken, or resumed. Every
+	// wake-up of a parked thread is preceded by a Runnable call under the
+	// same critical section.
+	Runnable(th *Thread)
+	// Blocked reports that a thread is about to park on its condition
+	// variable and cannot proceed until a Runnable call.
+	Blocked(th *Thread)
+	// Done reports that a thread finished (returned or unwound from a
+	// kill).
+	Done(th *Thread)
+	// Pause is the safe point: the thread relinquishes control and blocks
+	// until the hook grants it the right to continue.
+	Pause(th *Thread)
+}
+
+// detEpoch is where the virtual clock starts in deterministic mode. Any
+// fixed value works; a round, recognizably fake timestamp makes traces
+// and logs easy to read.
+var detEpoch = time.Unix(1_000_000_000, 0)
+
+// SetScheduler installs (or, with nil, removes) a scheduler hook and
+// switches the runtime to deterministic mode: the virtual clock replaces
+// the wall clock for alarms, and External completions are queued for
+// explicit delivery rather than delivered immediately. It must be called
+// before any thread is created.
+func (rt *Runtime) SetScheduler(h SchedHook) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.threads) > 0 {
+		panic("core: SetScheduler called after threads were created")
+	}
+	rt.sched = h
+	rt.det.Store(h != nil)
+	rt.vnow = detEpoch
+}
+
+// Now returns the current time: the virtual clock in deterministic mode,
+// the wall clock otherwise. Timeout events (After) are built on it.
+func (rt *Runtime) Now() time.Time {
+	if !rt.det.Load() {
+		return time.Now()
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.vnow
+}
+
+// nowLocked is Now for callers that already hold rt.mu.
+func (rt *Runtime) nowLocked() time.Time {
+	if rt.det.Load() {
+		return rt.vnow
+	}
+	return time.Now()
+}
+
+// valarm is a virtual-clock alarm registration: a parked sync waiter that
+// becomes ready when the virtual clock reaches at.
+type valarm struct {
+	w  *waiter
+	at time.Time
+}
+
+// addAlarmLocked registers a virtual alarm. Deterministic mode only;
+// caller holds rt.mu.
+func (rt *Runtime) addAlarmLocked(w *waiter, at time.Time) {
+	rt.valarms = append(rt.valarms, valarm{w: w, at: at})
+}
+
+// compactAlarmsLocked drops registrations whose waiter is gone or whose
+// sync has been decided. Caller holds rt.mu.
+func (rt *Runtime) compactAlarmsLocked() {
+	live := rt.valarms[:0]
+	for _, a := range rt.valarms {
+		if !a.w.removed && a.w.op.state == opSyncing {
+			live = append(live, a)
+		}
+	}
+	rt.valarms = live
+}
+
+// PendingAlarms reports the number of live virtual-alarm registrations.
+// It is always 0 outside deterministic mode (real timers are used there).
+func (rt *Runtime) PendingAlarms() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.compactAlarmsLocked()
+	return len(rt.valarms)
+}
+
+// AdvanceToNextAlarm advances the virtual clock to the earliest pending
+// alarm deadline and fires every alarm that is now due. It returns false
+// if no alarm is pending. Deterministic mode only; the scheduler calls it
+// when it decides that "time passes" is the next step.
+func (rt *Runtime) AdvanceToNextAlarm() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.compactAlarmsLocked()
+	if len(rt.valarms) == 0 {
+		return false
+	}
+	min := rt.valarms[0].at
+	for _, a := range rt.valarms[1:] {
+		if a.at.Before(min) {
+			min = a.at
+		}
+	}
+	if min.After(rt.vnow) {
+		rt.vnow = min
+	}
+	rest := rt.valarms[:0]
+	for _, a := range rt.valarms {
+		if a.at.After(rt.vnow) {
+			rest = append(rest, a)
+			continue
+		}
+		// A suspended thread's alarm is simply dropped from the list: the
+		// clock has passed the deadline, so the resume path's re-poll
+		// observes it ready (same discipline as a fired real timer).
+		commitSingleLocked(a.w, Unit{})
+	}
+	rt.valarms = rest
+	return true
+}
+
+// PendingDeliveries reports the number of External completions queued for
+// deterministic delivery. Always 0 outside deterministic mode.
+func (rt *Runtime) PendingDeliveries() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.extq)
+}
+
+// DeliverNextExternal delivers the oldest queued External completion:
+// the cell becomes fired and its waiters commit. It returns false if the
+// queue is empty. Deterministic mode only; completions queue in Complete
+// order and the scheduler chooses when each one lands.
+func (rt *Runtime) DeliverNextExternal() bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.extq) == 0 {
+		return false
+	}
+	x := rt.extq[0]
+	rt.extq = rt.extq[1:]
+	x.queued = false
+	x.fired = true
+	for _, w := range x.waiters {
+		commitSingleLocked(w, x.v)
+	}
+	x.waiters = nil
+	return true
+}
+
+// Deterministic-iteration helpers. The yoking and shutdown paths iterate
+// sets of threads and custodians; map order is fine in normal mode but a
+// wake-up (and hence a possible commit) ordered by map iteration would
+// leak nondeterminism into deterministic runs. These return id-sorted
+// slices; call sites use them only when rt.det is set so the hot paths
+// stay allocation-free.
+
+func sortedThreads(set map[*Thread]struct{}) []*Thread {
+	out := make([]*Thread, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func sortedCustodians(set map[*Custodian]struct{}) []*Custodian {
+	out := make([]*Custodian, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}

@@ -49,6 +49,9 @@ func commitOpLocked(op *syncOp, idx int, v Value) {
 	// the outcome even before the syncing thread is rescheduled.
 	fireLosingNacksLocked(op)
 	op.th.cond.Broadcast()
+	if h := op.th.rt.sched; h != nil {
+		h.Runnable(op.th)
+	}
 }
 
 // commitSingleLocked commits a blocked waiter from a "became ready" event
@@ -179,6 +182,21 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 	// flatten is observed below.
 	flatten(th, op, e, nil, nil, 0)
 
+	// park blocks until the op's state may have changed. In deterministic
+	// mode the thread additionally reports itself blocked and, once woken,
+	// waits to be granted its turn before acting on what it observed.
+	park := func() {
+		if h := rt.sched; h != nil {
+			h.Blocked(th)
+			th.cond.Wait()
+			rt.mu.Unlock()
+			h.Pause(th)
+			rt.mu.Lock()
+			return
+		}
+		th.cond.Wait()
+	}
+
 	rt.mu.Lock()
 	for {
 		if th.killed {
@@ -200,7 +218,7 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 		// A suspended thread must not poll or commit; park until
 		// resumed (peers skip it meanwhile).
 		if th.suspendedLocked() {
-			th.cond.Wait()
+			park()
 			continue
 		}
 		if len(op.waiters) == 0 {
@@ -228,7 +246,7 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 				op.waiters = append(op.waiters, w)
 			}
 		}
-		th.cond.Wait()
+		park()
 	}
 }
 

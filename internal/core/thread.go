@@ -118,21 +118,35 @@ func (t *Thread) WithCustodian(c *Custodian, fn func()) {
 }
 
 // gate blocks while the thread is suspended and panics with the kill
-// sentinel if the thread has been killed. It is the core safe point.
+// sentinel if the thread has been killed. It is the core safe point; in
+// deterministic mode it is also a scheduling decision: the thread pauses
+// and runs on only when the scheduler hook grants it.
 func (t *Thread) gate() {
 	t.rt.mu.Lock()
 	t.gateLocked()
 	t.rt.mu.Unlock()
+	if h := t.rt.sched; h != nil {
+		h.Pause(t)
+	}
 }
 
 func (t *Thread) gateLocked() {
 	for {
 		if t.killed {
 			t.rt.mu.Unlock()
+			// The unwind mutates shared state (custodian release, done
+			// waiters); in deterministic mode it must wait its turn like
+			// any other step.
+			if h := t.rt.sched; h != nil {
+				h.Pause(t)
+			}
 			panic(killSentinel{t})
 		}
 		if !t.suspendedLocked() {
 			return
+		}
+		if h := t.rt.sched; h != nil {
+			h.Blocked(t)
 		}
 		t.cond.Wait()
 	}
@@ -146,12 +160,18 @@ func (t *Thread) gateLocked() {
 func (t *Thread) Checkpoint() error {
 	t.rt.mu.Lock()
 	t.gateLocked()
+	brk := false
 	if t.pendingBreak && t.breaksOn {
 		t.pendingBreak = false
-		t.rt.mu.Unlock()
-		return ErrBreak
+		brk = true
 	}
 	t.rt.mu.Unlock()
+	if h := t.rt.sched; h != nil {
+		h.Pause(t)
+	}
+	if brk {
+		return ErrBreak
+	}
 	return nil
 }
 
@@ -194,6 +214,9 @@ func (t *Thread) killLocked() {
 		fireAllNacksLocked(t.op)
 	}
 	t.cond.Broadcast()
+	if h := t.rt.sched; h != nil {
+		h.Runnable(t) // the goroutine must run once more, to unwind
+	}
 }
 
 // markDoneLocked finalizes a finished or killed thread. Caller holds rt.mu.
@@ -222,6 +245,9 @@ func (t *Thread) markDoneLocked() {
 	}
 	t.doneWaiters = nil
 	t.cond.Broadcast()
+	if h := t.rt.sched; h != nil {
+		h.Done(t)
+	}
 }
 
 // Done reports whether the thread has terminated (returned or killed).
@@ -230,6 +256,14 @@ func (t *Thread) Done() bool {
 	t.rt.mu.Lock()
 	defer t.rt.mu.Unlock()
 	return t.done
+}
+
+// Killed reports whether the thread has been killed, whether or not its
+// goroutine has finished unwinding yet. Done implies Killed.
+func (t *Thread) Killed() bool {
+	t.rt.mu.Lock()
+	defer t.rt.mu.Unlock()
+	return t.killed
 }
 
 // Suspended reports whether the thread is currently suspended.
@@ -278,6 +312,14 @@ func (t *Thread) addCustodianLocked(c *Custodian, visited map[*Thread]struct{}) 
 		c.threads[t] = struct{}{}
 		t.wakeIfRunnableLocked()
 	}
+	if t.rt.det.Load() {
+		// Wake-ups can commit syncs; visit beneficiaries in id order so
+		// deterministic runs do not depend on map iteration order.
+		for _, b := range sortedThreads(t.beneficiaries) {
+			b.addCustodianLocked(c, visited)
+		}
+		return
+	}
 	for b := range t.beneficiaries {
 		b.addCustodianLocked(c, visited)
 	}
@@ -291,6 +333,9 @@ func (t *Thread) wakeIfRunnableLocked() {
 		return
 	}
 	t.cond.Broadcast()
+	if h := t.rt.sched; h != nil {
+		h.Runnable(t)
+	}
 	if t.op != nil && t.op.state == opSyncing {
 		repollLocked(t.op)
 	}
@@ -309,6 +354,12 @@ func (t *Thread) resumeLocked(visited map[*Thread]struct{}) {
 		}
 		t.explicitSuspend = false
 		t.wakeIfRunnableLocked()
+	}
+	if t.rt.det.Load() {
+		for _, b := range sortedThreads(t.beneficiaries) {
+			b.resumeLocked(visited)
+		}
+		return
 	}
 	for b := range t.beneficiaries {
 		b.resumeLocked(visited)
@@ -333,6 +384,9 @@ func (t *Thread) Break() {
 	} else {
 		// Wake a gate-parked thread so Checkpoint can deliver.
 		t.cond.Broadcast()
+	}
+	if h := t.rt.sched; h != nil {
+		h.Runnable(t)
 	}
 }
 
@@ -409,8 +463,14 @@ func ResumeVia(t, by *Thread) {
 		by.beneficiaries[t] = struct{}{}
 		t.yokedOwners[by] = struct{}{}
 	}
-	for c := range by.custodians {
-		t.addCustodianLocked(c, make(map[*Thread]struct{}))
+	if t.rt.det.Load() {
+		for _, c := range sortedCustodians(by.custodians) {
+			t.addCustodianLocked(c, make(map[*Thread]struct{}))
+		}
+	} else {
+		for c := range by.custodians {
+			t.addCustodianLocked(c, make(map[*Thread]struct{}))
+		}
 	}
 	if len(t.custodians) > 0 {
 		t.resumeLocked(make(map[*Thread]struct{}))
@@ -444,8 +504,14 @@ func SpawnYoked(owner *Thread, name string, fn func(*Thread)) *Thread {
 	th.current = owner.current
 	owner.beneficiaries[th] = struct{}{}
 	th.yokedOwners[owner] = struct{}{}
-	for c := range owner.custodians {
-		th.addCustodianLocked(c, make(map[*Thread]struct{}))
+	if rt.det.Load() {
+		for _, c := range sortedCustodians(owner.custodians) {
+			th.addCustodianLocked(c, make(map[*Thread]struct{}))
+		}
+	} else {
+		for c := range owner.custodians {
+			th.addCustodianLocked(c, make(map[*Thread]struct{}))
+		}
 	}
 	rt.wg.Add(1)
 	rt.mu.Unlock()

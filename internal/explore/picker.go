@@ -1,0 +1,106 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Picker chooses the next action at each settled decision point. progress
+// holds the non-fault steps currently available (grants, a delivery, a
+// clock advance) and faults holds the injectable faults; both lists are
+// deterministic functions of the decisions made so far, so a picker that
+// is itself deterministic yields a deterministic run. Either list may be
+// empty, but never both (the runner declares the run stuck before asking).
+type Picker interface {
+	Pick(step int, progress, faults []Action) (Action, error)
+}
+
+// RandomPicker explores seeded-random schedules: at each decision point
+// it injects a fault with probability FaultProb (when any fault is
+// available), otherwise picks uniformly among the progress steps. Two
+// pickers with the same seed drive byte-identical runs.
+type RandomPicker struct {
+	rng       *rand.Rand
+	FaultProb float64
+}
+
+// NewRandomPicker returns a picker seeded with seed. faultProb is the
+// per-decision probability of choosing a fault over a progress step;
+// values around 0.1–0.3 keep schedules mostly productive.
+func NewRandomPicker(seed int64, faultProb float64) *RandomPicker {
+	return &RandomPicker{rng: rand.New(rand.NewSource(seed)), FaultProb: faultProb}
+}
+
+func (p *RandomPicker) Pick(step int, progress, faults []Action) (Action, error) {
+	if len(faults) > 0 && (len(progress) == 0 || p.rng.Float64() < p.FaultProb) {
+		return faults[p.rng.Intn(len(faults))], nil
+	}
+	if len(progress) > 0 {
+		return progress[p.rng.Intn(len(progress))], nil
+	}
+	return Action{}, fmt.Errorf("explore: picker called with no available actions")
+}
+
+// ReplayPicker re-issues a recorded decision sequence. In strict mode
+// (the default) a decision that is not currently available is a
+// divergence error — the scenario or runtime changed under the trace. In
+// lenient mode unavailable decisions are skipped and, once the trace is
+// exhausted, the picker falls back to the first available action; the
+// shrinker uses lenient replays to test traces with chunks deleted.
+type ReplayPicker struct {
+	trace   *Trace
+	pos     int
+	Lenient bool
+}
+
+// NewReplayPicker returns a strict replayer for tr.
+func NewReplayPicker(tr *Trace) *ReplayPicker { return &ReplayPicker{trace: tr} }
+
+// NewLenientReplayPicker returns a lenient replayer for tr.
+func NewLenientReplayPicker(tr *Trace) *ReplayPicker {
+	return &ReplayPicker{trace: tr, Lenient: true}
+}
+
+func available(a Action, progress, faults []Action) bool {
+	for _, b := range progress {
+		if a == b {
+			return true
+		}
+	}
+	for _, b := range faults {
+		if a == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *ReplayPicker) Pick(step int, progress, faults []Action) (Action, error) {
+	if p.Lenient {
+		for p.pos < len(p.trace.Actions) {
+			a := p.trace.Actions[p.pos]
+			p.pos++
+			if available(a, progress, faults) {
+				return a, nil
+			}
+		}
+		// Trace exhausted: deterministic fallback keeps the run moving so
+		// the runner, not the picker, decides how it ends.
+		if len(progress) > 0 {
+			return progress[0], nil
+		}
+		if len(faults) > 0 {
+			return faults[0], nil
+		}
+		return Action{}, fmt.Errorf("explore: lenient replay: no available actions")
+	}
+	if p.pos >= len(p.trace.Actions) {
+		return Action{}, fmt.Errorf("explore: replay diverged: trace exhausted at step %d but the run wants another decision", step)
+	}
+	a := p.trace.Actions[p.pos]
+	if !available(a, progress, faults) {
+		return Action{}, fmt.Errorf("explore: replay diverged at step %d: recorded decision %q is not available", step, a.String())
+	}
+	p.pos++
+	return a, nil
+}

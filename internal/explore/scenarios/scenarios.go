@@ -1,0 +1,326 @@
+// Package scenarios holds the explore scenarios for the repository's
+// kill-safe abstractions. Each scenario builds a small world on a
+// deterministic runtime, names the threads that must finish and the
+// faults the explorer may inject, and states the invariant that defines
+// success. The unsafe variants exist to be broken: the explorer finds the
+// schedule in which a custodian shutdown wedges a surviving task, which
+// is the paper's motivating failure.
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/abstractions/msgqueue"
+	"repro/abstractions/pool"
+	"repro/abstractions/queue"
+	"repro/abstractions/swapchan"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// All returns every registered scenario, in a fixed order.
+func All() []explore.Scenario {
+	return []explore.Scenario{
+		QueueUnsafe(),
+		QueueKillSafe(),
+		MsgQueueRemotePred(),
+		MsgQueueFIFO(),
+		SwapChan(),
+		Pool(),
+	}
+}
+
+// ByName looks a scenario up by name.
+func ByName(name string) (explore.Scenario, bool) {
+	for _, sc := range All() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return explore.Scenario{}, false
+}
+
+// queueScenario is the paper's motivating example. A creator task under
+// custodian A builds a queue, seeds it, and hands it to a survivor task
+// under custodian B. The explorer may shut custodian A down at any
+// decision point. With the kill-safe queue the survivor always finishes:
+// its operations resurrect the suspended manager via thread-resume. With
+// the unsafe queue there is a window — after the handoff, before the
+// survivor's last operation commits — where the shutdown suspends the
+// manager forever and the survivor wedges: StatusStuck.
+func queueScenario(name, desc string, unsafe bool) explore.Scenario {
+	return explore.Scenario{
+		Name: name,
+		Desc: desc,
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			custA := core.NewCustodian(rt.RootCustodian())
+			custB := core.NewCustodian(rt.RootCustodian())
+			hand := core.NewChanNamed(rt, "handoff")
+			var handed bool
+			var got []int
+			var opErr error
+			rt.SpawnIn(custA, "creator", func(th *core.Thread) {
+				var q *queue.Queue[int]
+				if unsafe {
+					q = queue.NewUnsafe[int](th)
+				} else {
+					q = queue.New[int](th)
+				}
+				if err := q.Send(th, 1); err != nil {
+					return
+				}
+				_, _ = core.Sync(th, hand.SendEvt(q))
+			})
+			surv := rt.SpawnIn(custB, "survivor", func(th *core.Thread) {
+				// If custodian A dies before the handoff the queue never
+				// escaped it; there is nothing for the survivor to use, so
+				// it finishes trivially. DeadEvt ready implies the creator
+				// is suspended, so the two arms are never both available.
+				v, err := core.Sync(th, core.Choice(
+					hand.RecvEvt(),
+					core.Wrap(custA.DeadEvt(), func(core.Value) core.Value { return nil }),
+				))
+				if err != nil || v == nil {
+					return
+				}
+				handed = true
+				q := v.(*queue.Queue[int])
+				a, err := q.Recv(th)
+				if err != nil {
+					opErr = err
+					return
+				}
+				if err := q.Send(th, 2); err != nil {
+					opErr = err
+					return
+				}
+				b, err := q.Recv(th)
+				if err != nil {
+					opErr = err
+					return
+				}
+				got = []int{a, b}
+			})
+			sim.MustFinish(surv)
+			sim.VictimCustodian(custA)
+			sim.RestrictFaults(explore.ActShutdown)
+			sim.Check(func() error {
+				if !handed {
+					return nil // custodian died pre-handoff; vacuous pass
+				}
+				if opErr != nil {
+					return fmt.Errorf("survivor queue op failed: %w", opErr)
+				}
+				if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+					return fmt.Errorf("survivor received %v, want [1 2]", got)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// QueueUnsafe is the wedge-finder: the explorer should report StatusStuck
+// on some schedule within a small seed budget.
+func QueueUnsafe() explore.Scenario {
+	return queueScenario("queue-unsafe",
+		"custodian shutdown wedges a survivor of the non-kill-safe queue", true)
+}
+
+// QueueKillSafe is the same world over the kill-safe queue: every
+// schedule must pass.
+func QueueKillSafe() explore.Scenario {
+	return queueScenario("queue",
+		"custodian shutdown never wedges a survivor of the kill-safe queue", false)
+}
+
+// MsgQueueRemotePred exercises remote predicate evaluation (DESIGN.md
+// finding #2): predicates run in fresh threads under the client's
+// custodian, and the reply must join the same sync as the request or the
+// manager self-deadlocks. A pure scheduling scenario — no faults — whose
+// recorded trace pins the regression.
+func MsgQueueRemotePred() explore.Scenario {
+	return explore.Scenario{
+		Name: "msgqueue-remote-pred",
+		Desc: "remote predicates answer without wedging the manager",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var got int
+			var gotErr error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				q := msgqueue.NewWith[int](th, msgqueue.Options{Nacks: true, RemotePredicates: true})
+				cons := th.Spawn("consumer", func(th *core.Thread) {
+					v, err := q.Recv(th, func(v int) bool { return v >= 2 })
+					got, gotErr = v, err
+				})
+				sim.MustFinish(cons)
+				prod := th.Spawn("producer", func(th *core.Thread) {
+					for _, v := range []int{1, 2, 3} {
+						if err := q.Send(th, v); err != nil {
+							return
+						}
+					}
+				})
+				sim.MustFinish(prod)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults() // pure scheduling
+			sim.Check(func() error {
+				if gotErr != nil {
+					return fmt.Errorf("consumer recv failed: %w", gotErr)
+				}
+				if got != 2 {
+					return fmt.Errorf("consumer received %d, want 2 (first value matching v>=2)", got)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// MsgQueueFIFO exercises selective dequeue ordering (DESIGN.md finding
+// #4): a receiver removing a middle element must not let another
+// receiver's scan skip untested items (high-water mark, not index). With
+// values 1,2,3 queued, the even-receiver must get 2 and the odd-receiver
+// must get 1 then 3, in FIFO order, under every schedule.
+func MsgQueueFIFO() explore.Scenario {
+	return explore.Scenario{
+		Name: "msgqueue-fifo",
+		Desc: "selective dequeue preserves FIFO for non-matching receivers",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var even int
+			var odd []int
+			var evenErr, oddErr error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				q := msgqueue.New[int](th)
+				x := th.Spawn("even-receiver", func(th *core.Thread) {
+					even, evenErr = q.Recv(th, func(v int) bool { return v%2 == 0 })
+				})
+				sim.MustFinish(x)
+				y := th.Spawn("odd-receiver", func(th *core.Thread) {
+					for i := 0; i < 2; i++ {
+						v, err := q.Recv(th, func(v int) bool { return v%2 == 1 })
+						if err != nil {
+							oddErr = err
+							return
+						}
+						odd = append(odd, v)
+					}
+				})
+				sim.MustFinish(y)
+				prod := th.Spawn("producer", func(th *core.Thread) {
+					for _, v := range []int{1, 2, 3} {
+						if err := q.Send(th, v); err != nil {
+							return
+						}
+					}
+				})
+				sim.MustFinish(prod)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults() // pure scheduling
+			sim.Check(func() error {
+				if evenErr != nil || oddErr != nil {
+					return fmt.Errorf("recv failed: even=%v odd=%v", evenErr, oddErr)
+				}
+				if even != 2 {
+					return fmt.Errorf("even receiver got %d, want 2", even)
+				}
+				if len(odd) != 2 || odd[0] != 1 || odd[1] != 3 {
+					return fmt.Errorf("odd receiver got %v, want [1 3] (FIFO)", odd)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// SwapChan kills one of two service swappers on the kill-safe swap
+// channel: the two client swaps must still finish under every schedule,
+// even when the victim dies mid-rendezvous (the manager completes the
+// committed exchange on the victim's behalf). One kill at most — with
+// both service swappers dead a client can legitimately wait forever for
+// a partner, which is starvation, not a kill-safety violation.
+func SwapChan() explore.Scenario {
+	return explore.Scenario{
+		Name: "swapchan",
+		Desc: "killing a swapper mid-rendezvous never wedges the kill-safe swap channel",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var errA, errB error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				s := swapchan.NewKillSafe[int](th)
+				for i := 0; i < 2; i++ {
+					v := th.Spawn(fmt.Sprintf("service-%d", i), func(th *core.Thread) {
+						for {
+							if _, err := s.Swap(th, 100); err != nil {
+								return
+							}
+						}
+					})
+					sim.Victim(v)
+				}
+				a := th.Spawn("client-a", func(th *core.Thread) {
+					_, errA = s.Swap(th, 1)
+				})
+				sim.MustFinish(a)
+				b := th.Spawn("client-b", func(th *core.Thread) {
+					_, errB = s.Swap(th, 2)
+				})
+				sim.MustFinish(b)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill)
+			sim.LimitFaults(1)
+			sim.Check(func() error {
+				if errA != nil || errB != nil {
+					return fmt.Errorf("client swap failed: a=%v b=%v", errA, errB)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// Pool kills the holder of a capacity-1 resource pool's only token: the
+// kill-safe pool reclaims the token via the holder's done event and the
+// surviving acquirer must finish under every schedule. The holder parks
+// on Never, so the only way the survivor ever acquires is the reclaim
+// path — every passing schedule exercises it.
+func Pool() explore.Scenario {
+	return explore.Scenario{
+		Name: "pool",
+		Desc: "killing a token holder returns the token to the kill-safe pool",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var acqErr, relErr error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				p := pool.New(th, 1)
+				holder := th.Spawn("holder", func(th *core.Thread) {
+					if err := p.Acquire(th); err != nil {
+						return
+					}
+					_, _ = core.Sync(th, core.Never()) // hold until killed
+				})
+				sim.Victim(holder)
+				surv := th.Spawn("survivor", func(th *core.Thread) {
+					acqErr = p.Acquire(th)
+					if acqErr == nil {
+						relErr = p.Release(th)
+					}
+				})
+				sim.MustFinish(surv)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill)
+			sim.Check(func() error {
+				if acqErr != nil || relErr != nil {
+					return fmt.Errorf("survivor pool ops failed: acquire=%v release=%v", acqErr, relErr)
+				}
+				return nil
+			})
+		},
+	}
+}

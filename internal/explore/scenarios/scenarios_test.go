@@ -1,0 +1,47 @@
+package scenarios_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/explore/scenarios"
+)
+
+// The committed traces under testdata/ pin schedules that once exposed
+// real bugs (DESIGN.md findings #2 and #4). A strict replay re-executes
+// the exact recorded interleaving; if a regression reintroduces either
+// bug, the run wedges or diverges from the recording and this test fails.
+//
+// To regenerate after an intentional scheduling change:
+//
+//	go run ./cmd/explore record -scenario <name> -seed 42 -out <file>
+func TestRecordedTracesReplay(t *testing.T) {
+	cases := []struct {
+		file string
+		want explore.Status
+	}{
+		{"msgqueue-remote-pred-finding2.trace", explore.StatusPass},
+		{"msgqueue-fifo-finding4.trace", explore.StatusPass},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.file, func(t *testing.T) {
+			tr, err := explore.ReadTraceFile(filepath.Join("testdata", tc.file))
+			if err != nil {
+				t.Fatalf("read: %v", err)
+			}
+			sc, ok := scenarios.ByName(tr.Scenario)
+			if !ok {
+				t.Fatalf("trace names unknown scenario %q", tr.Scenario)
+			}
+			o := explore.Replay(sc, tr, explore.Options{})
+			if o.Status != tc.want {
+				t.Fatalf("replay: status %v (err=%v), want %v", o.Status, o.Err, tc.want)
+			}
+			if got := len(o.Trace.Actions); got != len(tr.Actions) {
+				t.Fatalf("replay executed %d decisions, recording has %d", got, len(tr.Actions))
+			}
+		})
+	}
+}

@@ -1,0 +1,39 @@
+package explore
+
+// Shrink greedily minimizes a failing trace: it repeatedly tries deleting
+// chunks of decisions (halving the chunk size down to single decisions),
+// replaying each candidate leniently, and keeps any candidate that still
+// fails with a strictly shorter *executed* trace. The executed trace is
+// the canonical form — lenient replay may skip deleted-dependent
+// decisions or append fallback steps, so the candidate itself is not what
+// is kept. failing defaults to Outcome.Failing when nil. Returns the
+// minimized trace and the number of replays spent.
+func Shrink(sc Scenario, tr *Trace, opts Options, failing func(*Outcome) bool) (*Trace, int) {
+	if failing == nil {
+		failing = (*Outcome).Failing
+	}
+	cur := tr
+	replays := 0
+	improved := true
+	for improved {
+		improved = false
+		for chunk := len(cur.Actions) / 2; chunk >= 1; chunk /= 2 {
+			for off := 0; off+chunk <= len(cur.Actions); off++ {
+				cand := &Trace{Scenario: cur.Scenario, Seed: cur.Seed}
+				cand.Actions = append(cand.Actions, cur.Actions[:off]...)
+				cand.Actions = append(cand.Actions, cur.Actions[off+chunk:]...)
+				o := ReplayLenient(sc, cand, opts)
+				replays++
+				if failing(o) && o.Trace != nil && len(o.Trace.Actions) < len(cur.Actions) {
+					cur = o.Trace
+					improved = true
+					// Restart the scan at the (possibly much shorter)
+					// current trace.
+					chunk = len(cur.Actions)
+					break
+				}
+			}
+		}
+	}
+	return cur, replays
+}

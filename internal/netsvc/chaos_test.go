@@ -3,7 +3,9 @@ package netsvc_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -13,6 +15,24 @@ import (
 	"repro/internal/netsvc"
 	"repro/internal/web"
 )
+
+// chaosSeed returns the seed for a randomized chaos run: the value of
+// KILLSAFE_CHAOS_SEED if set, a fresh random seed otherwise. The seed is
+// always logged so any failure can be reproduced by re-running with the
+// env var set to the logged value.
+func chaosSeed(t *testing.T) int64 {
+	if s := os.Getenv("KILLSAFE_CHAOS_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("KILLSAFE_CHAOS_SEED=%q: %v", s, err)
+		}
+		t.Logf("chaos seed %d (from KILLSAFE_CHAOS_SEED)", n)
+		return n
+	}
+	n := time.Now().UnixNano()
+	t.Logf("chaos seed %d (rerun with KILLSAFE_CHAOS_SEED=%d)", n, n)
+	return n
+}
 
 // TestChaosRandomKillsUnderLoad hammers the server with concurrent
 // clients while an adversarial administrator randomly terminates live
@@ -28,7 +48,7 @@ func TestChaosRandomKillsUnderLoad(t *testing.T) {
 		slowEvery   = 3 // every Nth request hits the slow route
 		slowRouteMs = 40
 	)
-	rng := rand.New(rand.NewSource(1))
+	rng := rand.New(rand.NewSource(chaosSeed(t)))
 
 	g0 := runtime.NumGoroutine()
 	fd0 := openFDs(t)
