@@ -1,0 +1,187 @@
+package supervise_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/abstractions/supervise"
+	"repro/internal/core"
+)
+
+var errBoom = errors.New("boom")
+
+func fail(*core.Thread) error { return errBoom }
+func ok(*core.Thread) error   { return nil }
+
+func TestBreakerPassesThroughWhenClosed(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{})
+		if err := b.Do(th, ok); err != nil {
+			t.Fatalf("Do(ok): %v", err)
+		}
+		if err := b.Do(th, fail); !errors.Is(err, errBoom) {
+			t.Fatalf("Do(fail) = %v, want the fn's own error", err)
+		}
+		if b.State() != supervise.Closed {
+			t.Fatalf("state = %v, want closed", b.State())
+		}
+	})
+}
+
+func TestBreakerTripsAfterThreshold(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{FailureThreshold: 2, Cooldown: time.Hour})
+		for i := 0; i < 2; i++ {
+			if err := b.Do(th, fail); !errors.Is(err, errBoom) {
+				t.Fatalf("failure %d: %v", i, err)
+			}
+		}
+		ran := false
+		err := b.Do(th, func(*core.Thread) error { ran = true; return nil })
+		if !errors.Is(err, supervise.ErrBreakerOpen) {
+			t.Fatalf("Do while open = %v, want ErrBreakerOpen", err)
+		}
+		if ran {
+			t.Fatal("fn ran despite open breaker")
+		}
+		if b.State() != supervise.Open || b.Trips() != 1 {
+			t.Fatalf("state=%v trips=%d, want open/1", b.State(), b.Trips())
+		}
+	})
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{FailureThreshold: 2, Cooldown: time.Hour})
+		// fail, succeed, fail, succeed … never two consecutive failures.
+		for i := 0; i < 4; i++ {
+			_ = b.Do(th, fail)
+			if err := b.Do(th, ok); err != nil {
+				t.Fatalf("round %d: breaker tripped on non-consecutive failures: %v", i, err)
+			}
+		}
+		if b.Trips() != 0 {
+			t.Fatalf("trips = %d, want 0", b.Trips())
+		}
+	})
+}
+
+func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{FailureThreshold: 1, Cooldown: 5 * time.Millisecond})
+		_ = b.Do(th, fail) // trip
+		if err := b.Do(th, ok); !errors.Is(err, supervise.ErrBreakerOpen) {
+			t.Fatalf("expected fast-fail while open, got %v", err)
+		}
+		if err := core.Sleep(th, 10*time.Millisecond); err != nil {
+			t.Fatalf("sleep: %v", err)
+		}
+		// First request after the cooldown is the half-open probe; its
+		// success closes the breaker.
+		if err := b.Do(th, ok); err != nil {
+			t.Fatalf("probe after cooldown: %v", err)
+		}
+		// The manager commits the state transition on its own thread after
+		// the result rendezvous, so observe it with a wait.
+		waitFor(t, "closed after probe success", func() bool { return b.State() == supervise.Closed })
+		if b.Trips() != 1 {
+			t.Fatalf("trips = %d, want 1", b.Trips())
+		}
+	})
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{FailureThreshold: 1, Cooldown: 5 * time.Millisecond})
+		_ = b.Do(th, fail) // trip
+		_ = core.Sleep(th, 10*time.Millisecond)
+		if err := b.Do(th, fail); !errors.Is(err, errBoom) {
+			t.Fatalf("probe: %v", err)
+		}
+		// The failed probe re-opens for a fresh cooldown.
+		if err := b.Do(th, ok); !errors.Is(err, supervise.ErrBreakerOpen) {
+			t.Fatalf("after failed probe: %v, want ErrBreakerOpen", err)
+		}
+		if b.Trips() != 2 {
+			t.Fatalf("trips = %d, want 2", b.Trips())
+		}
+	})
+}
+
+func TestBreakerSingleProbeWhileHalfOpen(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{FailureThreshold: 1, Cooldown: time.Millisecond})
+		_ = b.Do(th, fail) // trip
+		_ = core.Sleep(th, 5*time.Millisecond)
+
+		probing := make(chan struct{})
+		release := core.NewChanNamed(rt, "release")
+		probeErr := make(chan error, 1)
+		th.Spawn("prober", func(x *core.Thread) {
+			probeErr <- b.Do(x, func(x *core.Thread) error {
+				close(probing)
+				_, _ = core.Sync(x, release.RecvEvt())
+				return nil
+			})
+		})
+		<-probing
+		// While the probe is outstanding, further requests fast-fail.
+		if err := b.Do(th, ok); !errors.Is(err, supervise.ErrBreakerOpen) {
+			t.Fatalf("second request during probe: %v, want ErrBreakerOpen", err)
+		}
+		if _, err := core.Sync(th, release.SendEvt(nil)); err != nil {
+			t.Fatalf("release: %v", err)
+		}
+		if err := <-probeErr; err != nil {
+			t.Fatalf("probe: %v", err)
+		}
+		if err := b.Do(th, ok); err != nil {
+			t.Fatalf("after probe success: %v", err)
+		}
+	})
+}
+
+func TestBreakerKilledHolderCountsAsFailure(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{FailureThreshold: 1, Cooldown: 5 * time.Millisecond})
+		holding := make(chan struct{})
+		holder := th.Spawn("holder", func(x *core.Thread) {
+			_ = b.Do(x, func(x *core.Thread) error {
+				close(holding)
+				return park2(x)
+			})
+		})
+		<-holding
+		// Killing the permit holder mid-call must read as an abandoned
+		// (failed) call: the manager sees the holder's DoneEvt and trips.
+		holder.Kill()
+		waitFor(t, "trip after holder kill", func() bool { return b.Trips() >= 1 })
+
+		// And the breaker recovers: cooldown, probe, closed again.
+		waitFor(t, "recovery", func() bool {
+			time.Sleep(6 * time.Millisecond)
+			return b.Do(th, ok) == nil
+		})
+	})
+}
+
+// park2 parks and pretends to return an error (never reached).
+func park2(x *core.Thread) error {
+	_, _ = core.Sync(x, core.Never())
+	return nil
+}
+
+func TestBreakerPanicInFnCountsAsFailure(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{FailureThreshold: 1, Cooldown: time.Hour})
+		panicker := th.Spawn("panicker", func(x *core.Thread) {
+			_ = b.Do(x, func(*core.Thread) error { panic("handler exploded") })
+		})
+		waitFor(t, "panicker done", panicker.Done)
+		waitFor(t, "trip after panic", func() bool { return b.Trips() >= 1 })
+		if err := b.Do(th, ok); !errors.Is(err, supervise.ErrBreakerOpen) {
+			t.Fatalf("after panic: %v, want ErrBreakerOpen", err)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package supervise
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ErrDeadline is the value a WithDeadline event yields — and the error
+// SyncWithDeadline and bounded callers return — when the deadline wins.
+var ErrDeadline = errors.New("supervise: deadline exceeded")
+
+// WithDeadline bounds evt: the returned event becomes ready when evt
+// does (yielding evt's value) or once d has elapsed from sync time,
+// yielding ErrDeadline as the value. Because the timer is a first-class
+// event (core.After), the deadline composes under further Choice/Wrap
+// and, in deterministic mode, fires only when the virtual clock is
+// advanced. The deadline starts at sync time, per After's guard.
+func WithDeadline(rt *core.Runtime, evt core.Event, d time.Duration) core.Event {
+	return core.Choice(
+		evt,
+		core.Wrap(core.After(rt, d), func(core.Value) core.Value { return ErrDeadline }),
+	)
+}
+
+// SyncWithDeadline syncs on evt bounded by d and folds the deadline into
+// the error return: (nil, ErrDeadline) if the timer won, otherwise evt's
+// value. Callers whose events can legitimately yield ErrDeadline should
+// use WithDeadline directly.
+func SyncWithDeadline(th *core.Thread, evt core.Event, d time.Duration) (core.Value, error) {
+	v, err := core.Sync(th, WithDeadline(th.Runtime(), evt, d))
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := v.(error); ok && errors.Is(e, ErrDeadline) {
+		return nil, ErrDeadline
+	}
+	return v, nil
+}
+
+// RetryPolicy bounds a Retry loop.
+type RetryPolicy struct {
+	// MaxAttempts caps the attempts. 0 means the default (3); negative
+	// means retry forever.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt up to MaxDelay. 0 means the default (10ms); negative means
+	// no delay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Default 1s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	} else if p.BaseDelay < 0 {
+		p.BaseDelay = 0
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = time.Second
+	}
+	return p
+}
+
+// Delay returns the backoff slept after failed attempt n (1-based):
+// BaseDelay·2^(n-1), capped at MaxDelay. Exposed so tests can check the
+// arithmetic a deterministic run must replay bit-identically.
+func (p RetryPolicy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.BaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d
+}
+
+// Retry runs fn until it returns nil or the policy is exhausted, sleeping
+// the exponential backoff between attempts via core.Sleep (so the delays
+// are virtual-clock alarms in deterministic mode). It returns fn's last
+// error, or the sleep's error if the thread was broken mid-backoff.
+func Retry(th *core.Thread, p RetryPolicy, fn func(attempt int) error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = fn(attempt); err == nil {
+			return nil
+		}
+		if p.MaxAttempts > 0 && attempt >= p.MaxAttempts {
+			return err
+		}
+		if d := p.Delay(attempt); d > 0 {
+			if serr := core.Sleep(th, d); serr != nil {
+				return serr
+			}
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package supervise_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/abstractions/supervise"
+	"repro/internal/core"
+)
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		var attempts []int
+		err := supervise.Retry(th, supervise.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}, func(n int) error {
+			attempts = append(attempts, n)
+			if n < 3 {
+				return errBoom
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Retry: %v", err)
+		}
+		if len(attempts) != 3 || attempts[2] != 3 {
+			t.Fatalf("attempts = %v, want [1 2 3]", attempts)
+		}
+	})
+}
+
+func TestRetryExhaustedReturnsLastError(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		calls := 0
+		err := supervise.Retry(th, supervise.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, func(int) error {
+			calls++
+			return errBoom
+		})
+		if !errors.Is(err, errBoom) {
+			t.Fatalf("Retry = %v, want errBoom", err)
+		}
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3", calls)
+		}
+	})
+}
+
+func TestRetryDelayArithmetic(t *testing.T) {
+	p := supervise.RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 80 * time.Millisecond}
+	want := []time.Duration{
+		10 * time.Millisecond, // after attempt 1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i + 1); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestWithDeadlineEventWins(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		v, err := supervise.SyncWithDeadline(th, core.Always("hi"), time.Hour)
+		if err != nil || v != "hi" {
+			t.Fatalf("(%v, %v), want (hi, nil)", v, err)
+		}
+	})
+}
+
+func TestWithDeadlineTimerWins(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		blocked := core.NewChanNamed(rt, "nobody-sends")
+		start := time.Now()
+		v, err := supervise.SyncWithDeadline(th, blocked.RecvEvt(), 5*time.Millisecond)
+		if !errors.Is(err, supervise.ErrDeadline) || v != nil {
+			t.Fatalf("(%v, %v), want (nil, ErrDeadline)", v, err)
+		}
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("deadline took far too long")
+		}
+	})
+}
+
+func TestWithDeadlineComposesInChoice(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		blocked := core.NewChanNamed(rt, "nobody-sends")
+		// WithDeadline is an ordinary event: it can lose a larger choice.
+		v, err := core.Sync(th, core.Choice(
+			supervise.WithDeadline(rt, blocked.RecvEvt(), time.Hour),
+			core.Always("other"),
+		))
+		if err != nil || v != "other" {
+			t.Fatalf("(%v, %v), want (other, nil)", v, err)
+		}
+	})
+}

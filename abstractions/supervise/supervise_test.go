@@ -1,0 +1,217 @@
+package supervise_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/abstractions/supervise"
+	"repro/internal/core"
+)
+
+func withRuntime(t *testing.T, fn func(*core.Runtime, *core.Thread)) {
+	t.Helper()
+	rt := core.NewRuntime()
+	rt.SetPanicHandler(func(*core.Thread, *core.ThreadPanicError) {})
+	defer rt.Shutdown()
+	if err := rt.Run(func(th *core.Thread) { fn(rt, th) }); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// park blocks its thread at a safe point until killed.
+func park(x *core.Thread) { _, _ = core.Sync(x, core.Never()) }
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func fastOpts() supervise.Options {
+	return supervise.Options{
+		MaxRestarts: -1,
+		Window:      time.Minute,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  4 * time.Millisecond,
+	}
+}
+
+func TestPermanentChildRestartsAfterKill(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		restarts := make(chan int, 16)
+		opts := fastOpts()
+		opts.OnRestart = func(_ string, n int) { restarts <- n }
+		sup := supervise.New(th, opts)
+		defer sup.Stop()
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Permanent, Start: park})
+
+		waitFor(t, "first incarnation", func() bool { return sup.ChildThread("svc") != nil })
+		first := sup.ChildThread("svc")
+		first.Kill()
+
+		select {
+		case <-restarts:
+		case <-time.After(5 * time.Second):
+			t.Fatal("no restart after kill")
+		}
+		waitFor(t, "second incarnation", func() bool {
+			cur := sup.ChildThread("svc")
+			return cur != nil && cur != first
+		})
+		if sup.Incarnations("svc") < 2 {
+			t.Fatalf("incarnations = %d, want >= 2", sup.Incarnations("svc"))
+		}
+	})
+}
+
+func TestPermanentChildRestartsAfterNormalReturn(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sup := supervise.New(th, fastOpts())
+		defer sup.Stop()
+		ran := make(chan struct{}, 16)
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Permanent, Start: func(x *core.Thread) {
+			ran <- struct{}{}
+		}})
+		// A permanent child is restarted even after returning normally.
+		for i := 0; i < 3; i++ {
+			select {
+			case <-ran:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("incarnation %d never ran", i)
+			}
+		}
+	})
+}
+
+func TestTransientChildNotRestartedAfterNormalReturn(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sup := supervise.New(th, fastOpts())
+		defer sup.Stop()
+		done := make(chan struct{})
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Transient, Start: func(x *core.Thread) {
+			close(done)
+		}})
+		<-done
+		time.Sleep(20 * time.Millisecond) // would be plenty for a 1ms-backoff restart
+		if n := sup.Incarnations("svc"); n != 1 {
+			t.Fatalf("incarnations = %d, want 1 (transient, normal exit)", n)
+		}
+		if n := sup.Restarts(); n != 0 {
+			t.Fatalf("restarts = %d, want 0", n)
+		}
+	})
+}
+
+func TestTransientChildRestartedAfterKill(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sup := supervise.New(th, fastOpts())
+		defer sup.Stop()
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Transient, Start: park})
+		waitFor(t, "first incarnation", func() bool { return sup.ChildThread("svc") != nil })
+		sup.ChildThread("svc").Kill()
+		waitFor(t, "restart after abnormal exit", func() bool { return sup.Incarnations("svc") >= 2 })
+	})
+}
+
+func TestTransientChildRestartedAfterPanic(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sup := supervise.New(th, fastOpts())
+		defer sup.Stop()
+		first := true
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Transient, Start: func(x *core.Thread) {
+			if first {
+				first = false
+				panic("boom")
+			}
+			park(x)
+		}})
+		waitFor(t, "restart after panic", func() bool { return sup.Incarnations("svc") >= 2 })
+	})
+}
+
+func TestTemporaryChildNeverRestarted(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sup := supervise.New(th, fastOpts())
+		defer sup.Stop()
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Temporary, Start: park})
+		waitFor(t, "first incarnation", func() bool { return sup.ChildThread("svc") != nil })
+		sup.ChildThread("svc").Kill()
+		waitFor(t, "incarnation reaped", func() bool { return sup.ChildThread("svc").Done() })
+		time.Sleep(20 * time.Millisecond)
+		if n := sup.Incarnations("svc"); n != 1 {
+			t.Fatalf("incarnations = %d, want 1 (temporary)", n)
+		}
+	})
+}
+
+func TestEscalationShutsDownSupervisor(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		opts := fastOpts()
+		opts.MaxRestarts = 2
+		sup := supervise.New(th, opts)
+		defer sup.Stop()
+		// A crash-looping child: every incarnation dies immediately, so the
+		// restart intensity blows through MaxRestarts within the window and
+		// the supervisor must give up by shutting down its own custodian.
+		sup.Start(th, supervise.ChildSpec{Name: "crashloop", Policy: supervise.Permanent, Start: func(x *core.Thread) {
+			panic("crash")
+		}})
+		if _, err := core.Sync(th, sup.DeadEvt()); err != nil {
+			t.Fatalf("DeadEvt sync: %v", err)
+		}
+		if !sup.Escalated() {
+			t.Fatal("supervisor dead but not via escalation")
+		}
+		if !sup.Custodian().Dead() {
+			t.Fatal("escalation must shut the supervisor custodian down")
+		}
+		if n := sup.Restarts(); n != 2 {
+			t.Fatalf("restarts before escalation = %d, want 2", n)
+		}
+	})
+}
+
+func TestStopDuringBackoffLeavesNoLiveThreads(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		opts := fastOpts()
+		opts.BaseBackoff = time.Hour // park the monitor in backoff
+		restarting := make(chan struct{}, 1)
+		opts.OnRestart = func(string, int) { restarting <- struct{}{} }
+		sup := supervise.New(th, opts)
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Permanent, Start: park})
+		waitFor(t, "first incarnation", func() bool { return sup.ChildThread("svc") != nil })
+		sup.ChildThread("svc").Kill()
+		<-restarting // the monitor is now heading into its 1h backoff sleep
+
+		// A stop while the monitor sleeps in backoff must reap everything:
+		// the supervisor's world drains to the single root thread.
+		sup.Stop()
+		waitFor(t, "threads drained after Stop", func() bool { return rt.LiveThreads() <= 1 })
+		if n := sup.Custodian().ManagedThreads(); n != 0 {
+			t.Fatalf("supervisor custodian still manages %d threads", n)
+		}
+	})
+}
+
+func TestSupervisorCustodianShutdownStopsRestarting(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sup := supervise.New(th, fastOpts())
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Permanent, Start: park})
+		waitFor(t, "first incarnation", func() bool { return sup.ChildThread("svc") != nil })
+		// Hammer: shut the custodian down out from under the supervisor,
+		// then reap the condemned threads like a GC would.
+		sup.Custodian().Shutdown()
+		rt.TerminateCondemned()
+		waitFor(t, "world drained", func() bool { return rt.LiveThreads() <= 1 })
+		n := sup.Incarnations("svc")
+		time.Sleep(20 * time.Millisecond)
+		if got := sup.Incarnations("svc"); got != n {
+			t.Fatalf("child still being restarted after custodian shutdown: %d -> %d", n, got)
+		}
+	})
+}

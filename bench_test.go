@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -22,6 +23,7 @@ import (
 	killsafe "repro"
 	"repro/abstractions/msgqueue"
 	"repro/abstractions/queue"
+	"repro/abstractions/supervise"
 	"repro/abstractions/swapchan"
 	"repro/internal/core"
 	"repro/internal/doc"
@@ -605,6 +607,60 @@ func BenchmarkNetsvcKillStorm(b *testing.B) {
 		}
 		if err := s.Shutdown(th, 2*time.Second); err != nil {
 			b.Fatal(err)
+		}
+	})
+}
+
+// E19: one full kill→restart cycle through the supervisor — monitor
+// observes the child's done event, shuts the dead incarnation's
+// custodian, spawns a fresh thread under a fresh custodian (no backoff,
+// so the measured op is pure supervision machinery).
+func BenchmarkSupervisorRestart(b *testing.B) {
+	benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+		restarted := make(chan struct{}, 1)
+		sup := supervise.New(th, supervise.Options{
+			MaxRestarts: -1,
+			BaseBackoff: -1,
+			OnRestart:   func(string, int) { restarted <- struct{}{} },
+		})
+		sup.Start(th, supervise.ChildSpec{
+			Name:   "worker",
+			Policy: supervise.Permanent,
+			Start:  func(x *killsafe.Thread) { _ = killsafe.Sleep(x, time.Hour) },
+		})
+		waitChild := func(prev *killsafe.Thread) *killsafe.Thread {
+			for {
+				cur := sup.ChildThread("worker")
+				if cur != nil && cur != prev && !cur.Done() {
+					return cur
+				}
+				runtime.Gosched()
+			}
+		}
+		child := waitChild(nil)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			child.Kill()
+			<-restarted
+			child = waitChild(child)
+		}
+		b.StopTimer()
+		sup.Stop()
+	})
+}
+
+// E19: closed-state circuit breaker overhead — one Do is two rendezvous
+// with the manager thread (permit acquire via nack-guarded request,
+// result report) around a no-op call.
+func BenchmarkBreakerDo(b *testing.B) {
+	benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+		brk := supervise.NewBreaker(th, supervise.BreakerOptions{})
+		nop := func(*killsafe.Thread) error { return nil }
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := brk.Do(th, nop); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

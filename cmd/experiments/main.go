@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	killsafe "repro"
 	"repro/abstractions/msgqueue"
 	"repro/abstractions/queue"
+	"repro/abstractions/supervise"
 	"repro/abstractions/swapchan"
 	"repro/internal/core"
 	"repro/internal/doc"
@@ -46,6 +48,7 @@ func main() {
 		{"E12", "§2.3", "no conspiracy: all custodians dead ⇒ nothing runs", e12},
 		{"E13", "§4", "kill storm: survivors never wedge, FIFO per producer", e13},
 		{"E14", "Figs 5–12", "paper's Scheme figures run under mzmini", e14},
+		{"E19", "ext", "supervision: restart after kill, escalation, breaker recovery", e19},
 	}
 
 	fmt.Println("Kill-Safe Synchronization Abstractions — behavioural experiments")
@@ -461,4 +464,91 @@ func e14() (string, bool) {
 	}
 	lines := len(strings.Split(strings.TrimRight(out.String(), "\n"), "\n"))
 	return fmt.Sprintf("5 figure programs ran, %d output lines", lines), lines >= 19
+}
+
+// e19 exercises the supervision layer end to end: a killed child is
+// restarted under a fresh custodian (the dead incarnation's custodian
+// retains no threads), a restart storm escalates by shutting down the
+// supervisor's own custodian, and a tripped circuit breaker recovers
+// through a half-open probe once the cooldown elapses.
+func e19() (string, bool) {
+	return withRT(func(rt *killsafe.Runtime, th *killsafe.Thread) (string, bool) {
+		poll := func(what string, cond func() bool) bool {
+			deadline := time.Now().Add(5 * time.Second)
+			for !cond() {
+				if time.Now().After(deadline) {
+					return false
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return true
+		}
+
+		// Restart after kill: one-for-one, no backoff so the restart is
+		// immediate.
+		sup := supervise.New(th, supervise.Options{
+			MaxRestarts: -1,
+			BaseBackoff: -1,
+		})
+		sup.Start(th, supervise.ChildSpec{
+			Name:   "worker",
+			Policy: supervise.Permanent,
+			Start:  func(x *killsafe.Thread) { _ = killsafe.Sleep(x, time.Hour) },
+		})
+		if !poll("first incarnation", func() bool { return sup.ChildThread("worker") != nil }) {
+			return "worker never started", false
+		}
+		first := sup.ChildThread("worker")
+		firstCust := first.Custodians()[0]
+		first.Kill()
+		if !poll("restart", func() bool {
+			cur := sup.ChildThread("worker")
+			return sup.Restarts() >= 1 && cur != nil && cur != first && !cur.Done()
+		}) {
+			return "killed worker was not restarted", false
+		}
+		cleanOld := firstCust.Dead() && firstCust.ManagedThreads() == 0
+		sup.Stop()
+
+		// Escalation: a child that exits immediately blows through the
+		// intensity ceiling and takes the supervisor's custodian down.
+		esc := supervise.New(th, supervise.Options{
+			MaxRestarts: 1,
+			Window:      time.Minute,
+			BaseBackoff: -1,
+		})
+		esc.Start(th, supervise.ChildSpec{
+			Name:   "flapper",
+			Policy: supervise.Permanent,
+			Start:  func(*killsafe.Thread) {},
+		})
+		if !poll("escalation", func() bool { return esc.Escalated() && esc.Custodian().Dead() }) {
+			return "restart storm did not escalate", false
+		}
+
+		// Breaker: one failure trips it, rejection is immediate, and after
+		// the cooldown a successful half-open probe closes it again.
+		brk := supervise.NewBreaker(th, supervise.BreakerOptions{
+			FailureThreshold: 1,
+			Cooldown:         20 * time.Millisecond,
+		})
+		boom := errors.New("boom")
+		if err := brk.Do(th, func(*killsafe.Thread) error { return boom }); err != boom {
+			return fmt.Sprintf("failing call returned %v, want boom", err), false
+		}
+		if !poll("trip", func() bool { return brk.State() == supervise.Open }) {
+			return "breaker did not trip", false
+		}
+		if err := brk.Do(th, func(*killsafe.Thread) error { return nil }); !errors.Is(err, supervise.ErrBreakerOpen) {
+			return fmt.Sprintf("open breaker returned %v, want ErrBreakerOpen", err), false
+		}
+		time.Sleep(30 * time.Millisecond)
+		if err := brk.Do(th, func(*killsafe.Thread) error { return nil }); err != nil {
+			return fmt.Sprintf("half-open probe failed: %v", err), false
+		}
+		recovered := poll("close", func() bool { return brk.State() == supervise.Closed })
+		return fmt.Sprintf("restart after kill: %v (old custodian clean: %v); escalated: %v; breaker trips=%d recovered: %v",
+				sup.Restarts() >= 1, cleanOld, esc.Escalated(), brk.Trips(), recovered),
+			cleanOld && recovered && brk.Trips() == 1
+	})
 }

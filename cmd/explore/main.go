@@ -122,6 +122,11 @@ func cmdRecord(args []string) {
 		fatal("record: -scenario and -out are required")
 	}
 	sc := lookup(*name)
+	if opts.FaultProb == 0 {
+		// Mirror Explore's default so `record -seed N` reproduces the
+		// same schedule `run` explored for seed N.
+		opts.FaultProb = 0.25
+	}
 	o := explore.RunOnce(sc, explore.NewRandomPicker(*seed, opts.FaultProb), *seed, *opts)
 	fmt.Printf("scenario %s seed %d: %s (%d decisions, %d faults)\n",
 		sc.Name, *seed, o.Status, len(o.Trace.Actions), o.Faults)

@@ -41,6 +41,8 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	maxConns := flag.Int("max-conns", 64, "maximum concurrently served connections (excess wait in the accept queue)")
+	maxPending := flag.Int("max-pending", 32, "connections allowed to wait for a serving slot before new ones are shed with 503 (negative disables shedding)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request handler deadline; over-budget requests get 503 (0 = unlimited)")
 	idle := flag.Duration("idle-timeout", 10*time.Second, "per-connection idle/read deadline")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	flag.Parse()
@@ -108,9 +110,11 @@ func main() {
 		})
 
 		s, err := netsvc.Serve(th, ws, netsvc.Config{
-			Addr:        *addr,
-			MaxConns:    *maxConns,
-			IdleTimeout: *idle,
+			Addr:           *addr,
+			MaxConns:       *maxConns,
+			MaxPending:     *maxPending,
+			IdleTimeout:    *idle,
+			RequestTimeout: *reqTimeout,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "killserve: %v\n", err)
@@ -136,8 +140,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "killserve: shutdown: %v\n", err)
 		}
 		st := s.Stats()
-		fmt.Printf("killserve: done — accepted=%d drained=%d killed=%d timed_out=%d rejected=%d\n",
-			st.Accepted, st.Drained, st.Killed, st.TimedOut, st.Rejected)
+		fmt.Printf("killserve: done — accepted=%d drained=%d killed=%d timed_out=%d rejected=%d shed=%d deadlined=%d restarts=%d\n",
+			st.Accepted, st.Drained, st.Killed, st.TimedOut, st.Rejected, st.Shed, st.Deadlined, st.Restarts)
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "killserve: %v\n", err)

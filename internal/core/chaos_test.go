@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -143,4 +144,126 @@ func TestChaos(t *testing.T) {
 		t.Fatal("no operations completed during chaos")
 	}
 	t.Logf("chaos completed %d operations", ops.Load())
+}
+
+// TestChaosDeadEvtExactlyOnce pins the delivery contract the supervisor
+// and the explorer's zero-leak checks rely on: a custodian's DeadEvt
+// commits exactly once per waiting sync — no lost wakeup when the
+// shutdown races the watcher's registration, no double commit when
+// shutdowns are issued redundantly from concurrent goroutines or arrive
+// transitively through a parent. Watchers are harassed with breaks and
+// suspend/resume while a custodian tree is torn down in random order;
+// every watcher must finish with its counter at exactly 1.
+func TestChaosDeadEvtExactlyOnce(t *testing.T) {
+	seed := chaosSeed(t)
+	rt := core.NewRuntime()
+	defer rt.Shutdown()
+
+	const (
+		parents         = 4
+		watchersPerCust = 3
+	)
+	err := rt.Run(func(th *core.Thread) {
+		rng := rand.New(rand.NewSource(seed))
+
+		// A two-level tree: each parent has one nested child custodian,
+		// so half the custodians die transitively when their parent does.
+		var custs []*core.Custodian
+		for i := 0; i < parents; i++ {
+			p := core.NewCustodian(rt.RootCustodian())
+			custs = append(custs, p, core.NewCustodian(p))
+		}
+		n := len(custs)
+
+		// counts[0:n] are single-event watchers (watchersPerCust share a
+		// slot via the atomic); counts[n:2n] are Choice watchers whose two
+		// arms may both be dead by the time they commit.
+		counts := make([]atomic.Int64, 2*n)
+		var watchers []*core.Thread
+		for i, c := range custs {
+			i, c := i, c
+			for w := 0; w < watchersPerCust; w++ {
+				watchers = append(watchers, th.Spawn("dead-watcher", func(x *core.Thread) {
+					for {
+						if _, err := core.Sync(x, c.DeadEvt()); err != nil {
+							continue // break mid-wait: re-sync, must not double-count
+						}
+						counts[i].Add(1)
+						return
+					}
+				}))
+			}
+		}
+		for i := range custs {
+			i := i
+			a, b := custs[i], custs[(i+3)%n]
+			watchers = append(watchers, th.Spawn("dead-choice-watcher", func(x *core.Thread) {
+				for {
+					if _, err := core.Sync(x, core.Choice(a.DeadEvt(), b.DeadEvt())); err != nil {
+						continue
+					}
+					counts[n+i].Add(1)
+					return
+				}
+			}))
+		}
+
+		// Tear the tree down in random order, each shutdown issued twice
+		// concurrently (Shutdown is idempotent), while watchers are broken
+		// and suspended under the shutdowns' feet.
+		var wg sync.WaitGroup
+		for _, idx := range rng.Perm(n) {
+			c := custs[idx]
+			for k := 0; k < 2; k++ {
+				wg.Add(1)
+				go func() { defer wg.Done(); c.Shutdown() }()
+			}
+			for j := 0; j < 4; j++ {
+				w := watchers[rng.Intn(len(watchers))]
+				switch rng.Intn(3) {
+				case 0:
+					w.Break()
+				case 1:
+					w.Suspend()
+				default:
+					core.ResumeWith(w, rt.RootCustodian())
+				}
+			}
+			if err := core.Sleep(th, time.Millisecond); err != nil {
+				t.Errorf("controller sleep: %v", err)
+				return
+			}
+		}
+		wg.Wait()
+
+		// Every custodian is now dead; resume any watcher the chaos left
+		// suspended and require all of them to finish.
+		for _, w := range watchers {
+			core.ResumeWith(w, rt.RootCustodian())
+		}
+		for _, w := range watchers {
+			v, err := core.Sync(th, core.Choice(
+				w.DoneEvt(),
+				core.Wrap(core.After(rt, 5*time.Second), func(core.Value) core.Value { return "stuck" }),
+			))
+			if err != nil {
+				t.Errorf("waiting for watcher: %v", err)
+			} else if v == "stuck" {
+				t.Errorf("watcher %v never observed its DeadEvt", w)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if got := counts[i].Load(); got != watchersPerCust {
+				t.Errorf("custodian %d: DeadEvt commits = %d, want exactly %d", i, got, watchersPerCust)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if got := counts[n+i].Load(); got != 1 {
+				t.Errorf("choice watcher %d: commits = %d, want exactly 1", i, got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
 }

@@ -8,11 +8,15 @@
 package scenarios
 
 import (
+	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/abstractions/msgqueue"
 	"repro/abstractions/pool"
 	"repro/abstractions/queue"
+	"repro/abstractions/supervise"
 	"repro/abstractions/swapchan"
 	"repro/internal/core"
 	"repro/internal/explore"
@@ -27,6 +31,8 @@ func All() []explore.Scenario {
 		MsgQueueFIFO(),
 		SwapChan(),
 		Pool(),
+		SupervisorRestart(),
+		BreakerTrip(),
 	}
 }
 
@@ -277,6 +283,188 @@ func SwapChan() explore.Scenario {
 			sim.Check(func() error {
 				if errA != nil || errB != nil {
 					return fmt.Errorf("client swap failed: a=%v b=%v", errA, errB)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// SupervisorRestart runs a counter service under a supervisor and lets
+// the explorer kill the first incarnation at any decision point —
+// including mid-backoff — and shut the supervisor's custodian down. The
+// client must always finish: either it collects two values (served
+// across a restart if a kill landed) or it observes the supervisor's
+// DeadEvt and bails. Values may repeat across a restart (a kill between
+// a rendezvous commit and the sender's wrap loses the sender-side
+// increment) but must never regress. The leak invariant is the
+// acceptance criterion: once an incarnation's custodian is dead, the
+// incarnation is done or condemned (no live custodian keeps it
+// schedulable), and the dead custodian's accounting has drained.
+func SupervisorRestart() explore.Scenario {
+	return explore.Scenario{
+		Name: "supervisor-restart",
+		Desc: "kills and custodian shutdowns never wedge a supervised service's client",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var mu sync.Mutex // incarnation bookkeeping, written under grants
+			var incThreads []*core.Thread
+			var incCusts []*core.Custodian
+			var got []int
+			var supDead bool
+			var sup *supervise.Supervisor
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				sup = supervise.New(th, supervise.Options{
+					MaxRestarts: -1, // never escalate: restarts are the point
+					Window:      time.Hour,
+					BaseBackoff: 10 * time.Millisecond,
+					MaxBackoff:  40 * time.Millisecond,
+				})
+				sim.VictimCustodian(sup.Custodian())
+				echo := core.NewChanNamed(rt, "echo")
+				next := 0 // service state carried across incarnations
+				sup.Start(th, supervise.ChildSpec{Name: "counter", Policy: supervise.Permanent, Start: func(x *core.Thread) {
+					mu.Lock()
+					incThreads = append(incThreads, x)
+					incCusts = append(incCusts, x.CurrentCustodian())
+					first := len(incThreads) == 1
+					mu.Unlock()
+					if first {
+						// Only the first incarnation is a kill target; its
+						// replacements must be allowed to serve.
+						sim.Victim(x)
+					}
+					for {
+						_, _ = core.Sync(x, core.Wrap(echo.SendEvt(next), func(core.Value) core.Value {
+							next++
+							return nil
+						}))
+					}
+				}})
+				client := th.Spawn("client", func(x *core.Thread) {
+					for len(got) < 2 {
+						v, err := core.Sync(x, core.Choice(
+							echo.RecvEvt(),
+							core.Wrap(sup.DeadEvt(), func(core.Value) core.Value { return nil }),
+						))
+						if err != nil {
+							continue
+						}
+						if v == nil {
+							supDead = true
+							return
+						}
+						got = append(got, v.(int))
+					}
+				})
+				sim.MustFinish(client)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill, explore.ActShutdown)
+			sim.Check(func() error {
+				mu.Lock()
+				ths := append([]*core.Thread(nil), incThreads...)
+				ccs := append([]*core.Custodian(nil), incCusts...)
+				mu.Unlock()
+				for i := range ths {
+					if !ccs[i].Dead() {
+						continue // the live current incarnation
+					}
+					if n := ccs[i].ManagedThreads(); n != 0 {
+						return fmt.Errorf("incarnation %d: dead custodian still manages %d threads", i, n)
+					}
+					if !ths[i].Done() && len(ths[i].Custodians()) > 0 {
+						return fmt.Errorf("incarnation %d leaked: custodian dead but thread still owned", i)
+					}
+				}
+				if supDead {
+					return nil // client legitimately bailed on supervisor death
+				}
+				if len(got) != 2 {
+					return fmt.Errorf("client got %v, want two values", got)
+				}
+				if got[1] < got[0] {
+					return fmt.Errorf("service state regressed across restart: %v", got)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// BreakerTrip drives the circuit breaker through its full state cycle
+// under fault injection: a failing client trips it, a permit holder may
+// be killed mid-call (the manager must observe the abandonment through
+// DoneEvt and count it as a failure), and a retrying survivor — whose
+// backoff sleeps advance the virtual clock past the cooldown — must
+// eventually be granted the half-open probe and succeed. The breaker's
+// transitions live in a single manager thread, so no schedule can
+// observe a torn state: the survivor finishing is the invariant.
+func BreakerTrip() explore.Scenario {
+	return explore.Scenario{
+		Name: "breaker-trip",
+		Desc: "a killed permit holder cannot wedge the breaker; a retrying client recovers it",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var failerErr, survErr error
+			var survOK bool
+			var brk *supervise.Breaker
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				brk = supervise.NewBreaker(th, supervise.BreakerOptions{
+					FailureThreshold: 1,
+					Cooldown:         50 * time.Millisecond,
+				})
+				tripped := core.NewChanNamed(rt, "failer-done")
+				failer := th.Spawn("failer", func(x *core.Thread) {
+					failerErr = brk.Do(x, func(*core.Thread) error { return errors.New("boom") })
+					_, _ = core.Sync(x, tripped.SendEvt(nil))
+				})
+				sim.MustFinish(failer)
+				// The holder keeps a permit in flight for a long virtual
+				// stretch — if the explorer kills it mid-hold, the manager
+				// must observe the abandonment via DoneEvt; if not, the hold
+				// ends in success, so every schedule stays live (an immortal
+				// parked holder could legitimately monopolize the half-open
+				// probe, which is starvation, not a breaker defect).
+				holder := th.Spawn("holder", func(x *core.Thread) {
+					_ = brk.Do(x, func(x *core.Thread) error {
+						_ = core.Sleep(x, 200*time.Millisecond)
+						return nil
+					})
+				})
+				sim.Victim(holder)
+				surv := th.Spawn("survivor", func(x *core.Thread) {
+					// Start only after the failer's call has returned: its
+					// failure outcome is then already in the manager's queue,
+					// so the trip is processed before any survivor request —
+					// the survivor always faces a tripped breaker.
+					_, _ = core.Sync(x, tripped.RecvEvt())
+					survErr = supervise.Retry(x, supervise.RetryPolicy{
+						MaxAttempts: 12,
+						BaseDelay:   60 * time.Millisecond, // > cooldown: each retry crosses it
+						MaxDelay:    60 * time.Millisecond,
+					}, func(int) error {
+						return brk.Do(x, func(*core.Thread) error { return nil })
+					})
+					survOK = survErr == nil
+				})
+				sim.MustFinish(surv)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill)
+			sim.LimitFaults(1)
+			sim.Check(func() error {
+				// The failer normally sees its own error; if the killed
+				// holder's abandonment tripped the breaker first, it is
+				// rejected instead — both prove a trip happened.
+				if failerErr == nil || (failerErr.Error() != "boom" && !errors.Is(failerErr, supervise.ErrBreakerOpen)) {
+					return fmt.Errorf("failer error = %v, want boom or breaker-open", failerErr)
+				}
+				if !survOK {
+					return fmt.Errorf("survivor never got through the breaker: %v", survErr)
+				}
+				if brk.Trips() < 1 {
+					return fmt.Errorf("breaker never tripped (trips=%d)", brk.Trips())
 				}
 				return nil
 			})

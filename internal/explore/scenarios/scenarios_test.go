@@ -23,6 +23,14 @@ func TestRecordedTracesReplay(t *testing.T) {
 	}{
 		{"msgqueue-remote-pred-finding2.trace", explore.StatusPass},
 		{"msgqueue-fifo-finding4.trace", explore.StatusPass},
+		// Supervisor: child killed mid-service, backoff driven by the
+		// virtual clock, restarted incarnation serves, then the whole
+		// supervisor custodian is shut down — no leaked threads.
+		{"supervisor-restart-kill-backoff.trace", explore.StatusPass},
+		// Breaker: permit holder killed mid-hold; the manager counts
+		// the abandonment via DoneEvt and the retrying client crosses
+		// the cooldown on the virtual clock and recovers the breaker.
+		{"breaker-trip-holder-killed.trace", explore.StatusPass},
 	}
 	for _, tc := range cases {
 		tc := tc

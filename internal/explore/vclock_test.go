@@ -1,0 +1,77 @@
+package explore_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/abstractions/supervise"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// TestVirtualClockBackoffDeterminism pins the virtual-clock contract the
+// resilience layer builds on: in deterministic mode, core.Runtime.Now()
+// advances only when the explorer fires an alarm, so the timestamps of a
+// retry loop's attempts are a pure function of the backoff arithmetic —
+// independent of the seed, the schedule, and how many times the run is
+// repeated. Four attempts with a 10ms base delay must land at virtual
+// offsets 0, 10, 30 and 70ms under every seed.
+func TestVirtualClockBackoffDeterminism(t *testing.T) {
+	policy := supervise.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    time.Second,
+	}
+	want := []time.Duration{
+		0,
+		policy.Delay(1),
+		policy.Delay(1) + policy.Delay(2),
+		policy.Delay(1) + policy.Delay(2) + policy.Delay(3),
+	}
+	transient := errors.New("transient")
+
+	run := func(seed int64) ([]time.Duration, error) {
+		var stamps []time.Duration
+		sc := explore.Scenario{
+			Name: "vclock-retry",
+			Desc: "retry backoff stamps are schedule-independent",
+			Setup: func(sim *explore.Sim) {
+				rt := sim.RT
+				base := rt.Now()
+				w := rt.Spawn("worker", func(th *core.Thread) {
+					_ = supervise.Retry(th, policy, func(attempt int) error {
+						stamps = append(stamps, rt.Now().Sub(base))
+						if attempt < policy.MaxAttempts {
+							return transient
+						}
+						return nil
+					})
+				})
+				sim.MustFinish(w)
+			},
+		}
+		o := explore.RunOnce(sc, explore.NewRandomPicker(seed, 0.25), seed, explore.Options{})
+		if o.Status != explore.StatusPass {
+			return nil, fmt.Errorf("seed %d: status %v (err=%v)", seed, o.Status, o.Err)
+		}
+		return stamps, nil
+	}
+
+	for seed := int64(1); seed <= 25; seed++ {
+		got, err := run(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d attempts recorded, want %d (%v)", seed, len(got), len(want), got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: attempt %d at virtual offset %v, want %v (all: %v)",
+					seed, i+1, got[i], want[i], got)
+			}
+		}
+	}
+}

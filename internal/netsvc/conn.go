@@ -163,6 +163,15 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 		var resp web.Response
 		if path, _, _ := strings.Cut(req.target, "?"); path == "/debug/stats" {
 			resp = web.Response{Status: 200, Body: s.Stats().json() + "\n"}
+		} else if s.cfg.RequestTimeout > 0 {
+			var timedOut bool
+			resp, timedOut = s.dispatchBounded(th, cs, req)
+			if timedOut {
+				s.stats.deadlined.Add(1)
+				_ = s.writeResponse(th, cs.c, 503, false, "request deadline exceeded\n")
+				s.markCompleted(cs)
+				return
+			}
 		} else {
 			resp = s.web.Dispatch(th, cs.sess, toWebRequest(req))
 		}
@@ -175,6 +184,53 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 			return
 		}
 	}
+}
+
+// dispatchBounded runs one servlet dispatch in a worker thread under the
+// connection's custodian, bounded by cfg.RequestTimeout. The deadline is
+// a core.After event, so the session thread waits at a safe point and in
+// deterministic mode the timeout is driven by the virtual clock. On
+// timeout the worker is killed — its next safe point unwinds it, and the
+// per-connection custodian guarantees whatever it held is reclaimed.
+func (s *Server) dispatchBounded(th *core.Thread, cs *connState, req *request) (web.Response, bool) {
+	var resp web.Response
+	var finished bool // written by the worker before it returns
+	var worker *core.Thread
+	th.WithCustodian(cs.cust, func() {
+		worker = th.Spawn(fmt.Sprintf("netsvc-req-%d", cs.id), func(x *core.Thread) {
+			r := s.web.Dispatch(x, cs.sess, toWebRequest(req))
+			resp, finished = r, true
+		})
+	})
+	s.mu.Lock()
+	s.threads[worker] = struct{}{}
+	s.mu.Unlock()
+	var v core.Value
+	for {
+		var err error
+		v, err = core.Sync(th, core.Choice(
+			core.Wrap(worker.DoneEvt(), func(core.Value) core.Value { return "done" }),
+			core.Wrap(core.After(s.rt, s.cfg.RequestTimeout), func(core.Value) core.Value { return "deadline" }),
+		))
+		if err == nil {
+			break
+		}
+	}
+	// finished is only read on the "done" path, after the worker's DoneEvt
+	// committed — the write happens-before the read.
+	timedOut := v != "done" || !finished
+	if timedOut {
+		worker.Kill()
+	}
+	s.mu.Lock()
+	delete(s.threads, worker)
+	s.mu.Unlock()
+	if timedOut {
+		// Do not touch resp: a worker killed mid-dispatch may still be
+		// unwinding toward its safe point.
+		return web.Response{}, true
+	}
+	return resp, false
 }
 
 // markCompleted classifies the session as cleanly ended for the monitor.

@@ -32,8 +32,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/abstractions/supervise"
 	"repro/internal/core"
 	"repro/internal/web"
 )
@@ -52,6 +54,19 @@ type Config struct {
 	// AcceptBacklog bounds connections accepted by the pump but not yet
 	// claimed by the acceptor thread. Default 16.
 	AcceptBacklog int
+	// MaxPending caps connections that have been accepted but are not yet
+	// being served (queued for the acceptor or waiting for a MaxConns
+	// slot). Past the cap the pump sheds load: it answers 503 directly and
+	// closes, instead of queueing without bound while the service is
+	// wedged. Default 32; negative disables shedding (pure backpressure:
+	// the pump blocks and the kernel backlog absorbs the rest).
+	MaxPending int
+	// RequestTimeout bounds a single servlet dispatch: the handler runs in
+	// a worker thread and is killed if the deadline (a core.After event,
+	// so virtual-clock drivable) fires first; the client gets 503. Zero
+	// means unlimited — handlers may block indefinitely, as the paper's
+	// servlet scenario assumes.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -67,6 +82,9 @@ func (c Config) withDefaults() Config {
 	if c.AcceptBacklog <= 0 {
 		c.AcceptBacklog = 16
 	}
+	if c.MaxPending == 0 {
+		c.MaxPending = 32
+	}
 	return c
 }
 
@@ -78,13 +96,15 @@ type Server struct {
 	cust *core.Custodian // server custodian; conn custodians are children
 	ln   net.Listener
 
-	stats   *Stats
-	slots   *core.Semaphore // MaxConns tokens; one held per served conn
-	pending *core.Semaphore // counts conns handed off in connCh
-	connCh  chan net.Conn
-	quit    chan struct{}  // closed by custodian shutdown; unblocks the pump's handoff
-	drain   *core.External // completed when Shutdown begins
-	pumpRet *core.External // completed when the accept pump exits
+	stats    *Stats
+	sup      *supervise.Supervisor
+	slots    *core.Semaphore // MaxConns tokens; one held per served conn
+	pending  *core.Semaphore // counts conns handed off in connCh
+	pendingN atomic.Int64    // accepted-but-unserved conns, for load shedding
+	connCh   chan net.Conn
+	quit     chan struct{}  // closed by custodian shutdown; unblocks the pump's handoff
+	drain    *core.External // completed when Shutdown begins
+	pumpRet  *core.External // completed when the accept pump exits
 
 	mu      sync.Mutex
 	conns   map[int64]*connState
@@ -116,6 +136,12 @@ func Serve(th *core.Thread, ws *web.Server, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The handoff channel must hold every conn shedding lets through, so
+	// the pump only ever blocks when shedding is disabled.
+	capacity := cfg.AcceptBacklog
+	if cfg.MaxPending > capacity {
+		capacity = cfg.MaxPending
+	}
 	s := &Server{
 		rt:      rt,
 		cfg:     cfg,
@@ -125,7 +151,7 @@ func Serve(th *core.Thread, ws *web.Server, cfg Config) (*Server, error) {
 		stats:   &Stats{},
 		slots:   core.NewSemaphore(rt, cfg.MaxConns),
 		pending: core.NewSemaphore(rt, 0),
-		connCh:  make(chan net.Conn, cfg.AcceptBacklog),
+		connCh:  make(chan net.Conn, capacity),
 		quit:    make(chan struct{}),
 		drain:   core.NewExternal(rt),
 		pumpRet: core.NewExternal(rt),
@@ -141,15 +167,36 @@ func Serve(th *core.Thread, ws *web.Server, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	go s.acceptPump()
-	var acceptor *core.Thread
+	// The acceptor runs under a supervisor: if it dies abnormally (a stray
+	// kill, a panic in the accept path) it is restarted with backoff
+	// rather than silently leaving the server deaf. A normal return (the
+	// drain path) is final — Transient. The supervisor's custodian is a
+	// child of the server's, so both shutdown paths take it down too.
 	th.WithCustodian(s.cust, func() {
-		acceptor = th.Spawn("netsvc-accept", s.acceptLoop)
+		s.sup = supervise.New(th, supervise.Options{
+			MaxRestarts: 8,
+			Window:      time.Minute,
+			BaseBackoff: 5 * time.Millisecond,
+			MaxBackoff:  250 * time.Millisecond,
+			OnRestart:   func(string, int) { s.stats.restarts.Add(1) },
+		})
 	})
-	s.mu.Lock()
-	s.threads[acceptor] = struct{}{}
-	s.mu.Unlock()
+	s.sup.Start(th, supervise.ChildSpec{
+		Name:   "netsvc-accept",
+		Policy: supervise.Transient,
+		Start: func(x *core.Thread) {
+			s.mu.Lock()
+			s.threads[x] = struct{}{}
+			s.mu.Unlock()
+			s.acceptLoop(x)
+		},
+	})
 	return s, nil
 }
+
+// Supervisor exposes the accept-loop supervisor for tests and
+// diagnostics.
+func (s *Server) Supervisor() *supervise.Supervisor { return s.sup }
 
 // Addr returns the listener's address (useful with Addr "host:0").
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
@@ -181,15 +228,39 @@ func (s *Server) acceptPump() {
 			s.stats.rejected.Add(1)
 			continue
 		}
+		// Load shedding: past MaxPending accepted-but-unserved conns the
+		// service is wedged or overwhelmed; answer 503 now rather than
+		// queueing a request that would only time out later.
+		if s.cfg.MaxPending > 0 && s.pendingN.Load() >= int64(s.cfg.MaxPending) {
+			s.shedConn(c)
+			continue
+		}
+		s.pendingN.Add(1)
 		select {
 		case s.connCh <- c:
 			s.pending.Post()
 		case <-s.quit:
+			s.pendingN.Add(-1)
 			_ = c.Close()
 			s.stats.rejected.Add(1)
 			return
 		}
 	}
+}
+
+// shedConn answers an over-capacity connection straight from the pump
+// goroutine — a plain blocking write with a short deadline; the conn
+// never enters the runtime's world — and closes it.
+func (s *Server) shedConn(c net.Conn) {
+	const body = "server busy\n"
+	msg := fmt.Sprintf(
+		"HTTP/1.0 503 %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: close\r\n\r\n%s",
+		statusText(503), len(body), body)
+	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
+	_, _ = c.Write([]byte(msg))
+	s.cust.Unregister(c)
+	_ = c.Close()
+	s.stats.shed.Add(1)
 }
 
 // acceptLoop is the acceptor runtime thread: it claims pumped
@@ -225,6 +296,7 @@ func (s *Server) acceptLoop(th *core.Thread) {
 			}
 		}
 		if v == "drain" {
+			s.pendingN.Add(-1)
 			_ = c.Close()
 			s.stats.rejected.Add(1)
 			return
@@ -236,6 +308,7 @@ func (s *Server) acceptLoop(th *core.Thread) {
 // startConn places c under a fresh per-connection custodian, attaches a
 // web session, and spawns the session thread and its monitor.
 func (s *Server) startConn(th *core.Thread, c net.Conn) {
+	s.pendingN.Add(-1) // the conn is being served from here on
 	ccust := core.NewCustodian(s.cust)
 	// Move the fd under the connection custodian (register first so the
 	// conn is never uncontrolled; double close on races is harmless).
@@ -348,6 +421,11 @@ func (s *Server) Shutdown(th *core.Thread, grace time.Duration) error {
 		}
 	}
 	s.cust.Shutdown()
+	// Reap the supervisor first — its monitor thread must not respawn the
+	// acceptor while we kill it below (the custodian is already dead, so
+	// any respawn would be stillborn, but the monitor itself would stay
+	// parked in its backoff sleep forever).
+	s.sup.Stop()
 	// Reap every thread we spawned. Loop because a startConn racing the
 	// shutdown may insert its spawns after the first snapshot; once the
 	// acceptor is dead the map stops refilling and the loop terminates.

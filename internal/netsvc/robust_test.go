@@ -1,0 +1,179 @@
+package netsvc_test
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsvc"
+	"repro/internal/web"
+)
+
+func pollUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLoadShed is the companion to TestMaxConnsBackpressure: where that
+// test shows over-cap connections *wait* and eventually get served, this
+// one shows connections beyond MaxConns+MaxPending are answered 503 and
+// closed immediately — load shedding instead of unbounded queueing —
+// while the queued connections still complete.
+func TestLoadShed(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		ws := web.NewServer(th)
+		gate := core.NewChanNamed(rt, "gate")
+		ws.Handle("/slow", func(x *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+			_, _ = core.Sync(x, gate.RecvEvt())
+			return web.Response{Status: 200, Body: "done"}
+		})
+		s, err := netsvc.Serve(th, ws, netsvc.Config{MaxConns: 1, MaxPending: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := s.Addr().String()
+
+		dialSlow := func() net.Conn {
+			c, err := net.Dial("tcp", addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_ = c.SetDeadline(time.Now().Add(10 * time.Second))
+			if _, err := fmt.Fprintf(c, "GET /slow HTTP/1.0\r\n\r\n"); err != nil {
+				t.Fatal(err)
+			}
+			return c
+		}
+
+		// conn1 occupies the single serving slot.
+		c1 := dialSlow()
+		defer c1.Close()
+		pollUntil(t, "conn1 being served", func() bool { return s.Stats().Active == 1 })
+
+		// conn2 fills the single pending seat.
+		c2 := dialSlow()
+		defer c2.Close()
+		pollUntil(t, "conn2 pending", func() bool { return s.Stats().Accepted >= 2 })
+
+		// conn3 is over capacity: the pump must shed it with a 503.
+		c3 := dialSlow()
+		defer c3.Close()
+		status, body, err := readResponseConn(c3)
+		if err != nil {
+			t.Fatalf("reading shed response: %v", err)
+		}
+		if !strings.Contains(status, "503") || body != "server busy\n" {
+			t.Fatalf("shed response = %q / %q, want 503 / server busy", status, body)
+		}
+		if got := s.Stats().Shed; got != 1 {
+			t.Fatalf("shed counter = %d, want 1", got)
+		}
+
+		// The queued connections were not harmed: release them in turn.
+		for i, c := range []net.Conn{c1, c2} {
+			if _, err := core.Sync(th, gate.SendEvt(nil)); err != nil {
+				t.Fatalf("release %d: %v", i+1, err)
+			}
+			status, body, err := readResponseConn(c)
+			if err != nil || !strings.Contains(status, "200") || body != "done" {
+				t.Fatalf("conn%d: %q / %q / %v", i+1, status, body, err)
+			}
+		}
+		if err := s.Shutdown(th, time.Second); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	})
+}
+
+func readResponseConn(c net.Conn) (string, string, error) {
+	return readResponse(bufio.NewReader(c))
+}
+
+// TestRequestDeadline: with RequestTimeout set, a handler that blocks
+// forever is cut off — worker killed, client answered 503 — while fast
+// handlers are unaffected, and the graceful shutdown still leaves zero
+// leaked goroutines.
+func TestRequestDeadline(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		g0 := runtime.NumGoroutine()
+		ws := web.NewServer(th)
+		ws.Handle("/hang", func(x *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+			_ = core.Sleep(x, time.Hour)
+			return web.Response{Status: 200, Body: "late"}
+		})
+		ws.Handle("/fast", func(*core.Thread, *web.Session, *web.Request) web.Response {
+			return web.Response{Status: 200, Body: "fast"}
+		})
+		s, err := netsvc.Serve(th, ws, netsvc.Config{RequestTimeout: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := s.Addr().String()
+
+		status, body, err := get(addr, "/fast")
+		if err != nil || !strings.Contains(status, "200") || body != "fast" {
+			t.Fatalf("/fast: %q / %q / %v", status, body, err)
+		}
+		status, body, err = get(addr, "/hang")
+		if err != nil || !strings.Contains(status, "503") || body != "request deadline exceeded\n" {
+			t.Fatalf("/hang: %q / %q / %v", status, body, err)
+		}
+		if got := s.Stats().Deadlined; got != 1 {
+			t.Fatalf("deadlined counter = %d, want 1", got)
+		}
+		if err := s.Shutdown(th, time.Second); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+		waitGoroutines(t, g0, "after deadline + shutdown")
+	})
+}
+
+// TestAcceptorRestart: killing the acceptor thread out from under the
+// server does not leave it deaf — the supervisor restarts the accept
+// loop (surfacing the restart in stats) and new connections are served.
+func TestAcceptorRestart(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		ws := web.NewServer(th)
+		ws.Handle("/hello", func(*core.Thread, *web.Session, *web.Request) web.Response {
+			return web.Response{Status: 200, Body: "hello"}
+		})
+		s, err := netsvc.Serve(th, ws, netsvc.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := s.Addr().String()
+
+		if status, _, err := get(addr, "/hello"); err != nil || !strings.Contains(status, "200") {
+			t.Fatalf("before kill: %q / %v", status, err)
+		}
+
+		first := s.Supervisor().ChildThread("netsvc-accept")
+		if first == nil {
+			t.Fatal("no acceptor incarnation")
+		}
+		first.Kill()
+		pollUntil(t, "acceptor restart", func() bool { return s.Stats().Restarts >= 1 })
+		pollUntil(t, "new incarnation", func() bool {
+			cur := s.Supervisor().ChildThread("netsvc-accept")
+			return cur != nil && cur != first && !cur.Done()
+		})
+
+		if status, body, err := get(addr, "/hello"); err != nil || !strings.Contains(status, "200") || body != "hello" {
+			t.Fatalf("after restart: %q / %q / %v", status, body, err)
+		}
+		if err := s.Shutdown(th, time.Second); err != nil {
+			t.Fatalf("Shutdown: %v", err)
+		}
+	})
+}

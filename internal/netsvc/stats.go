@@ -9,32 +9,41 @@ import (
 // atomics so the snapshot is safe from any goroutine (the /debug/stats
 // route, tests, plain monitoring goroutines).
 type Stats struct {
-	accepted atomic.Int64 // conns accepted by the OS listener
-	active   atomic.Int64 // conns currently being served
-	drained  atomic.Int64 // sessions that ended cleanly (EOF, close, timeout response sent)
-	killed   atomic.Int64 // sessions terminated by custodian shutdown mid-service
-	timedOut atomic.Int64 // conns closed by the idle deadline
-	rejected atomic.Int64 // conns closed unserved (shutdown races, dead custodians)
+	accepted  atomic.Int64 // conns accepted by the OS listener
+	active    atomic.Int64 // conns currently being served
+	drained   atomic.Int64 // sessions that ended cleanly (EOF, close, timeout response sent)
+	killed    atomic.Int64 // sessions terminated by custodian shutdown mid-service
+	timedOut  atomic.Int64 // conns closed by the idle deadline
+	rejected  atomic.Int64 // conns closed unserved (shutdown races, dead custodians)
+	shed      atomic.Int64 // conns answered 503 by the pump: pending queue over MaxPending
+	deadlined atomic.Int64 // requests cut off by the per-request deadline
+	restarts  atomic.Int64 // accept-loop restarts performed by the supervisor
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
 type StatsSnapshot struct {
-	Accepted int64 `json:"accepted"`
-	Active   int64 `json:"active"`
-	Drained  int64 `json:"drained"`
-	Killed   int64 `json:"killed"`
-	TimedOut int64 `json:"timed_out"`
-	Rejected int64 `json:"rejected"`
+	Accepted  int64 `json:"accepted"`
+	Active    int64 `json:"active"`
+	Drained   int64 `json:"drained"`
+	Killed    int64 `json:"killed"`
+	TimedOut  int64 `json:"timed_out"`
+	Rejected  int64 `json:"rejected"`
+	Shed      int64 `json:"shed"`
+	Deadlined int64 `json:"deadlined"`
+	Restarts  int64 `json:"restarts"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Accepted: s.accepted.Load(),
-		Active:   s.active.Load(),
-		Drained:  s.drained.Load(),
-		Killed:   s.killed.Load(),
-		TimedOut: s.timedOut.Load(),
-		Rejected: s.rejected.Load(),
+		Accepted:  s.accepted.Load(),
+		Active:    s.active.Load(),
+		Drained:   s.drained.Load(),
+		Killed:    s.killed.Load(),
+		TimedOut:  s.timedOut.Load(),
+		Rejected:  s.rejected.Load(),
+		Shed:      s.shed.Load(),
+		Deadlined: s.deadlined.Load(),
+		Restarts:  s.restarts.Load(),
 	}
 }
 
@@ -42,6 +51,6 @@ func (s *Stats) snapshot() StatsSnapshot {
 // serving path (the shape is fixed and flat).
 func (v StatsSnapshot) json() string {
 	return fmt.Sprintf(
-		`{"accepted":%d,"active":%d,"drained":%d,"killed":%d,"timed_out":%d,"rejected":%d}`,
-		v.Accepted, v.Active, v.Drained, v.Killed, v.TimedOut, v.Rejected)
+		`{"accepted":%d,"active":%d,"drained":%d,"killed":%d,"timed_out":%d,"rejected":%d,"shed":%d,"deadlined":%d,"restarts":%d}`,
+		v.Accepted, v.Active, v.Drained, v.Killed, v.TimedOut, v.Rejected, v.Shed, v.Deadlined, v.Restarts)
 }
