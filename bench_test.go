@@ -556,6 +556,62 @@ func BenchmarkNetsvcThroughput(b *testing.B) {
 	}
 }
 
+// E20: sharded serving throughput — clients × shards. Each shard is an
+// independent runtime (own custodian tree, own servlet instance) behind
+// one listener, so the per-runtime global rendezvous lock is contended
+// only within a shard and throughput can scale with cores. On a
+// single-core runner the shards time-slice one CPU and the curve stays
+// flat — see BENCH_scaling.json for readings.
+func BenchmarkNetsvcScaling(b *testing.B) {
+	for _, shards := range []int{1, 4} {
+		for _, clients := range []int{1, 8, 32} {
+			b.Run(fmt.Sprintf("shards-%d/clients-%d", shards, clients), func(b *testing.B) {
+				m, err := netsvc.ServeSharded(
+					netsvc.Config{MaxConns: 64, IdleTimeout: 10 * time.Second, Shards: shards},
+					func(th *killsafe.Thread, _ int) *web.Server {
+						ws := web.NewServer(th)
+						ws.Handle("/ping", func(_ *killsafe.Thread, _ *web.Session, _ *web.Request) web.Response {
+							return web.Response{Status: 200, Body: "pong"}
+						})
+						return ws
+					})
+				if err != nil {
+					b.Fatal(err)
+				}
+				addr := m.Addr().String()
+				per := b.N / clients
+				errc := make(chan error, clients)
+				var wg sync.WaitGroup
+				b.ResetTimer()
+				for w := 0; w < clients; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						cl := &netsvcClient{addr: addr}
+						defer cl.close()
+						for i := 0; i < per; i++ {
+							if err := cl.get("/ping"); err != nil {
+								errc <- err
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				b.StopTimer()
+				select {
+				case err := <-errc:
+					b.Fatal(err)
+				default:
+				}
+				if err := m.Shutdown(2 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
 // E17 under fire: throughput while an administrator terminates a random
 // live session every couple of milliseconds. Clients redial and retry;
 // the measured op is a *served* request, so the delta against the quiet

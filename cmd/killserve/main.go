@@ -17,6 +17,12 @@
 //	curl "http://127.0.0.1:8080/admin/kill?id=N"   # kill it mid-request
 //	curl http://127.0.0.1:8080/debug/stats         # killed counter ticks
 //
+// With -shards N the server runs N independent runtimes behind one
+// listener (netsvc.ServeSharded): each shard is a whole VM with its own
+// custodian tree and servlet instance, so /admin/kill reaches only the
+// sessions of the shard that serves the request, and /debug/stats
+// reports the fleet-wide aggregate from any shard.
+//
 // SIGINT/SIGTERM drains gracefully (in-flight requests finish within the
 // grace period; stragglers are killed). See examples/killserve/demo.sh
 // for a scripted walkthrough.
@@ -38,84 +44,121 @@ import (
 	"repro/internal/web"
 )
 
+// buildRoutes registers the demo routes on ws. It is called once per
+// runtime: in sharded mode each shard gets its own web.Server instance
+// and its own route closures, bound to that shard's runtime.
+func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int) {
+	ws.Handle("/", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+		return web.Response{Status: 200, Body: strings.Join([]string{
+			"killserve — kill-safe TCP serving demo",
+			"  /hello               greet",
+			"  /slow?ms=N           hold the request open N milliseconds (default 30000)",
+			"  /whoami              this connection's session ID (and shard)",
+			"  /admin/sessions      live session IDs on this shard ('you' is this request's own)",
+			"  /admin/kill?id=N     terminate session N mid-request (this shard only)",
+			"  /debug/stats         serving counters (fleet-wide aggregate)",
+			"",
+		}, "\n")}
+	})
+	ws.Handle("/hello", func(_ *core.Thread, _ *web.Session, req *web.Request) web.Response {
+		name := req.Query["name"]
+		if name == "" {
+			name = "world"
+		}
+		return web.Response{Status: 200, Body: "hello, " + name + "\n"}
+	})
+	ws.Handle("/whoami", func(_ *core.Thread, s *web.Session, _ *web.Request) web.Response {
+		return web.Response{Status: 200, Body: fmt.Sprintf("session %d on shard %d/%d\n", s.ID, shard, shards)}
+	})
+	ws.Handle("/slow", func(x *core.Thread, s *web.Session, req *web.Request) web.Response {
+		ms := 30000
+		if n, err := strconv.Atoi(req.Query["ms"]); err == nil && n >= 0 {
+			ms = n
+		}
+		// The session thread blocks here at a safe point: an
+		// /admin/kill lands cleanly, closing this socket.
+		if err := core.Sleep(x, time.Duration(ms)*time.Millisecond); err != nil {
+			return web.Response{Status: 500, Body: "interrupted\n"}
+		}
+		return web.Response{Status: 200, Body: fmt.Sprintf("session %d survived %dms\n", s.ID, ms)}
+	})
+	ws.Handle("/admin/sessions", func(_ *core.Thread, s *web.Session, _ *web.Request) web.Response {
+		ids := ws.Sessions()
+		sort.Ints(ids)
+		var b strings.Builder
+		fmt.Fprintf(&b, "you: %d (shard %d)\n", s.ID, shard)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "session %d\n", id)
+		}
+		return web.Response{Status: 200, Body: b.String()}
+	})
+	ws.Handle("/admin/kill", func(_ *core.Thread, s *web.Session, req *web.Request) web.Response {
+		id, err := strconv.Atoi(req.Query["id"])
+		if err != nil {
+			return web.Response{Status: 400, Body: "usage: /admin/kill?id=N\n"}
+		}
+		ws.Terminate(id)
+		rt.TerminateCondemned()
+		note := ""
+		if id == s.ID {
+			note = " (that was this session — the closed connection is the proof)"
+		}
+		return web.Response{Status: 200, Body: fmt.Sprintf("terminated session %d%s\n", id, note)}
+	})
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
-	maxConns := flag.Int("max-conns", 64, "maximum concurrently served connections (excess wait in the accept queue)")
+	maxConns := flag.Int("max-conns", 64, "maximum concurrently served connections per shard (excess wait in the accept queue)")
 	maxPending := flag.Int("max-pending", 32, "connections allowed to wait for a serving slot before new ones are shed with 503 (negative disables shedding)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request handler deadline; over-budget requests get 503 (0 = unlimited)")
 	idle := flag.Duration("idle-timeout", 10*time.Second, "per-connection idle/read deadline")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
+	shards := flag.Int("shards", 1, "independent runtime shards behind the listener (1 = single runtime)")
 	flag.Parse()
+
+	cfg := netsvc.Config{
+		Addr:           *addr,
+		MaxConns:       *maxConns,
+		MaxPending:     *maxPending,
+		IdleTimeout:    *idle,
+		RequestTimeout: *reqTimeout,
+		Shards:         *shards,
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	if *shards > 1 {
+		m, err := netsvc.ServeSharded(cfg, func(th *core.Thread, shard int) *web.Server {
+			ws := web.NewServer(th)
+			buildRoutes(th.Runtime(), ws, shard, *shards)
+			return ws
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "killserve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("killserve: listening on http://%s (shards=%d, max-conns=%d/shard, idle-timeout=%s)\n",
+			m.Addr(), *shards, *maxConns, *idle)
+		v := <-sigc
+		fmt.Printf("killserve: received %v, draining %d shards (grace %s)...\n", v, *shards, *grace)
+		if err := m.Shutdown(*grace); err != nil {
+			fmt.Fprintf(os.Stderr, "killserve: shutdown: %v\n", err)
+		}
+		st := m.Stats()
+		fmt.Printf("killserve: done — accepted=%d drained=%d killed=%d timed_out=%d rejected=%d shed=%d deadlined=%d restarts=%d\n",
+			st.Accepted, st.Drained, st.Killed, st.TimedOut, st.Rejected, st.Shed, st.Deadlined, st.Restarts)
+		return
+	}
 
 	rt := core.NewRuntime()
 	defer rt.Shutdown()
 	err := rt.Run(func(th *core.Thread) {
 		ws := web.NewServer(th)
-		ws.Handle("/", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
-			return web.Response{Status: 200, Body: strings.Join([]string{
-				"killserve — kill-safe TCP serving demo",
-				"  /hello               greet",
-				"  /slow?ms=N           hold the request open N milliseconds (default 30000)",
-				"  /whoami              this connection's session ID",
-				"  /admin/sessions      live session IDs ('you' is this request's own)",
-				"  /admin/kill?id=N     terminate session N mid-request",
-				"  /debug/stats         serving counters (accepted/active/drained/killed/...)",
-				"",
-			}, "\n")}
-		})
-		ws.Handle("/hello", func(_ *core.Thread, _ *web.Session, req *web.Request) web.Response {
-			name := req.Query["name"]
-			if name == "" {
-				name = "world"
-			}
-			return web.Response{Status: 200, Body: "hello, " + name + "\n"}
-		})
-		ws.Handle("/whoami", func(_ *core.Thread, s *web.Session, _ *web.Request) web.Response {
-			return web.Response{Status: 200, Body: fmt.Sprintf("session %d\n", s.ID)}
-		})
-		ws.Handle("/slow", func(x *core.Thread, s *web.Session, req *web.Request) web.Response {
-			ms := 30000
-			if n, err := strconv.Atoi(req.Query["ms"]); err == nil && n >= 0 {
-				ms = n
-			}
-			// The session thread blocks here at a safe point: an
-			// /admin/kill lands cleanly, closing this socket.
-			if err := core.Sleep(x, time.Duration(ms)*time.Millisecond); err != nil {
-				return web.Response{Status: 500, Body: "interrupted\n"}
-			}
-			return web.Response{Status: 200, Body: fmt.Sprintf("session %d survived %dms\n", s.ID, ms)}
-		})
-		ws.Handle("/admin/sessions", func(_ *core.Thread, s *web.Session, _ *web.Request) web.Response {
-			ids := ws.Sessions()
-			sort.Ints(ids)
-			var b strings.Builder
-			fmt.Fprintf(&b, "you: %d\n", s.ID)
-			for _, id := range ids {
-				fmt.Fprintf(&b, "session %d\n", id)
-			}
-			return web.Response{Status: 200, Body: b.String()}
-		})
-		ws.Handle("/admin/kill", func(_ *core.Thread, s *web.Session, req *web.Request) web.Response {
-			id, err := strconv.Atoi(req.Query["id"])
-			if err != nil {
-				return web.Response{Status: 400, Body: "usage: /admin/kill?id=N\n"}
-			}
-			ws.Terminate(id)
-			rt.TerminateCondemned()
-			note := ""
-			if id == s.ID {
-				note = " (that was this session — the closed connection is the proof)"
-			}
-			return web.Response{Status: 200, Body: fmt.Sprintf("terminated session %d%s\n", id, note)}
-		})
+		buildRoutes(rt, ws, 0, 1)
 
-		s, err := netsvc.Serve(th, ws, netsvc.Config{
-			Addr:           *addr,
-			MaxConns:       *maxConns,
-			MaxPending:     *maxPending,
-			IdleTimeout:    *idle,
-			RequestTimeout: *reqTimeout,
-		})
+		s, err := netsvc.Serve(th, ws, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "killserve: %v\n", err)
 			os.Exit(1)
@@ -127,8 +170,6 @@ func main() {
 		// waits on the signal channel and completes an External cell; the
 		// main runtime thread syncs on it at a safe point.
 		sig := core.NewExternal(rt)
-		sigc := make(chan os.Signal, 1)
-		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 		go func() { v := <-sigc; sig.Complete(v.String()) }()
 
 		v, serr := core.Sync(th, sig.Evt())

@@ -41,15 +41,20 @@ func (e *alarmEvt) register(w *waiter) {
 		rt.addAlarmLocked(w, e.at)
 		return
 	}
-	t := time.AfterFunc(time.Until(e.at), func() {
+	// The timer callback can outlive the sync (Stop does not wait for an
+	// in-flight callback), and waiter records are recycled; the captured
+	// generation fences a stale callback off a reused record.
+	gen := w.gen
+	w.timer = time.AfterFunc(time.Until(e.at), func() {
 		rt.mu.Lock()
 		// If the thread is suspended this is a no-op; the waiter stays
 		// in place and the resume path's re-poll sees the deadline has
 		// passed.
-		commitSingleLocked(w, Unit{})
+		if w.gen == gen {
+			commitSingleLocked(w, Unit{})
+		}
 		rt.mu.Unlock()
 	})
-	w.stop = func() { t.Stop() }
 }
 
 func (e *alarmEvt) unregister(*waiter) {}

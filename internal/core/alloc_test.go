@@ -1,0 +1,54 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSingleEventSyncAllocFree is the regression fence for the rendezvous
+// fast path: a single-event Sync against a ready semaphore must run out
+// of the thread's pooled syncOp record — no per-sync heap allocation.
+// (The pre-optimization path allocated the op, its case slice, a park
+// closure, and rotation bookkeeping on every sync.)
+func TestSingleEventSyncAllocFree(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sem := core.NewSemaphore(rt, 1)
+		evt := sem.WaitEvt()
+		sync1 := func() {
+			if _, err := core.Sync(th, evt); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			sem.Post()
+		}
+		sync1() // warm the thread's op pool
+		if n := testing.AllocsPerRun(100, sync1); n > 0 {
+			t.Fatalf("single-event Sync allocates %.1f objects/op, want 0", n)
+		}
+	})
+}
+
+// TestChoiceSyncAllocBound fences the multi-way path too: a small choice
+// over ready events must stay within the op's inline case/waiter buffers.
+// The two allocations allowed are the Wrap result boxing and the choice's
+// rotation-free poll bookkeeping headroom; the point is catching a
+// regression back to unbounded per-case allocation, not zero.
+func TestChoiceSyncAllocBound(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		sem := core.NewSemaphore(rt, 1)
+		evt := core.Choice(
+			sem.WaitEvt(),
+			core.NewExternal(rt).Evt(), // never fires; registers and unregisters
+		)
+		syncN := func() {
+			if _, err := core.Sync(th, evt); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+			sem.Post()
+		}
+		syncN()
+		if n := testing.AllocsPerRun(100, syncN); n > 2 {
+			t.Fatalf("2-way choice Sync allocates %.1f objects/op, want <= 2", n)
+		}
+	})
+}

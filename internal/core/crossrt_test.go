@@ -1,0 +1,93 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// mustPanic runs fn and returns the recovered panic message, failing the
+// test if fn returns normally.
+func mustPanic(t *testing.T, what string, fn func()) string {
+	t.Helper()
+	var msg string
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if s, ok := r.(string); ok {
+					msg = s
+				} else {
+					msg = "non-string panic"
+				}
+			}
+		}()
+		fn()
+		t.Fatalf("%s: expected a panic, returned normally", what)
+	}()
+	return msg
+}
+
+// TestCrossRuntimeSyncPanics pins the sharding misuse guard: events built
+// on one runtime's primitives must not be synced by another runtime's
+// thread. Without the guard this corrupts both runtimes' state under
+// different locks; with it, registration fails fast with a message that
+// names the offending primitive.
+func TestCrossRuntimeSyncPanics(t *testing.T) {
+	other := core.NewRuntime()
+	defer other.Shutdown()
+	foreignChan := core.NewChan(other)
+	foreignSem := core.NewSemaphore(other, 1)
+	foreignExt := core.NewExternal(other)
+
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		for _, tc := range []struct {
+			name string
+			evt  core.Event
+		}{
+			{"chan recv", foreignChan.RecvEvt()},
+			{"chan send", foreignChan.SendEvt(1)},
+			{"semaphore", foreignSem.WaitEvt()},
+			{"external", foreignExt.Evt()},
+		} {
+			msg := mustPanic(t, tc.name, func() { _, _ = core.Sync(th, tc.evt) })
+			if !strings.Contains(msg, "different runtime") {
+				t.Fatalf("%s: panic %q should name the cross-runtime violation", tc.name, msg)
+			}
+		}
+
+		// The guard sees through combinators: a foreign base buried in a
+		// choice under wraps and guards is still caught at registration.
+		wrapped := core.Choice(
+			core.Wrap(core.Guard(func(*core.Thread) core.Event { return foreignChan.RecvEvt() }),
+				func(v core.Value) core.Value { return v }),
+			core.Always(1),
+		)
+		msg := mustPanic(t, "wrapped choice", func() { _, _ = core.Sync(th, wrapped) })
+		if !strings.Contains(msg, "different runtime") {
+			t.Fatalf("wrapped choice: panic %q should name the cross-runtime violation", msg)
+		}
+
+		// Runtime-agnostic events are exempt: Always carries no base.
+		if v, err := core.Sync(th, core.Always("ok")); err != nil || v != "ok" {
+			t.Fatalf("Always: (%v, %v)", v, err)
+		}
+	})
+}
+
+// TestCrossRuntimeCustodianPanics pins the spawn-side guard: a custodian
+// belongs to one runtime's tree and cannot control threads of another.
+func TestCrossRuntimeCustodianPanics(t *testing.T) {
+	other := core.NewRuntime()
+	defer other.Shutdown()
+	foreign := core.NewCustodian(other.RootCustodian())
+
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		msg := mustPanic(t, "SpawnIn", func() {
+			rt.SpawnIn(foreign, "trespasser", func(*core.Thread) {})
+		})
+		if !strings.Contains(msg, "different runtime") {
+			t.Fatalf("SpawnIn: panic %q should name the cross-runtime violation", msg)
+		}
+	})
+}

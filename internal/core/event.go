@@ -116,8 +116,12 @@ func (a *alwaysEvt) unregister(*waiter) {}
 // flatCase is one primitive alternative of a flattened sync: a base event,
 // the wrap functions to apply to its value (collected outside-in; applied
 // inside-out), and the indices into the sync's nack list that cover it.
+// The single-wrap case — one Wrap directly over a base event, the common
+// serving-path shape — is stored in wrap1 without allocating a slice;
+// wraps is non-nil only for chains of two or more.
 type flatCase struct {
 	base    baseEvent
+	wrap1   wrapFn
 	wraps   []wrapFn
 	nackIdx []int
 }
@@ -131,22 +135,33 @@ const maxGuardDepth = 1000
 // guard procedures may themselves block, sync, and spawn. Nack signals
 // created for nack-guards are appended to op.nacks as they are created, so
 // that a kill arriving mid-flatten still fires them.
-func flatten(th *Thread, op *syncOp, e Event, wraps []wrapFn, nacks []int, depth int) {
+//
+// The wrap chain above the current node is carried as (wrap1, wraps):
+// wrap1 alone for a single wrap (no allocation), wraps for chains of two
+// or more.
+func flatten(th *Thread, op *syncOp, e Event, wrap1 wrapFn, wraps []wrapFn, nacks []int, depth int) {
 	if depth > maxGuardDepth {
 		panic("core: event guard recursion exceeds depth limit")
 	}
 	switch ev := e.(type) {
 	case *choiceEvt:
 		for _, sub := range ev.evts {
-			flatten(th, op, sub, wraps, nacks, depth+1)
+			flatten(th, op, sub, wrap1, wraps, nacks, depth+1)
 		}
 	case *wrapEvt:
-		w := make([]wrapFn, len(wraps)+1)
-		copy(w, wraps)
-		w[len(wraps)] = ev.fn
-		flatten(th, op, ev.inner, w, nacks, depth+1)
+		switch {
+		case wraps == nil && wrap1 == nil:
+			flatten(th, op, ev.inner, ev.fn, nil, nacks, depth+1)
+		case wraps == nil:
+			flatten(th, op, ev.inner, nil, []wrapFn{wrap1, ev.fn}, nacks, depth+1)
+		default:
+			w := make([]wrapFn, len(wraps)+1)
+			copy(w, wraps)
+			w[len(wraps)] = ev.fn
+			flatten(th, op, ev.inner, nil, w, nacks, depth+1)
+		}
 	case *guardEvt:
-		flatten(th, op, ev.fn(th), wraps, nacks, depth+1)
+		flatten(th, op, ev.fn(th), wrap1, wraps, nacks, depth+1)
 	case *nackGuardEvt:
 		sig := newNackSignal()
 		th.rt.mu.Lock()
@@ -156,11 +171,12 @@ func flatten(th *Thread, op *syncOp, e Event, wraps []wrapFn, nacks []int, depth
 		n := make([]int, len(nacks)+1)
 		copy(n, nacks)
 		n[len(nacks)] = idx
-		flatten(th, op, ev.fn(th, sig.event()), wraps, n, depth+1)
+		flatten(th, op, ev.fn(th, sig.event()), wrap1, wraps, n, depth+1)
 	case *neverEvt:
 		// contributes no case
 	case baseEvent:
-		op.cases = append(op.cases, flatCase{base: ev, wraps: wraps, nackIdx: nacks})
+		checkSameRuntime(th, ev)
+		op.cases = append(op.cases, flatCase{base: ev, wrap1: wrap1, wraps: wraps, nackIdx: nacks})
 	case nil:
 		panic("core: nil event")
 	default:

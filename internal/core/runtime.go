@@ -137,6 +137,9 @@ func (rt *Runtime) Spawn(name string, fn func(*Thread)) *Thread {
 // dead, the returned thread is created in the done state and fn never runs
 // (resources cannot be allocated to a dead custodian).
 func (rt *Runtime) spawn(name string, c *Custodian, fn func(*Thread)) *Thread {
+	if c != nil && c.rt != rt {
+		panic(fmt.Sprintf("core: spawn %q under a custodian from a different runtime; custodians must not be shared across runtimes", name))
+	}
 	rt.mu.Lock()
 	if rt.down || c.dead {
 		th := rt.newThreadLocked(name, nil)

@@ -81,24 +81,27 @@ func (rt *Runtime) nowLocked() time.Time {
 }
 
 // valarm is a virtual-clock alarm registration: a parked sync waiter that
-// becomes ready when the virtual clock reaches at.
+// becomes ready when the virtual clock reaches at. The generation is
+// captured at registration; a recycled waiter record (gen bumped) makes
+// the stale entry inert.
 type valarm struct {
-	w  *waiter
-	at time.Time
+	w   *waiter
+	at  time.Time
+	gen uint32
 }
 
 // addAlarmLocked registers a virtual alarm. Deterministic mode only;
 // caller holds rt.mu.
 func (rt *Runtime) addAlarmLocked(w *waiter, at time.Time) {
-	rt.valarms = append(rt.valarms, valarm{w: w, at: at})
+	rt.valarms = append(rt.valarms, valarm{w: w, at: at, gen: w.gen})
 }
 
-// compactAlarmsLocked drops registrations whose waiter is gone or whose
-// sync has been decided. Caller holds rt.mu.
+// compactAlarmsLocked drops registrations whose waiter is gone, recycled,
+// or whose sync has been decided. Caller holds rt.mu.
 func (rt *Runtime) compactAlarmsLocked() {
 	live := rt.valarms[:0]
 	for _, a := range rt.valarms {
-		if !a.w.removed && a.w.op.state == opSyncing {
+		if a.gen == a.w.gen && !a.w.removed && a.w.op.state == opSyncing {
 			live = append(live, a)
 		}
 	}

@@ -1,5 +1,10 @@
 package core
 
+import (
+	"fmt"
+	"time"
+)
+
 // Sync engine: flatten → poll → register → park → commit/abort.
 //
 // All matching state is protected by the runtime lock, which makes the
@@ -7,6 +12,13 @@ package core
 // sync operations committed in one critical section, so an event is chosen
 // exactly once and a withdrawal (nack) reliably excludes acceptance and
 // vice versa.
+//
+// The rendezvous path is allocation-conscious: syncOp records are pooled
+// per thread (a thread has at most one op in flight, plus rare nested ops
+// from guard procedures), flattened cases and their waiters live in small
+// arrays inside the op, and a sync over a single base event with at most
+// one wrap — the overwhelmingly common shape on serving paths — completes
+// without any heap allocation at all.
 
 const (
 	opSyncing = iota
@@ -15,6 +27,11 @@ const (
 	opAbortedKill
 )
 
+// syncInline is the number of flattened cases (and their waiters) stored
+// inline in a syncOp. Serving-path syncs are choices of 1–3 alternatives;
+// larger choices spill to the heap.
+const syncInline = 4
+
 // syncOp is one in-flight Sync call.
 type syncOp struct {
 	th        *Thread
@@ -22,9 +39,14 @@ type syncOp struct {
 	breakable bool // a pending break aborts the wait phase
 	chosen    int  // case index, valid when committed
 	result    Value
+	prev      *syncOp // saved th.op (nested sync inside a guard procedure)
 	cases     []flatCase
 	waiters   []*waiter
 	nacks     []*nackSignal
+
+	casebuf [syncInline]flatCase
+	wbuf    [syncInline]waiter
+	wptrbuf [syncInline]*waiter
 }
 
 // waiter is a registration of one sync case in a base event's wait
@@ -34,7 +56,67 @@ type waiter struct {
 	idx     int
 	base    baseEvent
 	removed bool
-	stop    func() // optional extra cleanup (e.g. alarm timer)
+	// gen invalidates references that can outlive the sync: a real alarm
+	// timer callback and a virtual-clock alarm registration both capture
+	// the waiter together with its generation, and fire only if the
+	// generation still matches. finish bumps it, so a recycled waiter
+	// record can never be committed by a stale alarm.
+	gen   uint32
+	timer *time.Timer // real-clock alarm timer, stopped at deregistration
+}
+
+// acquireOpLocked returns a reset sync op, reusing the thread's cached
+// record when available. Caller holds rt.mu.
+func (t *Thread) acquireOpLocked() *syncOp {
+	op := t.opFree
+	if op == nil {
+		op = &syncOp{}
+	} else {
+		t.opFree = nil
+	}
+	op.th = t
+	op.state = opSyncing
+	op.chosen = 0
+	op.result = nil
+	op.cases = op.casebuf[:0]
+	op.waiters = op.wptrbuf[:0]
+	return op
+}
+
+// releaseOpLocked clears the op's references and caches it on the thread
+// for reuse. Caller holds rt.mu; no base event holds a pointer to the op
+// or its waiters anymore (finish deregistered them), and stale alarm
+// references are fenced by the waiter generations bumped in finish.
+func (t *Thread) releaseOpLocked(op *syncOp) {
+	for i := range op.cases {
+		op.cases[i] = flatCase{}
+	}
+	op.cases = nil
+	op.waiters = nil
+	for i := range op.nacks {
+		op.nacks[i] = nil
+	}
+	op.nacks = op.nacks[:0]
+	op.result = nil
+	op.prev = nil
+	t.opFree = op
+}
+
+// newWaiterLocked returns a waiter for case idx, stored inline in the op
+// when a slot is free. Caller holds rt.mu.
+func (op *syncOp) newWaiterLocked(idx int) *waiter {
+	var w *waiter
+	if i := len(op.waiters); i < syncInline {
+		w = &op.wbuf[i]
+	} else {
+		w = &waiter{}
+	}
+	w.op = op
+	w.idx = idx
+	w.base = op.cases[idx].base
+	w.removed = false
+	w.timer = nil
+	return w
 }
 
 // commitOpLocked marks op committed with the given case and value and
@@ -48,7 +130,10 @@ func commitOpLocked(op *syncOp, idx int, v Value) {
 	// that watchers (e.g. a manager thread's gave-up events) learn of
 	// the outcome even before the syncing thread is rescheduled.
 	fireLosingNacksLocked(op)
-	op.th.cond.Broadcast()
+	// A thread's cond has at most one waiter — its own goroutine — so a
+	// targeted signal is equivalent to a broadcast and skips the
+	// waiter-list scan on every rendezvous.
+	op.th.cond.Signal()
 	if h := op.th.rt.sched; h != nil {
 		h.Runnable(op.th)
 	}
@@ -68,26 +153,30 @@ func commitSingleLocked(w *waiter, v Value) bool {
 }
 
 // fireLosingNacksLocked fires every nack of a committed op that does not
-// cover the chosen case.
+// cover the chosen case. The cover check scans the chosen case's (tiny)
+// nack-index list directly; no per-sync map is built.
 func fireLosingNacksLocked(op *syncOp) {
 	if len(op.nacks) == 0 {
 		return
 	}
-	var covered map[int]bool
+	var covered []int
 	if op.state == opCommitted {
-		c := op.cases[op.chosen].nackIdx
-		if len(c) > 0 {
-			covered = make(map[int]bool, len(c))
-			for _, i := range c {
-				covered[i] = true
-			}
-		}
+		covered = op.cases[op.chosen].nackIdx
 	}
 	for i, n := range op.nacks {
-		if covered == nil || !covered[i] {
+		if !containsIdx(covered, i) {
 			n.fireLocked()
 		}
 	}
+}
+
+func containsIdx(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
 }
 
 // fireAllNacksLocked fires every unfired nack of an abandoned op.
@@ -99,7 +188,7 @@ func fireAllNacksLocked(op *syncOp) {
 
 // repollLocked re-attempts immediate commits for a parked op whose thread
 // just became matchable again (resumed, or regained a custodian). Caller
-// holds rt.mu.
+// holds rt.mu. It allocates nothing.
 func repollLocked(op *syncOp) {
 	if op.state != opSyncing || !op.th.canCommitLocked() {
 		return
@@ -111,6 +200,35 @@ func repollLocked(op *syncOp) {
 	}
 }
 
+// finish is the single exit path of syncImpl: restore the op stack,
+// deregister waiters, fire the nacks appropriate to the outcome (all of
+// them if the sync was abandoned; the losers only if it committed — those
+// already fired at commit time, and firing is idempotent), and recycle the
+// op record.
+func (op *syncOp) finish() {
+	th := op.th
+	rt := th.rt
+	rt.mu.Lock()
+	th.op = op.prev
+	for _, w := range op.waiters {
+		w.removed = true
+		w.gen++
+		if w.timer != nil {
+			w.timer.Stop()
+			w.timer = nil
+		}
+		w.base.unregister(w)
+		w.base = nil
+	}
+	if op.state == opCommitted {
+		fireLosingNacksLocked(op)
+	} else {
+		fireAllNacksLocked(op)
+	}
+	th.releaseOpLocked(op)
+	rt.mu.Unlock()
+}
+
 // Sync blocks until one of the communications described by e is ready,
 // commits it, applies its wrap functions (with breaks implicitly disabled
 // from the commit until the outermost wrap completes), and returns the
@@ -120,6 +238,11 @@ func repollLocked(op *syncOp) {
 // enabled, Sync returns ErrBreak and no event is chosen; every nack
 // created for this sync fires. If the thread is killed while waiting, the
 // sync's nacks fire and the thread unwinds.
+//
+// Every event synced must belong to th's runtime: sharing a channel,
+// semaphore, custodian, or other event source across runtimes is not
+// merely unsupported, it is diagnosed — Sync panics with a clear message
+// rather than corrupting the foreign runtime's state under the wrong lock.
 func Sync(th *Thread, e Event) (Value, error) {
 	return syncImpl(th, e, false)
 }
@@ -137,65 +260,29 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 	th.gate() // safe point: honor suspension and kill before doing anything
 
 	rt := th.rt
-	op := &syncOp{th: th, state: opSyncing}
 
 	rt.mu.Lock()
+	op := th.acquireOpLocked()
 	op.breakable = enableBreak || th.breaksOn
-	prevOp := th.op // nested sync inside a guard procedure
+	op.prev = th.op // nested sync inside a guard procedure
 	th.op = op
 	// A break that is already pending is delivered at sync entry, before
 	// any event can be chosen.
 	if op.breakable && th.pendingBreak {
 		th.pendingBreak = false
-		th.op = prevOp
+		th.op = op.prev
+		th.releaseOpLocked(op)
 		rt.mu.Unlock()
 		return nil, ErrBreak
 	}
 	rt.mu.Unlock()
 
-	// On every exit path: restore the op stack, deregister waiters, and
-	// fire the nacks appropriate to the outcome (all of them if the sync
-	// was abandoned; the losers only if it committed — those already
-	// fired at commit time, and firing is idempotent).
-	finish := func() {
-		rt.mu.Lock()
-		th.op = prevOp
-		for _, w := range op.waiters {
-			w.removed = true
-			if w.stop != nil {
-				w.stop()
-			}
-			w.base.unregister(w)
-		}
-		op.waiters = nil
-		if op.state == opCommitted {
-			fireLosingNacksLocked(op)
-		} else {
-			fireAllNacksLocked(op)
-		}
-		rt.mu.Unlock()
-	}
-	defer finish()
+	defer op.finish()
 
 	// Flatten outside the lock: guard procedures are arbitrary user code
 	// and may block, sync, or spawn. A kill or break arriving during
 	// flatten is observed below.
-	flatten(th, op, e, nil, nil, 0)
-
-	// park blocks until the op's state may have changed. In deterministic
-	// mode the thread additionally reports itself blocked and, once woken,
-	// waits to be granted its turn before acting on what it observed.
-	park := func() {
-		if h := rt.sched; h != nil {
-			h.Blocked(th)
-			th.cond.Wait()
-			rt.mu.Unlock()
-			h.Pause(th)
-			rt.mu.Lock()
-			return
-		}
-		th.cond.Wait()
-	}
+	flatten(th, op, e, nil, nil, nil, 0)
 
 	rt.mu.Lock()
 	for {
@@ -218,45 +305,76 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 		// A suspended thread must not poll or commit; park until
 		// resumed (peers skip it meanwhile).
 		if th.suspendedLocked() {
-			park()
+			parkLocked(rt, th)
 			continue
 		}
 		if len(op.waiters) == 0 {
-			// First pass (or re-entry after resume without
-			// registration): poll cases in rotating order for
-			// fairness across choice alternatives.
-			n := len(op.cases)
-			if n > 0 {
+			// First pass (or re-entry after resume without registration).
+			switch n := len(op.cases); {
+			case n == 1:
+				// Single-event fast path: no choice bookkeeping. The
+				// fairness counter still ticks exactly as in the general
+				// path so deterministic-mode schedules (which depend on
+				// the rotation state of later multi-way choices) replay
+				// unchanged.
+				rt.seq++
+				if op.cases[0].base.poll(op, 0) {
+					continue
+				}
+				w := op.newWaiterLocked(0)
+				op.cases[0].base.register(w)
+				op.waiters = append(op.waiters, w)
+			case n > 1:
+				// Poll cases in rotating order for fairness across
+				// choice alternatives.
 				rt.seq++
 				start := int(rt.seq) % n
+				committed := false
 				for k := 0; k < n; k++ {
 					i := (start + k) % n
 					if op.cases[i].base.poll(op, i) {
+						committed = true
 						break
 					}
 				}
-				if op.state == opCommitted {
+				if committed {
 					continue // handled above
 				}
-			}
-			// Nothing ready: register and park.
-			for i := range op.cases {
-				w := &waiter{op: op, idx: i, base: op.cases[i].base}
-				op.cases[i].base.register(w)
-				op.waiters = append(op.waiters, w)
+				// Nothing ready: register and park.
+				for i := range op.cases {
+					w := op.newWaiterLocked(i)
+					op.cases[i].base.register(w)
+					op.waiters = append(op.waiters, w)
+				}
 			}
 		}
-		park()
+		parkLocked(rt, th)
 	}
+}
+
+// parkLocked blocks until the thread's state may have changed. In
+// deterministic mode the thread additionally reports itself blocked and,
+// once woken, waits to be granted its turn before acting on what it
+// observed. Caller holds rt.mu; it is held again on return.
+func parkLocked(rt *Runtime, th *Thread) {
+	if h := rt.sched; h != nil {
+		h.Blocked(th)
+		th.cond.Wait()
+		rt.mu.Unlock()
+		h.Pause(th)
+		rt.mu.Lock()
+		return
+	}
+	th.cond.Wait()
 }
 
 // applyWraps runs the chosen case's wrap procedures, innermost first, with
 // breaks implicitly disabled (the paper's rule: a break cannot interrupt
 // the post-commit phase unless a wrap explicitly re-enables breaks).
 func applyWraps(th *Thread, op *syncOp) (Value, error) {
-	wraps := op.cases[op.chosen].wraps
+	c := &op.cases[op.chosen]
 	v := op.result
-	if len(wraps) == 0 {
+	if c.wrap1 == nil && len(c.wraps) == 0 {
 		return v, nil
 	}
 	th.rt.mu.Lock()
@@ -268,9 +386,53 @@ func applyWraps(th *Thread, op *syncOp) (Value, error) {
 		th.breaksOn = prev
 		th.rt.mu.Unlock()
 	}()
-	// wraps were collected outside-in during flatten; apply inside-out.
-	for i := len(wraps) - 1; i >= 0; i-- {
-		v = wraps[i](th, v)
+	if c.wraps != nil {
+		// wraps were collected outside-in during flatten; apply inside-out.
+		for i := len(c.wraps) - 1; i >= 0; i-- {
+			v = c.wraps[i](th, v)
+		}
+		return v, nil
 	}
-	return v, nil
+	return c.wrap1(th, v), nil
+}
+
+// checkSameRuntime panics if a base event being synced belongs to a
+// different runtime than the syncing thread. Multiple runtimes may
+// coexist (one per shard in a sharded server), but their channels,
+// semaphores, custodians, and threads must never be shared: the match
+// would mutate the foreign runtime's queues under the wrong lock, which
+// in the best case deadlocks and in the worst silently corrupts a
+// rendezvous. The check is one type switch per flattened case.
+func checkSameRuntime(th *Thread, b baseEvent) {
+	o := eventRuntime(b)
+	if o != nil && o != th.rt {
+		panic(fmt.Sprintf(
+			"core: %T belongs to a different runtime than the syncing thread %v; "+
+				"channels, semaphores, externals, and custodians must not be shared across runtimes "+
+				"(in a sharded server, shard-local state only — share plain Go state outside the VM instead)",
+			b, th))
+	}
+}
+
+// eventRuntime reports the runtime an event source belongs to, or nil for
+// runtime-agnostic events (Always, nack signals created by this very
+// sync).
+func eventRuntime(b baseEvent) *Runtime {
+	switch e := b.(type) {
+	case *chanSendEvt:
+		return e.ch.rt
+	case *chanRecvEvt:
+		return e.ch.rt
+	case *semEvt:
+		return e.s.rt
+	case *extEvt:
+		return e.x.rt
+	case *alarmEvt:
+		return e.rt
+	case *doneEvt:
+		return e.th.rt
+	case *custodianDeadEvt:
+		return e.c.rt
+	}
+	return nil
 }

@@ -17,7 +17,11 @@ type Thread struct {
 	rt   *Runtime
 	id   int64
 	name string
-	cond *sync.Cond // signalled on state changes; shares rt.mu
+	// cond is signalled on state changes; shares rt.mu. Invariant: at most
+	// one goroutine — the thread's own — ever waits on it (gate and the
+	// sync park loop both run on the thread's goroutine), so wake-ups use
+	// the cheaper targeted Signal rather than Broadcast.
+	cond *sync.Cond
 
 	// Controlling custodians (live ones only). Empty set => suspended.
 	custodians map[*Custodian]struct{}
@@ -47,6 +51,9 @@ type Thread struct {
 	// op is the thread's in-flight sync operation, if it is blocked in
 	// Sync. Protected by rt.mu.
 	op *syncOp
+	// opFree caches one finished sync op for reuse, so steady-state
+	// syncing allocates no op records. Protected by rt.mu.
+	opFree *syncOp
 
 	// doneWaiters are sync waiters blocked on this thread's done event.
 	doneWaiters []*waiter
@@ -213,7 +220,7 @@ func (t *Thread) killLocked() {
 		// the killed goroutine unwinds at its next wake-up.
 		fireAllNacksLocked(t.op)
 	}
-	t.cond.Broadcast()
+	t.cond.Signal()
 	if h := t.rt.sched; h != nil {
 		h.Runnable(t) // the goroutine must run once more, to unwind
 	}
@@ -244,7 +251,7 @@ func (t *Thread) markDoneLocked() {
 		commitSingleLocked(w, Unit{})
 	}
 	t.doneWaiters = nil
-	t.cond.Broadcast()
+	t.cond.Signal()
 	if h := t.rt.sched; h != nil {
 		h.Done(t)
 	}
@@ -332,7 +339,7 @@ func (t *Thread) wakeIfRunnableLocked() {
 	if t.done || t.suspendedLocked() {
 		return
 	}
-	t.cond.Broadcast()
+	t.cond.Signal()
 	if h := t.rt.sched; h != nil {
 		h.Runnable(t)
 	}
@@ -380,10 +387,10 @@ func (t *Thread) Break() {
 	t.rt.traceLocked(TraceBreak, t, "")
 	if t.op != nil && t.op.state == opSyncing && t.op.breakable {
 		t.op.state = opAbortedBreak
-		t.cond.Broadcast()
+		t.cond.Signal()
 	} else {
 		// Wake a gate-parked thread so Checkpoint can deliver.
-		t.cond.Broadcast()
+		t.cond.Signal()
 	}
 	if h := t.rt.sched; h != nil {
 		h.Runnable(t)
@@ -429,6 +436,9 @@ func Resume(t *Thread) {
 // ResumeWith adds custodian c to the thread's set of controllers (and, by
 // yoking, to its beneficiaries') and then resumes it.
 func ResumeWith(t *Thread, c *Custodian) {
+	if c.rt != t.rt {
+		panic("core: ResumeWith with a custodian from a different runtime; custodians must not be shared across runtimes")
+	}
 	t.rt.mu.Lock()
 	defer t.rt.mu.Unlock()
 	t.addCustodianLocked(c, make(map[*Thread]struct{}))
@@ -450,6 +460,9 @@ func ResumeWith(t *Thread, c *Custodian) {
 func ResumeVia(t, by *Thread) {
 	if t == by {
 		return
+	}
+	if t.rt != by.rt {
+		panic("core: ResumeVia across runtimes; threads must not be shared across runtimes")
 	}
 	t.rt.mu.Lock()
 	defer t.rt.mu.Unlock()

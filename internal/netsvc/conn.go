@@ -41,11 +41,14 @@ func newConnReader(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connRea
 		return nil, err
 	}
 	go func() {
+		// One reusable read buffer; each chunk is copied out at its exact
+		// size so a request head does not retain a 4KiB block per read.
+		big := make([]byte, 4096)
 		for {
-			buf := make([]byte, 4096)
-			n, err := c.Read(buf)
+			n, err := c.Read(big)
+			data := append([]byte(nil), big[:n]...)
 			select {
-			case r.ch <- readChunk{data: buf[:n], err: err}:
+			case r.ch <- readChunk{data: data, err: err}:
 				r.sem.Post()
 			case <-r.quit:
 				return
@@ -63,6 +66,75 @@ func newConnReader(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connRea
 // the pump posts the semaphore only after the chunk is in the channel.
 func (r *connReader) RecvEvt() core.Event {
 	return core.Wrap(r.sem.WaitEvt(), func(core.Value) core.Value { return <-r.ch })
+}
+
+// connWriter bridges blocking write(2)s into the event system with one
+// persistent pump goroutine per connection, replacing the old
+// per-response core.BlockingEvt (which spawned a helper goroutine and
+// allocated a completion cell for every write). The session thread hands
+// the serialized response over a one-slot channel and waits on a
+// semaphore the pump posts after the write completes; the session thread
+// is sequential, so at most one write is ever in flight and the handoff
+// never blocks. A session killed mid-wait leaves at most one stray
+// semaphore token behind; the pump itself exits when the connection
+// custodian closes quit.
+type connWriter struct {
+	ch      chan []byte
+	quit    chan struct{}
+	sem     *core.Semaphore
+	doneEvt core.Event // hoisted sem.WaitEvt(): no per-write event allocs
+	err     error      // write error; stored by the pump before Post, read after Wait
+	buf     []byte     // reusable serialization buffer, owned by the session thread
+}
+
+func newConnWriter(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connWriter, error) {
+	w := &connWriter{
+		ch:   make(chan []byte, 1),
+		quit: make(chan struct{}),
+		sem:  core.NewSemaphore(rt, 0),
+	}
+	w.doneEvt = w.sem.WaitEvt()
+	quit := w.quit
+	if err := cust.Register(closerFunc(func() error { close(quit); return nil })); err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			select {
+			case buf := <-w.ch:
+				_, err := c.Write(buf)
+				// The store is ordered before the read on the session
+				// thread by the semaphore: Post releases rt.mu after the
+				// store, the waiter's commit acquires it before the read.
+				w.err = err
+				w.sem.Post()
+			case <-w.quit:
+				return
+			}
+		}
+	}()
+	return w, nil
+}
+
+// writeResponse serializes an HTTP/1.0 response into the reusable buffer
+// and writes it via the pump. The session thread waits at a safe point,
+// so a kill mid-write unwinds cleanly (the pump exits when the custodian
+// closes the fd and the quit closer).
+func (w *connWriter) writeResponse(th *core.Thread, status int, keepAlive bool, body string) error {
+	connHdr := "close"
+	if keepAlive {
+		connHdr = "keep-alive"
+	}
+	w.buf = fmt.Appendf(w.buf[:0],
+		"HTTP/1.0 %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: %s\r\n\r\n%s",
+		status, statusText(status), len(body), connHdr, body)
+	w.ch <- w.buf
+	for {
+		if _, err := core.Sync(th, w.doneEvt); err != nil {
+			continue // break mid-write: the write is still in flight; re-wait
+		}
+		return w.err
+	}
 }
 
 // request is a parsed HTTP/1.0 request head.
@@ -83,6 +155,19 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 	if err != nil {
 		return // custodian already dead; conn is closed
 	}
+	writer, err := newConnWriter(s.rt, cs.cust, cs.c)
+	if err != nil {
+		return
+	}
+	// Hoist the per-request events out of the loops: events are immutable
+	// descriptions (guards and wraps re-evaluate at each sync), so building
+	// them once removes every per-request event/choice allocation from the
+	// serving hot path.
+	recvEvt := reader.RecvEvt()
+	timeoutEvt := core.Wrap(core.After(s.rt, s.cfg.IdleTimeout), func(core.Value) core.Value { return "timeout" })
+	drainEvt := core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" })
+	headChoice := core.Choice(recvEvt, timeoutEvt, drainEvt)
+	bodyChoice := core.Choice(recvEvt, timeoutEvt)
 	var buf []byte
 	sawEOF := false
 	for {
@@ -90,7 +175,7 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 		var req *request
 		for {
 			if r, rest, perr := parseHead(buf); perr != nil {
-				_ = s.writeResponse(th, cs.c, 400, false, "bad request: "+perr.Error())
+				_ = writer.writeResponse(th, 400, false, "bad request: "+perr.Error())
 				s.markCompleted(cs)
 				return
 			} else if r != nil {
@@ -103,11 +188,7 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 				}
 				return
 			}
-			v, serr := core.Sync(th, core.Choice(
-				reader.RecvEvt(),
-				core.Wrap(core.After(s.rt, s.cfg.IdleTimeout), func(core.Value) core.Value { return "timeout" }),
-				core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" }),
-			))
+			v, serr := core.Sync(th, headChoice)
 			if serr != nil {
 				continue // stray break
 			}
@@ -115,9 +196,9 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 			case string:
 				if x == "timeout" {
 					s.stats.timedOut.Add(1)
-					_ = s.writeResponse(th, cs.c, 408, false, "request timeout\n")
+					_ = writer.writeResponse(th, 408, false, "request timeout\n")
 				} else { // drain
-					_ = s.writeResponse(th, cs.c, 503, false, "server shutting down\n")
+					_ = writer.writeResponse(th, 503, false, "server shutting down\n")
 				}
 				s.markCompleted(cs)
 				return
@@ -132,10 +213,7 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 		// Consume the body (HTTP/1.0: only if Content-Length says so);
 		// servlets are GET-shaped, so the body is read and discarded.
 		for len(buf) < req.contentLn && !sawEOF {
-			v, serr := core.Sync(th, core.Choice(
-				reader.RecvEvt(),
-				core.Wrap(core.After(s.rt, s.cfg.IdleTimeout), func(core.Value) core.Value { return "timeout" }),
-			))
+			v, serr := core.Sync(th, bodyChoice)
 			if serr != nil {
 				continue
 			}
@@ -159,16 +237,22 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 			buf = buf[req.contentLn:]
 		}
 
-		// Dispatch. /debug/stats is the serving layer's own surface.
+		// Dispatch. /debug/stats is the serving layer's own surface; in
+		// sharded operation it reports the fleet-wide aggregate, so any
+		// shard answers the same numbers.
 		var resp web.Response
 		if path, _, _ := strings.Cut(req.target, "?"); path == "/debug/stats" {
-			resp = web.Response{Status: 200, Body: s.Stats().json() + "\n"}
+			snap := s.Stats()
+			if s.aggStats != nil {
+				snap = s.aggStats()
+			}
+			resp = web.Response{Status: 200, Body: snap.json() + "\n"}
 		} else if s.cfg.RequestTimeout > 0 {
 			var timedOut bool
 			resp, timedOut = s.dispatchBounded(th, cs, req)
 			if timedOut {
 				s.stats.deadlined.Add(1)
-				_ = s.writeResponse(th, cs.c, 503, false, "request deadline exceeded\n")
+				_ = writer.writeResponse(th, 503, false, "request deadline exceeded\n")
 				s.markCompleted(cs)
 				return
 			}
@@ -176,7 +260,7 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 			resp = s.web.Dispatch(th, cs.sess, toWebRequest(req))
 		}
 		keep := req.keepAlive && !s.drain.Completed()
-		if err := s.writeResponse(th, cs.c, resp.Status, keep, resp.Body); err != nil {
+		if err := writer.writeResponse(th, resp.Status, keep, resp.Body); err != nil {
 			return
 		}
 		if !keep {
@@ -238,33 +322,6 @@ func (s *Server) markCompleted(cs *connState) {
 	s.mu.Lock()
 	cs.completed = true
 	s.mu.Unlock()
-}
-
-// writeResponse serializes and writes an HTTP/1.0 response. The blocking
-// write(2) runs on a helper goroutine via BlockingEvt; the session thread
-// waits at a safe point, so a kill mid-write unwinds cleanly (the helper
-// exits when the custodian closes the fd).
-func (s *Server) writeResponse(th *core.Thread, c net.Conn, status int, keepAlive bool, body string) error {
-	connHdr := "close"
-	if keepAlive {
-		connHdr = "keep-alive"
-	}
-	msg := fmt.Sprintf("HTTP/1.0 %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: %s\r\n\r\n%s",
-		status, statusText(status), len(body), connHdr, body)
-	ev := core.BlockingEvt(s.rt, func() core.Value {
-		_, err := c.Write([]byte(msg))
-		return err
-	})
-	for {
-		v, err := core.Sync(th, ev)
-		if err != nil {
-			continue // break mid-write: re-attach to the in-flight write
-		}
-		if werr, ok := v.(error); ok && werr != nil {
-			return werr
-		}
-		return nil
-	}
 }
 
 func statusText(code int) string {

@@ -1,0 +1,69 @@
+package netsvc_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsvc"
+	"repro/internal/web"
+)
+
+// SharedState is the cross-shard state pattern. Each shard is a whole
+// runtime — its own custodian tree and its own servlet instance — so a
+// core.Chan, core.Semaphore, or any other runtime primitive captured by
+// a servlet belongs to exactly one shard; sharing it across shards would
+// panic (the core's cross-runtime guard). State that must be visible to
+// every shard therefore lives *outside* the runtimes, in plain Go,
+// guarded by an ordinary sync.Mutex: plain Go code is not suspendable or
+// killable, so a servlet thread killed mid-handler can never die holding
+// this lock — the critical section contains no safe point.
+type SharedState struct {
+	mu   sync.Mutex
+	hits map[string]int
+}
+
+func (s *SharedState) bump(key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits[key]++
+	return s.hits[key]
+}
+
+// Example_sharedState shows the servlet state contract for sharded
+// serving: ServeSharded's setup runs once per shard and must build a
+// fresh *web.Server there, so per-instance servlet state is per-shard;
+// the SharedState store, created before the fleet and captured by every
+// shard's handlers, is the one piece all shards see.
+func Example_sharedState() {
+	store := &SharedState{hits: map[string]int{}}
+	m, err := netsvc.ServeSharded(netsvc.Config{Shards: 2}, func(th *core.Thread, shard int) *web.Server {
+		ws := web.NewServer(th)
+		ws.Handle("/hit", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+			return web.Response{Status: 200, Body: fmt.Sprintf("%d\n", store.bump("page"))}
+		})
+		return ws
+	})
+	if err != nil {
+		fmt.Println("serve:", err)
+		return
+	}
+	defer m.Shutdown(time.Second)
+
+	// Requests land on different shards (round-robin), yet observe one
+	// monotone counter: the store is outside every runtime.
+	var last string
+	for i := 0; i < 4; i++ {
+		_, body, err := get(m.Addr().String(), "/hit")
+		if err != nil {
+			fmt.Println("get:", err)
+			return
+		}
+		last = strings.TrimSpace(body)
+	}
+	fmt.Println("hits after 4 requests across 2 shards:", last)
+	// Output:
+	// hits after 4 requests across 2 shards: 4
+}

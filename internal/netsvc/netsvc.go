@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,14 @@ type Config struct {
 	// means unlimited — handlers may block indefinitely, as the paper's
 	// servlet scenario assumes.
 	RequestTimeout time.Duration
+	// Shards is the number of independent runtime shards for ServeSharded:
+	// each shard is a whole paper-faithful VM (its own core.Runtime,
+	// custodian tree, supervisor, and servlet instance), and the accept
+	// pump spreads connections across them. Default min(GOMAXPROCS, 8).
+	// MaxConns and MaxPending are per-shard limits. Serve ignores a value
+	// of 1 and rejects larger ones — a single *web.Server cannot be
+	// sharded; use ServeSharded with a setup function instead.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -85,16 +94,30 @@ func (c Config) withDefaults() Config {
 	if c.MaxPending == 0 {
 		c.MaxPending = 32
 	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+		if c.Shards > 8 {
+			c.Shards = 8
+		}
+	}
 	return c
 }
 
 // Server is a live TCP serving layer mounted on a web.Server's routes.
+// In sharded operation (ServeSharded) a Server is one shard: it owns no
+// listener of its own — the sharded accept pump feeds it via submit — but
+// is otherwise the complete serving engine for its runtime.
 type Server struct {
-	rt   *core.Runtime
-	cfg  Config
-	web  *web.Server
-	cust *core.Custodian // server custodian; conn custodians are children
-	ln   net.Listener
+	rt    *core.Runtime
+	cfg   Config
+	web   *web.Server
+	cust  *core.Custodian // server custodian; conn custodians are children
+	ln    net.Listener    // nil for a shard (the ShardedServer owns the listener)
+	shard int             // shard index, 0 for a standalone server
+
+	// aggStats, when set (sharded operation), supplies the fleet-wide
+	// snapshot served by /debug/stats in place of this shard's own.
+	aggStats func() StatsSnapshot
 
 	stats    *Stats
 	sup      *supervise.Supervisor
@@ -129,13 +152,36 @@ func (f closerFunc) Close() error { return f() }
 
 // Serve opens a TCP listener and starts serving ws's routes through the
 // runtime. The server's custodian is a child of th's current custodian.
+//
+// Serve runs everything on th's runtime: one VM, one global rendezvous
+// lock, so throughput does not scale with client concurrency. For a
+// server that should scale across cores, use ServeSharded, which spins up
+// Config.Shards independent runtimes. Serve rejects Config.Shards > 1:
+// the caller's single *web.Server is bound to the caller's runtime and
+// cannot be instantiated once per shard.
 func Serve(th *core.Thread, ws *web.Server, cfg Config) (*Server, error) {
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("netsvc: Serve cannot shard a single *web.Server (Shards=%d); use ServeSharded", cfg.Shards)
+	}
 	cfg = cfg.withDefaults()
-	rt := th.Runtime()
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
+	s, err := serveOn(th, ws, cfg, ln)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	go s.acceptPump()
+	return s, nil
+}
+
+// serveOn builds the serving engine for one runtime. ln may be nil: a
+// shard has no listener of its own, and its accept pump duties (and
+// pumpRet) are the ShardedServer's. cfg has defaults applied.
+func serveOn(th *core.Thread, ws *web.Server, cfg Config, ln net.Listener) (*Server, error) {
+	rt := th.Runtime()
 	// The handoff channel must hold every conn shedding lets through, so
 	// the pump only ever blocks when shedding is disabled.
 	capacity := cfg.AcceptBacklog
@@ -158,15 +204,17 @@ func Serve(th *core.Thread, ws *web.Server, cfg Config) (*Server, error) {
 		conns:   make(map[int64]*connState),
 		threads: make(map[*core.Thread]struct{}),
 	}
-	if err := s.cust.Register(ln); err != nil {
-		_ = ln.Close()
-		return nil, err
+	if ln != nil {
+		if err := s.cust.Register(ln); err != nil {
+			return nil, err
+		}
+	} else {
+		s.pumpRet.Complete(core.Unit{}) // no pump of our own to wait for
 	}
 	quit := s.quit
 	if err := s.cust.Register(closerFunc(func() error { close(quit); return nil })); err != nil {
 		return nil, err
 	}
-	go s.acceptPump()
 	// The acceptor runs under a supervisor: if it dies abnormally (a stray
 	// kill, a panic in the accept path) it is restarted with backoff
 	// rather than silently leaving the server deaf. A normal return (the
@@ -198,8 +246,14 @@ func Serve(th *core.Thread, ws *web.Server, cfg Config) (*Server, error) {
 // diagnostics.
 func (s *Server) Supervisor() *supervise.Supervisor { return s.sup }
 
-// Addr returns the listener's address (useful with Addr "host:0").
-func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+// Addr returns the listener's address (useful with Addr "host:0"). A
+// shard has no listener of its own; use ShardedServer.Addr.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
 
 // Custodian returns the server custodian. Shutting it down is the abrupt
 // ("administrator kills the whole server") path: every fd closes and every
@@ -211,10 +265,7 @@ func (s *Server) Custodian() *core.Custodian { return s.cust }
 func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot() }
 
 // acceptPump is the plain goroutine that owns the blocking accept(2)
-// loop. It registers each conn with the server custodian *before* the
-// handoff so an fd is never outside custodian control, then hands it to
-// the acceptor thread. A full connCh blocks the pump — and, transitively,
-// the OS listen backlog — which is the accept backpressure.
+// loop of a standalone (unsharded) server.
 func (s *Server) acceptPump() {
 	defer s.pumpRet.Complete(core.Unit{})
 	for {
@@ -223,29 +274,44 @@ func (s *Server) acceptPump() {
 			return // listener closed (drain or custodian shutdown)
 		}
 		s.stats.accepted.Add(1)
-		if s.cust.Register(c) != nil {
-			// Server custodian already dead: Register closed the conn.
-			s.stats.rejected.Add(1)
-			continue
-		}
-		// Load shedding: past MaxPending accepted-but-unserved conns the
-		// service is wedged or overwhelmed; answer 503 now rather than
-		// queueing a request that would only time out later.
-		if s.cfg.MaxPending > 0 && s.pendingN.Load() >= int64(s.cfg.MaxPending) {
-			s.shedConn(c)
-			continue
-		}
-		s.pendingN.Add(1)
-		select {
-		case s.connCh <- c:
-			s.pending.Post()
-		case <-s.quit:
-			s.pendingN.Add(-1)
-			_ = c.Close()
-			s.stats.rejected.Add(1)
-			return
-		}
+		s.submit(c)
 	}
+}
+
+// submit hands an accepted connection to this server's acceptor thread.
+// It is called from a plain pump goroutine — the standalone server's own
+// accept pump, or the ShardedServer's. The conn is registered with the
+// server custodian *before* the handoff so an fd is never outside
+// custodian control. A full connCh blocks the pump — and, transitively,
+// the OS listen backlog — which is the accept backpressure.
+func (s *Server) submit(c net.Conn) {
+	if s.cust.Register(c) != nil {
+		// Server custodian already dead: Register closed the conn.
+		s.stats.rejected.Add(1)
+		return
+	}
+	// Load shedding: past MaxPending accepted-but-unserved conns the
+	// service is wedged or overwhelmed; answer 503 now rather than
+	// queueing a request that would only time out later.
+	if s.cfg.MaxPending > 0 && s.pendingN.Load() >= int64(s.cfg.MaxPending) {
+		s.shedConn(c)
+		return
+	}
+	s.pendingN.Add(1)
+	select {
+	case s.connCh <- c:
+		s.pending.Post()
+	case <-s.quit:
+		s.pendingN.Add(-1)
+		_ = c.Close()
+		s.stats.rejected.Add(1)
+	}
+}
+
+// load is the shard-assignment metric: connections currently being served
+// plus those accepted but not yet claimed. Readable from any goroutine.
+func (s *Server) load() int64 {
+	return s.stats.active.Load() + s.pendingN.Load()
 }
 
 // shedConn answers an over-capacity connection straight from the pump
@@ -268,11 +334,18 @@ func (s *Server) shedConn(c net.Conn) {
 // monitor per connection. Being a runtime thread, it is suspendable and
 // killable at every Sync.
 func (s *Server) acceptLoop(th *core.Thread) {
+	// Hoisted once per acceptor lifetime: no per-connection event allocs.
+	drainEvt := core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" })
+	connChoice := core.Choice(
+		core.Wrap(s.pending.WaitEvt(), func(core.Value) core.Value { return "conn" }),
+		drainEvt,
+	)
+	slotChoice := core.Choice(
+		core.Wrap(s.slots.WaitEvt(), func(core.Value) core.Value { return "slot" }),
+		drainEvt,
+	)
 	for {
-		v, err := core.Sync(th, core.Choice(
-			core.Wrap(s.pending.WaitEvt(), func(core.Value) core.Value { return "conn" }),
-			core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" }),
-		))
+		v, err := core.Sync(th, connChoice)
 		if err != nil {
 			continue // stray break
 		}
@@ -287,10 +360,7 @@ func (s *Server) acceptLoop(th *core.Thread) {
 		// free we also stop claiming, connCh fills, the pump blocks, and
 		// the kernel's backlog does the rest.
 		for {
-			v, err = core.Sync(th, core.Choice(
-				core.Wrap(s.slots.WaitEvt(), func(core.Value) core.Value { return "slot" }),
-				core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" }),
-			))
+			v, err = core.Sync(th, slotChoice)
 			if err == nil {
 				break
 			}
@@ -392,7 +462,9 @@ func (s *Server) Shutdown(th *core.Thread, grace time.Duration) error {
 	if !s.drain.Complete(core.Unit{}) {
 		return ErrServerDown
 	}
-	_ = s.ln.Close()
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
 	deadline := time.Now().Add(grace)
 	for {
 		s.mu.Lock()
@@ -416,6 +488,31 @@ func (s *Server) Shutdown(th *core.Thread, grace time.Duration) error {
 			break
 		}
 		// Let the monitor finish its cleanup before re-scanning.
+		if err := core.Sleep(th, time.Millisecond); err != nil {
+			return err
+		}
+	}
+	// Grace expired (or every session finished): terminate stragglers
+	// through their own custodians while the monitors are still live, so
+	// the normal cleanup path runs and the stats classify them as killed.
+	// (The server-custodian shutdown below would suspend the monitors
+	// along with everything else, losing the accounting.)
+	s.mu.Lock()
+	strays := make([]*connState, 0, len(s.conns))
+	for _, cs := range s.conns {
+		strays = append(strays, cs)
+	}
+	s.mu.Unlock()
+	for _, cs := range strays {
+		cs.cust.Shutdown()
+	}
+	for {
+		s.mu.Lock()
+		n := len(s.conns)
+		s.mu.Unlock()
+		if n == 0 {
+			break
+		}
 		if err := core.Sleep(th, time.Millisecond); err != nil {
 			return err
 		}

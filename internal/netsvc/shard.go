@@ -1,0 +1,231 @@
+package netsvc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/web"
+)
+
+// ShardedServer is a share-nothing-per-core serving fleet: one listener,
+// Config.Shards independent runtimes behind it. Each shard is a whole
+// paper-faithful VM — its own core.Runtime, custodian tree, supervisor,
+// and servlet instance — so the per-runtime global rendezvous lock is
+// contended only by the sessions of one shard, and throughput scales
+// with shards (given cores to run them on).
+//
+// The isolation boundary is strict: channels, semaphores, externals, and
+// custodians belong to one runtime and must never be shared across
+// shards; the core panics on any attempt (see core's cross-runtime
+// guard). Kill-safety is therefore per-shard — an administrator killing
+// sessions, or a custodian avalanche, on shard 0 cannot perturb shard 3,
+// by construction rather than by care. State that must be visible across
+// shards lives outside the runtimes in plain Go, guarded by ordinary
+// sync primitives (see SharedState in the package example).
+type ShardedServer struct {
+	cfg      Config
+	ln       net.Listener
+	shards   []*shard
+	next     atomic.Uint64 // round-robin cursor for shard assignment
+	pumpDone chan struct{} // closed when the accept pump exits
+
+	mu   sync.Mutex
+	down bool
+}
+
+// shard is one runtime plus its serving engine.
+type shard struct {
+	idx     int
+	rt      *core.Runtime
+	srv     *Server
+	ws      *web.Server
+	stop    *core.External // completed with the grace time.Duration to begin drain
+	runDone chan error     // the shard main thread's rt.Run result
+	sdErr   error          // the shard's Shutdown error; read only after runDone
+}
+
+// ServeSharded opens one TCP listener and serves it with cfg.Shards
+// independent runtimes. setup runs once per shard, on that shard's main
+// runtime thread, and must build and return the shard's own *web.Server —
+// servlet instances are per-shard (see the package's servlet state
+// contract); cross-shard state goes through an external Go-side store.
+//
+// MaxConns and MaxPending are per-shard limits. The accept pump assigns
+// each connection round-robin, stepping aside to a strictly less loaded
+// shard when the fleet is unbalanced (load = conns being served plus
+// conns accepted-but-unclaimed on that shard).
+func ServeSharded(cfg Config, setup func(th *core.Thread, shard int) *web.Server) (*ShardedServer, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &ShardedServer{cfg: cfg, ln: ln, pumpDone: make(chan struct{})}
+
+	ready := make(chan error) // one send per shard, nil on success
+	for i := 0; i < cfg.Shards; i++ {
+		rt := core.NewRuntime()
+		sh := &shard{idx: i, rt: rt, runDone: make(chan error, 1)}
+		sh.stop = core.NewExternal(rt)
+		m.shards = append(m.shards, sh)
+		go func() {
+			sh.runDone <- rt.Run(func(th *core.Thread) {
+				ws := setup(th, sh.idx)
+				srv, err := serveOn(th, ws, cfg, nil)
+				if err != nil {
+					ready <- fmt.Errorf("shard %d: %w", sh.idx, err)
+					return
+				}
+				srv.shard = sh.idx
+				srv.aggStats = m.Stats
+				sh.srv, sh.ws = srv, ws
+				ready <- nil
+				// The shard main thread now just waits for the drain
+				// order; the serving engine runs in its own threads.
+				for {
+					v, err := core.Sync(th, sh.stop.Evt())
+					if err != nil {
+						continue // stray break
+					}
+					sh.sdErr = srv.Shutdown(th, v.(time.Duration))
+					return
+				}
+			})
+		}()
+	}
+	var setupErrs []error
+	for range m.shards {
+		if err := <-ready; err != nil {
+			setupErrs = append(setupErrs, err)
+		}
+	}
+	if len(setupErrs) > 0 {
+		_ = ln.Close()
+		close(m.pumpDone) // never started
+		m.mu.Lock()
+		m.down = true
+		m.mu.Unlock()
+		for _, sh := range m.shards {
+			sh.stop.Complete(time.Duration(0))
+			<-sh.runDone
+			sh.rt.Shutdown()
+		}
+		return nil, errors.Join(setupErrs...)
+	}
+	go m.acceptPump()
+	return m, nil
+}
+
+// acceptPump is the fleet's single accept(2) loop: it owns the listener
+// and hands each connection to a shard. Registration with the shard's
+// custodian, shedding, and backpressure all happen inside submit, on the
+// chosen shard's own terms.
+func (m *ShardedServer) acceptPump() {
+	defer close(m.pumpDone)
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown)
+		}
+		sh := m.pick()
+		sh.srv.stats.accepted.Add(1)
+		sh.srv.submit(c)
+	}
+}
+
+// pick chooses the shard for the next connection: round-robin, with a
+// least-loaded override — the cursor's shard is kept unless some shard is
+// strictly less loaded, so a balanced fleet rotates evenly and a stalled
+// shard (slow servlet, drained slots) stops receiving new work.
+func (m *ShardedServer) pick() *shard {
+	n := uint64(len(m.shards))
+	best := m.shards[m.next.Add(1)%n]
+	bestLoad := best.srv.load()
+	for _, sh := range m.shards {
+		if l := sh.srv.load(); l < bestLoad {
+			best, bestLoad = sh, l
+		}
+	}
+	return best
+}
+
+// Addr returns the fleet listener's address.
+func (m *ShardedServer) Addr() net.Addr { return m.ln.Addr() }
+
+// NumShards reports the number of shards.
+func (m *ShardedServer) NumShards() int { return len(m.shards) }
+
+// Shard returns shard i's serving engine, for diagnostics and tests.
+func (m *ShardedServer) Shard(i int) *Server { return m.shards[i].srv }
+
+// Web returns shard i's servlet server (each shard has its own instance).
+func (m *ShardedServer) Web(i int) *web.Server { return m.shards[i].ws }
+
+// Runtime returns shard i's runtime.
+func (m *ShardedServer) Runtime(i int) *core.Runtime { return m.shards[i].rt }
+
+// Stats returns the fleet-wide aggregate of the per-shard counters.
+func (m *ShardedServer) Stats() StatsSnapshot {
+	var agg StatsSnapshot
+	for _, sh := range m.shards {
+		s := sh.srv.Stats()
+		agg.Accepted += s.Accepted
+		agg.Active += s.Active
+		agg.Drained += s.Drained
+		agg.Killed += s.Killed
+		agg.TimedOut += s.TimedOut
+		agg.Rejected += s.Rejected
+		agg.Shed += s.Shed
+		agg.Deadlined += s.Deadlined
+		agg.Restarts += s.Restarts
+	}
+	return agg
+}
+
+// ShardStats returns each shard's own snapshot, indexed by shard.
+func (m *ShardedServer) ShardStats() []StatsSnapshot {
+	out := make([]StatsSnapshot, len(m.shards))
+	for i, sh := range m.shards {
+		out[i] = sh.srv.Stats()
+	}
+	return out
+}
+
+// Shutdown gracefully drains the fleet: stop accepting, then order every
+// shard to drain concurrently under the shared grace deadline, wait for
+// all of them, and tear the runtimes down. Callable from plain Go code
+// (it is not a runtime-thread operation — each shard's drain runs on
+// that shard's own main thread).
+func (m *ShardedServer) Shutdown(grace time.Duration) error {
+	m.mu.Lock()
+	if m.down {
+		m.mu.Unlock()
+		return ErrServerDown
+	}
+	m.down = true
+	m.mu.Unlock()
+
+	_ = m.ln.Close()
+	<-m.pumpDone
+	// Fan the drain order out first so every shard's grace window runs
+	// concurrently — total shutdown time is one grace period, not Shards
+	// of them.
+	for _, sh := range m.shards {
+		sh.stop.Complete(grace)
+	}
+	var errs []error
+	for _, sh := range m.shards {
+		if err := <-sh.runDone; err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", sh.idx, err))
+		} else if sh.sdErr != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", sh.idx, sh.sdErr))
+		}
+		sh.rt.Shutdown()
+	}
+	return errors.Join(errs...)
+}
