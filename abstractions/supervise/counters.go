@@ -1,0 +1,37 @@
+package supervise
+
+import "sync/atomic"
+
+// Package-level transition counters: process-wide totals across every
+// supervisor and breaker, complementing the per-instance accessors
+// (Supervisor restarts via OnRestart, Breaker.Trips). They feed the
+// observability surface the same way the runtime's obs metrics do —
+// single atomic adds at each transition, snapshot on demand.
+var counters struct {
+	restarts    atomic.Int64
+	escalations atomic.Int64
+	trips       atomic.Int64
+	halfOpens   atomic.Int64
+	closes      atomic.Int64
+}
+
+// CountersSnapshot is a point-in-time copy of the package-wide
+// supervision transition counters.
+type CountersSnapshot struct {
+	Restarts         int64 `json:"restarts"`           // child restarts performed
+	Escalations      int64 `json:"escalations"`        // supervisors that gave up
+	BreakerTrips     int64 `json:"breaker_trips"`      // breakers tripped open
+	BreakerHalfOpens int64 `json:"breaker_half_opens"` // cooldown probes begun
+	BreakerCloses    int64 `json:"breaker_closes"`     // breakers recovered closed
+}
+
+// Counters returns the package-wide supervision transition totals.
+func Counters() CountersSnapshot {
+	return CountersSnapshot{
+		Restarts:         counters.restarts.Load(),
+		Escalations:      counters.escalations.Load(),
+		BreakerTrips:     counters.trips.Load(),
+		BreakerHalfOpens: counters.halfOpens.Load(),
+		BreakerCloses:    counters.closes.Load(),
+	}
+}

@@ -1,0 +1,68 @@
+package supervise_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/abstractions/supervise"
+	"repro/internal/core"
+)
+
+// The package-level transition counters are process-wide observability
+// (E21); tests assert deltas, not absolutes, so they compose with the
+// rest of the suite in any order.
+
+func TestCountersTickOnRestart(t *testing.T) {
+	before := supervise.Counters()
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		restarts := make(chan int, 16)
+		opts := fastOpts()
+		opts.OnRestart = func(_ string, n int) { restarts <- n }
+		sup := supervise.New(th, opts)
+		defer sup.Stop()
+		sup.Start(th, supervise.ChildSpec{Name: "svc", Policy: supervise.Permanent, Start: park})
+		waitFor(t, "first incarnation", func() bool { return sup.ChildThread("svc") != nil })
+		sup.ChildThread("svc").Kill()
+		select {
+		case <-restarts:
+		case <-time.After(5 * time.Second):
+			t.Fatal("no restart after kill")
+		}
+	})
+	after := supervise.Counters()
+	if after.Restarts <= before.Restarts {
+		t.Fatalf("restart counter did not advance: %d -> %d", before.Restarts, after.Restarts)
+	}
+}
+
+func TestCountersTickOnBreakerTransitions(t *testing.T) {
+	before := supervise.Counters()
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		b := supervise.NewBreaker(th, supervise.BreakerOptions{FailureThreshold: 1, Cooldown: time.Millisecond})
+		if err := b.Do(th, fail); !errors.Is(err, errBoom) {
+			t.Fatalf("Do(fail): %v", err)
+		}
+		if err := core.Sleep(th, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		// Cooldown elapsed: this call is the half-open probe; success
+		// closes the breaker again.
+		if err := b.Do(th, ok); err != nil {
+			t.Fatalf("half-open probe: %v", err)
+		}
+		// The manager applies the probe's close transition after Do
+		// returns; wait for it before tearing the runtime down.
+		waitFor(t, "breaker to close", func() bool { return b.State() == supervise.Closed })
+	})
+	after := supervise.Counters()
+	if after.BreakerTrips <= before.BreakerTrips {
+		t.Fatalf("trip counter did not advance: %d -> %d", before.BreakerTrips, after.BreakerTrips)
+	}
+	if after.BreakerHalfOpens <= before.BreakerHalfOpens {
+		t.Fatalf("half-open counter did not advance: %d -> %d", before.BreakerHalfOpens, after.BreakerHalfOpens)
+	}
+	if after.BreakerCloses <= before.BreakerCloses {
+		t.Fatalf("close counter did not advance: %d -> %d", before.BreakerCloses, after.BreakerCloses)
+	}
+}

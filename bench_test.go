@@ -29,6 +29,7 @@ import (
 	"repro/internal/doc"
 	"repro/internal/interp"
 	"repro/internal/netsvc"
+	"repro/internal/obs"
 	"repro/internal/web"
 )
 
@@ -719,4 +720,99 @@ func BenchmarkBreakerDo(b *testing.B) {
 			}
 		}
 	})
+}
+
+// E21: instrumentation overhead — the cost of the observability layer
+// against the uninstrumented fast path.
+
+// BenchmarkSyncSingle is the single-event Sync fast path (semaphore wait
+// against a ready semaphore): obs-off is the seed configuration — the
+// instrumentation hook is one atomic load and a nil check, and the op
+// pool keeps the path allocation-free; obs-on adds the metrics counter
+// taps; obs-rec adds the flight-recorder ring write on top.
+func BenchmarkSyncSingle(b *testing.B) {
+	modes := []struct {
+		name     string
+		metrics  bool
+		recorder bool
+	}{
+		{"obs-off", false, false},
+		{"obs-on", true, false},
+		{"obs-rec", true, true},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+				if m.metrics {
+					o := obs.New()
+					if m.recorder {
+						o.EnableRecorder(0)
+					}
+					o.Attach(rt)
+				}
+				sem := core.NewSemaphore(rt, 1)
+				evt := sem.WaitEvt()
+				if _, err := core.Sync(th, evt); err != nil { // warm the op pool
+					b.Fatal(err)
+				}
+				sem.Post()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Sync(th, evt); err != nil {
+						b.Fatal(err)
+					}
+					sem.Post()
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkNetsvcServedRequest is one served request end to end (the
+// BenchmarkNetsvcRoundTrip path) under each instrumentation mode: the
+// obs-off leg is the fence against BENCH_scaling.json's round-trip
+// reading, and the obs-on/obs-rec spread is the overhead the CI fence
+// bounds.
+func BenchmarkNetsvcServedRequest(b *testing.B) {
+	modes := []struct {
+		name string
+		cfg  netsvc.Config
+	}{
+		{"obs-off", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second, DisableObs: true}},
+		{"obs-on", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second}},
+		{"obs-rec", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second, FlightRecorder: 8192}},
+	}
+	for _, m := range modes {
+		m := m
+		b.Run(m.name, func(b *testing.B) {
+			benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+				ws := web.NewServer(th)
+				ws.Handle("/ping", func(_ *killsafe.Thread, _ *web.Session, _ *web.Request) web.Response {
+					return web.Response{Status: 200, Body: "pong"}
+				})
+				s, err := netsvc.Serve(th, ws, m.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cl := &netsvcClient{addr: s.Addr().String()}
+				defer cl.close()
+				if err := cl.get("/ping"); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := cl.get("/ping"); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				cl.close()
+				if err := s.Shutdown(th, 2*time.Second); err != nil {
+					b.Fatal(err)
+				}
+			})
+		})
+	}
 }

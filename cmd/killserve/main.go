@@ -16,6 +16,13 @@
 //	curl http://127.0.0.1:8080/admin/sessions      # find its ID
 //	curl "http://127.0.0.1:8080/admin/kill?id=N"   # kill it mid-request
 //	curl http://127.0.0.1:8080/debug/stats         # killed counter ticks
+//	curl http://127.0.0.1:8080/debug/killsafe/stats # runtime metrics + per-shard breakdown
+//
+// With -admin HOST:PORT the /debug/killsafe/* documents (plus expvar's
+// /debug/vars) are also served out-of-band on a separate plain HTTP
+// listener, reachable even when every serving slot is busy; with
+// -flight-recorder N each shard keeps its last N scheduler decisions,
+// dumpable at /debug/killsafe/trace in the explore replay format.
 //
 // With -shards N the server runs N independent runtimes behind one
 // listener (netsvc.ServeSharded): each shard is a whole VM with its own
@@ -29,8 +36,10 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -57,6 +66,9 @@ func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int) {
 			"  /admin/sessions      live session IDs on this shard ('you' is this request's own)",
 			"  /admin/kill?id=N     terminate session N mid-request (this shard only)",
 			"  /debug/stats         serving counters (fleet-wide aggregate)",
+			"  /debug/killsafe/stats      runtime metrics, per-shard breakdown",
+			"  /debug/killsafe/custodians live custodian trees",
+			"  /debug/killsafe/trace      flight-recorder dump (?shard=N)",
 			"",
 		}, "\n")}
 	})
@@ -115,6 +127,8 @@ func main() {
 	idle := flag.Duration("idle-timeout", 10*time.Second, "per-connection idle/read deadline")
 	grace := flag.Duration("grace", 5*time.Second, "shutdown grace period for in-flight requests")
 	shards := flag.Int("shards", 1, "independent runtime shards behind the listener (1 = single runtime)")
+	admin := flag.String("admin", "", "out-of-band admin listen address serving /debug/killsafe/{stats,trace,custodians} and /debug/vars (empty disables)")
+	recorder := flag.Int("flight-recorder", 0, "flight-recorder ring size per shard for /debug/killsafe/trace (0 disables, negative = default size)")
 	flag.Parse()
 
 	cfg := netsvc.Config{
@@ -124,10 +138,50 @@ func main() {
 		IdleTimeout:    *idle,
 		RequestTimeout: *reqTimeout,
 		Shards:         *shards,
+		FlightRecorder: *recorder,
 	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	// startAdmin serves the observability surface on a separate plain
+	// net/http listener: the same /debug/killsafe/* documents the in-band
+	// routes answer, plus expvar's /debug/vars. Out-of-band on purpose —
+	// it stays reachable even with every serving slot wedged.
+	startAdmin := func(s *netsvc.Server) {
+		if *admin == "" {
+			return
+		}
+		s.PublishExpvar("killsafe")
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/killsafe/stats", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, s.AdminStatsJSON())
+		})
+		mux.HandleFunc("/debug/killsafe/custodians", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, s.AdminCustodiansJSON())
+		})
+		mux.HandleFunc("/debug/killsafe/trace", func(w http.ResponseWriter, r *http.Request) {
+			shard := -1
+			if v := r.URL.Query().Get("shard"); v != "" {
+				if n, err := strconv.Atoi(v); err == nil {
+					shard = n
+				}
+			}
+			text, ok := s.AdminTraceText(shard)
+			if !ok {
+				http.Error(w, "flight recorder not enabled (run with -flight-recorder N)", http.StatusNotFound)
+				return
+			}
+			fmt.Fprint(w, text)
+		})
+		mux.Handle("/debug/vars", expvar.Handler())
+		go func() {
+			if err := http.ListenAndServe(*admin, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "killserve: admin listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("killserve: admin surface on http://%s/debug/killsafe/stats\n", *admin)
+	}
 
 	if *shards > 1 {
 		m, err := netsvc.ServeSharded(cfg, func(th *core.Thread, shard int) *web.Server {
@@ -141,14 +195,23 @@ func main() {
 		}
 		fmt.Printf("killserve: listening on http://%s (shards=%d, max-conns=%d/shard, idle-timeout=%s)\n",
 			m.Addr(), *shards, *maxConns, *idle)
+		startAdmin(m.Shard(0))
 		v := <-sigc
 		fmt.Printf("killserve: received %v, draining %d shards (grace %s)...\n", v, *shards, *grace)
 		if err := m.Shutdown(*grace); err != nil {
 			fmt.Fprintf(os.Stderr, "killserve: shutdown: %v\n", err)
 		}
+		// The counters are plain atomics on each shard's Server, so the
+		// per-shard breakdown stays readable after the runtimes are down —
+		// and includes the sessions the drain itself had to kill.
+		perShard := m.ShardStats()
 		st := m.Stats()
 		fmt.Printf("killserve: done — accepted=%d drained=%d killed=%d timed_out=%d rejected=%d shed=%d deadlined=%d restarts=%d\n",
 			st.Accepted, st.Drained, st.Killed, st.TimedOut, st.Rejected, st.Shed, st.Deadlined, st.Restarts)
+		for i, ss := range perShard {
+			fmt.Printf("killserve:   shard %d — accepted=%d drained=%d killed=%d timed_out=%d rejected=%d shed=%d deadlined=%d restarts=%d\n",
+				i, ss.Accepted, ss.Drained, ss.Killed, ss.TimedOut, ss.Rejected, ss.Shed, ss.Deadlined, ss.Restarts)
+		}
 		return
 	}
 
@@ -165,6 +228,7 @@ func main() {
 		}
 		fmt.Printf("killserve: listening on http://%s (max-conns=%d, idle-timeout=%s)\n",
 			s.Addr(), *maxConns, *idle)
+		startAdmin(s)
 
 		// Bridge SIGINT/SIGTERM into the event layer: a plain goroutine
 		// waits on the signal channel and completes an External cell; the

@@ -50,8 +50,10 @@ func (e *alarmEvt) register(w *waiter) {
 		// If the thread is suspended this is a no-op; the waiter stays
 		// in place and the resume path's re-poll sees the deadline has
 		// passed.
-		if w.gen == gen {
-			commitSingleLocked(w, Unit{})
+		if w.gen == gen && commitSingleLocked(w, Unit{}) {
+			if h := rt.hook(); h != nil {
+				h.AlarmFire(w.op.th)
+			}
 		}
 		rt.mu.Unlock()
 	})

@@ -109,7 +109,10 @@ func (c *Custodian) shutdownLocked(closers []io.Closer) []io.Closer {
 		return closers
 	}
 	c.dead = true
-	c.rt.traceLocked(TraceShutdown, nil, "custodian")
+	c.rt.traceBufLocked(TraceShutdown, nil, "custodian")
+	if h := c.rt.hook(); h != nil {
+		h.CustodianShutdown(c.id, len(c.threads))
+	}
 	for _, w := range c.deadWaiters {
 		commitSingleLocked(w, Unit{})
 	}
@@ -188,4 +191,40 @@ func (c *Custodian) Subcustodians() int {
 	c.rt.mu.Lock()
 	defer c.rt.mu.Unlock()
 	return len(c.children)
+}
+
+// CustodianInfo is a point-in-time description of one live custodian,
+// for the observability surface.
+type CustodianInfo struct {
+	ID       int64 `json:"id"`
+	Parent   int64 `json:"parent"` // 0 for the root custodian
+	Threads  int   `json:"threads"`
+	Children int   `json:"children"`
+	Closers  int   `json:"closers"`
+}
+
+// CustodianSnapshot walks the live custodian tree from the root and
+// returns one entry per custodian, parents before children, siblings in
+// creation order. It is the per-custodian live-thread gauge behind the
+// admin surface: gauges are read from the runtime's own accounting, not
+// from derived counters.
+func (rt *Runtime) CustodianSnapshot() []CustodianInfo {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []CustodianInfo
+	var walk func(c *Custodian, parent int64)
+	walk = func(c *Custodian, parent int64) {
+		out = append(out, CustodianInfo{
+			ID:       c.id,
+			Parent:   parent,
+			Threads:  len(c.threads),
+			Children: len(c.children),
+			Closers:  len(c.closers),
+		})
+		for _, child := range sortedCustodians(c.children) {
+			walk(child, c.id)
+		}
+	}
+	walk(rt.root, 0)
+	return out
 }

@@ -102,35 +102,56 @@ func (e *extEvt) unregister(*waiter) {
 	e.x.waiters = compact(e.x.waiters)
 }
 
-// StartExternal runs fn on a helper goroutine immediately and returns the
-// External that completes with fn's result. The helper is not tracked by
-// Runtime.Shutdown; the caller must arrange for fn to unblock eventually,
-// normally by registering the resource fn blocks on with a custodian so
-// that shutdown closes it. PendingExternals counts helpers still running,
-// for leak tests.
-func StartExternal(rt *Runtime, fn func() Value) *External {
-	x := NewExternal(rt)
-	rt.externals.Add(1)
+// Start runs fn on a helper goroutine immediately; the cell completes
+// with fn's result. It returns the cell, so the two-step shape
+// NewExternal(rt).Start(fn) replaces the old StartExternal free function
+// and composes with cells handed out before the work is chosen. The
+// helper is not tracked by Runtime.Shutdown; the caller must arrange for
+// fn to unblock eventually, normally by registering the resource fn
+// blocks on with a custodian so that shutdown closes it.
+// PendingExternals counts helpers still running, for leak tests.
+//
+// Start may be called at most once per cell; if the cell was completed
+// by other means first, fn's result loses the usual first-value race.
+func (x *External) Start(fn func() Value) *External {
+	x.rt.externals.Add(1)
 	go func() {
-		defer rt.externals.Add(-1)
+		defer x.rt.externals.Add(-1)
 		x.Complete(fn())
 	}()
 	return x
 }
 
-// BlockingEvt wraps a blocking call as an event: the first sync on the
-// returned event starts fn on a helper goroutine (via StartExternal), and
-// the event becomes ready with fn's result. The start is memoized, so
+// StartEvt wraps a blocking call as an event: the first sync on the
+// returned event starts fn on a helper goroutine (via Start), and the
+// event becomes ready with fn's result. The start is memoized, so
 // abandoning the sync — a lost choice, a break, a kill — and syncing the
 // same event again re-attaches to the in-flight call rather than issuing
-// it twice. fn therefore runs at most once per BlockingEvt value.
-func BlockingEvt(rt *Runtime, fn func() Value) Event {
+// it twice. fn therefore runs at most once per returned event, and at
+// most once per cell.
+func (x *External) StartEvt(fn func() Value) Event {
 	var once sync.Once
-	var x *External
 	return Guard(func(*Thread) Event {
-		once.Do(func() { x = StartExternal(rt, fn) })
+		once.Do(func() { x.Start(fn) })
 		return x.Evt()
 	})
+}
+
+// StartExternal runs fn on a helper goroutine and returns the External
+// that completes with fn's result.
+//
+// Deprecated: use NewExternal(rt).Start(fn), which separates cell
+// construction from starting the work.
+func StartExternal(rt *Runtime, fn func() Value) *External {
+	return NewExternal(rt).Start(fn)
+}
+
+// BlockingEvt wraps a blocking call as an event whose first sync starts
+// fn.
+//
+// Deprecated: use NewExternal(rt).StartEvt(fn).
+func BlockingEvt(rt *Runtime, fn func() Value) Event {
+	return NewExternal(rt).StartEvt(fn)
 }
 
 // PendingExternals reports the number of StartExternal helper goroutines

@@ -145,6 +145,9 @@ func TestExternalSuspendedThreadCommitsOnResume(t *testing.T) {
 	})
 }
 
+// TestStartExternalCountsHelpers deliberately goes through the
+// deprecated StartExternal wrapper (which delegates to External.Start)
+// so the legacy entry point stays covered until it is removed.
 func TestStartExternalCountsHelpers(t *testing.T) {
 	runThread(t, func(rt *core.Runtime, th *core.Thread) {
 		release := make(chan struct{})
@@ -169,14 +172,14 @@ func TestStartExternalCountsHelpers(t *testing.T) {
 	})
 }
 
-// TestBlockingEvtRunsOnce: abandoning a sync on a BlockingEvt (losing the
-// choice to an alarm) and re-syncing the same event re-attaches to the
-// in-flight call instead of issuing the blocking operation twice.
-func TestBlockingEvtRunsOnce(t *testing.T) {
+// TestStartEvtRunsOnce: abandoning a sync on a StartEvt event (losing
+// the choice to an alarm) and re-syncing the same event re-attaches to
+// the in-flight call instead of issuing the blocking operation twice.
+func TestStartEvtRunsOnce(t *testing.T) {
 	runThread(t, func(rt *core.Runtime, th *core.Thread) {
 		var starts atomic.Int32
 		release := make(chan struct{})
-		ev := core.BlockingEvt(rt, func() core.Value {
+		ev := core.NewExternal(rt).StartEvt(func() core.Value {
 			starts.Add(1)
 			<-release
 			return "io-result"
@@ -244,7 +247,7 @@ func TestExternalBridgesRealBlockingRead(t *testing.T) {
 		if err := cust.Register(w); err != nil {
 			t.Fatal(err)
 		}
-		ev := core.BlockingEvt(rt, func() core.Value {
+		ev := core.NewExternal(rt).StartEvt(func() core.Value {
 			buf := make([]byte, 8)
 			_, err := r.Read(buf)
 			return err

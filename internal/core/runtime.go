@@ -31,7 +31,7 @@ type Runtime struct {
 
 	wg sync.WaitGroup // tracks spawned goroutines
 
-	// externals counts in-flight StartExternal helper goroutines. They
+	// externals counts in-flight External.Start helper goroutines. They
 	// are deliberately not part of wg: a helper stuck in a blocking OS
 	// call can only be reclaimed by closing its fd (via a custodian), and
 	// Shutdown must not wait on resources nobody registered.
@@ -43,12 +43,15 @@ type Runtime struct {
 	// runtime threads (after the panic is recorded on the thread).
 	panicHandler func(*Thread, *ThreadPanicError)
 
-	// Deterministic-mode state (see sched.go). sched is nil in normal
-	// operation; every hook call site is nil-guarded so the default
-	// scheduling path is unchanged. det mirrors sched != nil and is
-	// atomic so lock-free fast paths (Now, alarm registration) can test
-	// it cheaply.
-	sched      SchedHook
+	// Instrumentation state (see instrument.go) and deterministic-mode
+	// state (see sched.go). ins is nil in normal operation; every tap
+	// site is nil-guarded so the uninstrumented path is unchanged. It is
+	// an atomic pointer because gate/Pause read it outside the lock and
+	// a passive instrumentation may be installed on a live runtime. det
+	// is true iff the installed instrumentation is a deterministic
+	// scheduler; it is atomic so lock-free fast paths (Now, alarm
+	// registration) can test it cheaply.
+	ins        atomicInsPointer
 	det        atomic.Bool
 	vnow       time.Time  // virtual clock, guarded by mu
 	valarms    []valarm   // virtual alarm registrations, guarded by mu
@@ -193,8 +196,8 @@ func (rt *Runtime) newThreadLocked(name string, c *Custodian) *Thread {
 		th.current = c
 	}
 	rt.threads[th.id] = th
-	rt.traceLocked(TraceSpawn, th, "")
-	if h := rt.sched; h != nil {
+	rt.traceBufLocked(TraceSpawn, th, "")
+	if h := rt.hook(); h != nil {
 		h.Spawned(th)
 	}
 	return th

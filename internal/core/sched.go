@@ -5,60 +5,38 @@ import (
 	"time"
 )
 
-// SchedHook is the pluggable scheduler interface behind deterministic
-// (sequential) execution mode. When a hook is installed via SetScheduler,
-// the runtime stops relying on Go's nondeterministic goroutine scheduling
-// for anything observable: exactly one runtime thread executes at a time,
-// and every safe point hands control back to the hook, which chooses the
-// next thread. internal/explore implements the hook; normal operation
-// leaves it nil, and every call site guards with a nil check so the
-// non-deterministic fast path is unchanged.
+// SchedHook is the old name of the unified instrumentation interface.
+// It grew from a scheduler-only hook into the full tap set; implement
+// the scheduler taps plus embedded NopInstrumentation for the rest.
 //
-// Locking contract: Spawned, Runnable, Blocked, and Done are called with
-// the runtime lock held and must not block (they may take the hook's own
-// lock; the order is always runtime lock → hook lock). Pause is called
-// WITHOUT the runtime lock and blocks the calling goroutine until the
-// hook grants it the right to run.
-type SchedHook interface {
-	// Spawned reports a newly created thread. The thread is considered
-	// runnable; its goroutine will reach a Pause call before touching
-	// user code.
-	Spawned(th *Thread)
-	// Runnable reports that a parked thread may be able to proceed: its
-	// sync committed or aborted, it was killed, broken, or resumed. Every
-	// wake-up of a parked thread is preceded by a Runnable call under the
-	// same critical section.
-	Runnable(th *Thread)
-	// Blocked reports that a thread is about to park on its condition
-	// variable and cannot proceed until a Runnable call.
-	Blocked(th *Thread)
-	// Done reports that a thread finished (returned or unwound from a
-	// kill).
-	Done(th *Thread)
-	// Pause is the safe point: the thread relinquishes control and blocks
-	// until the hook grants it the right to continue.
-	Pause(th *Thread)
-}
+// Deprecated: use Instrumentation. The alias is kept for one release.
+type SchedHook = Instrumentation
 
 // detEpoch is where the virtual clock starts in deterministic mode. Any
 // fixed value works; a round, recognizably fake timestamp makes traces
 // and logs easy to read.
 var detEpoch = time.Unix(1_000_000_000, 0)
 
-// SetScheduler installs (or, with nil, removes) a scheduler hook and
-// switches the runtime to deterministic mode: the virtual clock replaces
-// the wall clock for alarms, and External completions are queued for
-// explicit delivery rather than delivered immediately. It must be called
-// before any thread is created.
+// SetScheduler installs (or, with nil, removes) a deterministic
+// scheduler hook. It predates Deterministic(): installing through it
+// forces deterministic mode regardless of what the hook reports, so old
+// scheduler-only hooks keep their old meaning.
+//
+// Deprecated: use SetInstrumentation; deterministic mode now follows
+// the instrumentation's Deterministic() method.
 func (rt *Runtime) SetScheduler(h SchedHook) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	if len(rt.threads) > 0 {
 		panic("core: SetScheduler called after threads were created")
 	}
-	rt.sched = h
 	rt.det.Store(h != nil)
 	rt.vnow = detEpoch
+	if h == nil {
+		rt.ins.Store(nil)
+		return
+	}
+	rt.ins.Store(&insBox{i: h})
 }
 
 // Now returns the current time: the virtual clock in deterministic mode,
@@ -146,7 +124,11 @@ func (rt *Runtime) AdvanceToNextAlarm() bool {
 		// A suspended thread's alarm is simply dropped from the list: the
 		// clock has passed the deadline, so the resume path's re-poll
 		// observes it ready (same discipline as a fired real timer).
-		commitSingleLocked(a.w, Unit{})
+		if commitSingleLocked(a.w, Unit{}) {
+			if h := rt.hook(); h != nil {
+				h.AlarmFire(a.w.op.th)
+			}
+		}
 	}
 	rt.valarms = rest
 	return true

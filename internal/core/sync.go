@@ -134,7 +134,8 @@ func commitOpLocked(op *syncOp, idx int, v Value) {
 	// targeted signal is equivalent to a broadcast and skips the
 	// waiter-list scan on every rendezvous.
 	op.th.cond.Signal()
-	if h := op.th.rt.sched; h != nil {
+	if h := op.th.rt.hook(); h != nil {
+		h.SyncCommit(op.th, len(op.cases), idx)
 		h.Runnable(op.th)
 	}
 }
@@ -352,17 +353,20 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 	}
 }
 
-// parkLocked blocks until the thread's state may have changed. In
-// deterministic mode the thread additionally reports itself blocked and,
-// once woken, waits to be granted its turn before acting on what it
-// observed. Caller holds rt.mu; it is held again on return.
+// parkLocked blocks until the thread's state may have changed. With an
+// instrumentation installed the thread reports itself blocked first; in
+// deterministic mode it additionally, once woken, waits to be granted
+// its turn before acting on what it observed. Caller holds rt.mu; it is
+// held again on return.
 func parkLocked(rt *Runtime, th *Thread) {
-	if h := rt.sched; h != nil {
+	if h := rt.hook(); h != nil {
 		h.Blocked(th)
 		th.cond.Wait()
-		rt.mu.Unlock()
-		h.Pause(th)
-		rt.mu.Lock()
+		if rt.det.Load() {
+			rt.mu.Unlock()
+			h.Pause(th)
+			rt.mu.Lock()
+		}
 		return
 	}
 	th.cond.Wait()

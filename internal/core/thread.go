@@ -132,7 +132,7 @@ func (t *Thread) gate() {
 	t.rt.mu.Lock()
 	t.gateLocked()
 	t.rt.mu.Unlock()
-	if h := t.rt.sched; h != nil {
+	if h := t.rt.hook(); h != nil {
 		h.Pause(t)
 	}
 }
@@ -144,7 +144,7 @@ func (t *Thread) gateLocked() {
 			// The unwind mutates shared state (custodian release, done
 			// waiters); in deterministic mode it must wait its turn like
 			// any other step.
-			if h := t.rt.sched; h != nil {
+			if h := t.rt.hook(); h != nil {
 				h.Pause(t)
 			}
 			panic(killSentinel{t})
@@ -152,7 +152,7 @@ func (t *Thread) gateLocked() {
 		if !t.suspendedLocked() {
 			return
 		}
-		if h := t.rt.sched; h != nil {
+		if h := t.rt.hook(); h != nil {
 			h.Blocked(t)
 		}
 		t.cond.Wait()
@@ -173,7 +173,7 @@ func (t *Thread) Checkpoint() error {
 		brk = true
 	}
 	t.rt.mu.Unlock()
-	if h := t.rt.sched; h != nil {
+	if h := t.rt.hook(); h != nil {
 		h.Pause(t)
 	}
 	if brk {
@@ -221,7 +221,7 @@ func (t *Thread) killLocked() {
 		fireAllNacksLocked(t.op)
 	}
 	t.cond.Signal()
-	if h := t.rt.sched; h != nil {
+	if h := t.rt.hook(); h != nil {
 		h.Runnable(t) // the goroutine must run once more, to unwind
 	}
 }
@@ -233,7 +233,7 @@ func (t *Thread) markDoneLocked() {
 	}
 	t.done = true
 	t.killed = true
-	t.rt.traceLocked(TraceDone, t, "")
+	t.rt.traceBufLocked(TraceDone, t, "")
 	for c := range t.custodians {
 		delete(c.threads, t)
 	}
@@ -252,7 +252,7 @@ func (t *Thread) markDoneLocked() {
 	}
 	t.doneWaiters = nil
 	t.cond.Signal()
-	if h := t.rt.sched; h != nil {
+	if h := t.rt.hook(); h != nil {
 		h.Done(t)
 	}
 }
@@ -340,7 +340,7 @@ func (t *Thread) wakeIfRunnableLocked() {
 		return
 	}
 	t.cond.Signal()
-	if h := t.rt.sched; h != nil {
+	if h := t.rt.hook(); h != nil {
 		h.Runnable(t)
 	}
 	if t.op != nil && t.op.state == opSyncing {
@@ -392,7 +392,7 @@ func (t *Thread) Break() {
 		// Wake a gate-parked thread so Checkpoint can deliver.
 		t.cond.Signal()
 	}
-	if h := t.rt.sched; h != nil {
+	if h := t.rt.hook(); h != nil {
 		h.Runnable(t)
 	}
 }

@@ -104,8 +104,20 @@ func (rt *Runtime) TraceSnapshot() []TraceEvent {
 	return out
 }
 
-// traceLocked records an event if tracing is enabled. Caller holds rt.mu.
+// traceLocked delivers a lifecycle transition to the installed
+// instrumentation's Lifecycle tap and records it in the trace buffer if
+// tracing is enabled. Caller holds rt.mu. Spawn/done transitions go
+// through traceBufLocked instead: the instrumentation already receives
+// them via the dedicated Spawned/Done taps.
 func (rt *Runtime) traceLocked(kind TraceKind, th *Thread, extra string) {
+	if h := rt.hook(); h != nil {
+		h.Lifecycle(kind, th)
+	}
+	rt.traceBufLocked(kind, th, extra)
+}
+
+// traceBufLocked records an event if tracing is enabled. Caller holds rt.mu.
+func (rt *Runtime) traceBufLocked(kind TraceKind, th *Thread, extra string) {
 	tb := rt.trace
 	if tb == nil {
 		return

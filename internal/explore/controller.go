@@ -43,14 +43,19 @@ type tstate struct {
 	waiting bool
 }
 
-// controller implements core.SchedHook: the sequential scheduler that
-// owns the run token. All picking happens on the driver goroutine (in
-// Run); the hook callbacks only update state and signal.
+// controller implements core.Instrumentation: the sequential scheduler
+// that owns the run token. It overrides the scheduler taps and inherits
+// no-ops (via NopInstrumentation) for the passive ones; Deterministic()
+// is true, which is what switches the runtime into sequential mode. All
+// picking happens on the driver goroutine (in Run); the hook callbacks
+// only update state and signal.
 //
 // Lock order: core's runtime lock → controller.mu. Hook methods are
 // called with the runtime lock held and take only controller.mu; driver
 // code never calls into core while holding controller.mu.
 type controller struct {
+	core.NopInstrumentation
+
 	mu      sync.Mutex
 	cv      *sync.Cond
 	threads map[int64]*tstate
@@ -65,6 +70,11 @@ func newController() *controller {
 	c.cv = sync.NewCond(&c.mu)
 	return c
 }
+
+// Deterministic marks the controller as a sequential scheduler:
+// installing it switches the runtime to deterministic mode (virtual
+// clock, queued External delivery, explicit grants).
+func (c *controller) Deterministic() bool { return true }
 
 func (c *controller) Spawned(th *core.Thread) {
 	c.mu.Lock()

@@ -126,6 +126,11 @@ type Options struct {
 	// FaultProb is the per-decision fault probability for random
 	// exploration. Default 0.25.
 	FaultProb float64
+	// Instrument, if non-nil, is a passive instrumentation (e.g. an
+	// *obs.Obs with its flight recorder) teed alongside the explorer's
+	// deterministic controller: every tap reaches both, so a systematic
+	// run can be observed with the same vocabulary as a live server.
+	Instrument core.Instrumentation
 }
 
 func (o Options) withDefaults() Options {
@@ -171,7 +176,7 @@ func RunOnce(sc Scenario, p Picker, seed int64, opts Options) *Outcome {
 	opts = opts.withDefaults()
 	ctl := newController()
 	rt := core.NewRuntime()
-	rt.SetScheduler(ctl)
+	rt.SetInstrumentation(core.TeeInstrumentation(ctl, opts.Instrument))
 	sim := &Sim{RT: rt}
 	o := &Outcome{Trace: &Trace{Scenario: sc.Name, Seed: seed}}
 	defer func() {

@@ -1,0 +1,197 @@
+package netsvc
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Admin surface: the /debug/killsafe/* routes served by every session
+// thread (see serveConn's dispatch) and reusable by an out-of-band HTTP
+// mux (cmd/killserve's -admin listener). All renderers read atomic
+// counters or take per-runtime snapshots; none of them is a hot path.
+
+// adminShardStats is one shard's slice of the stats document.
+type adminShardStats struct {
+	Shard   int           `json:"shard"`
+	Serving StatsSnapshot `json:"serving"`
+	Runtime *obs.Snapshot `json:"runtime,omitempty"` // nil under DisableObs
+	Live    int           `json:"live_threads"`      // runtime accounting, not counters
+}
+
+// adminStats is the /debug/killsafe/stats document: fleet totals plus
+// the per-shard breakdown (a standalone server is a one-shard fleet).
+type adminStats struct {
+	Shards   int               `json:"shards"`
+	Serving  StatsSnapshot     `json:"serving"`
+	Runtime  *obs.Snapshot     `json:"runtime,omitempty"`
+	PerShard []adminShardStats `json:"per_shard"`
+}
+
+// adminServers returns the servers the admin document covers: every
+// shard of the fleet, or just this server when unsharded.
+func (s *Server) adminServers() []*Server {
+	if s.sharded == nil {
+		return []*Server{s}
+	}
+	out := make([]*Server, 0, s.sharded.NumShards())
+	for i := 0; i < s.sharded.NumShards(); i++ {
+		out = append(out, s.sharded.Shard(i))
+	}
+	return out
+}
+
+// AdminStatsJSON renders the /debug/killsafe/stats document.
+func (s *Server) AdminStatsJSON() string {
+	servers := s.adminServers()
+	doc := adminStats{Shards: len(servers)}
+	var agg obs.Snapshot
+	haveObs := false
+	for _, sv := range servers {
+		entry := adminShardStats{
+			Shard:   sv.shard,
+			Serving: sv.Stats(),
+			Live:    sv.rt.LiveThreads(),
+		}
+		doc.Serving = addStats(doc.Serving, entry.Serving)
+		if sv.obs != nil {
+			snap := sv.obs.Snapshot()
+			entry.Runtime = &snap
+			agg = agg.Add(snap)
+			haveObs = true
+		}
+		doc.PerShard = append(doc.PerShard, entry)
+	}
+	if haveObs {
+		doc.Runtime = &agg
+	}
+	return marshalAdmin(doc)
+}
+
+// adminCustodians is the /debug/killsafe/custodians document: the live
+// custodian tree of each runtime, straight from runtime accounting.
+type adminCustodians struct {
+	Shard      int                  `json:"shard"`
+	Custodians []core.CustodianInfo `json:"custodians"`
+}
+
+// AdminCustodiansJSON renders the /debug/killsafe/custodians document.
+func (s *Server) AdminCustodiansJSON() string {
+	servers := s.adminServers()
+	out := make([]adminCustodians, 0, len(servers))
+	for _, sv := range servers {
+		out = append(out, adminCustodians{Shard: sv.shard, Custodians: sv.rt.CustodianSnapshot()})
+	}
+	return marshalAdmin(out)
+}
+
+// AdminTraceText renders shard's flight recorder in the explore trace
+// format (shard -1 means this server's own). It returns ok=false if the
+// flight recorder is not enabled (or the shard index is out of range).
+func (s *Server) AdminTraceText(shard int) (string, bool) {
+	sv := s
+	if shard >= 0 {
+		if s.sharded == nil {
+			if shard != s.shard {
+				return "", false
+			}
+		} else {
+			if shard >= s.sharded.NumShards() {
+				return "", false
+			}
+			sv = s.sharded.Shard(shard)
+		}
+	}
+	if sv.obs == nil {
+		return "", false
+	}
+	rec := sv.obs.Recorder()
+	if rec == nil {
+		return "", false
+	}
+	return rec.TraceText(fmt.Sprintf("netsvc-shard-%d", sv.shard), 0), true
+}
+
+// adminDispatch answers the /debug/killsafe/* routes; ok=false means
+// the path is not an admin route. query is the raw query string.
+func (s *Server) adminDispatch(path, query string) (status int, body string, ok bool) {
+	switch path {
+	case "/debug/killsafe/stats":
+		return 200, s.AdminStatsJSON() + "\n", true
+	case "/debug/killsafe/custodians":
+		return 200, s.AdminCustodiansJSON() + "\n", true
+	case "/debug/killsafe/trace":
+		shard := -1
+		for _, kv := range strings.Split(query, "&") {
+			if v, found := strings.CutPrefix(kv, "shard="); found {
+				if n, err := strconv.Atoi(v); err == nil {
+					shard = n
+				}
+			}
+		}
+		text, found := s.AdminTraceText(shard)
+		if !found {
+			return 404, "flight recorder not enabled (set Config.FlightRecorder)\n", true
+		}
+		return 200, text, true
+	}
+	return 0, "", false
+}
+
+// addStats sums two serving snapshots field-wise.
+func addStats(a, b StatsSnapshot) StatsSnapshot {
+	a.Accepted += b.Accepted
+	a.Active += b.Active
+	a.Drained += b.Drained
+	a.Killed += b.Killed
+	a.TimedOut += b.TimedOut
+	a.Rejected += b.Rejected
+	a.Shed += b.Shed
+	a.Deadlined += b.Deadlined
+	a.Restarts += b.Restarts
+	return a
+}
+
+func marshalAdmin(v any) string {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(b)
+}
+
+// PublishExpvar exposes the runtime metrics of every shard this server
+// belongs to as expvar variables "name.shardN" (for /debug/vars on a
+// plain HTTP mux). With obs disabled it is a no-op.
+func (s *Server) PublishExpvar(name string) {
+	for _, sv := range s.adminServers() {
+		if sv.obs != nil {
+			obs.PublishExpvar(fmt.Sprintf("%s.shard%d", name, sv.shard), sv.obs)
+		}
+	}
+}
+
+// PublishExpvar exposes the fleet's per-shard runtime metrics as expvar
+// variables "name.shardN". With obs disabled it is a no-op.
+func (m *ShardedServer) PublishExpvar(name string) {
+	m.Shard(0).PublishExpvar(name)
+}
+
+// Obs returns shard i's observability layer (nil under DisableObs).
+func (m *ShardedServer) Obs(i int) *obs.Obs { return m.shards[i].srv.obs }
+
+// ObsSnapshot returns the fleet-wide aggregate of the per-shard runtime
+// metrics (the zero snapshot under DisableObs).
+func (m *ShardedServer) ObsSnapshot() obs.Snapshot {
+	var agg obs.Snapshot
+	for _, sh := range m.shards {
+		if o := sh.srv.obs; o != nil {
+			agg = agg.Add(o.Snapshot())
+		}
+	}
+	return agg
+}

@@ -70,8 +70,8 @@ func (r *connReader) RecvEvt() core.Event {
 
 // connWriter bridges blocking write(2)s into the event system with one
 // persistent pump goroutine per connection, replacing the old
-// per-response core.BlockingEvt (which spawned a helper goroutine and
-// allocated a completion cell for every write). The session thread hands
+// per-response External.StartEvt shape (which spawned a helper
+// goroutine and allocated a completion cell for every write). The session thread hands
 // the serialized response over a one-slot channel and waits on a
 // semaphore the pump posts after the write completes; the session thread
 // is sequential, so at most one write is ever in flight and the handoff
@@ -237,11 +237,15 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 			buf = buf[req.contentLn:]
 		}
 
-		// Dispatch. /debug/stats is the serving layer's own surface; in
-		// sharded operation it reports the fleet-wide aggregate, so any
-		// shard answers the same numbers.
+		// Dispatch. /debug/stats and /debug/killsafe/* are the serving
+		// layer's own surface; in sharded operation they report fleet-wide
+		// aggregates (with per-shard breakdowns), so any shard answers the
+		// same numbers.
 		var resp web.Response
-		if path, _, _ := strings.Cut(req.target, "?"); path == "/debug/stats" {
+		path, query, _ := strings.Cut(req.target, "?")
+		if status, body, ok := s.adminDispatch(path, query); ok {
+			resp = web.Response{Status: status, Body: body}
+		} else if path == "/debug/stats" {
 			snap := s.Stats()
 			if s.aggStats != nil {
 				snap = s.aggStats()

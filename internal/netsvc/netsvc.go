@@ -14,7 +14,8 @@
 //     from outside the runtime, and a semaphore wait is an ordinary
 //     event, so runtime threads multiplex socket readiness with alarms,
 //     drain signals, and anything else via Choice.
-//   - One-shot calls (writes) go through core.StartExternal/BlockingEvt.
+//   - One-shot calls go through a core.External completion cell
+//     (NewExternal(rt).Start / .StartEvt).
 //   - Every fd is registered with a custodian. The pump goroutines are
 //     unstoppable by construction, but closing the fd forces their
 //     blocking call to return; custodian shutdown is therefore exactly
@@ -38,6 +39,7 @@ import (
 
 	"repro/abstractions/supervise"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/web"
 )
 
@@ -76,6 +78,18 @@ type Config struct {
 	// of 1 and rejects larger ones — a single *web.Server cannot be
 	// sharded; use ServeSharded with a setup function instead.
 	Shards int
+	// DisableObs turns off the observability layer. By default every
+	// serving runtime gets an obs.Obs attached (always-on metrics: a few
+	// uncontended atomic adds per scheduler event), backing the
+	// /debug/killsafe/* admin surface. Disabling it is for overhead
+	// measurement, not production.
+	DisableObs bool
+	// FlightRecorder, when non-zero, enables the lock-free flight
+	// recorder on each serving runtime, keeping the most recent n
+	// scheduler events (negative means obs.DefaultRecorderSize) for
+	// /debug/killsafe/trace. Requires the obs layer (ignored under
+	// DisableObs).
+	FlightRecorder int
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +132,11 @@ type Server struct {
 	// aggStats, when set (sharded operation), supplies the fleet-wide
 	// snapshot served by /debug/stats in place of this shard's own.
 	aggStats func() StatsSnapshot
+	// sharded, when set, is the fleet this server is one shard of; the
+	// admin surface uses it to aggregate across shards.
+	sharded *ShardedServer
+
+	obs *obs.Obs // runtime observability; nil under Config.DisableObs
 
 	stats    *Stats
 	sup      *supervise.Supervisor
@@ -204,6 +223,13 @@ func serveOn(th *core.Thread, ws *web.Server, cfg Config, ln net.Listener) (*Ser
 		conns:   make(map[int64]*connState),
 		threads: make(map[*core.Thread]struct{}),
 	}
+	if !cfg.DisableObs {
+		s.obs = obs.New()
+		if cfg.FlightRecorder != 0 {
+			s.obs.EnableRecorder(cfg.FlightRecorder)
+		}
+		s.obs.Attach(rt)
+	}
 	if ln != nil {
 		if err := s.cust.Register(ln); err != nil {
 			return nil, err
@@ -263,6 +289,10 @@ func (s *Server) Custodian() *core.Custodian { return s.cust }
 
 // Stats returns a snapshot of the serving counters.
 func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot() }
+
+// Obs returns the server's runtime observability layer, or nil if the
+// config disabled it.
+func (s *Server) Obs() *obs.Obs { return s.obs }
 
 // acceptPump is the plain goroutine that owns the blocking accept(2)
 // loop of a standalone (unsharded) server.

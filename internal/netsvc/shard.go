@@ -83,6 +83,7 @@ func ServeSharded(cfg Config, setup func(th *core.Thread, shard int) *web.Server
 				}
 				srv.shard = sh.idx
 				srv.aggStats = m.Stats
+				srv.sharded = m
 				sh.srv, sh.ws = srv, ws
 				ready <- nil
 				// The shard main thread now just waits for the drain

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// EvKind classifies flight-recorder events. The vocabulary is the union
+// of the runtime's scheduler decisions and lifecycle transitions, chosen
+// so a recorded flight can be rendered in the explore trace format (see
+// TraceText) and fed back through the systematic replayer.
+type EvKind uint8
+
+// Recorder event kinds.
+const (
+	EvSpawn    EvKind = iota // thread created
+	EvDone                   // thread finished
+	EvKill                   // thread killed
+	EvSuspend                // thread suspended
+	EvResume                 // thread resumed
+	EvCondemn                // thread lost its last custodian
+	EvYoke                   // thread yoked to another
+	EvBreak                  // break delivered
+	EvRunnable               // parked thread woken (commit wake)
+	EvBlocked                // thread parked
+	EvSync                   // rendezvous committed (arg: cases<<32 | chosen)
+	EvAlarm                  // alarm fired
+	EvShutdown               // custodian shut down (thread: custodian id, arg: swept threads)
+)
+
+func (k EvKind) String() string {
+	switch k {
+	case EvSpawn:
+		return "spawn"
+	case EvDone:
+		return "done"
+	case EvKill:
+		return "kill"
+	case EvSuspend:
+		return "suspend"
+	case EvResume:
+		return "resume"
+	case EvCondemn:
+		return "condemned"
+	case EvYoke:
+		return "yoke"
+	case EvBreak:
+		return "break"
+	case EvRunnable:
+		return "runnable"
+	case EvBlocked:
+		return "blocked"
+	case EvSync:
+		return "sync"
+	case EvAlarm:
+		return "alarm"
+	case EvShutdown:
+		return "shutdown"
+	}
+	return fmt.Sprintf("ev(%d)", int(k))
+}
+
+// Event is one recorded scheduler event. Seq is the global write order;
+// Thread is the subject thread's id (or the custodian id for
+// EvShutdown); Arg carries the kind-specific payload.
+type Event struct {
+	Seq    uint64
+	Kind   EvKind
+	Thread int64
+	Arg    int64
+}
+
+// slot is one ring entry. All fields are atomics: the writer stamps a
+// per-slot sequence number around the payload (a seqlock), and readers
+// discard slots whose sequence changed under them, so recording needs no
+// lock even with concurrent writers (taps fire both under the runtime
+// lock and, for gate-exit events, outside it).
+type slot struct {
+	seq    atomic.Uint64 // 0 = being written; otherwise writer's pos+1
+	kind   atomic.Uint32
+	thread atomic.Int64
+	arg    atomic.Int64
+}
+
+// Recorder is a lock-free flight recorder: a fixed power-of-two ring of
+// the most recent scheduler events. Writes are wait-free (one atomic
+// fetch-add to claim a slot, four atomic stores to fill it); the ring
+// overwrites oldest-first, so after any crash or on any demand the last
+// N decisions that led here are available.
+type Recorder struct {
+	slots []slot
+	mask  uint64
+	pos   atomic.Uint64 // next write position (monotonic)
+}
+
+// DefaultRecorderSize is the ring capacity used when none is given.
+const DefaultRecorderSize = 8192
+
+// NewRecorder creates a recorder holding the most recent n events,
+// rounded up to a power of two (minimum 16).
+func NewRecorder(n int) *Recorder {
+	size := 16
+	for size < n {
+		size <<= 1
+	}
+	return &Recorder{slots: make([]slot, size), mask: uint64(size - 1)}
+}
+
+// record appends an event. Wait-free; safe from any goroutine.
+func (r *Recorder) record(kind EvKind, thread, arg int64) {
+	pos := r.pos.Add(1) - 1
+	s := &r.slots[pos&r.mask]
+	s.seq.Store(0) // invalidate for readers while the payload changes
+	s.kind.Store(uint32(kind))
+	s.thread.Store(thread)
+	s.arg.Store(arg)
+	s.seq.Store(pos + 1)
+}
+
+// Recorded reports the total number of events written (not capped by
+// the ring size).
+func (r *Recorder) Recorded() uint64 { return r.pos.Load() }
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int { return len(r.slots) }
+
+// Snapshot copies the ring's current contents, oldest first. Slots being
+// concurrently rewritten (the seqlock moved under the read) are skipped;
+// under a quiescent runtime the snapshot is exact.
+func (r *Recorder) Snapshot() []Event {
+	end := r.pos.Load()
+	n := uint64(len(r.slots))
+	start := uint64(0)
+	if end > n {
+		start = end - n
+	}
+	out := make([]Event, 0, end-start)
+	for pos := start; pos < end; pos++ {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		if seq != pos+1 {
+			continue // overwritten or mid-write; the event is lost
+		}
+		e := Event{
+			Seq:    pos,
+			Kind:   EvKind(s.kind.Load()),
+			Thread: s.thread.Load(),
+			Arg:    s.arg.Load(),
+		}
+		if s.seq.Load() != seq {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// SyncArg packs a rendezvous commit's shape into an event arg.
+func SyncArg(cases, chosen int) int64 { return int64(cases)<<32 | int64(chosen) }
+
+// SyncShape unpacks a SyncArg.
+func SyncShape(arg int64) (cases, chosen int) {
+	return int(arg >> 32), int(arg & 0xffffffff)
+}
+
+// TraceText renders the recorded flight in the explore trace format
+// (killsafe-explore-trace 1): fault and wake events become action lines
+// (k/s/u/b/r with the thread id, c for alarm fires), and everything the
+// replay vocabulary cannot express — spawns, dones, rendezvous shapes,
+// custodian shutdowns by runtime id — becomes '#' comment lines, which
+// the decoder skips. The result parses with explore.DecodeTrace, and
+// explore.ReplayLenient can drive a scenario with it, skipping decisions
+// that are not available in the reconstructed world.
+func (r *Recorder) TraceText(scenario string, seed int64) string {
+	var sb strings.Builder
+	sb.WriteString("killsafe-explore-trace 1\n")
+	fmt.Fprintf(&sb, "scenario %s\n", scenario)
+	fmt.Fprintf(&sb, "seed %d\n", seed)
+	for _, e := range r.Snapshot() {
+		switch e.Kind {
+		case EvKill:
+			fmt.Fprintf(&sb, "k %d\n", e.Thread)
+		case EvSuspend:
+			fmt.Fprintf(&sb, "s %d\n", e.Thread)
+		case EvResume:
+			fmt.Fprintf(&sb, "u %d\n", e.Thread)
+		case EvBreak:
+			fmt.Fprintf(&sb, "b %d\n", e.Thread)
+		case EvRunnable:
+			fmt.Fprintf(&sb, "r %d\n", e.Thread)
+		case EvAlarm:
+			sb.WriteString("c\n")
+		case EvSync:
+			cases, chosen := SyncShape(e.Arg)
+			fmt.Fprintf(&sb, "# %d sync t%d cases=%d chosen=%d\n", e.Seq, e.Thread, cases, chosen)
+		case EvShutdown:
+			fmt.Fprintf(&sb, "# %d shutdown cust=%d swept=%d\n", e.Seq, e.Thread, e.Arg)
+		default:
+			fmt.Fprintf(&sb, "# %d %s t%d\n", e.Seq, e.Kind, e.Thread)
+		}
+	}
+	return sb.String()
+}

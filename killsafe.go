@@ -46,6 +46,11 @@ type (
 	RawEvent = core.Event
 	// Semaphore is a counting semaphore integrated with the event system.
 	Semaphore = core.Semaphore
+	// External is a one-shot completion cell bridging blocking OS calls
+	// into the event system: construct with NewExternal, then Start a
+	// helper (or StartEvt for a lazily started one) or Complete it by
+	// hand; observe via Evt.
+	External = core.External
 )
 
 // Errors re-exported from the core runtime.
@@ -63,6 +68,9 @@ func NewCustodian(parent *Custodian) *Custodian { return core.NewCustodian(paren
 
 // NewSemaphore creates a semaphore with the given initial count.
 func NewSemaphore(rt *Runtime, count int) *Semaphore { return core.NewSemaphore(rt, count) }
+
+// NewExternal creates an uncompleted external-completion cell.
+func NewExternal(rt *Runtime) *External { return core.NewExternal(rt) }
 
 // Resume resumes an explicitly suspended thread that still has a live
 // custodian.
