@@ -1,0 +1,195 @@
+package kvtxn
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Gateway is the cross-runtime door to a store. Under ServeSharded each
+// shard is a whole runtime, and runtime primitives must not cross
+// runtimes — so the store lives on one runtime and the other shards'
+// servlets reach it through a Gateway: a plain-Go queue (mutex-guarded,
+// never suspendable, so a killed enqueuer cannot wedge it) feeding a
+// manager thread on the store's runtime, with each caller parked on a
+// core.External of its *own* runtime — the two legal bridges, Post-from-
+// anywhere and Complete-from-anywhere, back to back.
+//
+// Create the Gateway before the fleet, Bind it from the store-owning
+// shard's setup, and hand it to every other shard's Mount. Callers on the
+// owning runtime may equally use it (or the Store directly).
+//
+// Interactive transactions are deliberately not part of the gateway
+// surface: a cross-runtime client cannot be death-watched (its DoneEvt is
+// unreachable from the store's runtime), so only wholesale operations —
+// Get/Put/Delete/Multi, each atomic on the store side — cross the bridge.
+type Gateway struct {
+	mu       sync.Mutex
+	q        []*gwOp
+	inflight map[*gwOp]bool
+	sem      *core.Semaphore // created at Bind, owned by the store's runtime
+	down     bool
+}
+
+type gwKind int
+
+const (
+	gwGet gwKind = iota
+	gwPut
+	gwDelete
+	gwMulti
+)
+
+type gwOp struct {
+	kind  gwKind
+	key   string
+	val   string
+	ops   []Op
+	reply *core.External // caller-runtime completion cell
+}
+
+type gwResult struct {
+	val   string
+	found bool
+	multi MultiResult
+	err   error
+}
+
+// NewGateway creates an unbound gateway. Operations submitted before
+// Bind queue up and are served once the store side attaches.
+func NewGateway() *Gateway {
+	return &Gateway{inflight: make(map[*gwOp]bool)}
+}
+
+// Bind attaches the gateway to a store, spawning the executor manager on
+// the store's runtime from th. The gateway registers with th's current
+// custodian: when that custodian dies, pending and in-flight operations
+// complete with ErrStoreDown instead of wedging their callers.
+func (g *Gateway) Bind(th *core.Thread, s *Store) {
+	g.mu.Lock()
+	g.sem = core.NewSemaphore(s.rt, len(g.q))
+	g.mu.Unlock()
+	_ = th.CurrentCustodian().Register(gwCloser{g})
+	th.Spawn("kvtxn-gw", func(mgr *core.Thread) {
+		for {
+			if _, err := core.Sync(mgr, g.sem.WaitEvt()); err != nil {
+				continue
+			}
+			op := g.pop()
+			if op == nil {
+				continue
+			}
+			mgr.Spawn("kvtxn-gw-op", func(x *core.Thread) {
+				g.finish(op, g.exec(x, s, op))
+			})
+		}
+	})
+}
+
+func (g *Gateway) pop() *gwOp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.q) == 0 {
+		return nil
+	}
+	op := g.q[0]
+	g.q = g.q[1:]
+	g.inflight[op] = true
+	return op
+}
+
+func (g *Gateway) finish(op *gwOp, res gwResult) {
+	g.mu.Lock()
+	delete(g.inflight, op)
+	g.mu.Unlock()
+	op.reply.Complete(res)
+}
+
+func (g *Gateway) exec(x *core.Thread, s *Store, op *gwOp) gwResult {
+	switch op.kind {
+	case gwGet:
+		val, found, err := s.Get(x, op.key)
+		return gwResult{val: val, found: found, err: err}
+	case gwPut:
+		return gwResult{err: s.Put(x, op.key, op.val)}
+	case gwDelete:
+		return gwResult{err: s.Delete(x, op.key)}
+	}
+	multi, err := s.Multi(x, op.ops)
+	return gwResult{multi: multi, err: err}
+}
+
+// gwCloser is the custodian hook that fails outstanding operations over
+// to ErrStoreDown when the store side shuts down.
+type gwCloser struct{ g *Gateway }
+
+func (c gwCloser) Close() error {
+	g := c.g
+	g.mu.Lock()
+	g.down = true
+	orphans := append(append([]*gwOp(nil), g.q...), keys(g.inflight)...)
+	g.q = nil
+	g.inflight = make(map[*gwOp]bool)
+	g.mu.Unlock()
+	for _, op := range orphans {
+		op.reply.Complete(gwResult{err: ErrStoreDown})
+	}
+	return nil
+}
+
+func keys(m map[*gwOp]bool) []*gwOp {
+	out := make([]*gwOp, 0, len(m))
+	for op := range m {
+		out = append(out, op)
+	}
+	return out
+}
+
+// do submits one operation and parks the caller on its completion cell.
+func (g *Gateway) do(th *core.Thread, op *gwOp) (gwResult, error) {
+	op.reply = core.NewExternal(th.Runtime())
+	g.mu.Lock()
+	if g.down {
+		g.mu.Unlock()
+		return gwResult{}, ErrStoreDown
+	}
+	g.q = append(g.q, op)
+	sem := g.sem
+	g.mu.Unlock()
+	if sem != nil {
+		sem.Post()
+	}
+	v, err := core.Sync(th, op.reply.Evt())
+	if err != nil {
+		// The caller was killed or broken while waiting; the operation
+		// proceeds (and completes into the abandoned cell) on the store
+		// side — it is atomic there, so no cleanup is owed here.
+		return gwResult{}, err
+	}
+	res := v.(gwResult)
+	return res, res.err
+}
+
+// Get implements Client across runtimes.
+func (g *Gateway) Get(th *core.Thread, key string) (string, bool, error) {
+	res, err := g.do(th, &gwOp{kind: gwGet, key: key})
+	return res.val, res.found, err
+}
+
+// Put implements Client across runtimes.
+func (g *Gateway) Put(th *core.Thread, key, val string) error {
+	_, err := g.do(th, &gwOp{kind: gwPut, key: key, val: val})
+	return err
+}
+
+// Delete implements Client across runtimes.
+func (g *Gateway) Delete(th *core.Thread, key string) error {
+	_, err := g.do(th, &gwOp{kind: gwDelete, key: key})
+	return err
+}
+
+// Multi implements Client across runtimes.
+func (g *Gateway) Multi(th *core.Thread, ops []Op) (MultiResult, error) {
+	res, err := g.do(th, &gwOp{kind: gwMulti, ops: ops})
+	return res.multi, err
+}

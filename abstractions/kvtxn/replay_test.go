@@ -1,0 +1,113 @@
+package kvtxn_test
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/abstractions/kvtxn"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+// commitOrderScenario is a contended workload whose only observable is
+// the store-reported commit order: three workers read-modify-write an
+// overlapping chain of counters, so which transaction commits when is
+// entirely a function of the schedule.
+func commitOrderScenario(strat kvtxn.Strategy, record func(uint64)) explore.Scenario {
+	return explore.Scenario{
+		Name: "kvtxn-commit-order",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			rt.Spawn("init", func(th *core.Thread) {
+				s := kvtxn.NewWith(th, kvtxn.Options{
+					Strategy: strat,
+					Shards:   2,
+					LockWait: 20 * time.Millisecond,
+					OnCommit: record,
+				})
+				keys := [4]string{"k0", "k1", "k2", "k3"}
+				for _, k := range keys {
+					// The explorer may fire the lock-wait alarm before an
+					// uncontended grant; retry scheduling-noise conflicts.
+					for {
+						err := s.Put(th, k, "0")
+						if err == nil {
+							break
+						}
+						if err != kvtxn.ErrConflict {
+							return
+						}
+					}
+				}
+				for i := 0; i < 3; i++ {
+					i := i
+					w := th.Spawn(fmt.Sprintf("worker%d", i), func(x *core.Thread) {
+						for attempt := 0; attempt < 20; attempt++ {
+							tx, err := s.Begin(x)
+							if err != nil {
+								return
+							}
+							a, b := keys[i], keys[i+1]
+							av, _, err := tx.Get(x, a)
+							if err != nil {
+								_ = tx.Abort(x)
+								continue
+							}
+							n, _ := strconv.Atoi(av)
+							_ = tx.Put(a, strconv.Itoa(n+1))
+							_ = tx.Put(b, strconv.Itoa(n+1))
+							if err := tx.Commit(x); err == nil {
+								return
+							}
+						}
+					})
+					sim.MustFinish(w)
+				}
+			})
+			sim.LimitFaults(0)
+		},
+	}
+}
+
+// TestDeterministicCommitOrderReplay runs the same contended workload on
+// the deterministic runtime twice with the same seed and asserts the
+// commit order reported by Options.OnCommit is bit-identical: commit
+// ordering is a pure function of the schedule, with no hidden real-time
+// or map-iteration dependence.
+func TestDeterministicCommitOrderReplay(t *testing.T) {
+	for _, strat := range []kvtxn.Strategy{kvtxn.Locking, kvtxn.OCC} {
+		strat := strat
+		t.Run(strat.String(), func(t *testing.T) {
+			run := func(seed int64) []uint64 {
+				var mu sync.Mutex
+				var order []uint64
+				sc := commitOrderScenario(strat, func(id uint64) {
+					mu.Lock()
+					order = append(order, id)
+					mu.Unlock()
+				})
+				o := explore.RunOnce(sc, explore.NewRandomPicker(seed, 0), seed, explore.Options{MaxSteps: 5000})
+				if o.Status != explore.StatusPass {
+					t.Fatalf("seed %d: status=%v err=%v steps=%d", seed, o.Status, o.Err, len(o.Trace.Actions))
+				}
+				return order
+			}
+			first := run(7)
+			second := run(7)
+			if len(first) == 0 {
+				t.Fatal("no commits observed")
+			}
+			if len(first) != len(second) {
+				t.Fatalf("commit counts diverge: %v vs %v", first, second)
+			}
+			for i := range first {
+				if first[i] != second[i] {
+					t.Fatalf("commit order diverges at %d: %v vs %v", i, first, second)
+				}
+			}
+		})
+	}
+}

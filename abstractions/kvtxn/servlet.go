@@ -1,0 +1,134 @@
+package kvtxn
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/web"
+)
+
+// Client is the store surface the wire servlet speaks: implemented by
+// *Store for single-runtime serving and by *Gateway for sharded serving,
+// where the store lives on one runtime and the servlet replicas on the
+// others reach it cross-runtime.
+type Client interface {
+	Get(th *core.Thread, key string) (string, bool, error)
+	Put(th *core.Thread, key, val string) error
+	Delete(th *core.Thread, key string) error
+	Multi(th *core.Thread, ops []Op) (MultiResult, error)
+}
+
+// Mount registers the transactional KV wire API on ws under prefix
+// (say "/kv"):
+//
+//	GET    prefix?key=K            -> 200 "V" | 404
+//	PUT    prefix?key=K&val=V      -> 200 "OK" | 409 on lock conflict
+//	DELETE prefix?key=K            -> 200 "OK" | 409
+//	GET    prefix/multi?ops=SPEC   -> 200, first line COMMITTED|ABORTED,
+//	                                  then one "key=val" (or "key!") line
+//	                                  per read, in op order
+//	GET    prefix/stats            -> 200, counters as JSON
+//
+// SPEC is comma-separated steps: r:key, w:key:val, d:key. The whole
+// transaction is submitted wholesale — begin, ops, commit — so a session
+// terminated mid-request can never leave the transaction open: either the
+// servlet thread reached Commit's hand-off rendezvous and the store
+// finishes the commit, or the death watch aborts it without trace.
+func Mount(ws *web.Server, c Client, prefix string) {
+	ws.Handle(prefix, func(th *core.Thread, _ *web.Session, req *web.Request) web.Response {
+		key := req.Query["key"]
+		if key == "" {
+			return web.Response{Status: 400, Body: "missing key"}
+		}
+		switch req.Method {
+		case "GET":
+			val, found, err := c.Get(th, key)
+			if err != nil {
+				return errResponse(err)
+			}
+			if !found {
+				return web.Response{Status: 404, Body: "missing"}
+			}
+			return web.Response{Status: 200, Body: val}
+		case "PUT", "POST":
+			if err := c.Put(th, key, req.Query["val"]); err != nil {
+				return errResponse(err)
+			}
+			return web.Response{Status: 200, Body: "OK"}
+		case "DELETE":
+			if err := c.Delete(th, key); err != nil {
+				return errResponse(err)
+			}
+			return web.Response{Status: 200, Body: "OK"}
+		}
+		return web.Response{Status: 405, Body: "method " + req.Method}
+	})
+
+	ws.Handle(prefix+"/multi", func(th *core.Thread, _ *web.Session, req *web.Request) web.Response {
+		ops, err := ParseOps(req.Query["ops"])
+		if err != nil {
+			return web.Response{Status: 400, Body: err.Error()}
+		}
+		res, err := c.Multi(th, ops)
+		if err != nil {
+			return errResponse(err)
+		}
+		var b strings.Builder
+		if res.Committed {
+			b.WriteString("COMMITTED\n")
+		} else {
+			b.WriteString("ABORTED conflict\n")
+		}
+		for _, r := range res.Reads {
+			if r.Found {
+				fmt.Fprintf(&b, "%s=%s\n", r.Key, r.Val)
+			} else {
+				fmt.Fprintf(&b, "%s!\n", r.Key)
+			}
+		}
+		return web.Response{Status: 200, Body: b.String()}
+	})
+
+	if s, ok := c.(*Store); ok {
+		ws.Handle(prefix+"/stats", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+			out, _ := json.Marshal(s.Counters())
+			return web.Response{Status: 200, Body: string(out)}
+		})
+	}
+}
+
+func errResponse(err error) web.Response {
+	switch err {
+	case ErrConflict:
+		return web.Response{Status: 409, Body: "conflict"}
+	case ErrStoreDown:
+		return web.Response{Status: 503, Body: "store down"}
+	}
+	return web.Response{Status: 500, Body: err.Error()}
+}
+
+// ParseOps decodes the wire SPEC (r:key, w:key:val, d:key, comma
+// separated) into ops. Keys and values therefore must avoid ',' and ':';
+// the wire format is for workloads, not arbitrary payloads.
+func ParseOps(spec string) ([]Op, error) {
+	if spec == "" {
+		return nil, fmt.Errorf("empty ops spec")
+	}
+	var ops []Op
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.SplitN(part, ":", 3)
+		switch {
+		case len(fields) == 2 && fields[0] == "r":
+			ops = append(ops, Op{Kind: OpRead, Key: fields[1]})
+		case len(fields) == 3 && fields[0] == "w":
+			ops = append(ops, Op{Kind: OpWrite, Key: fields[1], Val: fields[2]})
+		case len(fields) == 2 && fields[0] == "d":
+			ops = append(ops, Op{Kind: OpDelete, Key: fields[1]})
+		default:
+			return nil, fmt.Errorf("bad op %q", part)
+		}
+	}
+	return ops, nil
+}

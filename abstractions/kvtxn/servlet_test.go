@@ -1,0 +1,151 @@
+package kvtxn_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/abstractions/kvtxn"
+	"repro/internal/core"
+	"repro/internal/web"
+)
+
+// dispatch drives the mounted servlet the way a transport would.
+func dispatch(th *core.Thread, srv *web.Server, s *web.Session, method, path string, query map[string]string) web.Response {
+	if query == nil {
+		query = map[string]string{}
+	}
+	return srv.Dispatch(th, s, &web.Request{Method: method, Path: path, Query: query})
+}
+
+func TestServletWireAPI(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		store := kvtxn.NewWith(th, kvtxn.Options{Strategy: kvtxn.OCC, Shards: 4})
+		srv := web.NewServer(th)
+		kvtxn.Mount(srv, store, "/kv")
+		sess := srv.AttachSession(core.NewCustodian(rt.RootCustodian()))
+
+		if r := dispatch(th, srv, sess, "PUT", "/kv", map[string]string{"key": "a", "val": "1"}); r.Status != 200 {
+			t.Fatalf("PUT: %+v", r)
+		}
+		if r := dispatch(th, srv, sess, "GET", "/kv", map[string]string{"key": "a"}); r.Status != 200 || r.Body != "1" {
+			t.Fatalf("GET: %+v", r)
+		}
+		if r := dispatch(th, srv, sess, "GET", "/kv", map[string]string{"key": "nope"}); r.Status != 404 {
+			t.Fatalf("GET missing: %+v", r)
+		}
+		if r := dispatch(th, srv, sess, "DELETE", "/kv", map[string]string{"key": "a"}); r.Status != 200 {
+			t.Fatalf("DELETE: %+v", r)
+		}
+
+		r := dispatch(th, srv, sess, "GET", "/kv/multi", map[string]string{"ops": "w:x:10,w:y:20,r:x,r:gone"})
+		if r.Status != 200 {
+			t.Fatalf("multi: %+v", r)
+		}
+		lines := strings.Split(strings.TrimSpace(r.Body), "\n")
+		if lines[0] != "COMMITTED" || lines[1] != "x=10" || lines[2] != "gone!" {
+			t.Fatalf("multi body: %q", r.Body)
+		}
+
+		if r := dispatch(th, srv, sess, "GET", "/kv/multi", map[string]string{"ops": "zap"}); r.Status != 400 {
+			t.Fatalf("bad spec: %+v", r)
+		}
+		if r := dispatch(th, srv, sess, "GET", "/kv/stats", nil); r.Status != 200 || !strings.Contains(r.Body, "\"commits\"") {
+			t.Fatalf("stats: %+v", r)
+		}
+	})
+}
+
+func TestGatewayCrossRuntime(t *testing.T) {
+	// The ServeSharded topology in miniature: the store lives on one
+	// runtime, a client thread on a second runtime reaches it through the
+	// gateway.
+	ownerRT := core.NewRuntime()
+	defer ownerRT.Shutdown()
+	clientRT := core.NewRuntime()
+	defer clientRT.Shutdown()
+
+	gw := kvtxn.NewGateway()
+
+	// Enqueue before Bind: the gateway must hold the op until the store
+	// side attaches.
+	early := make(chan error, 1)
+	clientRT.Spawn("early", func(th *core.Thread) {
+		early <- gw.Put(th, "pre", "bound")
+	})
+
+	ready := make(chan struct{})
+	ownerRT.Spawn("owner", func(th *core.Thread) {
+		s := kvtxn.NewWith(th, kvtxn.Options{Strategy: kvtxn.Locking, Shards: 2})
+		gw.Bind(th, s)
+		close(ready)
+		_ = core.Sleep(th, time.Hour)
+	})
+	<-ready
+	if err := <-early; err != nil {
+		t.Fatalf("pre-bind Put: %v", err)
+	}
+
+	res := make(chan string, 1)
+	clientRT.Spawn("client", func(th *core.Thread) {
+		if err := gw.Put(th, "a", "1"); err != nil {
+			res <- "put: " + err.Error()
+			return
+		}
+		v, found, err := gw.Get(th, "a")
+		if err != nil || !found {
+			res <- "get failed"
+			return
+		}
+		m, err := gw.Multi(th, []kvtxn.Op{
+			{Kind: kvtxn.OpRead, Key: "pre"},
+			{Kind: kvtxn.OpWrite, Key: "b", Val: "2"},
+		})
+		if err != nil || !m.Committed || m.Reads[0].Val != "bound" {
+			res <- "multi failed"
+			return
+		}
+		res <- v
+	})
+	if got := <-res; got != "1" {
+		t.Fatalf("cross-runtime ops: %s", got)
+	}
+}
+
+func TestGatewayStoreDownFailsOver(t *testing.T) {
+	ownerRT := core.NewRuntime()
+	defer ownerRT.Shutdown()
+	clientRT := core.NewRuntime()
+	defer clientRT.Shutdown()
+
+	gw := kvtxn.NewGateway()
+	cust := make(chan *core.Custodian, 1)
+	ownerRT.Spawn("owner", func(th *core.Thread) {
+		c := core.NewCustodian(th.Runtime().RootCustodian())
+		th.WithCustodian(c, func() {
+			s := kvtxn.NewWith(th, kvtxn.Options{})
+			gw.Bind(th, s)
+		})
+		cust <- c
+		_ = core.Sleep(th, time.Hour)
+	})
+	owner := <-cust
+
+	probe := make(chan error, 1)
+	clientRT.Spawn("probe", func(th *core.Thread) {
+		probe <- gw.Put(th, "k", "v")
+	})
+	if err := <-probe; err != nil {
+		t.Fatalf("Put while up: %v", err)
+	}
+
+	owner.Shutdown()
+
+	after := make(chan error, 1)
+	clientRT.Spawn("after", func(th *core.Thread) {
+		after <- gw.Put(th, "k", "v2")
+	})
+	if err := <-after; err != kvtxn.ErrStoreDown {
+		t.Fatalf("Put after store death = %v, want ErrStoreDown", err)
+	}
+}

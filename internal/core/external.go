@@ -104,8 +104,8 @@ func (e *extEvt) unregister(*waiter) {
 
 // Start runs fn on a helper goroutine immediately; the cell completes
 // with fn's result. It returns the cell, so the two-step shape
-// NewExternal(rt).Start(fn) replaces the old StartExternal free function
-// and composes with cells handed out before the work is chosen. The
+// NewExternal(rt).Start(fn) composes with cells handed out before the
+// work is chosen. The
 // helper is not tracked by Runtime.Shutdown; the caller must arrange for
 // fn to unblock eventually, normally by registering the resource fn
 // blocks on with a custodian so that shutdown closes it.
@@ -137,25 +137,8 @@ func (x *External) StartEvt(fn func() Value) Event {
 	})
 }
 
-// StartExternal runs fn on a helper goroutine and returns the External
-// that completes with fn's result.
-//
-// Deprecated: use NewExternal(rt).Start(fn), which separates cell
-// construction from starting the work.
-func StartExternal(rt *Runtime, fn func() Value) *External {
-	return NewExternal(rt).Start(fn)
-}
-
-// BlockingEvt wraps a blocking call as an event whose first sync starts
-// fn.
-//
-// Deprecated: use NewExternal(rt).StartEvt(fn).
-func BlockingEvt(rt *Runtime, fn func() Value) Event {
-	return NewExternal(rt).StartEvt(fn)
-}
-
-// PendingExternals reports the number of StartExternal helper goroutines
-// whose blocking call has not yet returned.
+// PendingExternals reports the number of Start helper goroutines whose
+// blocking call has not yet returned.
 func (rt *Runtime) PendingExternals() int {
 	return int(rt.externals.Load())
 }

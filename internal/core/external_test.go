@@ -145,13 +145,13 @@ func TestExternalSuspendedThreadCommitsOnResume(t *testing.T) {
 	})
 }
 
-// TestStartExternalCountsHelpers deliberately goes through the
-// deprecated StartExternal wrapper (which delegates to External.Start)
-// so the legacy entry point stays covered until it is removed.
-func TestStartExternalCountsHelpers(t *testing.T) {
+// TestStartCountsHelpers: Start's helper goroutine is visible in
+// PendingExternals while its blocking call is in flight and drops off
+// once the call returns.
+func TestStartCountsHelpers(t *testing.T) {
 	runThread(t, func(rt *core.Runtime, th *core.Thread) {
 		release := make(chan struct{})
-		x := core.StartExternal(rt, func() core.Value {
+		x := core.NewExternal(rt).Start(func() core.Value {
 			<-release
 			return "done"
 		})

@@ -4,7 +4,7 @@ import "sync/atomic"
 
 // Instrumentation is the runtime's unified observer interface: one tap
 // set covering scheduling, thread lifecycle, rendezvous commits,
-// custodian teardown, and alarms. It subsumes the old SchedHook — the
+// custodian teardown, and alarms. The
 // deterministic explorer (internal/explore) implements it with
 // Deterministic() == true and drives the runtime sequentially through
 // the scheduler taps — and adds the passive taps that power the
@@ -25,7 +25,7 @@ import "sync/atomic"
 // runtime lock; a deterministic scheduler blocks there until it grants
 // the thread the right to run, a passive observer must return promptly.
 type Instrumentation interface {
-	// Scheduler taps — the old SchedHook surface.
+	// Scheduler taps — the surface a sequential scheduler drives.
 
 	// Spawned reports a newly created thread. The thread is considered
 	// runnable; its goroutine will reach a Pause call before touching
@@ -73,7 +73,7 @@ type Instrumentation interface {
 	// Deterministic reports whether this instrumentation is a
 	// sequential scheduler: installing a deterministic instrumentation
 	// switches the runtime to deterministic mode (virtual clock, queued
-	// External delivery, explicit grants), exactly as SetScheduler did.
+	// External delivery, explicit grants).
 	Deterministic() bool
 }
 

@@ -5,39 +5,10 @@ import (
 	"time"
 )
 
-// SchedHook is the old name of the unified instrumentation interface.
-// It grew from a scheduler-only hook into the full tap set; implement
-// the scheduler taps plus embedded NopInstrumentation for the rest.
-//
-// Deprecated: use Instrumentation. The alias is kept for one release.
-type SchedHook = Instrumentation
-
 // detEpoch is where the virtual clock starts in deterministic mode. Any
 // fixed value works; a round, recognizably fake timestamp makes traces
 // and logs easy to read.
 var detEpoch = time.Unix(1_000_000_000, 0)
-
-// SetScheduler installs (or, with nil, removes) a deterministic
-// scheduler hook. It predates Deterministic(): installing through it
-// forces deterministic mode regardless of what the hook reports, so old
-// scheduler-only hooks keep their old meaning.
-//
-// Deprecated: use SetInstrumentation; deterministic mode now follows
-// the instrumentation's Deterministic() method.
-func (rt *Runtime) SetScheduler(h SchedHook) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if len(rt.threads) > 0 {
-		panic("core: SetScheduler called after threads were created")
-	}
-	rt.det.Store(h != nil)
-	rt.vnow = detEpoch
-	if h == nil {
-		rt.ins.Store(nil)
-		return
-	}
-	rt.ins.Store(&insBox{i: h})
-}
 
 // Now returns the current time: the virtual clock in deterministic mode,
 // the wall clock otherwise. Timeout events (After) are built on it.

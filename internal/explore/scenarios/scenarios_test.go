@@ -31,6 +31,14 @@ func TestRecordedTracesReplay(t *testing.T) {
 		// the abandonment via DoneEvt and the retrying client crosses
 		// the cooldown on the virtual clock and recovers the breaker.
 		{"breaker-trip-holder-killed.trace", explore.StatusPass},
+		// kvtxn locking: a transfer owner killed while holding per-key
+		// locks; the txn manager's death watch spawns an aborter, the
+		// survivor's transfer commits, and the audit shows no wedged
+		// locks, parked waiters, or registry entries.
+		{"txn-kill-midlock.trace", explore.StatusPass},
+		// kvtxn OCC: a transfer owner killed around validate/install;
+		// prepare-marks are reclaimed and the sum invariant holds.
+		{"txn-kill-validate.trace", explore.StatusPass},
 	}
 	for _, tc := range cases {
 		tc := tc
