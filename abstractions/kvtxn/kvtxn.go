@@ -212,6 +212,10 @@ func (s *Store) Counters() Counters {
 	}
 }
 
+// Stats implements Client on the store itself: a plain atomic snapshot
+// (the thread argument exists for the cross-runtime Gateway's sake).
+func (s *Store) Stats(_ *core.Thread) (Counters, error) { return s.Counters(), nil }
+
 // Get reads key's committed value (autocommit snapshot read: it never
 // blocks on locks, exactly like a transaction-free GET should).
 func (s *Store) Get(th *core.Thread, key string) (string, bool, error) {

@@ -38,6 +38,7 @@ const (
 	gwPut
 	gwDelete
 	gwMulti
+	gwStats
 )
 
 type gwOp struct {
@@ -49,10 +50,11 @@ type gwOp struct {
 }
 
 type gwResult struct {
-	val   string
-	found bool
-	multi MultiResult
-	err   error
+	val      string
+	found    bool
+	multi    MultiResult
+	counters Counters
+	err      error
 }
 
 // NewGateway creates an unbound gateway. Operations submitted before
@@ -114,6 +116,8 @@ func (g *Gateway) exec(x *core.Thread, s *Store, op *gwOp) gwResult {
 		return gwResult{err: s.Put(x, op.key, op.val)}
 	case gwDelete:
 		return gwResult{err: s.Delete(x, op.key)}
+	case gwStats:
+		return gwResult{counters: s.Counters()}
 	}
 	multi, err := s.Multi(x, op.ops)
 	return gwResult{multi: multi, err: err}
@@ -192,4 +196,10 @@ func (g *Gateway) Delete(th *core.Thread, key string) error {
 func (g *Gateway) Multi(th *core.Thread, ops []Op) (MultiResult, error) {
 	res, err := g.do(th, &gwOp{kind: gwMulti, ops: ops})
 	return res.multi, err
+}
+
+// Stats implements Client across runtimes.
+func (g *Gateway) Stats(th *core.Thread) (Counters, error) {
+	res, err := g.do(th, &gwOp{kind: gwStats})
+	return res.counters, err
 }

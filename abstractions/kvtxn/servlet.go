@@ -18,6 +18,9 @@ type Client interface {
 	Put(th *core.Thread, key, val string) error
 	Delete(th *core.Thread, key string) error
 	Multi(th *core.Thread, ops []Op) (MultiResult, error)
+	// Stats snapshots the store's operation counters, wherever the store
+	// lives (named apart from Store.Counters, which needs no thread).
+	Stats(th *core.Thread) (Counters, error)
 }
 
 // Mount registers the transactional KV wire API on ws under prefix
@@ -91,12 +94,14 @@ func Mount(ws *web.Server, c Client, prefix string) {
 		return web.Response{Status: 200, Body: b.String()}
 	})
 
-	if s, ok := c.(*Store); ok {
-		ws.Handle(prefix+"/stats", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
-			out, _ := json.Marshal(s.Counters())
-			return web.Response{Status: 200, Body: string(out)}
-		})
-	}
+	ws.Handle(prefix+"/stats", func(th *core.Thread, _ *web.Session, _ *web.Request) web.Response {
+		ctr, err := c.Stats(th)
+		if err != nil {
+			return errResponse(err)
+		}
+		out, _ := json.Marshal(ctr)
+		return web.Response{Status: 200, Body: string(out)}
+	})
 }
 
 func errResponse(err error) web.Response {

@@ -30,6 +30,18 @@
 // sessions of the shard that serves the request, and /debug/stats
 // reports the fleet-wide aggregate from any shard.
 //
+// With -protocol resp the listener speaks RESP instead of HTTP/1.1:
+// GET/SET/DEL/STATS map onto the transactional KV store mounted at /kv
+// (one store, shared by every shard through a Gateway), MULTI/EXEC runs
+// an atomic batch, and CALL <path> reaches any servlet route — so
+// redis-cli-style sessions and /admin/kill coexist on one socket:
+//
+//	go run ./cmd/killserve -protocol resp
+//	printf 'SET k 1\r\nGET k\r\nCALL /admin/sessions\r\n' | nc 127.0.0.1 8080
+//
+// The same /kv servlet routes are mounted in HTTP mode too
+// (/kv?key=..., /kv/multi?ops=..., /kv/stats).
+//
 // SIGINT/SIGTERM drains gracefully (in-flight requests finish within the
 // grace period; stragglers are killed). See examples/killserve/demo.sh
 // for a scripted walkthrough.
@@ -48,6 +60,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/abstractions/kvtxn"
 	"repro/internal/core"
 	"repro/internal/netsvc"
 	"repro/internal/web"
@@ -55,8 +68,12 @@ import (
 
 // buildRoutes registers the demo routes on ws. It is called once per
 // runtime: in sharded mode each shard gets its own web.Server instance
-// and its own route closures, bound to that shard's runtime.
-func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int) {
+// and its own route closures, bound to that shard's runtime. The KV
+// gateway is shared: every shard mounts the same gw, so /kv reads and
+// writes hit one transactional store regardless of which shard (or
+// which protocol) carried the request.
+func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int, gw *kvtxn.Gateway) {
+	kvtxn.Mount(ws, gw, "/kv")
 	ws.Handle("/", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
 		return web.Response{Status: 200, Body: strings.Join([]string{
 			"killserve — kill-safe TCP serving demo",
@@ -65,6 +82,9 @@ func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int) {
 			"  /whoami              this connection's session ID (and shard)",
 			"  /admin/sessions      live session IDs on this shard ('you' is this request's own)",
 			"  /admin/kill?id=N     terminate session N mid-request (this shard only)",
+			"  /kv?key=K            transactional KV store (PUT/DELETE too; shared across shards)",
+			"  /kv/multi?ops=...    atomic batch (w:k:v,r:k,d:k)",
+			"  /kv/stats            store commit/abort counters",
 			"  /debug/stats         serving counters (fleet-wide aggregate)",
 			"  /debug/killsafe/stats      runtime metrics, per-shard breakdown",
 			"  /debug/killsafe/custodians live custodian trees",
@@ -129,6 +149,7 @@ func main() {
 	shards := flag.Int("shards", 1, "independent runtime shards behind the listener (1 = single runtime)")
 	admin := flag.String("admin", "", "out-of-band admin listen address serving /debug/killsafe/{stats,trace,custodians} and /debug/vars (empty disables)")
 	recorder := flag.Int("flight-recorder", 0, "flight-recorder ring size per shard for /debug/killsafe/trace (0 disables, negative = default size)")
+	protocol := flag.String("protocol", "http", "wire protocol spoken on the listener: http (HTTP/1.1 keep-alive) or resp (Redis serialization protocol; GET/SET/DEL/MULTI/EXEC map onto /kv)")
 	flag.Parse()
 
 	cfg := netsvc.Config{
@@ -139,7 +160,13 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		Shards:         *shards,
 		FlightRecorder: *recorder,
+		Protocol:       *protocol,
 	}
+
+	// One transactional store behind a Gateway, shared by every shard and
+	// both protocols. Ops issued before the store's home shard has bound
+	// the gateway queue safely.
+	gw := kvtxn.NewGateway()
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -185,16 +212,25 @@ func main() {
 
 	if *shards > 1 {
 		m, err := netsvc.ServeSharded(cfg, func(th *core.Thread, shard int) *web.Server {
+			if shard == 0 {
+				// The store lives on shard 0's runtime; the other shards
+				// (and plain-Go callers) reach it through the gateway.
+				gw.Bind(th, kvtxn.NewWith(th, kvtxn.Options{
+					Strategy: kvtxn.Locking,
+					Shards:   8,
+					LockWait: 50 * time.Millisecond,
+				}))
+			}
 			ws := web.NewServer(th)
-			buildRoutes(th.Runtime(), ws, shard, *shards)
+			buildRoutes(th.Runtime(), ws, shard, *shards, gw)
 			return ws
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "killserve: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("killserve: listening on http://%s (shards=%d, max-conns=%d/shard, idle-timeout=%s)\n",
-			m.Addr(), *shards, *maxConns, *idle)
+		fmt.Printf("killserve: listening on %s://%s (shards=%d, max-conns=%d/shard, idle-timeout=%s)\n",
+			*protocol, m.Addr(), *shards, *maxConns, *idle)
 		startAdmin(m.Shard(0))
 		v := <-sigc
 		fmt.Printf("killserve: received %v, draining %d shards (grace %s)...\n", v, *shards, *grace)
@@ -218,16 +254,21 @@ func main() {
 	rt := core.NewRuntime()
 	defer rt.Shutdown()
 	err := rt.Run(func(th *core.Thread) {
+		gw.Bind(th, kvtxn.NewWith(th, kvtxn.Options{
+			Strategy: kvtxn.Locking,
+			Shards:   8,
+			LockWait: 50 * time.Millisecond,
+		}))
 		ws := web.NewServer(th)
-		buildRoutes(rt, ws, 0, 1)
+		buildRoutes(rt, ws, 0, 1, gw)
 
 		s, err := netsvc.Serve(th, ws, cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "killserve: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("killserve: listening on http://%s (max-conns=%d, idle-timeout=%s)\n",
-			s.Addr(), *maxConns, *idle)
+		fmt.Printf("killserve: listening on %s://%s (max-conns=%d, idle-timeout=%s)\n",
+			*protocol, s.Addr(), *maxConns, *idle)
 		startAdmin(s)
 
 		// Bridge SIGINT/SIGTERM into the event layer: a plain goroutine

@@ -39,6 +39,10 @@ func TestRecordedTracesReplay(t *testing.T) {
 		// kvtxn OCC: a transfer owner killed around validate/install;
 		// prepare-marks are reclaimed and the sum invariant holds.
 		{"txn-kill-validate.trace", explore.StatusPass},
+		// wire: a server killed between the batched flushes of a
+		// pipelined response stream; the client sees a whole, in-order
+		// frame prefix and never a torn byte.
+		{"pipeline-kill-midwrite.trace", explore.StatusPass},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"strconv"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -117,8 +116,8 @@ func (s *Server) AdminTraceText(shard int) (string, bool) {
 }
 
 // adminDispatch answers the /debug/killsafe/* routes; ok=false means
-// the path is not an admin route. query is the raw query string.
-func (s *Server) adminDispatch(path, query string) (status int, body string, ok bool) {
+// the path is not an admin route.
+func (s *Server) adminDispatch(path string, query map[string]string) (status int, body string, ok bool) {
 	switch path {
 	case "/debug/killsafe/stats":
 		return 200, s.AdminStatsJSON() + "\n", true
@@ -126,11 +125,9 @@ func (s *Server) adminDispatch(path, query string) (status int, body string, ok 
 		return 200, s.AdminCustodiansJSON() + "\n", true
 	case "/debug/killsafe/trace":
 		shard := -1
-		for _, kv := range strings.Split(query, "&") {
-			if v, found := strings.CutPrefix(kv, "shard="); found {
-				if n, err := strconv.Atoi(v); err == nil {
-					shard = n
-				}
+		if v, have := query["shard"]; have {
+			if n, err := strconv.Atoi(v); err == nil {
+				shard = n
 			}
 		}
 		text, found := s.AdminTraceText(shard)
@@ -142,8 +139,13 @@ func (s *Server) adminDispatch(path, query string) (status int, body string, ok 
 	return 0, "", false
 }
 
-// addStats sums two serving snapshots field-wise.
+// addStats folds two serving snapshots: counters sum, the pipelined-depth
+// high-water mark is a fleet maximum, and the protocol name carries over
+// (every shard of a fleet speaks the same protocol).
 func addStats(a, b StatsSnapshot) StatsSnapshot {
+	if a.Protocol == "" {
+		a.Protocol = b.Protocol
+	}
 	a.Accepted += b.Accepted
 	a.Active += b.Active
 	a.Drained += b.Drained
@@ -153,6 +155,11 @@ func addStats(a, b StatsSnapshot) StatsSnapshot {
 	a.Shed += b.Shed
 	a.Deadlined += b.Deadlined
 	a.Restarts += b.Restarts
+	a.Requests += b.Requests
+	a.Responses += b.Responses
+	if b.PipelineHWM > a.PipelineHWM {
+		a.PipelineHWM = b.PipelineHWM
+	}
 	return a
 }
 

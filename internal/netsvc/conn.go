@@ -3,8 +3,6 @@ package netsvc
 import (
 	"fmt"
 	"net"
-	"strconv"
-	"strings"
 
 	"repro/internal/core"
 	"repro/internal/web"
@@ -69,27 +67,40 @@ func (r *connReader) RecvEvt() core.Event {
 }
 
 // connWriter bridges blocking write(2)s into the event system with one
-// persistent pump goroutine per connection, replacing the old
-// per-response External.StartEvt shape (which spawned a helper
-// goroutine and allocated a completion cell for every write). The session thread hands
-// the serialized response over a one-slot channel and waits on a
-// semaphore the pump posts after the write completes; the session thread
-// is sequential, so at most one write is ever in flight and the handoff
-// never blocks. A session killed mid-wait leaves at most one stray
-// semaphore token behind; the pump itself exits when the connection
-// custodian closes quit.
+// persistent pump goroutine per connection. The session thread hands a
+// *batch* — one or more whole response frames appended back to back — over
+// a one-slot channel; the pump writes it with a single write(2) and posts
+// a semaphore. Batches are double-buffered: while the pump writes batch N
+// the session thread parses, dispatches, and serializes pipelined
+// requests into batch N+1, so queued pipeline responses coalesce into one
+// vectored write instead of a syscall per response.
+//
+// The handoff is the torn-frame guarantee. Frames reach the pump only as
+// complete batches via a plain channel send between safe points — a kill
+// lands inside Sync, never between appending half a frame and sending it —
+// so the wire carries a prefix of whole responses and nothing after it.
+// A session killed mid-reap leaves at most one stray semaphore token; the
+// pump itself exits when the connection custodian closes quit.
 type connWriter struct {
 	ch      chan []byte
 	quit    chan struct{}
 	sem     *core.Semaphore
 	doneEvt core.Event // hoisted sem.WaitEvt(): no per-write event allocs
 	err     error      // write error; stored by the pump before Post, read after Wait
-	buf     []byte     // reusable serialization buffer, owned by the session thread
+
+	pumped [][]byte // batches with the pump, FIFO; len is the in-flight count
+	free   [][]byte // reclaimed buffers for future batches
 }
+
+// pumpSlots bounds batches with the pump at once: one being written plus
+// one queued in the channel, so submit below never blocks while a session
+// with a ready batch is never more than one write completion away from
+// flushing it (see flush).
+const pumpSlots = 2
 
 func newConnWriter(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connWriter, error) {
 	w := &connWriter{
-		ch:   make(chan []byte, 1),
+		ch:   make(chan []byte, pumpSlots),
 		quit: make(chan struct{}),
 		sem:  core.NewSemaphore(rt, 0),
 	}
@@ -116,40 +127,93 @@ func newConnWriter(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connWri
 	return w, nil
 }
 
-// writeResponse serializes an HTTP/1.0 response into the reusable buffer
-// and writes it via the pump. The session thread waits at a safe point,
-// so a kill mid-write unwinds cleanly (the pump exits when the custodian
-// closes the fd and the quit closer).
-func (w *connWriter) writeResponse(th *core.Thread, status int, keepAlive bool, body string) error {
-	connHdr := "close"
-	if keepAlive {
-		connHdr = "keep-alive"
+// submit hands a batch to the pump. Only legal when canSubmit reports a
+// free slot — the channel send is then guaranteed not to block, keeping
+// it an ordinary plain-Go step between safe points (the kill-atomicity of
+// a whole batch rests on this). Returns a recycled buffer for the
+// caller's next batch.
+func (w *connWriter) submit(batch []byte) []byte {
+	w.ch <- batch
+	w.pumped = append(w.pumped, batch)
+	var next []byte
+	if n := len(w.free); n > 0 {
+		next, w.free = w.free[n-1], w.free[:n-1]
 	}
-	w.buf = fmt.Appendf(w.buf[:0],
-		"HTTP/1.0 %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: %s\r\n\r\n%s",
-		status, statusText(status), len(body), connHdr, body)
-	w.ch <- w.buf
-	for {
+	return next[:0]
+}
+
+func (w *connWriter) canSubmit() bool { return len(w.pumped) < pumpSlots }
+
+// reclaim recycles the oldest in-flight batch's buffer; its write has
+// completed (one semaphore token per completed write, FIFO).
+func (w *connWriter) reclaim() {
+	w.free = append(w.free, w.pumped[0][:0])
+	w.pumped = w.pumped[1:]
+}
+
+// tryReap reclaims every completed write without waiting.
+func (w *connWriter) tryReap() {
+	for len(w.pumped) > 0 && w.sem.TryWait() {
+		w.reclaim()
+	}
+}
+
+// reapOne waits (at a safe point) for the oldest in-flight write.
+func (w *connWriter) reapOne(th *core.Thread) error {
+	for len(w.pumped) > 0 {
 		if _, err := core.Sync(th, w.doneEvt); err != nil {
-			continue // break mid-write: the write is still in flight; re-wait
+			continue // break mid-wait: the write is still in flight; re-wait
 		}
-		return w.err
+		w.reclaim()
+		break
 	}
+	return w.err
 }
 
-// request is a parsed HTTP/1.0 request head.
-type request struct {
-	method    string
-	target    string
-	proto     string
-	keepAlive bool
-	contentLn int
+// reapAll waits for every in-flight write, so the wire holds everything
+// submitted before the caller lets the custodian close the fd.
+func (w *connWriter) reapAll(th *core.Thread) error {
+	for len(w.pumped) > 0 {
+		if _, err := core.Sync(th, w.doneEvt); err != nil {
+			continue
+		}
+		w.reclaim()
+	}
+	return w.err
 }
 
-// serveConn is the session thread body: parse HTTP/1.0 requests off the
-// socket, dispatch them to the mounted web.Server, and write responses —
-// every wait a Sync, so an administrator's kill lands at a safe point and
-// the shared abstractions the servlets use stay coherent.
+// flush guarantees batch is with the pump on return: when both slots are
+// taken it waits for the oldest write — a bounded wait on an in-progress
+// write(2), never on future work. A session must flush before entering a
+// servlet dispatch, which may block indefinitely; an answered response is
+// never held hostage to the next request's handler.
+func (w *connWriter) flush(th *core.Thread, batch []byte) ([]byte, error) {
+	w.tryReap()
+	if !w.canSubmit() {
+		if err := w.reapOne(th); err != nil {
+			return batch, err
+		}
+	}
+	return w.submit(batch), nil
+}
+
+// flushFinal forces batch onto the wire and waits for every write to
+// complete, so the last frames of a closing connection are with the
+// kernel before the caller returns and the custodian closes the fd.
+func (w *connWriter) flushFinal(th *core.Thread, batch []byte) error {
+	if len(batch) > 0 {
+		if _, err := w.flush(th, batch); err != nil {
+			return err
+		}
+	}
+	return w.reapAll(th)
+}
+
+// serveConn is the session thread body: parse protocol frames off the
+// socket through the connection's wire codec, dispatch them to the
+// mounted web.Server, and batch responses through the write pump — every
+// wait a Sync, so an administrator's kill lands at a safe point and the
+// shared abstractions the servlets use stay coherent.
 func (s *Server) serveConn(th *core.Thread, cs *connState) {
 	reader, err := newConnReader(s.rt, cs.cust, cs.c)
 	if err != nil {
@@ -159,6 +223,7 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 	if err != nil {
 		return
 	}
+	codec := s.newCodec()
 	// Hoist the per-request events out of the loops: events are immutable
 	// descriptions (guards and wraps re-evaluate at each sync), so building
 	// them once removes every per-request event/choice allocation from the
@@ -166,112 +231,132 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 	recvEvt := reader.RecvEvt()
 	timeoutEvt := core.Wrap(core.After(s.rt, s.cfg.IdleTimeout), func(core.Value) core.Value { return "timeout" })
 	drainEvt := core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" })
-	headChoice := core.Choice(recvEvt, timeoutEvt, drainEvt)
-	bodyChoice := core.Choice(recvEvt, timeoutEvt)
-	var buf []byte
+	waitChoice := core.Choice(recvEvt, timeoutEvt, drainEvt)
+
+	var buf, batch []byte
+	batched := 0 // responses in the current batch: the pipelined depth
 	sawEOF := false
 	for {
-		// Wait for a complete request head (or timeout, or drain).
-		var req *request
+		// Serve every complete frame already buffered. Responses append to
+		// the batch; whenever the write pump is idle the batch is handed
+		// over, so a lone request flushes immediately while pipelined
+		// requests behind a busy pump coalesce into one write.
 		for {
-			if r, rest, perr := parseHead(buf); perr != nil {
-				_ = writer.writeResponse(th, 400, false, "bad request: "+perr.Error())
+			f, rest, perr := codec.Parse(buf)
+			if perr != nil {
+				batch = codec.AppendFault(batch, 400, "bad request: "+perr.Error())
+				_ = writer.flushFinal(th, batch)
 				s.markCompleted(cs)
 				return
-			} else if r != nil {
-				req, buf = r, rest
+			}
+			buf = rest
+			if f == nil {
 				break
 			}
-			if sawEOF {
-				if len(buf) == 0 {
-					s.markCompleted(cs) // clean close between requests
-				}
-				return
-			}
-			v, serr := core.Sync(th, headChoice)
-			if serr != nil {
-				continue // stray break
-			}
-			switch x := v.(type) {
-			case string:
-				if x == "timeout" {
-					s.stats.timedOut.Add(1)
-					_ = writer.writeResponse(th, 408, false, "request timeout\n")
-				} else { // drain
-					_ = writer.writeResponse(th, 503, false, "server shutting down\n")
-				}
-				s.markCompleted(cs)
-				return
-			case readChunk:
-				buf = append(buf, x.data...)
-				if x.err != nil {
-					sawEOF = true
-				}
-			}
-		}
-
-		// Consume the body (HTTP/1.0: only if Content-Length says so);
-		// servlets are GET-shaped, so the body is read and discarded.
-		for len(buf) < req.contentLn && !sawEOF {
-			v, serr := core.Sync(th, bodyChoice)
-			if serr != nil {
-				continue
-			}
-			if x, ok := v.(readChunk); ok {
-				buf = append(buf, x.data...)
-				if x.err != nil {
-					sawEOF = true
-				}
+			s.stats.requests.Add(1)
+			closing := f.Close || s.drain.Completed()
+			if f.Immediate != nil {
+				batch = append(batch, f.Immediate...)
 			} else {
-				s.stats.timedOut.Add(1)
+				// A dispatch may block indefinitely in a servlet; answered
+				// responses must reach the wire first.
+				if len(batch) > 0 {
+					var ferr error
+					if batch, ferr = writer.flush(th, batch); ferr != nil {
+						return // client gone mid-write
+					}
+					batched = 0
+				}
+				resp, timedOut := s.dispatch(th, cs, f.Req)
+				if timedOut {
+					s.stats.deadlined.Add(1)
+					batch = codec.AppendFault(batch, 503, "request deadline exceeded\n")
+					_ = writer.flushFinal(th, batch)
+					s.markCompleted(cs)
+					return
+				}
+				batch = codec.AppendResponse(batch, f, resp, closing)
+			}
+			s.stats.responses.Add(1)
+			batched++
+			s.stats.notePipelineDepth(int64(batched))
+			if closing {
+				_ = writer.flushFinal(th, batch)
 				s.markCompleted(cs)
 				return
 			}
-		}
-		if req.contentLn > 0 {
-			if req.contentLn > len(buf) {
-				// Client hung up mid-body: a client failure, not a kill.
-				s.markCompleted(cs)
-				return
+			// Opportunistic flush: hand the batch over whenever a pump slot
+			// is free; with both slots busy keep accumulating — that is the
+			// pipelined coalescing.
+			writer.tryReap()
+			if writer.canSubmit() {
+				batch = writer.submit(batch)
+				batched = 0
 			}
-			buf = buf[req.contentLn:]
 		}
 
-		// Dispatch. /debug/stats and /debug/killsafe/* are the serving
-		// layer's own surface; in sharded operation they report fleet-wide
-		// aggregates (with per-shard breakdowns), so any shard answers the
-		// same numbers.
-		var resp web.Response
-		path, query, _ := strings.Cut(req.target, "?")
-		if status, body, ok := s.adminDispatch(path, query); ok {
-			resp = web.Response{Status: status, Body: body}
-		} else if path == "/debug/stats" {
-			snap := s.Stats()
-			if s.aggStats != nil {
-				snap = s.aggStats()
+		// Input exhausted: force what is batched onto the wire before
+		// parking (both pump slots may be busy with previous batches).
+		if len(batch) > 0 {
+			var ferr error
+			if batch, ferr = writer.flush(th, batch); ferr != nil {
+				return // client gone mid-write
 			}
-			resp = web.Response{Status: 200, Body: snap.json() + "\n"}
-		} else if s.cfg.RequestTimeout > 0 {
-			var timedOut bool
-			resp, timedOut = s.dispatchBounded(th, cs, req)
-			if timedOut {
-				s.stats.deadlined.Add(1)
-				_ = writer.writeResponse(th, 503, false, "request deadline exceeded\n")
-				s.markCompleted(cs)
-				return
-			}
-		} else {
-			resp = s.web.Dispatch(th, cs.sess, toWebRequest(req))
+			batched = 0
 		}
-		keep := req.keepAlive && !s.drain.Completed()
-		if err := writer.writeResponse(th, resp.Status, keep, resp.Body); err != nil {
+		if sawEOF {
+			_ = writer.reapAll(th) // the last batch reaches the kernel before the fd closes
+			if len(buf) == 0 {
+				s.markCompleted(cs) // clean close between frames
+			}
 			return
 		}
-		if !keep {
+
+		// Park for more input (or idle timeout, or drain).
+		v, serr := core.Sync(th, waitChoice)
+		if serr != nil {
+			continue // stray break
+		}
+		switch x := v.(type) {
+		case string:
+			if x == "timeout" {
+				s.stats.timedOut.Add(1)
+				batch = codec.AppendFault(batch, 408, "request timeout\n")
+			} else { // drain
+				batch = codec.AppendFault(batch, 503, "server shutting down\n")
+			}
+			_ = writer.flushFinal(th, batch)
 			s.markCompleted(cs)
 			return
+		case readChunk:
+			buf = append(buf, x.data...)
+			if x.err != nil {
+				sawEOF = true
+			}
 		}
 	}
+}
+
+// dispatch answers one servlet request: the admin surface and /debug/stats
+// are the serving layer's own routes (in sharded operation they report
+// fleet-wide aggregates, so any shard answers the same numbers);
+// everything else goes to the mounted web.Server, bounded by
+// cfg.RequestTimeout when set.
+func (s *Server) dispatch(th *core.Thread, cs *connState, req *web.Request) (web.Response, bool) {
+	if status, body, ok := s.adminDispatch(req.Path, req.Query); ok {
+		return web.Response{Status: status, Body: body}, false
+	}
+	if req.Path == "/debug/stats" {
+		snap := s.Stats()
+		if s.aggStats != nil {
+			snap = s.aggStats()
+		}
+		return web.Response{Status: 200, Body: snap.json() + "\n"}, false
+	}
+	if s.cfg.RequestTimeout > 0 {
+		return s.dispatchBounded(th, cs, req)
+	}
+	return s.web.Dispatch(th, cs.sess, req), false
 }
 
 // dispatchBounded runs one servlet dispatch in a worker thread under the
@@ -280,13 +365,13 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 // deterministic mode the timeout is driven by the virtual clock. On
 // timeout the worker is killed — its next safe point unwinds it, and the
 // per-connection custodian guarantees whatever it held is reclaimed.
-func (s *Server) dispatchBounded(th *core.Thread, cs *connState, req *request) (web.Response, bool) {
+func (s *Server) dispatchBounded(th *core.Thread, cs *connState, req *web.Request) (web.Response, bool) {
 	var resp web.Response
 	var finished bool // written by the worker before it returns
 	var worker *core.Thread
 	th.WithCustodian(cs.cust, func() {
 		worker = th.Spawn(fmt.Sprintf("netsvc-req-%d", cs.id), func(x *core.Thread) {
-			r := s.web.Dispatch(x, cs.sess, toWebRequest(req))
+			r := s.web.Dispatch(x, cs.sess, req)
 			resp, finished = r, true
 		})
 	})
@@ -326,98 +411,4 @@ func (s *Server) markCompleted(cs *connState) {
 	s.mu.Lock()
 	cs.completed = true
 	s.mu.Unlock()
-}
-
-func statusText(code int) string {
-	switch code {
-	case 200:
-		return "OK"
-	case 400:
-		return "Bad Request"
-	case 404:
-		return "Not Found"
-	case 408:
-		return "Request Timeout"
-	case 503:
-		return "Service Unavailable"
-	default:
-		return "Status"
-	}
-}
-
-// parseHead tries to parse one request head from buf. It returns
-// (nil, buf, nil) if the head is not yet complete, or the parsed request
-// plus the unconsumed remainder.
-func parseHead(buf []byte) (*request, []byte, error) {
-	head, rest, ok := cutHead(buf)
-	if !ok {
-		if len(buf) > 64<<10 {
-			return nil, buf, fmt.Errorf("request head exceeds 64KiB")
-		}
-		return nil, buf, nil
-	}
-	lines := strings.Split(head, "\n")
-	fields := strings.Fields(strings.TrimRight(lines[0], "\r"))
-	if len(fields) < 2 {
-		return nil, rest, fmt.Errorf("malformed request line %q", lines[0])
-	}
-	req := &request{method: fields[0], target: fields[1]}
-	if len(fields) >= 3 {
-		req.proto = fields[2]
-	}
-	for _, ln := range lines[1:] {
-		ln = strings.TrimRight(ln, "\r")
-		if ln == "" {
-			continue
-		}
-		k, v, found := strings.Cut(ln, ":")
-		if !found {
-			continue
-		}
-		v = strings.TrimSpace(v)
-		switch strings.ToLower(k) {
-		case "connection":
-			req.keepAlive = strings.EqualFold(v, "keep-alive")
-		case "content-length":
-			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
-				req.contentLn = n
-			}
-		}
-	}
-	return req, rest, nil
-}
-
-// cutHead splits buf at the first blank line (CRLF CRLF or LF LF),
-// returning the head and the remainder.
-func cutHead(buf []byte) (head string, rest []byte, ok bool) {
-	s := string(buf)
-	best, sepLen := -1, 0
-	for _, sep := range []string{"\r\n\r\n", "\n\n"} {
-		if i := strings.Index(s, sep); i >= 0 && (best < 0 || i < best) {
-			best, sepLen = i, len(sep)
-		}
-	}
-	if best < 0 {
-		return "", buf, false
-	}
-	return s[:best], buf[best+sepLen:], true
-}
-
-// toWebRequest converts a parsed HTTP request to the servlet router's
-// request shape (method, path, query).
-func toWebRequest(req *request) *web.Request {
-	out := &web.Request{Method: req.method, Query: map[string]string{}}
-	target := req.target
-	if i := strings.IndexByte(target, '?'); i >= 0 {
-		for _, kv := range strings.Split(target[i+1:], "&") {
-			if kv == "" {
-				continue
-			}
-			k, v, _ := strings.Cut(kv, "=")
-			out.Query[k] = v
-		}
-		target = target[:i]
-	}
-	out.Path = target
-	return out
 }

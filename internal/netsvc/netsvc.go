@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/web"
+	"repro/internal/wire"
 )
 
 // Config carries the serving knobs.
@@ -90,6 +91,15 @@ type Config struct {
 	// /debug/killsafe/trace. Requires the obs layer (ignored under
 	// DisableObs).
 	FlightRecorder int
+	// Protocol selects the listener's wire protocol: "http" (the default;
+	// HTTP/1.1 with persistent connections and pipelining) or "resp"
+	// (Redis-style commands mapped onto the KV servlet mounted at
+	// RESPPrefix). Under ServeSharded every shard speaks the same
+	// protocol. See internal/wire.
+	Protocol string
+	// RESPPrefix is the servlet mount point the RESP codec's commands
+	// address (default "/kv"). Ignored for HTTP.
+	RESPPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -137,6 +147,9 @@ type Server struct {
 	sharded *ShardedServer
 
 	obs *obs.Obs // runtime observability; nil under Config.DisableObs
+
+	newCodec  wire.Factory // mints the per-connection protocol codec
+	protoName string       // codec name, for the stats surface
 
 	stats    *Stats
 	sup      *supervise.Supervisor
@@ -201,6 +214,10 @@ func Serve(th *core.Thread, ws *web.Server, cfg Config) (*Server, error) {
 // pumpRet) are the ShardedServer's. cfg has defaults applied.
 func serveOn(th *core.Thread, ws *web.Server, cfg Config, ln net.Listener) (*Server, error) {
 	rt := th.Runtime()
+	codec, err := wire.New(cfg.Protocol, wire.Options{KVPrefix: cfg.RESPPrefix})
+	if err != nil {
+		return nil, err
+	}
 	// The handoff channel must hold every conn shedding lets through, so
 	// the pump only ever blocks when shedding is disabled.
 	capacity := cfg.AcceptBacklog
@@ -223,6 +240,8 @@ func serveOn(th *core.Thread, ws *web.Server, cfg Config, ln net.Listener) (*Ser
 		conns:   make(map[int64]*connState),
 		threads: make(map[*core.Thread]struct{}),
 	}
+	s.newCodec = codec
+	s.protoName = codec().Name()
 	if !cfg.DisableObs {
 		s.obs = obs.New()
 		if cfg.FlightRecorder != 0 {
@@ -288,7 +307,11 @@ func (s *Server) Addr() net.Addr {
 func (s *Server) Custodian() *core.Custodian { return s.cust }
 
 // Stats returns a snapshot of the serving counters.
-func (s *Server) Stats() StatsSnapshot { return s.stats.snapshot() }
+func (s *Server) Stats() StatsSnapshot {
+	snap := s.stats.snapshot()
+	snap.Protocol = s.protoName
+	return snap
+}
 
 // Obs returns the server's runtime observability layer, or nil if the
 // config disabled it.
@@ -346,14 +369,12 @@ func (s *Server) load() int64 {
 
 // shedConn answers an over-capacity connection straight from the pump
 // goroutine — a plain blocking write with a short deadline; the conn
-// never enters the runtime's world — and closes it.
+// never enters the runtime's world — and closes it. The refusal speaks
+// the listener's own protocol (a fresh codec, used once).
 func (s *Server) shedConn(c net.Conn) {
-	const body = "server busy\n"
-	msg := fmt.Sprintf(
-		"HTTP/1.0 503 %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: close\r\n\r\n%s",
-		statusText(503), len(body), body)
+	msg := s.newCodec().AppendFault(nil, 503, "server busy\n")
 	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
-	_, _ = c.Write([]byte(msg))
+	_, _ = c.Write(msg)
 	s.cust.Unregister(c)
 	_ = c.Close()
 	s.stats.shed.Add(1)

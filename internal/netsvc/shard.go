@@ -174,16 +174,7 @@ func (m *ShardedServer) Runtime(i int) *core.Runtime { return m.shards[i].rt }
 func (m *ShardedServer) Stats() StatsSnapshot {
 	var agg StatsSnapshot
 	for _, sh := range m.shards {
-		s := sh.srv.Stats()
-		agg.Accepted += s.Accepted
-		agg.Active += s.Active
-		agg.Drained += s.Drained
-		agg.Killed += s.Killed
-		agg.TimedOut += s.TimedOut
-		agg.Rejected += s.Rejected
-		agg.Shed += s.Shed
-		agg.Deadlined += s.Deadlined
-		agg.Restarts += s.Restarts
+		agg = addStats(agg, sh.srv.Stats())
 	}
 	return agg
 }

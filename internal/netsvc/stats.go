@@ -9,41 +9,63 @@ import (
 // atomics so the snapshot is safe from any goroutine (the /debug/stats
 // route, tests, plain monitoring goroutines).
 type Stats struct {
-	accepted  atomic.Int64 // conns accepted by the OS listener
-	active    atomic.Int64 // conns currently being served
-	drained   atomic.Int64 // sessions that ended cleanly (EOF, close, timeout response sent)
-	killed    atomic.Int64 // sessions terminated by custodian shutdown mid-service
-	timedOut  atomic.Int64 // conns closed by the idle deadline
-	rejected  atomic.Int64 // conns closed unserved (shutdown races, dead custodians)
-	shed      atomic.Int64 // conns answered 503 by the pump: pending queue over MaxPending
-	deadlined atomic.Int64 // requests cut off by the per-request deadline
-	restarts  atomic.Int64 // accept-loop restarts performed by the supervisor
+	accepted    atomic.Int64 // conns accepted by the OS listener
+	active      atomic.Int64 // conns currently being served
+	drained     atomic.Int64 // sessions that ended cleanly (EOF, close, timeout response sent)
+	killed      atomic.Int64 // sessions terminated by custodian shutdown mid-service
+	timedOut    atomic.Int64 // conns closed by the idle deadline
+	rejected    atomic.Int64 // conns closed unserved (shutdown races, dead custodians)
+	shed        atomic.Int64 // conns answered 503 by the pump: pending queue over MaxPending
+	deadlined   atomic.Int64 // requests cut off by the per-request deadline
+	restarts    atomic.Int64 // accept-loop restarts performed by the supervisor
+	requests    atomic.Int64 // protocol frames parsed off the wire
+	responses   atomic.Int64 // responses serialized (faults excluded)
+	pipelineHWM atomic.Int64 // most responses ever coalesced into one write batch
 }
 
-// StatsSnapshot is a point-in-time copy of the counters.
+// notePipelineDepth raises the pipelined-depth high-water mark to n.
+func (s *Stats) notePipelineDepth(n int64) {
+	for {
+		cur := s.pipelineHWM.Load()
+		if n <= cur || s.pipelineHWM.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of the counters. Protocol names
+// the listener's wire codec; when snapshots are aggregated across shards
+// the counters sum and PipelineHWM takes the fleet maximum.
 type StatsSnapshot struct {
-	Accepted  int64 `json:"accepted"`
-	Active    int64 `json:"active"`
-	Drained   int64 `json:"drained"`
-	Killed    int64 `json:"killed"`
-	TimedOut  int64 `json:"timed_out"`
-	Rejected  int64 `json:"rejected"`
-	Shed      int64 `json:"shed"`
-	Deadlined int64 `json:"deadlined"`
-	Restarts  int64 `json:"restarts"`
+	Protocol    string `json:"protocol"`
+	Accepted    int64  `json:"accepted"`
+	Active      int64  `json:"active"`
+	Drained     int64  `json:"drained"`
+	Killed      int64  `json:"killed"`
+	TimedOut    int64  `json:"timed_out"`
+	Rejected    int64  `json:"rejected"`
+	Shed        int64  `json:"shed"`
+	Deadlined   int64  `json:"deadlined"`
+	Restarts    int64  `json:"restarts"`
+	Requests    int64  `json:"requests"`
+	Responses   int64  `json:"responses"`
+	PipelineHWM int64  `json:"pipeline_hwm"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Accepted:  s.accepted.Load(),
-		Active:    s.active.Load(),
-		Drained:   s.drained.Load(),
-		Killed:    s.killed.Load(),
-		TimedOut:  s.timedOut.Load(),
-		Rejected:  s.rejected.Load(),
-		Shed:      s.shed.Load(),
-		Deadlined: s.deadlined.Load(),
-		Restarts:  s.restarts.Load(),
+		Accepted:    s.accepted.Load(),
+		Active:      s.active.Load(),
+		Drained:     s.drained.Load(),
+		Killed:      s.killed.Load(),
+		TimedOut:    s.timedOut.Load(),
+		Rejected:    s.rejected.Load(),
+		Shed:        s.shed.Load(),
+		Deadlined:   s.deadlined.Load(),
+		Restarts:    s.restarts.Load(),
+		Requests:    s.requests.Load(),
+		Responses:   s.responses.Load(),
+		PipelineHWM: s.pipelineHWM.Load(),
 	}
 }
 
@@ -51,6 +73,7 @@ func (s *Stats) snapshot() StatsSnapshot {
 // serving path (the shape is fixed and flat).
 func (v StatsSnapshot) json() string {
 	return fmt.Sprintf(
-		`{"accepted":%d,"active":%d,"drained":%d,"killed":%d,"timed_out":%d,"rejected":%d,"shed":%d,"deadlined":%d,"restarts":%d}`,
-		v.Accepted, v.Active, v.Drained, v.Killed, v.TimedOut, v.Rejected, v.Shed, v.Deadlined, v.Restarts)
+		`{"protocol":%q,"accepted":%d,"active":%d,"drained":%d,"killed":%d,"timed_out":%d,"rejected":%d,"shed":%d,"deadlined":%d,"restarts":%d,"requests":%d,"responses":%d,"pipeline_hwm":%d}`,
+		v.Protocol, v.Accepted, v.Active, v.Drained, v.Killed, v.TimedOut, v.Rejected, v.Shed,
+		v.Deadlined, v.Restarts, v.Requests, v.Responses, v.PipelineHWM)
 }

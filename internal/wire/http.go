@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/web"
+)
+
+// maxHeadBytes caps an HTTP request head; a client that never finishes
+// its headers is a protocol error, not backpressure.
+const maxHeadBytes = 64 << 10
+
+// maxBodyBytes caps a Content-Length body. Servlets are GET-shaped (the
+// body is consumed and discarded), so this is an abuse bound, not a
+// feature limit.
+const maxBodyBytes = 1 << 20
+
+// httpCodec is the HTTP/1.1 codec: persistent connections by default,
+// pipelining (Parse consumes one frame at a time and leaves the rest
+// buffered), Content-Length bodies, and status lines that echo the
+// request's protocol version instead of hardcoding HTTP/1.0.
+type httpCodec struct{}
+
+// NewHTTP creates an HTTP/1.1 codec. HTTP/1.0 clients are still served
+// with 1.0 semantics: their version is echoed and the connection closes
+// unless they ask for keep-alive.
+func NewHTTP() Codec { return httpCodec{} }
+
+func (httpCodec) Name() string { return "http/1.1" }
+
+// Parse extracts one complete request (head and, when Content-Length
+// says so, body) from buf. Pipelined requests simply stay in the
+// remainder for the next call.
+func (httpCodec) Parse(buf []byte) (*Frame, []byte, error) {
+	head, rest, ok := cutHead(buf)
+	if !ok {
+		if len(buf) > maxHeadBytes {
+			return nil, buf, fmt.Errorf("request head exceeds %d bytes", maxHeadBytes)
+		}
+		return nil, buf, nil
+	}
+	lines := strings.Split(head, "\n")
+	fields := strings.Fields(strings.TrimRight(lines[0], "\r"))
+	if len(fields) < 2 {
+		return nil, rest, fmt.Errorf("malformed request line %q", strings.TrimRight(lines[0], "\r"))
+	}
+	method, target := fields[0], fields[1]
+	proto := "HTTP/1.0"
+	if len(fields) >= 3 {
+		proto = fields[2]
+	}
+	// Keep-alive default is the version's: 1.1 persists unless the client
+	// says close; 1.0 closes unless the client says keep-alive.
+	keep := proto == "HTTP/1.1"
+	contentLn := 0
+	for _, ln := range lines[1:] {
+		ln = strings.TrimRight(ln, "\r")
+		if ln == "" {
+			continue
+		}
+		k, v, found := strings.Cut(ln, ":")
+		if !found {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		switch strings.ToLower(k) {
+		case "connection":
+			if strings.EqualFold(v, "keep-alive") {
+				keep = true
+			} else if strings.EqualFold(v, "close") {
+				keep = false
+			}
+		case "content-length":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return nil, rest, fmt.Errorf("bad Content-Length %q", v)
+			}
+			contentLn = n
+		}
+	}
+	if contentLn > maxBodyBytes {
+		return nil, rest, fmt.Errorf("body of %d bytes exceeds %d", contentLn, maxBodyBytes)
+	}
+	// The frame is complete only once the whole body is buffered; the
+	// body itself is discarded (servlets take their input from the query).
+	if len(rest) < contentLn {
+		return nil, buf, nil
+	}
+	rest = rest[contentLn:]
+	f := &Frame{Req: targetToRequest(method, target), Close: !keep, proto: proto}
+	return f, rest, nil
+}
+
+// AppendResponse serializes one response, echoing the request's protocol
+// version in the status line.
+func (httpCodec) AppendResponse(dst []byte, f *Frame, resp web.Response, close bool) []byte {
+	connHdr := "keep-alive"
+	if close {
+		connHdr = "close"
+	}
+	return fmt.Appendf(dst,
+		"%s %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: %s\r\n\r\n%s",
+		f.proto, resp.Status, StatusText(resp.Status), len(resp.Body), connHdr, resp.Body)
+}
+
+// AppendFault answers a connection-level fault. No request is in hand, so
+// the status line uses the lowest version any client understands.
+func (httpCodec) AppendFault(dst []byte, status int, msg string) []byte {
+	if !strings.HasSuffix(msg, "\n") {
+		msg += "\n"
+	}
+	return fmt.Appendf(dst,
+		"HTTP/1.0 %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: close\r\n\r\n%s",
+		status, StatusText(status), len(msg), msg)
+}
+
+// cutHead splits buf at the first blank line (CRLF CRLF or LF LF),
+// returning the head and the remainder.
+func cutHead(buf []byte) (head string, rest []byte, ok bool) {
+	s := string(buf)
+	best, sepLen := -1, 0
+	for _, sep := range []string{"\r\n\r\n", "\n\n"} {
+		if i := strings.Index(s, sep); i >= 0 && (best < 0 || i < best) {
+			best, sepLen = i, len(sep)
+		}
+	}
+	if best < 0 {
+		return "", buf, false
+	}
+	return s[:best], buf[best+sepLen:], true
+}
+
+// targetToRequest converts a request target into the servlet router's
+// request shape (method, path, query map).
+func targetToRequest(method, target string) *web.Request {
+	out := &web.Request{Method: method, Query: map[string]string{}}
+	if i := strings.IndexByte(target, '?'); i >= 0 {
+		for _, kv := range strings.Split(target[i+1:], "&") {
+			if kv == "" {
+				continue
+			}
+			k, v, _ := strings.Cut(kv, "=")
+			out.Query[k] = v
+		}
+		target = target[:i]
+	}
+	out.Path = target
+	return out
+}
+
+// StatusText renders the reason phrase for the status codes the serving
+// layer produces.
+func StatusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	case 408:
+		return "Request Timeout"
+	case 409:
+		return "Conflict"
+	case 500:
+		return "Internal Server Error"
+	case 503:
+		return "Service Unavailable"
+	default:
+		return "Status"
+	}
+}

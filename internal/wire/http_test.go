@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/web"
+)
+
+// feed runs Parse over input delivered in chunks of n bytes, collecting
+// every frame, mimicking the transport's buffer-and-reparse loop.
+func feed(t *testing.T, c Codec, input string, n int) []*Frame {
+	t.Helper()
+	var frames []*Frame
+	var buf []byte
+	for len(input) > 0 || len(buf) > 0 {
+		if len(input) > 0 {
+			k := n
+			if k > len(input) {
+				k = len(input)
+			}
+			buf = append(buf, input[:k]...)
+			input = input[k:]
+		}
+		for {
+			f, rest, err := c.Parse(buf)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			buf = rest
+			if f == nil {
+				break
+			}
+			frames = append(frames, f)
+		}
+		if len(input) == 0 {
+			break
+		}
+	}
+	return frames
+}
+
+func TestHTTPParseKeepAliveMatrix(t *testing.T) {
+	cases := []struct {
+		req  string
+		keep bool
+	}{
+		{"GET / HTTP/1.1\r\n\r\n", true},
+		{"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", false},
+		{"GET / HTTP/1.0\r\n\r\n", false},
+		{"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", true},
+		{"GET /\r\n\r\n", false}, // no version: HTTP/1.0 semantics
+	}
+	c := NewHTTP()
+	for _, tc := range cases {
+		f, rest, err := c.Parse([]byte(tc.req))
+		if err != nil || f == nil {
+			t.Fatalf("%q: frame=%v err=%v", tc.req, f, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("%q: %d unconsumed bytes", tc.req, len(rest))
+		}
+		if f.Close == tc.keep {
+			t.Errorf("%q: Close=%v, want keep=%v", tc.req, f.Close, tc.keep)
+		}
+	}
+}
+
+func TestHTTPParseIncremental(t *testing.T) {
+	req := "GET /kv?key=a&val=b HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello"
+	for _, n := range []int{1, 2, 7, len(req)} {
+		frames := feed(t, NewHTTP(), req, n)
+		if len(frames) != 1 {
+			t.Fatalf("chunk=%d: got %d frames, want 1", n, len(frames))
+		}
+		f := frames[0]
+		if f.Req == nil || f.Req.Method != "GET" || f.Req.Path != "/kv" {
+			t.Fatalf("chunk=%d: bad request %+v", n, f.Req)
+		}
+		if f.Req.Query["key"] != "a" || f.Req.Query["val"] != "b" {
+			t.Fatalf("chunk=%d: bad query %v", n, f.Req.Query)
+		}
+	}
+}
+
+func TestHTTPParsePipelined(t *testing.T) {
+	input := strings.Repeat("GET /a HTTP/1.1\r\n\r\n", 3) + "GET /last HTTP/1.1\r\nConnection: close\r\n\r\n"
+	for _, n := range []int{3, len(input)} {
+		frames := feed(t, NewHTTP(), input, n)
+		if len(frames) != 4 {
+			t.Fatalf("chunk=%d: got %d frames, want 4", n, len(frames))
+		}
+		for i, f := range frames[:3] {
+			if f.Req.Path != "/a" || f.Close {
+				t.Fatalf("chunk=%d frame=%d: %+v", n, i, f)
+			}
+		}
+		if frames[3].Req.Path != "/last" || !frames[3].Close {
+			t.Fatalf("chunk=%d: last frame %+v", n, frames[3])
+		}
+	}
+}
+
+func TestHTTPParseErrors(t *testing.T) {
+	c := NewHTTP()
+	for _, req := range []string{
+		"GARBAGE\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: -4\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n",
+	} {
+		if _, _, err := c.Parse([]byte(req)); err == nil {
+			t.Errorf("%q: want parse error", req)
+		}
+	}
+	// An over-long head with no blank line is an error too.
+	if _, _, err := c.Parse([]byte("GET /" + strings.Repeat("x", maxHeadBytes) + "\r\n")); err == nil {
+		t.Error("oversized head: want parse error")
+	}
+}
+
+func TestHTTPAppendResponseEchoesVersion(t *testing.T) {
+	c := NewHTTP()
+	for _, proto := range []string{"HTTP/1.0", "HTTP/1.1"} {
+		f, _, err := c.Parse([]byte("GET / " + proto + "\r\n\r\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := string(c.AppendResponse(nil, f, web.Response{Status: 200, Body: "ok\n"}, false))
+		if !strings.HasPrefix(out, proto+" 200 OK\r\n") {
+			t.Errorf("proto %s: status line %q", proto, out[:strings.Index(out, "\r\n")])
+		}
+		if !strings.Contains(out, "Connection: keep-alive\r\n") {
+			t.Errorf("proto %s: missing keep-alive header in %q", proto, out)
+		}
+		if !strings.Contains(out, "Content-Length: 3\r\n") || !strings.HasSuffix(out, "\r\n\r\nok\n") {
+			t.Errorf("proto %s: bad framing %q", proto, out)
+		}
+	}
+	// close=true flips the Connection header.
+	f, _, _ := c.Parse([]byte("GET / HTTP/1.1\r\n\r\n"))
+	out := string(c.AppendResponse(nil, f, web.Response{Status: 200, Body: "x"}, true))
+	if !strings.Contains(out, "Connection: close\r\n") {
+		t.Errorf("close response missing Connection: close: %q", out)
+	}
+}
+
+func TestHTTPAppendFault(t *testing.T) {
+	out := string(NewHTTP().AppendFault(nil, 408, "request timeout"))
+	if !strings.HasPrefix(out, "HTTP/1.0 408 Request Timeout\r\n") {
+		t.Errorf("fault status line: %q", out)
+	}
+	if !strings.Contains(out, "Connection: close\r\n") || !strings.HasSuffix(out, "request timeout\n") {
+		t.Errorf("fault framing: %q", out)
+	}
+}
+
+func TestHTTPBatchedAppend(t *testing.T) {
+	// Multiple responses appended to one batch stay whole, in order.
+	c := NewHTTP()
+	var batch []byte
+	for i, body := range []string{"one", "two"} {
+		f, _, _ := c.Parse([]byte("GET / HTTP/1.1\r\n\r\n"))
+		batch = c.AppendResponse(batch, f, web.Response{Status: 200, Body: body}, i == 1)
+	}
+	s := string(batch)
+	if strings.Count(s, "HTTP/1.1 200 OK\r\n") != 2 {
+		t.Fatalf("batch: %q", s)
+	}
+	if !strings.Contains(s, "one") || !strings.Contains(s, "two") ||
+		strings.Index(s, "one") > strings.Index(s, "two") {
+		t.Fatalf("batch order: %q", s)
+	}
+}

@@ -1,0 +1,340 @@
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/web"
+)
+
+// maxRESPArgs and maxRESPBulk bound a multi-bulk command; past either the
+// connection is answering an abuser, not a client.
+const (
+	maxRESPArgs = 64
+	maxRESPBulk = 1 << 20
+)
+
+// respCodec speaks a RESP-style protocol (the Redis serialization
+// protocol's framing) and maps its commands onto the transactional KV
+// servlet mounted at prefix, so a redis-cli-style session drives
+// kill-atomic transactions through the ordinary servlet dispatch path:
+//
+//	GET k            -> GET  {prefix}?key=k          ($val | $-1)
+//	SET k v          -> PUT  {prefix}?key=k&val=v    (+OK | -CONFLICT)
+//	DEL k            -> DELETE {prefix}?key=k        (:1)
+//	MULTI .. EXEC    -> GET  {prefix}/multi?ops=...  (*[status, reads...])
+//	STATS            -> GET  {prefix}/stats          ($json)
+//	CALL path        -> GET  path                    ($body) — any route,
+//	                    e.g. CALL /debug/killsafe/stats
+//	PING / QUIT      -> answered by the codec itself
+//
+// MULTI queues GET/SET/DEL commands (+QUEUED) and EXEC submits them as
+// one wholesale transaction to the store — begin, ops, commit — so a
+// session killed mid-EXEC can never leave the transaction open: the
+// commit either reached the store's hand-off rendezvous and finishes, or
+// the death watch aborts it without trace. Because the queued ops travel
+// in the servlet's compact spec, keys and values inside MULTI must avoid
+// ':' and ','.
+type respCodec struct {
+	prefix string
+	multi  bool     // inside MULTI..EXEC
+	ops    []string // queued op specs (r:k, w:k:v, d:k)
+	dirty  bool     // a queued command was rejected; EXEC must abort
+}
+
+// NewRESP creates a RESP codec whose commands map onto the KV servlet
+// mounted at prefix ("/kv", say).
+func NewRESP(prefix string) Codec { return &respCodec{prefix: prefix} }
+
+func (c *respCodec) Name() string { return "resp" }
+
+// Parse extracts one command — inline ("GET k\r\n") or multi-bulk
+// ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n") — and translates it to a frame.
+func (c *respCodec) Parse(buf []byte) (*Frame, []byte, error) {
+	for {
+		args, rest, err := parseRESPCommand(buf)
+		if err != nil || args == nil {
+			return nil, rest, err
+		}
+		if len(args) == 0 {
+			buf = rest // empty inline line: skip it
+			continue
+		}
+		f, err := c.command(args)
+		if err != nil {
+			return nil, rest, err
+		}
+		return f, rest, nil
+	}
+}
+
+// parseRESPCommand extracts one raw command's arguments. args == nil with
+// err == nil means the frame is incomplete; an empty non-nil args slice
+// is a blank inline line.
+func parseRESPCommand(buf []byte) (args []string, rest []byte, err error) {
+	if len(buf) == 0 {
+		return nil, buf, nil
+	}
+	if buf[0] != '*' {
+		// Inline command: one whitespace-separated line.
+		line, rest, ok := cutLine(buf)
+		if !ok {
+			if len(buf) > maxHeadBytes {
+				return nil, buf, fmt.Errorf("inline command exceeds %d bytes", maxHeadBytes)
+			}
+			return nil, buf, nil
+		}
+		return strings.Fields(line), rest, nil
+	}
+	// Multi-bulk: *<n>, then n of $<len><bytes>.
+	line, r, ok := cutLine(buf)
+	if !ok {
+		return nil, buf, nil
+	}
+	n, err := strconv.Atoi(line[1:])
+	if err != nil || n < 0 || n > maxRESPArgs {
+		return nil, r, fmt.Errorf("bad multi-bulk count %q", line)
+	}
+	args = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, r2, ok := cutLine(r)
+		if !ok {
+			return nil, buf, nil
+		}
+		if len(line) == 0 || line[0] != '$' {
+			return nil, r2, fmt.Errorf("expected bulk length, got %q", line)
+		}
+		ln, err := strconv.Atoi(line[1:])
+		if err != nil || ln < 0 || ln > maxRESPBulk {
+			return nil, r2, fmt.Errorf("bad bulk length %q", line)
+		}
+		if len(r2) < ln+2 {
+			return nil, buf, nil // bulk body (plus CRLF) not fully buffered
+		}
+		arg := string(r2[:ln])
+		if r2[ln] != '\r' || r2[ln+1] != '\n' {
+			return nil, r2, fmt.Errorf("bulk of %d bytes not CRLF-terminated", ln)
+		}
+		args = append(args, arg)
+		r = r2[ln+2:]
+	}
+	return args, r, nil
+}
+
+// cutLine splits buf at the first LF, returning the line without its
+// (CR)LF and the remainder.
+func cutLine(buf []byte) (line string, rest []byte, ok bool) {
+	for i, b := range buf {
+		if b == '\n' {
+			line = string(buf[:i])
+			return strings.TrimSuffix(line, "\r"), buf[i+1:], true
+		}
+	}
+	return "", buf, false
+}
+
+// command maps one parsed command to a frame, running the MULTI state
+// machine for the transactional forms.
+func (c *respCodec) command(args []string) (*Frame, error) {
+	cmd := strings.ToUpper(args[0])
+	if c.multi {
+		switch cmd {
+		case "EXEC":
+			ops := c.ops
+			dirty := c.dirty
+			c.multi, c.ops, c.dirty = false, nil, false
+			if dirty {
+				return immediate("-EXECABORT transaction discarded because of previous errors\r\n"), nil
+			}
+			if len(ops) == 0 {
+				return immediate("*0\r\n"), nil
+			}
+			return &Frame{
+				cmd: "exec",
+				Req: &web.Request{Method: "GET", Path: c.prefix + "/multi",
+					Query: map[string]string{"ops": strings.Join(ops, ",")}},
+			}, nil
+		case "DISCARD":
+			c.multi, c.ops, c.dirty = false, nil, false
+			return immediate("+OK\r\n"), nil
+		case "MULTI":
+			c.dirty = true
+			return immediate("-ERR MULTI calls can not be nested\r\n"), nil
+		}
+		op, err := queuedOp(cmd, args)
+		if err != nil {
+			c.dirty = true
+			return immediate("-ERR " + err.Error() + "\r\n"), nil
+		}
+		c.ops = append(c.ops, op)
+		return immediate("+QUEUED\r\n"), nil
+	}
+
+	switch cmd {
+	case "PING":
+		return immediate("+PONG\r\n"), nil
+	case "QUIT":
+		f := immediate("+OK\r\n")
+		f.Close = true
+		return f, nil
+	case "MULTI":
+		c.multi = true
+		return immediate("+OK\r\n"), nil
+	case "EXEC", "DISCARD":
+		return immediate("-ERR " + cmd + " without MULTI\r\n"), nil
+	case "GET":
+		if len(args) != 2 {
+			return arityErr(cmd), nil
+		}
+		return &Frame{cmd: "get", Req: &web.Request{Method: "GET", Path: c.prefix,
+			Query: map[string]string{"key": args[1]}}}, nil
+	case "SET":
+		if len(args) != 3 {
+			return arityErr(cmd), nil
+		}
+		return &Frame{cmd: "set", Req: &web.Request{Method: "PUT", Path: c.prefix,
+			Query: map[string]string{"key": args[1], "val": args[2]}}}, nil
+	case "DEL":
+		if len(args) != 2 {
+			return arityErr(cmd), nil
+		}
+		return &Frame{cmd: "del", Req: &web.Request{Method: "DELETE", Path: c.prefix,
+			Query: map[string]string{"key": args[1]}}}, nil
+	case "STATS":
+		return &Frame{cmd: "stats", Req: &web.Request{Method: "GET", Path: c.prefix + "/stats",
+			Query: map[string]string{}}}, nil
+	case "CALL":
+		if len(args) != 2 {
+			return arityErr(cmd), nil
+		}
+		return &Frame{cmd: "call", Req: targetToRequest("GET", args[1])}, nil
+	}
+	return immediate("-ERR unknown command '" + args[0] + "'\r\n"), nil
+}
+
+// queuedOp translates a command inside MULTI into the servlet's compact
+// op spec. The spec's separators are ':' and ',', so they are forbidden
+// in queued keys and values.
+func queuedOp(cmd string, args []string) (string, error) {
+	bad := func(s string) bool { return strings.ContainsAny(s, ":,") }
+	switch cmd {
+	case "GET":
+		if len(args) != 2 {
+			return "", fmt.Errorf("wrong number of arguments for 'GET'")
+		}
+		if bad(args[1]) {
+			return "", fmt.Errorf("':' and ',' not allowed in MULTI keys")
+		}
+		return "r:" + args[1], nil
+	case "SET":
+		if len(args) != 3 {
+			return "", fmt.Errorf("wrong number of arguments for 'SET'")
+		}
+		if bad(args[1]) || bad(args[2]) {
+			return "", fmt.Errorf("':' and ',' not allowed in MULTI keys or values")
+		}
+		return "w:" + args[1] + ":" + args[2], nil
+	case "DEL":
+		if len(args) != 2 {
+			return "", fmt.Errorf("wrong number of arguments for 'DEL'")
+		}
+		if bad(args[1]) {
+			return "", fmt.Errorf("':' and ',' not allowed in MULTI keys")
+		}
+		return "d:" + args[1], nil
+	}
+	return "", fmt.Errorf("command '" + cmd + "' not allowed inside MULTI")
+}
+
+func immediate(s string) *Frame { return &Frame{Immediate: []byte(s)} }
+
+func arityErr(cmd string) *Frame {
+	return immediate("-ERR wrong number of arguments for '" + cmd + "'\r\n")
+}
+
+// AppendResponse encodes the servlet's answer in the reply discipline of
+// the command that produced it.
+func (c *respCodec) AppendResponse(dst []byte, f *Frame, resp web.Response, _ bool) []byte {
+	switch f.cmd {
+	case "get":
+		if resp.Status == 200 {
+			return appendBulk(dst, resp.Body)
+		}
+		if resp.Status == 404 {
+			return append(dst, "$-1\r\n"...)
+		}
+	case "set":
+		if resp.Status == 200 {
+			return append(dst, "+OK\r\n"...)
+		}
+	case "del":
+		if resp.Status == 200 {
+			return append(dst, ":1\r\n"...)
+		}
+		if resp.Status == 404 {
+			return append(dst, ":0\r\n"...)
+		}
+	case "exec":
+		if resp.Status == 200 {
+			return appendExec(dst, resp.Body)
+		}
+	case "stats", "call":
+		if resp.Status == 200 {
+			return appendBulk(dst, resp.Body)
+		}
+	}
+	return appendStatusErr(dst, resp.Status, resp.Body)
+}
+
+// AppendFault encodes a connection-level fault as a RESP error.
+func (c *respCodec) AppendFault(dst []byte, status int, msg string) []byte {
+	return appendStatusErr(dst, status, msg)
+}
+
+// appendExec encodes the servlet's multi response — "COMMITTED" or
+// "ABORTED conflict" on the first line, then one "key=val" or "key!"
+// line per read, in op order — as a RESP array: a status element
+// followed by the read values (null bulk for a missing key).
+func appendExec(dst []byte, body string) []byte {
+	lines := strings.Split(strings.TrimRight(body, "\n"), "\n")
+	dst = fmt.Appendf(dst, "*%d\r\n", len(lines))
+	if strings.HasPrefix(lines[0], "COMMITTED") {
+		dst = append(dst, "+COMMITTED\r\n"...)
+	} else {
+		dst = append(dst, "-ABORTED conflict\r\n"...)
+	}
+	for _, ln := range lines[1:] {
+		if _, val, found := strings.Cut(ln, "="); found {
+			dst = appendBulk(dst, val)
+		} else {
+			dst = append(dst, "$-1\r\n"...) // "key!": read found nothing
+		}
+	}
+	return dst
+}
+
+func appendBulk(dst []byte, s string) []byte {
+	dst = fmt.Appendf(dst, "$%d\r\n", len(s))
+	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// appendStatusErr folds a non-200 servlet status into a RESP error with
+// a recognizable class prefix.
+func appendStatusErr(dst []byte, status int, body string) []byte {
+	class := "ERR"
+	switch status {
+	case 404:
+		class = "NOTFOUND"
+	case 408:
+		class = "TIMEOUT"
+	case 409:
+		class = "CONFLICT"
+	case 503:
+		class = "UNAVAILABLE"
+	}
+	msg := strings.ReplaceAll(strings.TrimSpace(body), "\n", " ")
+	msg = strings.ReplaceAll(msg, "\r", " ")
+	return fmt.Appendf(dst, "-%s %d %s\r\n", class, status, msg)
+}

@@ -1,0 +1,230 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/web"
+)
+
+func respParseAll(t *testing.T, c Codec, input string) []*Frame {
+	t.Helper()
+	var frames []*Frame
+	buf := []byte(input)
+	for {
+		f, rest, err := c.Parse(buf)
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		buf = rest
+		if f == nil {
+			break
+		}
+		frames = append(frames, f)
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d unconsumed bytes: %q", len(buf), buf)
+	}
+	return frames
+}
+
+func TestRESPInlineCommands(t *testing.T) {
+	c := NewRESP("/kv")
+	frames := respParseAll(t, c, "PING\r\nGET a\r\nSET a 1\r\nDEL a\r\nSTATS\r\n\r\nQUIT\r\n")
+	if len(frames) != 6 {
+		t.Fatalf("got %d frames, want 6", len(frames))
+	}
+	if string(frames[0].Immediate) != "+PONG\r\n" {
+		t.Errorf("PING: %q", frames[0].Immediate)
+	}
+	get := frames[1].Req
+	if get == nil || get.Method != "GET" || get.Path != "/kv" || get.Query["key"] != "a" {
+		t.Errorf("GET: %+v", get)
+	}
+	set := frames[2].Req
+	if set == nil || set.Method != "PUT" || set.Query["key"] != "a" || set.Query["val"] != "1" {
+		t.Errorf("SET: %+v", set)
+	}
+	del := frames[3].Req
+	if del == nil || del.Method != "DELETE" || del.Query["key"] != "a" {
+		t.Errorf("DEL: %+v", del)
+	}
+	if frames[4].Req == nil || frames[4].Req.Path != "/kv/stats" {
+		t.Errorf("STATS: %+v", frames[4].Req)
+	}
+	if string(frames[5].Immediate) != "+OK\r\n" || !frames[5].Close {
+		t.Errorf("QUIT: %+v", frames[5])
+	}
+}
+
+func TestRESPMultiBulk(t *testing.T) {
+	c := NewRESP("/kv")
+	input := "*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$5\r\nhello\r\n"
+	// Whole and byte-at-a-time delivery must both yield one SET frame.
+	for _, n := range []int{1, len(input)} {
+		frames := feed(t, NewRESP("/kv"), input, n)
+		if len(frames) != 1 || frames[0].Req == nil {
+			t.Fatalf("chunk=%d: frames %+v", n, frames)
+		}
+		if frames[0].Req.Query["key"] != "k" || frames[0].Req.Query["val"] != "hello" {
+			t.Fatalf("chunk=%d: query %v", n, frames[0].Req.Query)
+		}
+	}
+	// Bulk args may contain spaces — inline args cannot.
+	f, _, err := c.Parse([]byte("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$3\r\na b\r\n"))
+	if err != nil || f == nil || f.Req.Query["val"] != "a b" {
+		t.Fatalf("bulk with space: %+v err=%v", f, err)
+	}
+}
+
+func TestRESPMultiExec(t *testing.T) {
+	c := NewRESP("/kv")
+	frames := respParseAll(t, c, "MULTI\r\nSET a 1\r\nGET b\r\nDEL c\r\nEXEC\r\n")
+	if len(frames) != 5 {
+		t.Fatalf("got %d frames, want 5", len(frames))
+	}
+	for i, want := range []string{"+OK\r\n", "+QUEUED\r\n", "+QUEUED\r\n", "+QUEUED\r\n"} {
+		if string(frames[i].Immediate) != want {
+			t.Errorf("frame %d: %q, want %q", i, frames[i].Immediate, want)
+		}
+	}
+	exec := frames[4]
+	if exec.Req == nil || exec.Req.Path != "/kv/multi" {
+		t.Fatalf("EXEC frame: %+v", exec)
+	}
+	if ops := exec.Req.Query["ops"]; ops != "w:a:1,r:b,d:c" {
+		t.Errorf("ops spec: %q", ops)
+	}
+
+	// EXEC response: committed with one read that hit and the encoding of
+	// the reads is in op order.
+	out := string(c.AppendResponse(nil, exec, web.Response{Status: 200, Body: "COMMITTED\nb=2\n"}, false))
+	if out != "*2\r\n+COMMITTED\r\n$1\r\n2\r\n" {
+		t.Errorf("EXEC encoding: %q", out)
+	}
+	out = string(c.AppendResponse(nil, exec, web.Response{Status: 200, Body: "COMMITTED\nb!\n"}, false))
+	if out != "*2\r\n+COMMITTED\r\n$-1\r\n" {
+		t.Errorf("EXEC missing-read encoding: %q", out)
+	}
+	out = string(c.AppendResponse(nil, exec, web.Response{Status: 200, Body: "ABORTED conflict\n"}, false))
+	if out != "*1\r\n-ABORTED conflict\r\n" {
+		t.Errorf("EXEC abort encoding: %q", out)
+	}
+}
+
+func TestRESPMultiStateMachine(t *testing.T) {
+	c := NewRESP("/kv")
+	// Empty EXEC answers *0 without a dispatch.
+	frames := respParseAll(t, c, "MULTI\r\nEXEC\r\n")
+	if string(frames[1].Immediate) != "*0\r\n" {
+		t.Errorf("empty EXEC: %+v", frames[1])
+	}
+	// DISCARD resets; the next GET is a plain dispatch.
+	frames = respParseAll(t, c, "MULTI\r\nSET a 1\r\nDISCARD\r\nGET a\r\n")
+	if string(frames[2].Immediate) != "+OK\r\n" || frames[3].Req == nil {
+		t.Errorf("DISCARD: %+v / %+v", frames[2], frames[3])
+	}
+	// A bad queued command dirties the transaction: EXEC aborts client-side.
+	frames = respParseAll(t, c, "MULTI\r\nSET a:b 1\r\nSET ok 2\r\nEXEC\r\n")
+	if !strings.HasPrefix(string(frames[1].Immediate), "-ERR") {
+		t.Errorf("bad key: %q", frames[1].Immediate)
+	}
+	if string(frames[2].Immediate) != "+QUEUED\r\n" {
+		t.Errorf("queue after error: %q", frames[2].Immediate)
+	}
+	if !strings.HasPrefix(string(frames[3].Immediate), "-EXECABORT") {
+		t.Errorf("dirty EXEC: %q", frames[3].Immediate)
+	}
+	// EXEC/DISCARD outside MULTI, nested MULTI, unknown commands.
+	frames = respParseAll(t, c, "EXEC\r\nMULTI\r\nMULTI\r\nDISCARD\r\nBOGUS\r\n")
+	for i, want := range []string{"-ERR EXEC", "+OK", "-ERR MULTI calls", "+OK", "-ERR unknown"} {
+		if !strings.HasPrefix(string(frames[i].Immediate), want) {
+			t.Errorf("frame %d: %q, want prefix %q", i, frames[i].Immediate, want)
+		}
+	}
+}
+
+func TestRESPResponses(t *testing.T) {
+	c := NewRESP("/kv")
+	frame := func(cmdline string) *Frame {
+		f, _, err := c.Parse([]byte(cmdline + "\r\n"))
+		if err != nil || f == nil {
+			t.Fatalf("%q: %v", cmdline, err)
+		}
+		return f
+	}
+	cases := []struct {
+		cmd  string
+		resp web.Response
+		want string
+	}{
+		{"GET a", web.Response{Status: 200, Body: "v1"}, "$2\r\nv1\r\n"},
+		{"GET a", web.Response{Status: 404, Body: "no such key\n"}, "$-1\r\n"},
+		{"SET a 1", web.Response{Status: 200, Body: "ok\n"}, "+OK\r\n"},
+		{"SET a 1", web.Response{Status: 409, Body: "conflict\n"}, "-CONFLICT 409 conflict\r\n"},
+		{"DEL a", web.Response{Status: 200, Body: "ok\n"}, ":1\r\n"},
+		{"STATS", web.Response{Status: 200, Body: `{"gets":1}`}, "$10\r\n{\"gets\":1}\r\n"},
+		{"CALL /debug/x", web.Response{Status: 200, Body: "blob"}, "$4\r\nblob\r\n"},
+		{"GET a", web.Response{Status: 503, Body: "store down\n"}, "-UNAVAILABLE 503 store down\r\n"},
+	}
+	for _, tc := range cases {
+		got := string(c.AppendResponse(nil, frame(tc.cmd), tc.resp, false))
+		if got != tc.want {
+			t.Errorf("%s / %d: got %q, want %q", tc.cmd, tc.resp.Status, got, tc.want)
+		}
+	}
+	if got := string(c.AppendFault(nil, 408, "idle timeout")); got != "-TIMEOUT 408 idle timeout\r\n" {
+		t.Errorf("fault: %q", got)
+	}
+}
+
+func TestRESPParseErrors(t *testing.T) {
+	for _, input := range []string{
+		"*x\r\n",
+		"*2\r\nnope\r\n",
+		"*1\r\n$-5\r\n",
+		"*1\r\n$3\r\nabcde\r\n", // bulk not CRLF-terminated at declared length
+		"*999\r\n",
+	} {
+		if _, _, err := NewRESP("/kv").Parse([]byte(input)); err == nil {
+			t.Errorf("%q: want parse error", input)
+		}
+	}
+	// Incomplete frames are not errors.
+	for _, input := range []string{"*2\r\n$3\r\nGET\r\n", "GET partial"} {
+		f, _, err := NewRESP("/kv").Parse([]byte(input))
+		if f != nil || err != nil {
+			t.Errorf("%q: want incomplete, got f=%v err=%v", input, f, err)
+		}
+	}
+	// Blank lines between commands are skipped.
+	frames := respParseAll(t, NewRESP("/kv"), "\r\n\r\nPING\r\n")
+	if len(frames) != 1 || string(frames[0].Immediate) != "+PONG\r\n" {
+		t.Errorf("blank-line skip: %+v", frames)
+	}
+}
+
+func TestWireNew(t *testing.T) {
+	for _, name := range []string{"", "http", "http/1.1"} {
+		fac, err := New(name, Options{})
+		if err != nil || fac().Name() != "http/1.1" {
+			t.Errorf("New(%q): %v", name, err)
+		}
+	}
+	fac, err := New("resp", Options{})
+	if err != nil || fac().Name() != "resp" {
+		t.Fatalf("New(resp): %v", err)
+	}
+	// Factories mint independent codecs: MULTI state must not leak.
+	a, b := fac(), fac()
+	if f, _, _ := a.Parse([]byte("MULTI\r\n")); f == nil {
+		t.Fatal("MULTI on a")
+	}
+	f, _, _ := b.Parse([]byte("GET k\r\n"))
+	if f == nil || f.Req == nil {
+		t.Fatalf("codec b leaked MULTI state: %+v", f)
+	}
+	if _, err := New("gopher", Options{}); err == nil {
+		t.Error("New(gopher): want error")
+	}
+}
