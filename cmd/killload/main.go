@@ -706,8 +706,28 @@ func main() {
 		protocols = flag.String("protocols", "http,resp", "comma-separated wire protocols to sweep")
 		fence     = flag.Float64("fence", 0, "max allowed storm goodput loss in percent; exceeded = exit nonzero (0 disables)")
 		seed      = flag.Int64("seed", 1, "root rng seed")
+		overload  = flag.Bool("overload", false, "run the overload/drain suite (adaptive admission sweep + rolling shard drain) instead of the latency sweep")
+		olFence   = flag.Bool("overload-fence", false, "with -overload: enforce the priority/goodput fences and drain oracles as exit status")
 	)
 	flag.Parse()
+
+	if *overload {
+		if !flagSet("out") {
+			*out = "BENCH_overload.json"
+		}
+		legDur := *dur
+		if !flagSet("dur") {
+			legDur = 3 * time.Second
+			if *quick {
+				legDur = time.Second
+			}
+		}
+		if bad := runOverloadSuite(*out, legDur, *quick, *olFence, *seed); bad > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %d overload oracles/fences violated\n", bad)
+			os.Exit(1)
+		}
+		return
+	}
 
 	connsList := []int{}
 	for _, s := range strings.Split(*connsFlag, ",") {

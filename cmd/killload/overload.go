@@ -1,0 +1,624 @@
+package main
+
+// The overload and live-operations suite (-overload): instead of the
+// latency sweep, drive the self-hosted fleet past its capacity and
+// record goodput-vs-offered-load curves with and without adaptive
+// admission, then roll a live drain across every shard under traffic.
+//
+// The serving fleet is sized to a known capacity (shards × slots ×
+// 1/service-time), and each leg offers a multiple of it as open-loop
+// load on fresh connections — the accept queue is where sojourn
+// accumulates, which is exactly the signal the admission controller
+// watches. Requests carry a class mix (admin status reads, normal work,
+// bulk work); goodput counts a request only if it succeeded within the
+// SLA, measured from its intended send time.
+//
+//   - static mode: the seed behavior — a fixed MaxPending cliff. Past
+//     capacity the queue holds ~MaxPending conns and every admitted
+//     request pays the full queue delay, blowing the SLA: goodput
+//     collapses even though the server is "up".
+//   - adaptive mode: MaxPending unlimited, AdmitTarget engaged. The
+//     controller sheds (bulk outright, normal paced, admin never) to
+//     hold queue sojourn near the target, so admitted requests stay
+//     inside the SLA and goodput holds near capacity however much is
+//     offered.
+//
+// The drain leg runs keep-alive workers at comfortable load while every
+// shard in turn is retired and replaced (DrainShard). Oracles: every
+// drain returns nil, no session is killed, no response frame is torn,
+// and the workers' error count stays zero — a rolling restart nobody
+// noticed.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"os"
+	goruntime "runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsvc"
+	"repro/internal/web"
+)
+
+const (
+	olShards    = 2
+	olSlots     = 2  // MaxConns per shard
+	olServiceMs = 20 // /work handler hold time
+	// capacity = shards * slots / service = 2*2/20ms = 200 rps
+	olCapacityRPS = float64(olShards*olSlots) * 1000 / olServiceMs
+	olSLA         = 100 * time.Millisecond
+	olAdmitTarget = 5 * time.Millisecond
+	olAdmitIvl    = 50 * time.Millisecond
+)
+
+type overloadRow struct {
+	Mode             string  `json:"mode"` // static | adaptive
+	OfferedMult      float64 `json:"offered_x_capacity"`
+	OfferedRPS       float64 `json:"offered_rps"`
+	AchievedRPS      float64 `json:"achieved_rps"` // responses of any kind
+	GoodputRPS       float64 `json:"goodput_rps"`  // 200s within the SLA
+	GoodputPct       float64 `json:"goodput_pct"`  // goodput / offered
+	AdminGoodputPct  float64 `json:"admin_goodput_pct"`
+	NormalGoodputPct float64 `json:"normal_goodput_pct"`
+	BulkGoodputPct   float64 `json:"bulk_goodput_pct"`
+	P50us            int64   `json:"p50_us"` // successful requests, all classes
+	P99us            int64   `json:"p99_us"`
+	AdminP99us       int64   `json:"admin_p99_us"`
+	ShedClient       int64   `json:"shed_client"`     // 503s observed by clients
+	Errors           int64   `json:"errors"`          // dial/read failures, timeouts
+	ServerAdmShed    int64   `json:"server_adm_shed"` // admission refusals
+	ServerShed       int64   `json:"server_shed"`     // static-cliff refusals
+	ServerAdmBulk    int64   `json:"server_adm_shed_bulk"`
+	SojournEWMAus    int64   `json:"sojourn_ewma_us"`
+	DurationMs       int64   `json:"duration_ms"`
+}
+
+type drainRow struct {
+	Shards        int      `json:"shards"`
+	Requests      int64    `json:"requests"`
+	Served        int64    `json:"served"`
+	Refused       int64    `json:"refused"` // 503s: shutdown faults, admission
+	CleanEOF      int64    `json:"clean_eof"`
+	Torn          int64    `json:"torn_frames"`
+	TornDetail    []string `json:"torn_detail,omitempty"`
+	Errors        int64    `json:"errors"`
+	DrainErrors   []string `json:"drain_errors"`
+	ShardsDrained int64    `json:"shards_drained"`
+	Killed        int64    `json:"killed"`
+	Migrated      int64    `json:"migrated"`
+	GoodputRPS    float64  `json:"goodput_rps"`
+	P99us         int64    `json:"p99_us"`
+	DurationMs    int64    `json:"duration_ms"`
+}
+
+type overloadReport struct {
+	Suite       string         `json:"suite"`
+	Description string         `json:"description"`
+	Recorded    string         `json:"recorded"`
+	Environment map[string]any `json:"environment"`
+	CapacityRPS float64        `json:"capacity_rps"`
+	SLAms       int64          `json:"sla_ms"`
+	Overload    []overloadRow  `json:"overload"`
+	Drain       drainRow       `json:"drain"`
+}
+
+// startWorkFleet hosts the overload fleet: a /work?ms=N route that holds
+// a serving slot for N milliseconds — pure queueing, no store.
+func startWorkFleet(cfg netsvc.Config) (*netsvc.ShardedServer, error) {
+	return netsvc.ServeSharded(cfg, func(th *core.Thread, shard int) *web.Server {
+		ws := web.NewServer(th)
+		ws.Handle("/work", func(x *core.Thread, _ *web.Session, req *web.Request) web.Response {
+			ms := olServiceMs
+			if v, ok := req.Query["ms"]; ok {
+				fmt.Sscanf(v, "%d", &ms)
+			}
+			if err := core.Sleep(x, time.Duration(ms)*time.Millisecond); err != nil {
+				return web.Response{Status: 500, Body: "interrupted\n"}
+			}
+			return web.Response{Status: 200, Body: "done\n"}
+		})
+		return ws
+	})
+}
+
+// olResult is one request's outcome, folded by the leg's collector.
+type olResult struct {
+	class   netsvc.Priority
+	us      int64 // completion latency from the intended tick
+	outcome int   // 0 ok, 1 shed (503), 2 error
+}
+
+// oneOverloadRequest fires one fresh-connection HTTP request and
+// classifies the answer.
+func oneOverloadRequest(addr, target string, intended time.Time) (int, int64) {
+	c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return 2, 0
+	}
+	defer c.Close()
+	_ = c.SetDeadline(time.Now().Add(3 * time.Second))
+	if _, err := fmt.Fprintf(c, "GET %s HTTP/1.0\r\n\r\n", target); err != nil {
+		return 2, 0
+	}
+	code, _, err := readHTTPResponse(bufio.NewReader(c))
+	us := time.Since(intended).Microseconds()
+	switch {
+	case err != nil:
+		return 2, 0
+	case code == 200:
+		return 0, us
+	case code == 503:
+		return 1, us
+	default:
+		return 2, 0
+	}
+}
+
+// runOverloadLeg drives one (mode, offered-load) point.
+func runOverloadLeg(mode string, mult float64, dur time.Duration, seed int64) (overloadRow, error) {
+	offered := mult * olCapacityRPS
+	row := overloadRow{
+		Mode:        mode,
+		OfferedMult: mult,
+		OfferedRPS:  offered,
+		DurationMs:  dur.Milliseconds(),
+	}
+	cfg := netsvc.Config{
+		MaxConns:    olSlots,
+		Shards:      olShards,
+		IdleTimeout: 30 * time.Second,
+		Protocol:    "http",
+	}
+	if mode == "adaptive" {
+		cfg.MaxPending = -1 // no cliff: the controller is the only shedder
+		cfg.AdmitTarget = olAdmitTarget
+		cfg.AdmitInterval = olAdmitIvl
+	} else {
+		cfg.MaxPending = 16 // the seed's static cliff, per shard
+	}
+	m, err := startWorkFleet(cfg)
+	if err != nil {
+		return row, err
+	}
+	defer func() { _ = m.Shutdown(2 * time.Second) }()
+	addr := m.Addr().String()
+
+	// Collector: per-class tallies and latency histograms.
+	type tally struct {
+		sent, ok, shed, errs int64
+		okInSLA              int64
+		h                    hist
+	}
+	tallies := map[netsvc.Priority]*tally{
+		netsvc.ClassAdmin:  {},
+		netsvc.ClassNormal: {},
+		netsvc.ClassBulk:   {},
+	}
+	results := make(chan olResult, 1024)
+	collectDone := make(chan struct{})
+	go func() {
+		defer close(collectDone)
+		for r := range results {
+			tl := tallies[r.class]
+			switch r.outcome {
+			case 0:
+				tl.ok++
+				tl.h.add(r.us)
+				if r.us <= olSLA.Microseconds() {
+					tl.okInSLA++
+				}
+			case 1:
+				tl.shed++
+			default:
+				tl.errs++
+			}
+		}
+	}()
+
+	// Open-loop schedule: every interval one request launches, whatever
+	// happened to the previous ones. The class mix is fixed: 10% admin
+	// status reads, 60% normal work, 30% bulk work.
+	rng := rand.New(rand.NewSource(seed))
+	interval := time.Duration(float64(time.Second) / offered)
+	sem := make(chan struct{}, 1024)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stopAt := start.Add(dur)
+	next := start
+	for next.Before(stopAt) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		intended := next
+		next = next.Add(interval)
+		var class netsvc.Priority
+		var target string
+		switch p := rng.Float64(); {
+		case p < 0.10:
+			class, target = netsvc.ClassAdmin, "/debug/killsafe/stats"
+		case p < 0.70:
+			class, target = netsvc.ClassNormal, fmt.Sprintf("/work?ms=%d", olServiceMs)
+		default:
+			class, target = netsvc.ClassBulk, fmt.Sprintf("/work?ms=%d&class=bulk", olServiceMs)
+		}
+		tallies[class].sent++
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(class netsvc.Priority, target string, intended time.Time) {
+			defer func() { <-sem; wg.Done() }()
+			outcome, us := oneOverloadRequest(addr, target, intended)
+			results <- olResult{class: class, us: us, outcome: outcome}
+		}(class, target, intended)
+	}
+	wg.Wait()
+	close(results)
+	<-collectDone
+	elapsed := time.Since(start)
+
+	st := m.Stats()
+	var all hist
+	var sent, ok, okSLA, shed, errs int64
+	for _, tl := range tallies {
+		sent += tl.sent
+		ok += tl.ok
+		okSLA += tl.okInSLA
+		shed += tl.shed
+		errs += tl.errs
+		all.merge(&tl.h)
+	}
+	pct := func(tl *tally) float64 {
+		if tl.sent == 0 {
+			return 100
+		}
+		return 100 * float64(tl.okInSLA) / float64(tl.sent)
+	}
+	row.AchievedRPS = float64(ok+shed) / elapsed.Seconds()
+	row.GoodputRPS = float64(okSLA) / elapsed.Seconds()
+	row.GoodputPct = 100 * float64(okSLA) / float64(sent)
+	row.AdminGoodputPct = pct(tallies[netsvc.ClassAdmin])
+	row.NormalGoodputPct = pct(tallies[netsvc.ClassNormal])
+	row.BulkGoodputPct = pct(tallies[netsvc.ClassBulk])
+	row.P50us = all.quantile(0.50)
+	row.P99us = all.quantile(0.99)
+	row.AdminP99us = tallies[netsvc.ClassAdmin].h.quantile(0.99)
+	row.ShedClient = shed
+	row.Errors = errs
+	row.ServerAdmShed = st.AdmShed
+	row.ServerShed = st.Shed
+	row.ServerAdmBulk = st.AdmShedBulk
+	row.SojournEWMAus = st.SojournEWMAus
+	row.DurationMs = elapsed.Milliseconds()
+	return row, nil
+}
+
+// readHTTPResponseTorn reads one response like readHTTPResponse but also
+// reports whether a failure tore a frame: an EOF on a clean response
+// boundary (no bytes of a new response consumed) is a clean disconnect;
+// any failure after the first byte of a response is a torn frame.
+func readHTTPResponseTorn(br *bufio.Reader) (code int, cleanEOF bool, err error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return 0, line == "" && (err == io.EOF || strings.Contains(err.Error(), "reset")), err
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return 0, false, fmt.Errorf("bad status line %q", line)
+	}
+	if _, err := fmt.Sscanf(fields[1], "%d", &code); err != nil {
+		return 0, false, fmt.Errorf("bad status code in %q", line)
+	}
+	contentLn := -1
+	for {
+		h, err := br.ReadString('\n')
+		if err != nil {
+			return 0, false, err // torn mid-headers
+		}
+		h = strings.TrimRight(h, "\r\n")
+		if h == "" {
+			break
+		}
+		if k, v, ok := strings.Cut(h, ":"); ok && strings.EqualFold(k, "Content-Length") {
+			fmt.Sscanf(strings.TrimSpace(v), "%d", &contentLn)
+		}
+	}
+	if contentLn < 0 {
+		return 0, false, fmt.Errorf("response without Content-Length")
+	}
+	if _, err := io.ReadFull(br, make([]byte, contentLn)); err != nil {
+		return 0, false, err // torn mid-body
+	}
+	return code, false, nil
+}
+
+// runDrainLeg rolls a live drain across every shard while keep-alive
+// workers load the fleet, and checks the zero-harm oracles.
+func runDrainLeg(dur, grace time.Duration) (drainRow, error) {
+	// Slot headroom is a precondition for zero-downtime drain, same as
+	// any rolling restart: while one of the two shards is out, the other
+	// must be able to seat every displaced keep-alive connection, so the
+	// leg runs 6 workers against 8 slots. (At 100% slot occupancy a
+	// displaced conn queues behind seated sessions that never leave —
+	// slot occupancy is governed by backpressure, not shedding, because
+	// a refusal at the slot queue would necessarily be class-blind: the
+	// request, and with it the priority class, cannot be read until a
+	// session claims the conn.)
+	const (
+		shards    = 2
+		workers   = 6
+		serviceMs = 5
+		rps       = 300 // well under the fleet's 8-slot/5ms capacity
+	)
+	row := drainRow{Shards: shards, DrainErrors: []string{}}
+	m, err := startWorkFleet(netsvc.Config{
+		MaxConns:    4,
+		MaxPending:  -1,
+		AdmitTarget: olAdmitTarget,
+		Shards:      shards,
+		IdleTimeout: 30 * time.Second,
+		Protocol:    "http",
+	})
+	if err != nil {
+		return row, err
+	}
+	defer func() { _ = m.Shutdown(2 * time.Second) }()
+	addr := m.Addr().String()
+
+	var requests, served, servedInSLA, refused, cleanEOF, torn, errsN atomic.Int64
+	var histMu sync.Mutex
+	var h hist
+	var tornMu sync.Mutex
+	var tornDetail []string
+	start := time.Now()
+	stopAt := start.Add(dur)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			interval := time.Duration(workers) * time.Second / rps
+			var c net.Conn
+			var br *bufio.Reader
+			dial := func() bool {
+				for time.Now().Before(stopAt) {
+					cc, err := net.DialTimeout("tcp", addr, 2*time.Second)
+					if err == nil {
+						c, br = cc, bufio.NewReader(cc)
+						return true
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				return false
+			}
+			if !dial() {
+				return
+			}
+			defer func() { _ = c.Close() }()
+			connReqs := 0
+			next := start.Add(time.Duration(w) * interval / workers)
+			for {
+				now := time.Now()
+				if !now.Before(stopAt) {
+					return
+				}
+				if now.Before(next) {
+					time.Sleep(next.Sub(now))
+				}
+				intended := next
+				next = next.Add(interval)
+				requests.Add(1)
+				connReqs++
+				_ = c.SetDeadline(time.Now().Add(5 * time.Second))
+				if _, err := fmt.Fprintf(c, "GET /work?ms=%d HTTP/1.1\r\n\r\n", serviceMs); err != nil {
+					// Write to a conn the drain already closed: clean, redial.
+					cleanEOF.Add(1)
+					_ = c.Close()
+					if !dial() {
+						return
+					}
+					connReqs = 0
+					continue
+				}
+				code, clean, err := readHTTPResponseTorn(br)
+				switch {
+				case err != nil && clean:
+					cleanEOF.Add(1)
+					_ = c.Close()
+					if !dial() {
+						return
+					}
+					connReqs = 0
+				case err != nil:
+					torn.Add(1)
+					tornMu.Lock()
+					if len(tornDetail) < 8 {
+						tornDetail = append(tornDetail,
+							fmt.Sprintf("w%d t=%s connReqs=%d: %v", w, time.Since(start).Round(time.Millisecond), connReqs, err))
+					}
+					tornMu.Unlock()
+					_ = c.Close()
+					if !dial() {
+						return
+					}
+					connReqs = 0
+				case code == 200:
+					served.Add(1)
+					us := time.Since(intended).Microseconds()
+					if us <= olSLA.Microseconds() {
+						servedInSLA.Add(1)
+					}
+					histMu.Lock()
+					h.add(us)
+					histMu.Unlock()
+				case code == 503:
+					// Shutdown fault from a draining shard (Connection:
+					// close) or an admission shed: refused, not failed.
+					refused.Add(1)
+					_ = c.Close()
+					if !dial() {
+						return
+					}
+					connReqs = 0
+				default:
+					errsN.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Let the load establish, then roll the drain across every shard.
+	time.Sleep(dur / 5)
+	for i := 0; i < shards; i++ {
+		if err := m.DrainShard(i, grace); err != nil {
+			row.DrainErrors = append(row.DrainErrors, fmt.Sprintf("shard %d: %v", i, err))
+		}
+		time.Sleep(dur / 10)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st := m.Stats()
+	row.Requests = requests.Load()
+	row.Served = served.Load()
+	row.Refused = refused.Load()
+	row.CleanEOF = cleanEOF.Load()
+	row.Torn = torn.Load()
+	row.TornDetail = tornDetail
+	row.Errors = errsN.Load()
+	row.ShardsDrained = st.ShardsDrained
+	row.Killed = st.Killed
+	row.Migrated = st.Migrated
+	row.GoodputRPS = float64(servedInSLA.Load()) / elapsed.Seconds()
+	row.P99us = h.quantile(0.99)
+	row.DurationMs = elapsed.Milliseconds()
+	return row, nil
+}
+
+// runOverloadSuite is the -overload entry point. Returns the number of
+// failed oracles/fences (0 = pass).
+func runOverloadSuite(out string, dur time.Duration, quick, fenceOn bool, seed int64) int {
+	multiples := []float64{0.5, 0.9, 2, 3}
+	drainDur := 3 * dur
+	if quick {
+		multiples = []float64{0.9, 2}
+		drainDur = 2 * dur
+	}
+
+	var rows []overloadRow
+	for _, mode := range []string{"static", "adaptive"} {
+		for i, mult := range multiples {
+			row, err := runOverloadLeg(mode, mult, dur, seed+int64(i))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "killload: overload leg %s %.1fx: %v\n", mode, mult, err)
+				os.Exit(1)
+			}
+			rows = append(rows, row)
+			fmt.Fprintf(os.Stderr,
+				"[overload] %-8s %.1fx (%4.0f rps): goodput %5.0f rps (%5.1f%%) admin %5.1f%% normal %5.1f%% bulk %5.1f%% p99=%dus adminp99=%dus shed=%d admShed=%d errs=%d\n",
+				row.Mode, row.OfferedMult, row.OfferedRPS, row.GoodputRPS, row.GoodputPct,
+				row.AdminGoodputPct, row.NormalGoodputPct, row.BulkGoodputPct,
+				row.P99us, row.AdminP99us, row.ShedClient, row.ServerAdmShed, row.Errors)
+		}
+	}
+
+	drain, err := runDrainLeg(drainDur, 2*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "killload: drain leg: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr,
+		"[drain] %d shards drained under %d reqs: served=%d refused=%d cleanEOF=%d torn=%d errs=%d killed=%d migrated=%d drainErrs=%d\n",
+		drain.ShardsDrained, drain.Requests, drain.Served, drain.Refused, drain.CleanEOF,
+		drain.Torn, drain.Errors, drain.Killed, drain.Migrated, len(drain.DrainErrors))
+
+	bad := 0
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "FAIL: "+format+"\n", args...)
+		bad++
+	}
+	// Drain oracles always apply: a rolling drain nobody noticed.
+	if len(drain.DrainErrors) > 0 {
+		fail("drain errors: %v", drain.DrainErrors)
+	}
+	if drain.ShardsDrained != int64(drain.Shards) {
+		fail("shards_drained = %d, want %d", drain.ShardsDrained, drain.Shards)
+	}
+	if drain.Torn != 0 {
+		fail("%d torn frames during drain: %v", drain.Torn, drain.TornDetail)
+	}
+	if drain.Killed != 0 {
+		fail("%d sessions killed during drain", drain.Killed)
+	}
+	if drain.Errors != 0 {
+		fail("%d request errors during drain", drain.Errors)
+	}
+	if fenceOn {
+		// The CI fence: at 2x capacity with adaptive admission, the
+		// admin class rides through (>=95% goodput), bulk shedding is
+		// engaged, and total goodput holds within 20% of the adaptive
+		// peak across the sweep.
+		var peak float64
+		var at2x *overloadRow
+		for i := range rows {
+			if rows[i].Mode != "adaptive" {
+				continue
+			}
+			if rows[i].GoodputRPS > peak {
+				peak = rows[i].GoodputRPS
+			}
+			if rows[i].OfferedMult >= 2 && at2x == nil {
+				at2x = &rows[i]
+			}
+		}
+		switch {
+		case at2x == nil:
+			fail("no adaptive >=2x leg in sweep")
+		default:
+			if at2x.AdminGoodputPct < 95 {
+				fail("admin goodput at 2x = %.1f%%, fence 95%%", at2x.AdminGoodputPct)
+			}
+			if at2x.ServerAdmBulk == 0 {
+				fail("bulk shedding never engaged at 2x capacity")
+			}
+			if at2x.GoodputRPS < 0.8*peak {
+				fail("adaptive goodput at 2x = %.0f rps, fence 80%% of peak %.0f", at2x.GoodputRPS, peak)
+			}
+		}
+	}
+
+	rep := overloadReport{
+		Suite:       "wire-overload",
+		Description: "E24: adaptive overload control and zero-downtime shard drain. Overload legs self-host the sharded kill-safe server with a fixed-capacity /work route (shards x slots / service time) and offer open-loop load at multiples of capacity on fresh connections, with a 10/60/30 admin/normal/bulk class mix; goodput counts 200s within the SLA measured from intended send time. static mode is the seed's fixed MaxPending cliff; adaptive mode replaces it with the CoDel-style admission controller (target sojourn, per-class policy: admin never shed, normal paced, bulk outright). The drain leg rolls DrainShard across every shard under keep-alive load; oracles: all drains succeed, zero killed sessions, zero torn frames, zero request errors.",
+		Recorded:    time.Now().Format("2006-01-02"),
+		Environment: map[string]any{
+			"goos":       goruntime.GOOS,
+			"goarch":     goruntime.GOARCH,
+			"cpus":       goruntime.NumCPU(),
+			"gomaxprocs": goruntime.GOMAXPROCS(0),
+			"go":         goruntime.Version(),
+			"command":    fmt.Sprintf("go run ./cmd/killload -overload -dur %s (quick=%v)", dur, quick),
+		},
+		CapacityRPS: olCapacityRPS,
+		SLAms:       olSLA.Milliseconds(),
+		Overload:    rows,
+		Drain:       drain,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "killload: marshal:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "killload: write:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%d overload legs + drain -> %s\n", len(rows), out)
+	return bad
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+)
+
+// A short end-to-end pass of the drain leg: rolling drain of every shard
+// under keep-alive load with the zero-harm oracles. This is the same
+// code path the -overload suite runs, at smoke duration.
+func TestDrainLegSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time load leg")
+	}
+	dur := 1500 * time.Millisecond
+	if v := os.Getenv("KILLLOAD_DRAIN_DUR"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			dur = d
+		}
+	}
+	row, err := runDrainLeg(dur, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row.DrainErrors) > 0 {
+		t.Errorf("drain errors: %v", row.DrainErrors)
+	}
+	if row.ShardsDrained != int64(row.Shards) {
+		t.Errorf("shards_drained = %d, want %d", row.ShardsDrained, row.Shards)
+	}
+	if row.Torn != 0 {
+		t.Errorf("%d torn frames: %v", row.Torn, row.TornDetail)
+	}
+	if row.Killed != 0 {
+		t.Errorf("%d sessions killed", row.Killed)
+	}
+	if row.Errors != 0 {
+		t.Errorf("%d request errors", row.Errors)
+	}
+	if row.Served == 0 {
+		t.Error("no requests served during the drain leg")
+	}
+}

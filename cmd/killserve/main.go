@@ -57,12 +57,14 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/abstractions/kvtxn"
 	"repro/internal/core"
 	"repro/internal/netsvc"
+	"repro/internal/obs"
 	"repro/internal/web"
 )
 
@@ -72,7 +74,11 @@ import (
 // gateway is shared: every shard mounts the same gw, so /kv reads and
 // writes hit one transactional store regardless of which shard (or
 // which protocol) carried the request.
-func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int, gw *kvtxn.Gateway) {
+// The fleet pointer is late-bound: ServeSharded runs setup (and thus
+// buildRoutes) before it returns the *ShardedServer, so the /admin/drain
+// closure loads it at request time.
+func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int, gw *kvtxn.Gateway,
+	fleet *atomic.Pointer[netsvc.ShardedServer], grace time.Duration) {
 	kvtxn.Mount(ws, gw, "/kv")
 	ws.Handle("/", func(_ *core.Thread, _ *web.Session, _ *web.Request) web.Response {
 		return web.Response{Status: 200, Body: strings.Join([]string{
@@ -82,6 +88,7 @@ func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int, gw *kvtxn.
 			"  /whoami              this connection's session ID (and shard)",
 			"  /admin/sessions      live session IDs on this shard ('you' is this request's own)",
 			"  /admin/kill?id=N     terminate session N mid-request (this shard only)",
+			"  /admin/drain?shard=N retire shard N's runtime and hand off to a replacement (sharded mode)",
 			"  /kv?key=K            transactional KV store (PUT/DELETE too; shared across shards)",
 			"  /kv/multi?ops=...    atomic batch (w:k:v,r:k,d:k)",
 			"  /kv/stats            store commit/abort counters",
@@ -137,6 +144,25 @@ func buildRoutes(rt *core.Runtime, ws *web.Server, shard, shards int, gw *kvtxn.
 		}
 		return web.Response{Status: 200, Body: fmt.Sprintf("terminated session %d%s\n", id, note)}
 	})
+	ws.Handle("/admin/drain", func(_ *core.Thread, _ *web.Session, req *web.Request) web.Response {
+		m := fleet.Load()
+		if m == nil {
+			return web.Response{Status: 400, Body: "live drain requires -shards > 1\n"}
+		}
+		n, err := strconv.Atoi(req.Query["shard"])
+		if err != nil || n < 0 || n >= m.NumShards() {
+			return web.Response{Status: 400, Body: "usage: /admin/drain?shard=N\n"}
+		}
+		// The handoff waits for in-flight sessions — possibly including
+		// this one — so it must not run on a serving thread: fire it from
+		// plain Go and answer 202 immediately.
+		go func() {
+			if err := m.DrainShard(n, grace); err != nil {
+				fmt.Fprintf(os.Stderr, "killserve: drain shard %d: %v\n", n, err)
+			}
+		}()
+		return web.Response{Status: 202, Body: fmt.Sprintf("draining shard %d (grace %s)\n", n, grace)}
+	})
 }
 
 func main() {
@@ -150,6 +176,8 @@ func main() {
 	admin := flag.String("admin", "", "out-of-band admin listen address serving /debug/killsafe/{stats,trace,custodians} and /debug/vars (empty disables)")
 	recorder := flag.Int("flight-recorder", 0, "flight-recorder ring size per shard for /debug/killsafe/trace (0 disables, negative = default size)")
 	protocol := flag.String("protocol", "http", "wire protocol spoken on the listener: http (HTTP/1.1 keep-alive) or resp (Redis serialization protocol; GET/SET/DEL/MULTI/EXEC map onto /kv)")
+	admitTarget := flag.Duration("admit-target", 0, "adaptive admission queue-delay target: sustained sojourn above it sheds by class — admin never, normal paced, bulk outright (0 disables; try 5ms)")
+	drainEvery := flag.Duration("drain-interval", 0, "rolling live drain: every interval retire the next shard in rotation and hand off to a fresh runtime (0 disables; requires -shards > 1)")
 	flag.Parse()
 
 	cfg := netsvc.Config{
@@ -161,6 +189,7 @@ func main() {
 		Shards:         *shards,
 		FlightRecorder: *recorder,
 		Protocol:       *protocol,
+		AdmitTarget:    *admitTarget,
 	}
 
 	// One transactional store behind a Gateway, shared by every shard and
@@ -211,39 +240,74 @@ func main() {
 	}
 
 	if *shards > 1 {
-		m, err := netsvc.ServeSharded(cfg, func(th *core.Thread, shard int) *web.Server {
-			if shard == 0 {
-				// The store lives on shard 0's runtime; the other shards
-				// (and plain-Go callers) reach it through the gateway.
+		var fleet atomic.Pointer[netsvc.ShardedServer]
+		// The store lives on its own runtime, outside the serving shards:
+		// a shard drain retires the shard's whole runtime, and the store
+		// must outlive whichever engine happens to carry its requests.
+		storeRt := core.NewRuntime()
+		storeStop := core.NewExternal(storeRt)
+		storeReady := make(chan struct{})
+		storeDone := make(chan struct{})
+		go func() {
+			defer close(storeDone)
+			_ = storeRt.Run(func(th *core.Thread) {
 				gw.Bind(th, kvtxn.NewWith(th, kvtxn.Options{
 					Strategy: kvtxn.Locking,
 					Shards:   8,
 					LockWait: 50 * time.Millisecond,
 				}))
-			}
+				close(storeReady)
+				for {
+					if _, err := core.Sync(th, storeStop.Evt()); err == nil {
+						return
+					}
+				}
+			})
+		}()
+		<-storeReady
+		m, err := netsvc.ServeSharded(cfg, func(th *core.Thread, shard int) *web.Server {
 			ws := web.NewServer(th)
-			buildRoutes(th.Runtime(), ws, shard, *shards, gw)
+			buildRoutes(th.Runtime(), ws, shard, *shards, gw, &fleet, *grace)
 			return ws
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "killserve: %v\n", err)
 			os.Exit(1)
 		}
+		fleet.Store(m)
 		fmt.Printf("killserve: listening on %s://%s (shards=%d, max-conns=%d/shard, idle-timeout=%s)\n",
 			*protocol, m.Addr(), *shards, *maxConns, *idle)
 		startAdmin(m.Shard(0))
+		// The fleet aggregate (admission gauges, drain counters included)
+		// as one expvar document; the publisher re-reads through m on
+		// every render, so it tracks engines across drains.
+		obs.PublishExpvarFunc("killsafe.serving", func() any { return m.Stats() })
+		if *drainEvery > 0 {
+			go func() {
+				for i := 0; ; i++ {
+					time.Sleep(*drainEvery)
+					if err := m.DrainShard(i%*shards, *grace); err != nil {
+						return // fleet shutting down
+					}
+				}
+			}()
+			fmt.Printf("killserve: rolling drain every %s across %d shards\n", *drainEvery, *shards)
+		}
 		v := <-sigc
 		fmt.Printf("killserve: received %v, draining %d shards (grace %s)...\n", v, *shards, *grace)
 		if err := m.Shutdown(*grace); err != nil {
 			fmt.Fprintf(os.Stderr, "killserve: shutdown: %v\n", err)
 		}
+		storeStop.Complete(core.Unit{})
+		<-storeDone
+		storeRt.Shutdown()
 		// The counters are plain atomics on each shard's Server, so the
 		// per-shard breakdown stays readable after the runtimes are down —
 		// and includes the sessions the drain itself had to kill.
 		perShard := m.ShardStats()
 		st := m.Stats()
-		fmt.Printf("killserve: done — accepted=%d drained=%d killed=%d timed_out=%d rejected=%d shed=%d deadlined=%d restarts=%d\n",
-			st.Accepted, st.Drained, st.Killed, st.TimedOut, st.Rejected, st.Shed, st.Deadlined, st.Restarts)
+		fmt.Printf("killserve: done — accepted=%d drained=%d killed=%d timed_out=%d rejected=%d shed=%d adm_shed=%d migrated=%d shards_drained=%d deadlined=%d restarts=%d\n",
+			st.Accepted, st.Drained, st.Killed, st.TimedOut, st.Rejected, st.Shed, st.AdmShed, st.Migrated, st.ShardsDrained, st.Deadlined, st.Restarts)
 		for i, ss := range perShard {
 			fmt.Printf("killserve:   shard %d — accepted=%d drained=%d killed=%d timed_out=%d rejected=%d shed=%d deadlined=%d restarts=%d\n",
 				i, ss.Accepted, ss.Drained, ss.Killed, ss.TimedOut, ss.Rejected, ss.Shed, ss.Deadlined, ss.Restarts)
@@ -260,7 +324,8 @@ func main() {
 			LockWait: 50 * time.Millisecond,
 		}))
 		ws := web.NewServer(th)
-		buildRoutes(rt, ws, 0, 1, gw)
+		var noFleet atomic.Pointer[netsvc.ShardedServer] // stays nil: no live drain unsharded
+		buildRoutes(rt, ws, 0, 1, gw, &noFleet, *grace)
 
 		s, err := netsvc.Serve(th, ws, cfg)
 		if err != nil {

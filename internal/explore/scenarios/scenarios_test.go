@@ -43,6 +43,11 @@ func TestRecordedTracesReplay(t *testing.T) {
 		// pipelined response stream; the client sees a whole, in-order
 		// frame prefix and never a torn byte.
 		{"pipeline-kill-midwrite.trace", explore.StatusPass},
+		// netsvc drain in miniature: the drain driver killed between
+		// handoff steps while the escrow works a queue whose custodian
+		// is already down; the reaper finishes the drain and every job
+		// is served exactly once, in order.
+		{"drain-kill-midhandoff.trace", explore.StatusPass},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -32,14 +32,19 @@ type adminStats struct {
 }
 
 // adminServers returns the servers the admin document covers: every
-// shard of the fleet, or just this server when unsharded.
+// live shard engine of the fleet, or just this server when unsharded.
+// Engines retired by DrainShard are excluded — their counters live in
+// the fleet's retired fold, which AdminStatsJSON adds separately.
 func (s *Server) adminServers() []*Server {
 	if s.sharded == nil {
 		return []*Server{s}
 	}
 	out := make([]*Server, 0, s.sharded.NumShards())
-	for i := 0; i < s.sharded.NumShards(); i++ {
-		out = append(out, s.sharded.Shard(i))
+	for _, sh := range s.sharded.shards {
+		if sh.retired.Load() {
+			continue
+		}
+		out = append(out, sh.server())
 	}
 	return out
 }
@@ -64,6 +69,20 @@ func (s *Server) AdminStatsJSON() string {
 			haveObs = true
 		}
 		doc.PerShard = append(doc.PerShard, entry)
+	}
+	// Fold in the engines retired by live drains: the fleet totals must
+	// never lose served work to a handoff, and ShardsDrained is a
+	// fleet-level fact no live engine carries.
+	if m := s.sharded; m != nil {
+		doc.Shards = m.NumShards()
+		m.mu.Lock()
+		doc.Serving = addStats(doc.Serving, m.retired)
+		doc.Serving.ShardsDrained = m.drains
+		retiredObs := m.retiredObs
+		m.mu.Unlock()
+		if haveObs {
+			agg = retiredObs.Add(agg)
+		}
 	}
 	if haveObs {
 		doc.Runtime = &agg
@@ -153,13 +172,24 @@ func addStats(a, b StatsSnapshot) StatsSnapshot {
 	a.TimedOut += b.TimedOut
 	a.Rejected += b.Rejected
 	a.Shed += b.Shed
+	a.AdmShed += b.AdmShed
+	a.AdmShedBulk += b.AdmShedBulk
+	a.Migrated += b.Migrated
+	a.ReqAdmin += b.ReqAdmin
+	a.ReqNormal += b.ReqNormal
+	a.ReqBulk += b.ReqBulk
 	a.Deadlined += b.Deadlined
 	a.Restarts += b.Restarts
 	a.Requests += b.Requests
 	a.Responses += b.Responses
+	a.ShardsDrained += b.ShardsDrained
 	if b.PipelineHWM > a.PipelineHWM {
 		a.PipelineHWM = b.PipelineHWM
 	}
+	if b.SojournEWMAus > a.SojournEWMAus {
+		a.SojournEWMAus = b.SojournEWMAus
+	}
+	a.Overloaded = a.Overloaded || b.Overloaded
 	return a
 }
 
@@ -189,14 +219,21 @@ func (m *ShardedServer) PublishExpvar(name string) {
 }
 
 // Obs returns shard i's observability layer (nil under DisableObs).
-func (m *ShardedServer) Obs(i int) *obs.Obs { return m.shards[i].srv.obs }
+// After a DrainShard the layer belongs to the replacement engine.
+func (m *ShardedServer) Obs(i int) *obs.Obs { return m.shards[i].server().obs }
 
 // ObsSnapshot returns the fleet-wide aggregate of the per-shard runtime
-// metrics (the zero snapshot under DisableObs).
+// metrics (the zero snapshot under DisableObs), including the folded
+// totals of engines retired by drains.
 func (m *ShardedServer) ObsSnapshot() obs.Snapshot {
-	var agg obs.Snapshot
+	m.mu.Lock()
+	agg := m.retiredObs
+	m.mu.Unlock()
 	for _, sh := range m.shards {
-		if o := sh.srv.obs; o != nil {
+		if sh.retired.Load() {
+			continue
+		}
+		if o := sh.server().obs; o != nil {
 			agg = agg.Add(o.Snapshot())
 		}
 	}

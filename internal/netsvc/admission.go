@@ -1,0 +1,177 @@
+package netsvc
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/web"
+)
+
+// atomicInt64Gauge is an exponentially smoothed gauge (alpha 1/8),
+// updated lock-free from session threads.
+type atomicInt64Gauge struct{ v atomic.Int64 }
+
+func (g *atomicInt64Gauge) observe(x int64) {
+	for {
+		old := g.v.Load()
+		nw := old + (x-old)/8
+		if old == 0 {
+			nw = x
+		}
+		if g.v.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (g *atomicInt64Gauge) load() int64 { return g.v.Load() }
+
+// Priority classes order requests for admission control. Admission never
+// sheds admin traffic (health checks, /debug/killsafe/*, drain control
+// must survive the very storm that makes them interesting), sheds normal
+// traffic at CoDel's paced rate, and sheds all bulk traffic while the
+// controller is in its dropping state.
+type Priority int8
+
+const (
+	// ClassNormal is the default class: interactive traffic, shed at the
+	// controller's paced rate under sustained overload.
+	ClassNormal Priority = iota
+	// ClassAdmin is operational traffic — health, stats, drain control —
+	// that admission never sheds.
+	ClassAdmin
+	// ClassBulk is background traffic, the first to shed: while the
+	// controller is dropping, every bulk request is refused.
+	ClassBulk
+)
+
+// String names the class for stats and logs.
+func (p Priority) String() string {
+	switch p {
+	case ClassAdmin:
+		return "admin"
+	case ClassBulk:
+		return "bulk"
+	}
+	return "normal"
+}
+
+// defaultClassify is the Config.Classifier default: operational path
+// prefixes are admin, an explicit class=bulk query or /bulk/ prefix is
+// bulk, everything else is normal.
+func defaultClassify(req *web.Request) Priority {
+	p := req.Path
+	if strings.HasPrefix(p, "/debug/") || strings.HasPrefix(p, "/admin/") ||
+		strings.HasPrefix(p, "/chaos/") || p == "/healthz" {
+		return ClassAdmin
+	}
+	if req.Query["class"] == "bulk" || strings.HasPrefix(p, "/bulk/") {
+		return ClassBulk
+	}
+	return ClassNormal
+}
+
+// admission is a CoDel-style delay controller for one server engine. The
+// signal is per-request sojourn: how long the work waited between
+// arriving (accept for a connection's first request, last byte arrival
+// for later ones) and being picked up by a session thread. Sojourn under
+// target resets the controller. Sojourn above target for a full interval
+// arms the dropping state, in which bulk requests shed outright and
+// normal requests shed on CoDel's control law — the gap to the next shed
+// shrinks with interval/sqrt(count) — until the queue delay falls back
+// under target. Shedding the *request* rather than the connection is
+// what makes the controller cheap enough to be its own relief valve: a
+// shed costs one response frame, so a clogged queue drains at wire speed
+// the moment the controller engages.
+//
+// Session threads from one runtime consult the controller between Syncs,
+// so it guards its state with a plain mutex; the critical section is a
+// handful of comparisons.
+type admission struct {
+	target   time.Duration // sojourn the controller defends
+	interval time.Duration // how long above target before shedding starts
+
+	mu         sync.Mutex
+	firstAbove time.Time // when the current above-target excursion arms
+	dropNext   time.Time // next paced shed for normal traffic
+	dropping   bool
+	count      int // sheds this dropping episode, paces dropNext
+
+	ewmaUs atomicInt64Gauge // smoothed sojourn, exported as a stat
+}
+
+func newAdmission(target, interval time.Duration) *admission {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &admission{target: target, interval: interval}
+}
+
+// admit decides one request. now is the dispatch instant, sojourn how
+// long the request waited for it, class its priority.
+func (a *admission) admit(now time.Time, sojourn time.Duration, class Priority) bool {
+	a.ewmaUs.observe(sojourn.Microseconds())
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if sojourn < a.target {
+		// Below target: stand down. count is kept so the next episode
+		// does not restart its pacing from scratch (CoDel's memory).
+		a.firstAbove = time.Time{}
+		a.dropping = false
+		return true
+	}
+	if a.firstAbove.IsZero() {
+		a.firstAbove = now.Add(a.interval)
+	}
+	if !a.dropping && now.After(a.firstAbove) {
+		a.dropping = true
+		if a.count > 2 {
+			a.count -= 2
+		} else {
+			a.count = 1
+		}
+		a.dropNext = now
+	}
+	if !a.dropping || class == ClassAdmin {
+		return true
+	}
+	if class == ClassBulk {
+		a.count++
+		return false
+	}
+	if sojourn >= a.interval {
+		// Brownout guard. CoDel's sqrt pacing assumes an elastic source
+		// that slows down when signaled; an open-loop source does not,
+		// and the paced ramp can lag a queue growing at wire speed. A
+		// request that already waited a full control interval is past
+		// any budget the target defends — shed it outright so the
+		// backlog drains no slower than it arrives.
+		a.count++
+		return false
+	}
+	if !now.Before(a.dropNext) {
+		a.count++
+		a.dropNext = now.Add(time.Duration(float64(a.interval) / math.Sqrt(float64(a.count))))
+		return false
+	}
+	return true
+}
+
+// retryAfter is the hint sent with a shed response: one control
+// interval, the soonest the controller could have stood down.
+func (a *admission) retryAfter() time.Duration { return a.interval }
+
+// overloaded reports whether the controller is currently shedding.
+func (a *admission) overloaded() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dropping
+}
+
+// sojournEWMA is the smoothed sojourn estimate.
+func (a *admission) sojournEWMA() time.Duration {
+	return time.Duration(a.ewmaUs.load()) * time.Microsecond
+}

@@ -1,0 +1,116 @@
+package netsvc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/web"
+)
+
+// The MaxPending zero-value contract: 0 means the default backstop (32),
+// negative means unlimited (pure backpressure).
+func TestWithDefaultsMaxPending(t *testing.T) {
+	if got := (Config{}).withDefaults().MaxPending; got != 32 {
+		t.Fatalf("MaxPending zero value = %d, want default 32", got)
+	}
+	if got := (Config{MaxPending: -1}).withDefaults().MaxPending; got != -1 {
+		t.Fatalf("MaxPending -1 = %d, want preserved (unlimited)", got)
+	}
+	if got := (Config{MaxPending: 7}).withDefaults().MaxPending; got != 7 {
+		t.Fatalf("MaxPending 7 = %d, want preserved", got)
+	}
+	if got := (Config{}).withDefaults().AdmitInterval; got != 100*time.Millisecond {
+		t.Fatalf("AdmitInterval zero value = %v, want 100ms", got)
+	}
+}
+
+func TestDefaultClassify(t *testing.T) {
+	cases := []struct {
+		path  string
+		query map[string]string
+		want  Priority
+	}{
+		{"/debug/killsafe/stats", nil, ClassAdmin},
+		{"/admin/drain", nil, ClassAdmin},
+		{"/healthz", nil, ClassAdmin},
+		{"/kv/a", nil, ClassNormal},
+		{"/", nil, ClassNormal},
+		{"/bulk/export", nil, ClassBulk},
+		{"/kv/a", map[string]string{"class": "bulk"}, ClassBulk},
+	}
+	for _, c := range cases {
+		req := &web.Request{Path: c.path, Query: c.query}
+		if got := defaultClassify(req); got != c.want {
+			t.Errorf("classify(%s %v) = %v, want %v", c.path, c.query, got, c.want)
+		}
+	}
+}
+
+// Drive the CoDel state machine with a synthetic clock: below-target
+// sojourns admit and disarm; sustained above-target sojourns engage
+// shedding after one interval; admin is never shed; bulk is fully shed
+// while dropping; normal sheds are paced, not total.
+func TestAdmissionStateMachine(t *testing.T) {
+	target := 5 * time.Millisecond
+	interval := 100 * time.Millisecond
+	adm := newAdmission(target, interval)
+	now := time.Unix(1000, 0)
+
+	// Below target: always admitted, controller stays disarmed.
+	for i := 0; i < 10; i++ {
+		if !adm.admit(now, time.Millisecond, ClassNormal) {
+			t.Fatal("below-target sojourn was shed")
+		}
+		now = now.Add(10 * time.Millisecond)
+	}
+	if adm.overloaded() {
+		t.Fatal("overloaded with below-target sojourns")
+	}
+
+	// Above target for less than one interval: still admitted (arming).
+	if !adm.admit(now, 50*time.Millisecond, ClassNormal) {
+		t.Fatal("first above-target sojourn was shed before the interval elapsed")
+	}
+
+	// Sustained above target past the interval: dropping engages.
+	now = now.Add(interval + time.Millisecond)
+	first := adm.admit(now, 50*time.Millisecond, ClassNormal)
+	if first {
+		t.Fatal("sojourn above target for a full interval was admitted")
+	}
+	if !adm.overloaded() {
+		t.Fatal("controller not overloaded after engaging")
+	}
+
+	// While dropping: admin always admitted, bulk always shed.
+	if !adm.admit(now, 500*time.Millisecond, ClassAdmin) {
+		t.Fatal("admin request shed while dropping")
+	}
+	if adm.admit(now, 500*time.Millisecond, ClassBulk) {
+		t.Fatal("bulk request admitted while dropping")
+	}
+
+	// Normal sheds are paced: immediately after a drop, the next normal
+	// request is admitted (dropNext is in the future).
+	if !adm.admit(now.Add(time.Millisecond), 50*time.Millisecond, ClassNormal) {
+		t.Fatal("normal request shed before dropNext elapsed (pacing broken)")
+	}
+
+	// Brownout guard: while dropping, a normal request whose sojourn
+	// already exceeds the full interval sheds regardless of pacing.
+	if adm.admit(now.Add(time.Millisecond), interval+time.Millisecond, ClassNormal) {
+		t.Fatal("normal request with sojourn past a full interval was admitted while dropping")
+	}
+
+	// Recovery: one below-target sojourn disarms the controller.
+	if !adm.admit(now.Add(2*time.Millisecond), time.Millisecond, ClassNormal) {
+		t.Fatal("below-target sojourn shed")
+	}
+	if adm.overloaded() {
+		t.Fatal("controller still overloaded after below-target sojourn")
+	}
+
+	if adm.retryAfter() != interval {
+		t.Fatalf("retryAfter = %v, want %v", adm.retryAfter(), interval)
+	}
+}

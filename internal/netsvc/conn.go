@@ -3,6 +3,8 @@ package netsvc
 import (
 	"fmt"
 	"net"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/web"
@@ -12,6 +14,40 @@ import (
 type readChunk struct {
 	data []byte
 	err  error
+}
+
+// Size-classed buffer pools shared by every connection's read chunks and
+// write batches, so a busy server recycles its per-request buffers
+// across connections instead of allocating a copy per read. Classes keep
+// a 30-byte request line from pinning a 4KiB block.
+var bufClasses = [...]int{128, 1024, 4096}
+var bufPools [len(bufClasses)]sync.Pool
+
+// getBuf returns a length-n buffer from the smallest fitting class.
+func getBuf(n int) []byte {
+	for i, sz := range bufClasses {
+		if n <= sz {
+			if b, _ := bufPools[i].Get().([]byte); b != nil {
+				return b[:n]
+			}
+			return make([]byte, n, sz)
+		}
+	}
+	return make([]byte, n)
+}
+
+// putBuf recycles a buffer into the largest class its capacity covers.
+// Buffers that grew far past a class (a megabyte response batch, say)
+// are dropped to the GC rather than pinned in a pool; losing a buffer —
+// a session killed with chunks in flight — is always safe.
+func putBuf(b []byte) {
+	c := cap(b)
+	for i := len(bufClasses) - 1; i >= 0; i-- {
+		if c >= bufClasses[i] && c < 4*bufClasses[i] {
+			bufPools[i].Put(b[:0])
+			return
+		}
+	}
 }
 
 // connReader bridges a connection's blocking read(2) loop into the event
@@ -40,11 +76,16 @@ func newConnReader(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connRea
 	}
 	go func() {
 		// One reusable read buffer; each chunk is copied out at its exact
-		// size so a request head does not retain a 4KiB block per read.
+		// size (into a pooled, size-classed buffer the consumer returns)
+		// so a request head does not retain a 4KiB block per read.
 		big := make([]byte, 4096)
 		for {
 			n, err := c.Read(big)
-			data := append([]byte(nil), big[:n]...)
+			var data []byte
+			if n > 0 {
+				data = getBuf(n)
+				copy(data, big[:n])
+			}
 			select {
 			case r.ch <- readChunk{data: data, err: err}:
 				r.sem.Post()
@@ -64,6 +105,14 @@ func newConnReader(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connRea
 // the pump posts the semaphore only after the chunk is in the channel.
 func (r *connReader) RecvEvt() core.Event {
 	return core.Wrap(r.sem.WaitEvt(), func(core.Value) core.Value { return <-r.ch })
+}
+
+// tryRecv polls for an already-delivered chunk without waiting.
+func (r *connReader) tryRecv() (readChunk, bool) {
+	if !r.sem.TryWait() {
+		return readChunk{}, false
+	}
+	return <-r.ch, true
 }
 
 // connWriter bridges blocking write(2)s into the event system with one
@@ -209,6 +258,18 @@ func (w *connWriter) flushFinal(th *core.Thread, batch []byte) error {
 	return w.reapAll(th)
 }
 
+// releaseBufs returns the session's reclaimed batch buffers (plus the
+// current unsubmitted batch) to the shared pool. Only buffers the
+// session owns outright are returned — anything still with the pump is
+// left alone, so a kill racing the release can at worst leak a buffer.
+func (w *connWriter) releaseBufs(batch []byte) {
+	putBuf(batch)
+	for _, b := range w.free {
+		putBuf(b)
+	}
+	w.free = nil
+}
+
 // serveConn is the session thread body: parse protocol frames off the
 // socket through the connection's wire codec, dispatch them to the
 // mounted web.Server, and batch responses through the write pump — every
@@ -234,8 +295,20 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 	waitChoice := core.Choice(recvEvt, timeoutEvt, drainEvt)
 
 	var buf, batch []byte
+	// Return session-owned buffers to the shared pool on the way out.
+	// batch is nil'd after every flushFinal so a submitted-and-reclaimed
+	// buffer (already back in the writer's free list) is never pooled
+	// twice.
+	defer func() { writer.releaseBufs(batch) }()
 	batched := 0 // responses in the current batch: the pipelined depth
 	sawEOF := false
+	// arrivedAt is the admission controller's sojourn baseline: the
+	// accept time for the connection's first request, the last chunk's
+	// arrival for later ones (a fresh conn's bytes can only be read after
+	// the conn is claimed, so the first request must be charged for its
+	// accept-queue wait instead).
+	arrivedAt := cs.queuedAt
+	served := false
 	for {
 		// Serve every complete frame already buffered. Responses append to
 		// the batch; whenever the write pump is idle the batch is handed
@@ -246,6 +319,7 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 			if perr != nil {
 				batch = codec.AppendFault(batch, 400, "bad request: "+perr.Error())
 				_ = writer.flushFinal(th, batch)
+				batch = nil
 				s.markCompleted(cs)
 				return
 			}
@@ -255,9 +329,18 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 			}
 			s.stats.requests.Add(1)
 			closing := f.Close || s.drain.Completed()
-			if f.Immediate != nil {
+			shed := false
+			switch {
+			case f.Immediate != nil:
 				batch = append(batch, f.Immediate...)
-			} else {
+			case s.shedRequest(f.Req, arrivedAt):
+				// Adaptive admission refused the request: answer with a
+				// whole overload frame (Retry-After / -OVERLOADED) and, on
+				// a keep-alive conn, keep the conversation going — a shed
+				// costs the client a round trip, not its connection.
+				shed = true
+				batch = codec.AppendOverload(batch, s.adm.retryAfter(), closing)
+			default:
 				// A dispatch may block indefinitely in a servlet; answered
 				// responses must reach the wire first.
 				if len(batch) > 0 {
@@ -272,16 +355,21 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 					s.stats.deadlined.Add(1)
 					batch = codec.AppendFault(batch, 503, "request deadline exceeded\n")
 					_ = writer.flushFinal(th, batch)
+					batch = nil
 					s.markCompleted(cs)
 					return
 				}
 				batch = codec.AppendResponse(batch, f, resp, closing)
 			}
-			s.stats.responses.Add(1)
+			served = true
+			if !shed {
+				s.stats.responses.Add(1)
+			}
 			batched++
 			s.stats.notePipelineDepth(int64(batched))
 			if closing {
 				_ = writer.flushFinal(th, batch)
+				batch = nil
 				s.markCompleted(cs)
 				return
 			}
@@ -323,18 +411,57 @@ func (s *Server) serveConn(th *core.Thread, cs *connState) {
 				s.stats.timedOut.Add(1)
 				batch = codec.AppendFault(batch, 408, "request timeout\n")
 			} else { // drain
+				// A request that raced the drain signal may already be
+				// sitting in the reader's handoff slot; serve it before
+				// refusing further traffic, so a live drain turns away as
+				// few in-flight requests as possible.
+				if ch, ready := reader.tryRecv(); ready {
+					buf = append(buf, ch.data...)
+					putBuf(ch.data)
+					if ch.err != nil {
+						sawEOF = true
+					}
+					continue
+				}
 				batch = codec.AppendFault(batch, 503, "server shutting down\n")
 			}
 			_ = writer.flushFinal(th, batch)
+			batch = nil
 			s.markCompleted(cs)
 			return
 		case readChunk:
 			buf = append(buf, x.data...)
+			putBuf(x.data)
 			if x.err != nil {
 				sawEOF = true
 			}
+			if served {
+				arrivedAt = time.Now()
+			}
 		}
 	}
+}
+
+// shedRequest classifies one request for the stats surface and, with
+// adaptive admission enabled, consults the controller. arrivedAt is when
+// the request's bytes (or, for a connection's first request, the
+// connection itself) arrived; the gap to now is the queue sojourn the
+// controller defends.
+func (s *Server) shedRequest(req *web.Request, arrivedAt time.Time) bool {
+	class := s.classify(req)
+	s.stats.noteClass(class)
+	if s.adm == nil {
+		return false
+	}
+	now := time.Now()
+	if s.adm.admit(now, now.Sub(arrivedAt), class) {
+		return false
+	}
+	s.stats.admShed.Add(1)
+	if class == ClassBulk {
+		s.stats.admShedBulk.Add(1)
+	}
+	return true
 }
 
 // dispatch answers one servlet request: the admin surface and /debug/stats

@@ -62,9 +62,34 @@ type Config struct {
 	// being served (queued for the acceptor or waiting for a MaxConns
 	// slot). Past the cap the pump sheds load: it answers 503 directly and
 	// closes, instead of queueing without bound while the service is
-	// wedged. Default 32; negative disables shedding (pure backpressure:
-	// the pump blocks and the kernel backlog absorbs the rest).
+	// wedged. The zero value means "default" (32); any negative value
+	// means "unlimited" — shedding is disabled and the pump applies pure
+	// backpressure (it blocks on a full handoff queue and the kernel
+	// listen backlog absorbs the rest). This static cap is a backstop;
+	// AdmitTarget replaces the cliff with delay-based shedding.
 	MaxPending int
+	// AdmitTarget enables CoDel-style adaptive admission control: each
+	// request's queue sojourn (accept-to-dispatch for a connection's first
+	// request, arrival-to-dispatch for later ones) is measured, and when
+	// it stays above AdmitTarget for a full AdmitInterval the server
+	// sheds — every bulk request, and normal requests at CoDel's paced
+	// rate — until delay falls back under the target. Admin-class
+	// requests are never shed. Shed responses are whole frames in the
+	// listener's protocol (HTTP 503 + Retry-After, RESP -OVERLOADED) and
+	// do not cost the client its connection. Zero disables adaptive
+	// admission; the static MaxPending backstop still applies.
+	AdmitTarget time.Duration
+	// AdmitInterval is the admission controller's control window: how
+	// long sojourn must stay above AdmitTarget before shedding engages,
+	// and the base gap of the paced shed schedule. Default 100ms.
+	AdmitInterval time.Duration
+	// Classifier assigns each parsed request a priority class for
+	// admission control. Nil means the default: paths under /debug/,
+	// /admin/, /chaos/ and the /healthz path are ClassAdmin; a
+	// "class=bulk" query parameter or a /bulk/ path prefix is ClassBulk;
+	// everything else is ClassNormal. Classification is per request, so
+	// one keep-alive connection may mix classes.
+	Classifier func(*web.Request) Priority
 	// RequestTimeout bounds a single servlet dispatch: the handler runs in
 	// a worker thread and is killed if the deadline (a core.After event,
 	// so virtual-clock drivable) fires first; the client gets 503. Zero
@@ -115,8 +140,13 @@ func (c Config) withDefaults() Config {
 	if c.AcceptBacklog <= 0 {
 		c.AcceptBacklog = 16
 	}
+	// MaxPending: 0 means default, negative means unlimited (kept
+	// negative so the submit path can distinguish "no cap" cheaply).
 	if c.MaxPending == 0 {
 		c.MaxPending = 32
+	}
+	if c.AdmitInterval <= 0 {
+		c.AdmitInterval = 100 * time.Millisecond
 	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
@@ -151,14 +181,19 @@ type Server struct {
 	newCodec  wire.Factory // mints the per-connection protocol codec
 	protoName string       // codec name, for the stats surface
 
+	adm      *admission               // adaptive admission; nil unless Config.AdmitTarget > 0
+	classify func(*web.Request) Priority
+
 	stats    *Stats
 	sup      *supervise.Supervisor
 	slots    *core.Semaphore // MaxConns tokens; one held per served conn
 	pending  *core.Semaphore // counts conns handed off in connCh
 	pendingN atomic.Int64    // accepted-but-unserved conns, for load shedding
-	connCh   chan net.Conn
+	connCh   chan pendingConn
 	quit     chan struct{}  // closed by custodian shutdown; unblocks the pump's handoff
 	drain    *core.External // completed when Shutdown begins
+	migrate  *core.External // completed by DrainShard: the acceptor rehomes instead of serving
+	rehome   func(net.Conn) bool // sharded: move a queued conn to a healthy sibling shard
 	pumpRet  *core.External // completed when the accept pump exits
 
 	mu      sync.Mutex
@@ -171,10 +206,19 @@ type Server struct {
 type connState struct {
 	id        int64
 	c         net.Conn
+	queuedAt  time.Time // accept time; first-request admission sojourn baseline
 	cust      *core.Custodian
 	sess      *web.Session
 	th        *core.Thread // session thread
 	completed bool         // set under s.mu when the session ends cleanly
+}
+
+// pendingConn is one accepted connection in flight to the acceptor,
+// stamped with its accept time so the admission controller can charge
+// the first request for its whole accept-queue wait.
+type pendingConn struct {
+	c        net.Conn
+	queuedAt time.Time
 }
 
 // closerFunc adapts a func to io.Closer for Custodian.Register.
@@ -233,15 +277,23 @@ func serveOn(th *core.Thread, ws *web.Server, cfg Config, ln net.Listener) (*Ser
 		stats:   &Stats{},
 		slots:   core.NewSemaphore(rt, cfg.MaxConns),
 		pending: core.NewSemaphore(rt, 0),
-		connCh:  make(chan net.Conn, capacity),
+		connCh:  make(chan pendingConn, capacity),
 		quit:    make(chan struct{}),
 		drain:   core.NewExternal(rt),
+		migrate: core.NewExternal(rt),
 		pumpRet: core.NewExternal(rt),
 		conns:   make(map[int64]*connState),
 		threads: make(map[*core.Thread]struct{}),
 	}
 	s.newCodec = codec
 	s.protoName = codec().Name()
+	if cfg.AdmitTarget > 0 {
+		s.adm = newAdmission(cfg.AdmitTarget, cfg.AdmitInterval)
+	}
+	s.classify = cfg.Classifier
+	if s.classify == nil {
+		s.classify = defaultClassify
+	}
 	if !cfg.DisableObs {
 		s.obs = obs.New()
 		if cfg.FlightRecorder != 0 {
@@ -310,6 +362,10 @@ func (s *Server) Custodian() *core.Custodian { return s.cust }
 func (s *Server) Stats() StatsSnapshot {
 	snap := s.stats.snapshot()
 	snap.Protocol = s.protoName
+	if s.adm != nil {
+		snap.SojournEWMAus = s.adm.sojournEWMA().Microseconds()
+		snap.Overloaded = s.adm.overloaded()
+	}
 	return snap
 }
 
@@ -352,7 +408,7 @@ func (s *Server) submit(c net.Conn) {
 	}
 	s.pendingN.Add(1)
 	select {
-	case s.connCh <- c:
+	case s.connCh <- pendingConn{c: c, queuedAt: time.Now()}:
 		s.pending.Post()
 	case <-s.quit:
 		s.pendingN.Add(-1)
@@ -387,25 +443,48 @@ func (s *Server) shedConn(c net.Conn) {
 func (s *Server) acceptLoop(th *core.Thread) {
 	// Hoisted once per acceptor lifetime: no per-connection event allocs.
 	drainEvt := core.Wrap(s.drain.Evt(), func(core.Value) core.Value { return "drain" })
+	connEvt := core.Wrap(s.pending.WaitEvt(), func(core.Value) core.Value { return "conn" })
 	connChoice := core.Choice(
-		core.Wrap(s.pending.WaitEvt(), func(core.Value) core.Value { return "conn" }),
+		connEvt,
 		drainEvt,
+		core.Wrap(s.migrate.Evt(), func(core.Value) core.Value { return "migrate" }),
 	)
+	// Once migration has begun its completed External is always ready;
+	// from then on wait without that arm.
+	migConnChoice := core.Choice(connEvt, drainEvt)
 	slotChoice := core.Choice(
 		core.Wrap(s.slots.WaitEvt(), func(core.Value) core.Value { return "slot" }),
 		drainEvt,
 	)
+	// Checked on entry, not just learned from the event: the supervisor
+	// may restart the acceptor in the middle of a drain-triggered
+	// migration, and the restarted incarnation must keep rehoming.
+	migrating := s.migrate.Completed()
 	for {
-		v, err := core.Sync(th, connChoice)
+		choice := connChoice
+		if migrating {
+			choice = migConnChoice
+		}
+		v, err := core.Sync(th, choice)
 		if err != nil {
 			continue // stray break
 		}
-		if v == "drain" {
+		switch v {
+		case "drain":
 			return
+		case "migrate":
+			migrating = true
+			continue
 		}
 		// pending.Post happens only after the conn is in connCh, so this
 		// receive cannot block.
-		c := <-s.connCh
+		pc := <-s.connCh
+		if migrating {
+			// This shard is being drained: hand the queued conn to a
+			// sibling instead of serving it here.
+			s.rehomeConn(pc.c)
+			continue
+		}
 
 		// Respect the connection cap before spawning: while no slot is
 		// free we also stop claiming, connCh fills, the pump blocks, and
@@ -418,17 +497,35 @@ func (s *Server) acceptLoop(th *core.Thread) {
 		}
 		if v == "drain" {
 			s.pendingN.Add(-1)
-			_ = c.Close()
+			_ = pc.c.Close()
 			s.stats.rejected.Add(1)
 			return
 		}
-		s.startConn(th, c)
+		s.startConn(th, pc)
 	}
 }
 
-// startConn places c under a fresh per-connection custodian, attaches a
-// web session, and spawns the session thread and its monitor.
-func (s *Server) startConn(th *core.Thread, c net.Conn) {
+// rehomeConn moves one accepted-but-unclaimed conn off a draining shard.
+// The sharded assigner resubmits it to the least-loaded healthy sibling,
+// which registers it with its own custodian before this shard lets go,
+// so the fd is never uncontrolled. With no sibling available (fleet
+// going down, or a single-shard fleet) the conn is refused.
+func (s *Server) rehomeConn(c net.Conn) {
+	s.pendingN.Add(-1)
+	if s.rehome != nil && s.rehome(c) {
+		s.cust.Unregister(c)
+		s.stats.migrated.Add(1)
+		return
+	}
+	s.cust.Unregister(c)
+	_ = c.Close()
+	s.stats.rejected.Add(1)
+}
+
+// startConn places the conn under a fresh per-connection custodian,
+// attaches a web session, and spawns the session thread and its monitor.
+func (s *Server) startConn(th *core.Thread, pc pendingConn) {
+	c := pc.c
 	s.pendingN.Add(-1) // the conn is being served from here on
 	ccust := core.NewCustodian(s.cust)
 	// Move the fd under the connection custodian (register first so the
@@ -442,7 +539,7 @@ func (s *Server) startConn(th *core.Thread, c net.Conn) {
 	}
 	s.cust.Unregister(c)
 
-	cs := &connState{c: c, cust: ccust, sess: s.web.AttachSession(ccust)}
+	cs := &connState{c: c, queuedAt: pc.queuedAt, cust: ccust, sess: s.web.AttachSession(ccust)}
 	s.mu.Lock()
 	s.nextID++
 	cs.id = s.nextID

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/web"
 )
 
@@ -27,33 +28,63 @@ import (
 // by construction rather than by care. State that must be visible across
 // shards lives outside the runtimes in plain Go, guarded by ordinary
 // sync primitives (see SharedState in the package example).
+//
+// Shards are also individually replaceable under traffic: DrainShard
+// retires one shard's runtime — custodian shutdown is the reclamation
+// story — and boots a fresh engine in its place without dropping the
+// fleet's listener.
 type ShardedServer struct {
 	cfg      Config
+	setup    func(th *core.Thread, shard int) *web.Server
 	ln       net.Listener
 	shards   []*shard
 	next     atomic.Uint64 // round-robin cursor for shard assignment
 	pumpDone chan struct{} // closed when the accept pump exits
 
-	mu   sync.Mutex
-	down bool
+	// opMu serializes shard lifecycle operations: at most one
+	// DrainShard runs at a time, and Shutdown's teardown waits for an
+	// in-flight drain to finish its handoff (or observe down and bail)
+	// before walking the shard list.
+	opMu sync.Mutex
+
+	mu         sync.Mutex
+	down       bool
+	drains     int64         // completed drain/handoff cycles
+	retired    StatsSnapshot // folded counters of retired shard engines
+	retiredObs obs.Snapshot  // folded runtime metrics of retired engines
 }
 
-// shard is one runtime plus its serving engine.
+// shard is one slot in the fleet: a runtime plus its serving engine,
+// both replaceable by DrainShard.
 type shard struct {
-	idx     int
+	idx      int
+	draining atomic.Bool // drain in progress: the assigner routes around it
+	retired  atomic.Bool // engine reaped with no replacement; skip everywhere
+
+	// srvP is the current serving engine, read lock-free on the accept
+	// hot path and swapped by startShard.
+	srvP atomic.Pointer[Server]
+
+	// Lifecycle fields: written by startShard under m.mu, read by the
+	// accessors under m.mu and by DrainShard/Shutdown under m.opMu.
 	rt      *core.Runtime
-	srv     *Server
 	ws      *web.Server
 	stop    *core.External // completed with the grace time.Duration to begin drain
 	runDone chan error     // the shard main thread's rt.Run result
 	sdErr   error          // the shard's Shutdown error; read only after runDone
 }
 
+// server returns the shard's current serving engine.
+func (sh *shard) server() *Server { return sh.srvP.Load() }
+
 // ServeSharded opens one TCP listener and serves it with cfg.Shards
 // independent runtimes. setup runs once per shard, on that shard's main
 // runtime thread, and must build and return the shard's own *web.Server —
 // servlet instances are per-shard (see the package's servlet state
 // contract); cross-shard state goes through an external Go-side store.
+// setup is retained: DrainShard calls it again to build a drained
+// shard's replacement engine, so it must be safe to run more than once
+// per shard index.
 //
 // MaxConns and MaxPending are per-shard limits. The accept pump assigns
 // each connection round-robin, stepping aside to a strictly less loaded
@@ -65,43 +96,13 @@ func ServeSharded(cfg Config, setup func(th *core.Thread, shard int) *web.Server
 	if err != nil {
 		return nil, err
 	}
-	m := &ShardedServer{cfg: cfg, ln: ln, pumpDone: make(chan struct{})}
-
-	ready := make(chan error) // one send per shard, nil on success
+	m := &ShardedServer{cfg: cfg, setup: setup, ln: ln, pumpDone: make(chan struct{})}
 	for i := 0; i < cfg.Shards; i++ {
-		rt := core.NewRuntime()
-		sh := &shard{idx: i, rt: rt, runDone: make(chan error, 1)}
-		sh.stop = core.NewExternal(rt)
-		m.shards = append(m.shards, sh)
-		go func() {
-			sh.runDone <- rt.Run(func(th *core.Thread) {
-				ws := setup(th, sh.idx)
-				srv, err := serveOn(th, ws, cfg, nil)
-				if err != nil {
-					ready <- fmt.Errorf("shard %d: %w", sh.idx, err)
-					return
-				}
-				srv.shard = sh.idx
-				srv.aggStats = m.Stats
-				srv.sharded = m
-				sh.srv, sh.ws = srv, ws
-				ready <- nil
-				// The shard main thread now just waits for the drain
-				// order; the serving engine runs in its own threads.
-				for {
-					v, err := core.Sync(th, sh.stop.Evt())
-					if err != nil {
-						continue // stray break
-					}
-					sh.sdErr = srv.Shutdown(th, v.(time.Duration))
-					return
-				}
-			})
-		}()
+		m.shards = append(m.shards, &shard{idx: i})
 	}
 	var setupErrs []error
-	for range m.shards {
-		if err := <-ready; err != nil {
+	for _, sh := range m.shards {
+		if err := m.startShard(sh); err != nil {
 			setupErrs = append(setupErrs, err)
 		}
 	}
@@ -122,6 +123,51 @@ func ServeSharded(cfg Config, setup func(th *core.Thread, shard int) *web.Server
 	return m, nil
 }
 
+// startShard boots one shard engine — a fresh runtime, custodian tree,
+// supervisor, and servlet instance — and wires it into the fleet. It is
+// used both at fleet startup and by DrainShard to build a replacement;
+// it returns once the engine is serving (or its setup failed, in which
+// case the runtime has exited and the caller owns reaping runDone).
+func (m *ShardedServer) startShard(sh *shard) error {
+	rt := core.NewRuntime()
+	stop := core.NewExternal(rt)
+	runDone := make(chan error, 1)
+	m.mu.Lock()
+	sh.rt, sh.stop, sh.runDone, sh.sdErr = rt, stop, runDone, nil
+	m.mu.Unlock()
+	ready := make(chan error, 1)
+	go func() {
+		runDone <- rt.Run(func(th *core.Thread) {
+			ws := m.setup(th, sh.idx)
+			srv, err := serveOn(th, ws, m.cfg, nil)
+			if err != nil {
+				ready <- fmt.Errorf("shard %d: %w", sh.idx, err)
+				return
+			}
+			srv.shard = sh.idx
+			srv.aggStats = m.Stats
+			srv.sharded = m
+			srv.rehome = func(c net.Conn) bool { return m.rehome(c, sh.idx) }
+			m.mu.Lock()
+			sh.ws = ws
+			m.mu.Unlock()
+			sh.srvP.Store(srv)
+			ready <- nil
+			// The shard main thread now just waits for the drain order;
+			// the serving engine runs in its own threads.
+			for {
+				v, err := core.Sync(th, stop.Evt())
+				if err != nil {
+					continue // stray break
+				}
+				sh.sdErr = srv.Shutdown(th, v.(time.Duration))
+				return
+			}
+		})
+	}()
+	return <-ready
+}
+
 // acceptPump is the fleet's single accept(2) loop: it owns the listener
 // and hands each connection to a shard. Registration with the shard's
 // custodian, shedding, and backpressure all happen inside submit, on the
@@ -133,26 +179,71 @@ func (m *ShardedServer) acceptPump() {
 		if err != nil {
 			return // listener closed (Shutdown)
 		}
-		sh := m.pick()
-		sh.srv.stats.accepted.Add(1)
-		sh.srv.submit(c)
+		srv := m.pick().server()
+		srv.stats.accepted.Add(1)
+		srv.submit(c)
 	}
 }
 
 // pick chooses the shard for the next connection: round-robin, with a
 // least-loaded override — the cursor's shard is kept unless some shard is
 // strictly less loaded, so a balanced fleet rotates evenly and a stalled
-// shard (slow servlet, drained slots) stops receiving new work.
+// shard (slow servlet, drained slots) stops receiving new work. A
+// draining shard is routed around entirely; if every shard is draining
+// (a single-shard fleet mid-handoff) the cursor is used anyway and the
+// engine's own refusal path answers.
 func (m *ShardedServer) pick() *shard {
 	n := uint64(len(m.shards))
-	best := m.shards[m.next.Add(1)%n]
-	bestLoad := best.srv.load()
+	cursor := m.shards[m.next.Add(1)%n]
+	var best *shard
+	var bestLoad int64
+	if !cursor.draining.Load() && !cursor.retired.Load() {
+		best, bestLoad = cursor, cursor.server().load()
+	}
 	for _, sh := range m.shards {
-		if l := sh.srv.load(); l < bestLoad {
+		if sh.draining.Load() || sh.retired.Load() {
+			continue
+		}
+		if l := sh.server().load(); best == nil || l < bestLoad {
 			best, bestLoad = sh, l
 		}
 	}
+	if best == nil {
+		return cursor
+	}
 	return best
+}
+
+// rehome moves one conn off a draining shard onto the least-loaded
+// healthy sibling (called by the draining shard's acceptor via the
+// engine's rehome hook). The sibling registers the conn with its own
+// custodian inside submit before the caller releases it, so the fd is
+// never uncontrolled. Returns false when no sibling can take it — fleet
+// going down, or a single-shard fleet.
+func (m *ShardedServer) rehome(c net.Conn, from int) bool {
+	m.mu.Lock()
+	down := m.down
+	m.mu.Unlock()
+	if down {
+		return false
+	}
+	var best *shard
+	var bestLoad int64
+	for _, sh := range m.shards {
+		if sh.idx == from || sh.draining.Load() || sh.retired.Load() {
+			continue
+		}
+		if l := sh.server().load(); best == nil || l < bestLoad {
+			best, bestLoad = sh, l
+		}
+	}
+	if best == nil {
+		return false
+	}
+	// Not counted accepted again: the conn was counted when the OS
+	// listener produced it.
+	best.server().submit(c)
+	return true
 }
 
 // Addr returns the fleet listener's address.
@@ -161,31 +252,178 @@ func (m *ShardedServer) Addr() net.Addr { return m.ln.Addr() }
 // NumShards reports the number of shards.
 func (m *ShardedServer) NumShards() int { return len(m.shards) }
 
-// Shard returns shard i's serving engine, for diagnostics and tests.
-func (m *ShardedServer) Shard(i int) *Server { return m.shards[i].srv }
+// Shard returns shard i's current serving engine, for diagnostics and
+// tests. After a DrainShard the engine is a different *Server.
+func (m *ShardedServer) Shard(i int) *Server { return m.shards[i].server() }
 
 // Web returns shard i's servlet server (each shard has its own instance).
-func (m *ShardedServer) Web(i int) *web.Server { return m.shards[i].ws }
+func (m *ShardedServer) Web(i int) *web.Server {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shards[i].ws
+}
 
 // Runtime returns shard i's runtime.
-func (m *ShardedServer) Runtime(i int) *core.Runtime { return m.shards[i].rt }
+func (m *ShardedServer) Runtime(i int) *core.Runtime {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.shards[i].rt
+}
 
-// Stats returns the fleet-wide aggregate of the per-shard counters.
+// Stats returns the fleet-wide aggregate of the per-shard counters,
+// including the folded totals of every engine retired by a drain — a
+// completed handoff never makes served work disappear from the books.
 func (m *ShardedServer) Stats() StatsSnapshot {
-	var agg StatsSnapshot
+	m.mu.Lock()
+	agg := m.retired
+	drains := m.drains
+	m.mu.Unlock()
 	for _, sh := range m.shards {
-		agg = addStats(agg, sh.srv.Stats())
+		if sh.retired.Load() {
+			continue
+		}
+		agg = addStats(agg, sh.server().Stats())
 	}
+	agg.ShardsDrained = drains
 	return agg
 }
 
-// ShardStats returns each shard's own snapshot, indexed by shard.
+// ShardStats returns each live shard engine's own snapshot, indexed by
+// shard (retired engines' counters live in the fleet aggregate).
 func (m *ShardedServer) ShardStats() []StatsSnapshot {
 	out := make([]StatsSnapshot, len(m.shards))
 	for i, sh := range m.shards {
-		out[i] = sh.srv.Stats()
+		if sh.retired.Load() {
+			continue
+		}
+		out[i] = sh.server().Stats()
 	}
 	return out
+}
+
+// ErrBadShard reports a shard index out of range (or a shard already
+// retired without replacement).
+var ErrBadShard = errors.New("netsvc: no such shard")
+
+// DrainShard retires shard i's runtime under traffic and replaces it
+// with a fresh engine — zero-downtime handoff, driven entirely through
+// the custodian tree:
+//
+//  1. the shard is marked draining, so the assigner routes new
+//     connections to its siblings;
+//  2. the engine's migrate cell is completed: its acceptor thread stops
+//     serving its accept queue and rehomes every queued connection to
+//     the least-loaded healthy sibling (register-with-sibling before
+//     release, so no fd is ever uncontrolled);
+//  3. once the queue is empty, the shard's graceful Shutdown is ordered
+//     through its main thread — in-flight sessions finish under the
+//     grace window, stragglers are reclaimed by custodian shutdown;
+//  4. the old runtime is reaped and its counters fold into the fleet
+//     aggregate (Stats never loses served work to a handoff);
+//  5. a replacement engine boots on a fresh runtime (setup runs again
+//     for this shard index) and the shard rejoins the rotation.
+//
+// DrainShard is callable only from plain Go, not from a runtime thread
+// of this fleet (step 3 waits on sessions that could be the caller).
+// Drains serialize; a drain racing the fleet's Shutdown is safe —
+// whichever takes the shard first wins and the loser reports
+// ErrServerDown.
+func (m *ShardedServer) DrainShard(i int, grace time.Duration) error {
+	if i < 0 || i >= len(m.shards) {
+		return ErrBadShard
+	}
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
+	if m.isDown() {
+		return ErrServerDown
+	}
+	sh := m.shards[i]
+	if sh.retired.Load() {
+		return ErrBadShard
+	}
+	old := sh.server()
+	sh.draining.Store(true)
+	old.migrate.Complete(core.Unit{})
+	// Wait for the acceptor to rehome its queued accept share. The
+	// pending count can rise only from a pump thread that picked this
+	// shard just before the draining flag was set; requiring it to hold
+	// zero across a settle window closes that window.
+	for {
+		if m.isDown() {
+			// Fleet Shutdown has begun: leave the engine to its teardown
+			// (it reaps every non-retired shard after taking opMu).
+			return ErrServerDown
+		}
+		if old.pendingN.Load() == 0 {
+			time.Sleep(2 * time.Millisecond)
+			if old.pendingN.Load() == 0 {
+				break
+			}
+			continue
+		}
+		time.Sleep(500 * time.Microsecond)
+	}
+	// Order the graceful shutdown through the shard's main thread — the
+	// same custodian-tree path a fleet Shutdown uses — and reap the old
+	// runtime. The shard is marked retired first so fleet-wide Stats
+	// readers never see the engine both live and folded.
+	sh.retired.Store(true)
+	sh.stop.Complete(grace)
+	var errs []error
+	if err := <-sh.runDone; err != nil {
+		errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+	} else if sh.sdErr != nil {
+		errs = append(errs, fmt.Errorf("shard %d: %w", i, sh.sdErr))
+	}
+	oldStats := old.Stats()
+	var oldObs *obs.Snapshot
+	if old.obs != nil {
+		snap := old.obs.Snapshot()
+		oldObs = &snap
+	}
+	sh.rt.Shutdown()
+	m.mu.Lock()
+	m.retired = addStats(m.retired, oldStats)
+	if oldObs != nil {
+		m.retiredObs = m.retiredObs.Add(*oldObs)
+	}
+	m.drains++
+	m.mu.Unlock()
+	if m.isDown() {
+		// The fleet died while the old engine drained: no replacement.
+		// The shard stays retired; teardown skips it.
+		return ErrServerDown
+	}
+	if err := m.startShard(sh); err != nil {
+		// Replacement failed to boot. Reap its runtime and leave the
+		// shard retired — the fleet serves on with one shard fewer.
+		<-sh.runDone
+		sh.rt.Shutdown()
+		errs = append(errs, fmt.Errorf("shard %d replacement: %w", i, err))
+		return errors.Join(errs...)
+	}
+	sh.retired.Store(false)
+	sh.draining.Store(false)
+	return errors.Join(errs...)
+}
+
+// isDown reports whether the fleet Shutdown has begun.
+func (m *ShardedServer) isDown() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+// DrainAll performs a rolling drain: every shard in turn is retired and
+// replaced, one at a time, while its siblings carry the traffic.
+func (m *ShardedServer) DrainAll(grace time.Duration) error {
+	var errs []error
+	for i := range m.shards {
+		if err := m.DrainShard(i, grace); err != nil {
+			errs = append(errs, fmt.Errorf("drain shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Shutdown gracefully drains the fleet: stop accepting, then order every
@@ -204,14 +442,23 @@ func (m *ShardedServer) Shutdown(grace time.Duration) error {
 
 	_ = m.ln.Close()
 	<-m.pumpDone
+	// An in-flight DrainShard holds opMu: wait for it to finish its
+	// handoff (or observe down and bail) so the shard list is stable.
+	m.opMu.Lock()
+	defer m.opMu.Unlock()
 	// Fan the drain order out first so every shard's grace window runs
 	// concurrently — total shutdown time is one grace period, not Shards
 	// of them.
 	for _, sh := range m.shards {
-		sh.stop.Complete(grace)
+		if !sh.retired.Load() {
+			sh.stop.Complete(grace)
+		}
 	}
 	var errs []error
 	for _, sh := range m.shards {
+		if sh.retired.Load() {
+			continue
+		}
 		if err := <-sh.runDone; err != nil {
 			errs = append(errs, fmt.Errorf("shard %d: %w", sh.idx, err))
 		} else if sh.sdErr != nil {

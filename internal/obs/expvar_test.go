@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"expvar"
+	"strings"
+	"testing"
+)
+
+// PublishExpvarFunc: the variable renders the function's value, and
+// republishing under the same name re-points instead of panicking (the
+// source object changes across server restarts and shard drains).
+func TestPublishExpvarFuncRepoints(t *testing.T) {
+	PublishExpvarFunc("test.expvarfunc", func() any { return map[string]int{"v": 1} })
+	v := expvar.Get("test.expvarfunc")
+	if v == nil {
+		t.Fatal("variable not published")
+	}
+	if got := v.String(); !strings.Contains(got, `"v":1`) {
+		t.Fatalf("first render = %s, want v=1", got)
+	}
+	PublishExpvarFunc("test.expvarfunc", func() any { return map[string]int{"v": 2} })
+	if got := v.String(); !strings.Contains(got, `"v":2`) {
+		t.Fatalf("render after republish = %s, want v=2", got)
+	}
+}

@@ -174,8 +174,9 @@ var _ core.Instrumentation = (*Obs)(nil)
 // each published name to a swappable pointer fetched at render time.
 
 var (
-	expvarMu  sync.Mutex
-	expvarMap = map[string]*atomic.Pointer[Obs]{}
+	expvarMu      sync.Mutex
+	expvarMap     = map[string]*atomic.Pointer[Obs]{}
+	expvarFuncMap = map[string]*atomic.Pointer[func() any]{}
 )
 
 // PublishExpvar exposes o's metrics snapshot as the expvar variable
@@ -197,4 +198,28 @@ func PublishExpvar(name string, o *Obs) {
 		}))
 	}
 	p.Store(o)
+}
+
+// PublishExpvarFunc exposes fn's return value as the expvar variable
+// name, with the same re-point-on-republish semantics as PublishExpvar:
+// publishing a second function under the same name swaps the source
+// rather than panicking. Useful for documents assembled outside a single
+// Obs — a sharded fleet's aggregate serving stats, say — where the
+// underlying object is replaced across restarts and drains.
+func PublishExpvarFunc(name string, fn func() any) {
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	p, ok := expvarFuncMap[name]
+	if !ok {
+		p = &atomic.Pointer[func() any]{}
+		expvarFuncMap[name] = p
+		src := p
+		expvar.Publish(name, expvar.Func(func() any {
+			if f := src.Load(); f != nil {
+				return (*f)()
+			}
+			return nil
+		}))
+	}
+	p.Store(&fn)
 }

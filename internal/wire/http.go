@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/web"
 )
@@ -114,6 +115,25 @@ func (httpCodec) AppendFault(dst []byte, status int, msg string) []byte {
 	return fmt.Appendf(dst,
 		"HTTP/1.0 %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: close\r\n\r\n%s",
 		status, StatusText(status), len(msg), msg)
+}
+
+// AppendOverload answers one admission-shed request with 503 plus a
+// Retry-After hint. The whole frame is appended in one piece (the codec
+// contract), and unless close is set the connection stays usable: a shed
+// request costs the client one round trip, not its connection.
+func (httpCodec) AppendOverload(dst []byte, retryAfter time.Duration, close bool) []byte {
+	connHdr := "keep-alive"
+	if close {
+		connHdr = "close"
+	}
+	sec := int(retryAfter.Round(time.Second) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	const body = "overloaded\n"
+	return fmt.Appendf(dst,
+		"HTTP/1.1 503 %s\r\nRetry-After: %d\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: %s\r\n\r\n%s",
+		StatusText(503), sec, len(body), connHdr, body)
 }
 
 // cutHead splits buf at the first blank line (CRLF CRLF or LF LF),

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Top-level bulk-string commands: $<len>\r\n<command>\r\n is the third
+// RESP command form, equivalent to the inline form it wraps.
+func TestRESPTopLevelBulkString(t *testing.T) {
+	c := NewRESP("/kv")
+	frames := respParseAll(t, c, "$5\r\nGET a\r\n$9\r\nSET a two\r\n")
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2", len(frames))
+	}
+	get := frames[0].Req
+	if get == nil || get.Method != "GET" || get.Query["key"] != "a" {
+		t.Errorf("bulk GET: %+v", get)
+	}
+	set := frames[1].Req
+	if set == nil || set.Method != "PUT" || set.Query["key"] != "a" || set.Query["val"] != "two" {
+		t.Errorf("bulk SET: %+v", set)
+	}
+}
+
+// Incremental delivery: a bulk-string command split at every byte
+// boundary still parses to the same frame, with no torn reads.
+func TestRESPTopLevelBulkStringIncremental(t *testing.T) {
+	input := "$5\r\nGET a\r\n"
+	for cut := 0; cut < len(input); cut++ {
+		c := NewRESP("/kv")
+		f, rest, err := c.Parse([]byte(input[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: unexpected error %v", cut, err)
+		}
+		if f != nil {
+			t.Fatalf("cut %d: frame from incomplete input", cut)
+		}
+		f, rest, err = c.Parse(append(rest, input[cut:]...))
+		if err != nil || f == nil || f.Req == nil {
+			t.Fatalf("cut %d: completed parse = %+v, %v", cut, f, err)
+		}
+		if f.Req.Query["key"] != "a" {
+			t.Fatalf("cut %d: wrong request %+v", cut, f.Req)
+		}
+	}
+}
+
+func TestRESPTopLevelBulkStringErrors(t *testing.T) {
+	for _, bad := range []string{
+		"$x\r\nGET a\r\n",      // malformed length
+		"$-4\r\nGET a\r\n",     // negative length
+		"$99999999\r\nGET\r\n", // over the bulk cap
+		"$5\r\nGET aXX",        // payload not CRLF-terminated
+	} {
+		c := NewRESP("/kv")
+		if _, _, err := c.Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted malformed bulk string", bad)
+		}
+	}
+}
+
+// AppendOverload framing: RESP sheds with a protocol error carrying the
+// retry hint; HTTP sheds with 503 + Retry-After and honors keep-alive —
+// a shed costs the client a round trip, not its connection.
+func TestAppendOverload(t *testing.T) {
+	resp := NewRESP("/kv").AppendOverload(nil, 250*time.Millisecond, false)
+	if string(resp) != "-OVERLOADED shed by admission control, retry after 250ms\r\n" {
+		t.Errorf("RESP overload frame: %q", resp)
+	}
+
+	h := NewHTTP().AppendOverload(nil, 250*time.Millisecond, false)
+	s := string(h)
+	if !strings.HasPrefix(s, "HTTP/1.1 503 ") {
+		t.Errorf("HTTP overload status line: %q", s)
+	}
+	if !strings.Contains(s, "Retry-After: 1\r\n") {
+		t.Errorf("HTTP overload missing Retry-After (rounded up to 1s): %q", s)
+	}
+	if !strings.Contains(s, "Connection: keep-alive\r\n") {
+		t.Errorf("HTTP overload on keep-alive conn must not close: %q", s)
+	}
+	if !strings.HasSuffix(s, "\r\n\r\noverloaded\n") {
+		t.Errorf("HTTP overload body framing: %q", s)
+	}
+	hc := string(NewHTTP().AppendOverload(nil, 2*time.Second, true))
+	if !strings.Contains(hc, "Connection: close\r\n") || !strings.Contains(hc, "Retry-After: 2\r\n") {
+		t.Errorf("HTTP overload close variant: %q", hc)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/web"
 )
@@ -49,8 +50,11 @@ func NewRESP(prefix string) Codec { return &respCodec{prefix: prefix} }
 
 func (c *respCodec) Name() string { return "resp" }
 
-// Parse extracts one command — inline ("GET k\r\n") or multi-bulk
-// ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n") — and translates it to a frame.
+// Parse extracts one command — inline ("GET k\r\n"), multi-bulk
+// ("*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"), or a top-level bulk string
+// ("$5\r\nGET k\r\n" — the bulk's payload is an inline command line, so
+// binary-unsafe whitespace splitting applies) — and translates it to a
+// frame.
 func (c *respCodec) Parse(buf []byte) (*Frame, []byte, error) {
 	for {
 		args, rest, err := parseRESPCommand(buf)
@@ -75,6 +79,26 @@ func (c *respCodec) Parse(buf []byte) (*Frame, []byte, error) {
 func parseRESPCommand(buf []byte) (args []string, rest []byte, err error) {
 	if len(buf) == 0 {
 		return nil, buf, nil
+	}
+	if buf[0] == '$' {
+		// Top-level bulk string: $<len> framing around one inline command
+		// line ("$5\r\nGET k\r\n"). Length-prefixed framing, whitespace
+		// argument splitting.
+		line, r, ok := cutLine(buf)
+		if !ok {
+			return nil, buf, nil
+		}
+		ln, err := strconv.Atoi(line[1:])
+		if err != nil || ln < 0 || ln > maxRESPBulk {
+			return nil, r, fmt.Errorf("bad bulk length %q", line)
+		}
+		if len(r) < ln+2 {
+			return nil, buf, nil // payload (plus CRLF) not fully buffered
+		}
+		if r[ln] != '\r' || r[ln+1] != '\n' {
+			return nil, r, fmt.Errorf("bulk of %d bytes not CRLF-terminated", ln)
+		}
+		return strings.Fields(string(r[:ln])), r[ln+2:], nil
 	}
 	if buf[0] != '*' {
 		// Inline command: one whitespace-separated line.
@@ -290,6 +314,14 @@ func (c *respCodec) AppendResponse(dst []byte, f *Frame, resp web.Response, _ bo
 // AppendFault encodes a connection-level fault as a RESP error.
 func (c *respCodec) AppendFault(dst []byte, status int, msg string) []byte {
 	return appendStatusErr(dst, status, msg)
+}
+
+// AppendOverload encodes one admission-shed request as an -OVERLOADED
+// error carrying the retry hint in milliseconds. The connection stays
+// open; the client retries the command after the hint.
+func (c *respCodec) AppendOverload(dst []byte, retryAfter time.Duration, _ bool) []byte {
+	return fmt.Appendf(dst, "-OVERLOADED shed by admission control, retry after %dms\r\n",
+		retryAfter.Milliseconds())
 }
 
 // appendExec encodes the servlet's multi response — "COMMITTED" or

@@ -16,7 +16,8 @@
 //
 // Two codecs ship with the package: an HTTP/1.1 codec (persistent
 // connections, pipelining, Content-Length bodies, version echo) and a
-// RESP-style codec (inline and multi-bulk commands; GET/SET/DEL/
+// RESP-style codec (inline, multi-bulk, and top-level bulk-string
+// commands; GET/SET/DEL/
 // MULTI/EXEC/STATS mapping onto the transactional KV servlet's routes),
 // so a Redis-style client can drive kill-atomic transactions through the
 // same serving layer.
@@ -24,6 +25,7 @@ package wire
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/web"
 )
@@ -70,6 +72,13 @@ type Codec interface {
 	// timeout, drain — in the protocol's vocabulary. The connection
 	// always closes after a fault.
 	AppendFault(dst []byte, status int, msg string) []byte
+	// AppendOverload serializes a per-request admission refusal. Unlike a
+	// fault it does not end the conversation: a keep-alive client that had
+	// one request shed keeps its connection and may retry after retryAfter
+	// (HTTP: 503 with a Retry-After header; RESP: an -OVERLOADED error).
+	// close mirrors AppendResponse's close (the transport will hang up
+	// after this frame for its own reasons, e.g. the client asked to).
+	AppendOverload(dst []byte, retryAfter time.Duration, close bool) []byte
 }
 
 // Factory creates a fresh per-connection codec.
