@@ -770,28 +770,101 @@ func BenchmarkSyncSingle(b *testing.B) {
 	}
 }
 
+// E25: direct core-level contention — N rendezvous pairs ping-ponging on
+// disjoint channels vs all on one shared channel, swept across GOMAXPROCS.
+// Under the old design both legs serialized on the per-runtime global lock
+// and the disjoint/shared gap was noise; with per-event locks and the op
+// claim protocol, disjoint pairs touch disjoint mutexes and disjoint ops,
+// so the disjoint leg scales with cores while the shared leg measures the
+// per-object lock, not a runtime-wide one. On a 1-core container the two
+// GOMAXPROCS legs time-slice the same CPU and the sweep mainly bounds the
+// scheduling overhead; see BENCH_scaling.json for the disclosure.
+func BenchmarkCoreContention(b *testing.B) {
+	const pairs = 4
+	bench := func(b *testing.B, shared bool) {
+		benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
+			chs := make([]*core.Chan, pairs)
+			one := core.NewChanNamed(rt, "shared")
+			for i := range chs {
+				if shared {
+					chs[i] = one
+				} else {
+					chs[i] = core.NewChanNamed(rt, "disjoint")
+				}
+			}
+			per := b.N/pairs + 1
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for p := 0; p < pairs; p++ {
+				ch := chs[p]
+				wg.Add(2)
+				th.Spawn("recv", func(x *killsafe.Thread) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if _, err := ch.Recv(x); err != nil {
+							return
+						}
+					}
+				})
+				th.Spawn("send", func(x *killsafe.Thread) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						if err := ch.Send(x, i); err != nil {
+							return
+						}
+					}
+				})
+			}
+			wg.Wait()
+		})
+	}
+	for _, procs := range []int{1, 4} {
+		for _, mode := range []string{"disjoint", "shared"} {
+			shared := mode == "shared"
+			b.Run(fmt.Sprintf("gomaxprocs-%d/%s", procs, mode), func(b *testing.B) {
+				prev := runtime.GOMAXPROCS(procs)
+				defer runtime.GOMAXPROCS(prev)
+				bench(b, shared)
+			})
+		}
+	}
+}
+
 // BenchmarkNetsvcServedRequest is one served request end to end (the
 // BenchmarkNetsvcRoundTrip path) under each instrumentation mode: the
 // obs-off leg is the fence against BENCH_scaling.json's round-trip
 // reading, and the obs-on/obs-rec spread is the overhead the CI fence
-// bounds.
+// bounds. The body-string/body-bytes pair is the zero-copy response
+// path's before/after: body-string serializes the servlet's string body
+// into the pooled batch buffer (the legacy copy), body-bytes hands the
+// codec a []byte payload that is appended straight into the batch —
+// allocs/op is the headline number for the pair.
 func BenchmarkNetsvcServedRequest(b *testing.B) {
 	modes := []struct {
-		name string
-		cfg  netsvc.Config
+		name      string
+		cfg       netsvc.Config
+		bytesBody bool
 	}{
-		{"obs-off", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second, DisableObs: true}},
-		{"obs-on", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second}},
-		{"obs-rec", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second, FlightRecorder: 8192}},
+		{"obs-off/body-string", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second, DisableObs: true}, false},
+		{"obs-off/body-bytes", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second, DisableObs: true}, true},
+		{"obs-on", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second}, false},
+		{"obs-rec", netsvc.Config{MaxConns: 32, IdleTimeout: 10 * time.Second, FlightRecorder: 8192}, false},
 	}
+	pongBytes := []byte("pong")
 	for _, m := range modes {
 		m := m
 		b.Run(m.name, func(b *testing.B) {
 			benchRun(b, func(rt *killsafe.Runtime, th *killsafe.Thread) {
 				ws := web.NewServer(th)
-				ws.Handle("/ping", func(_ *killsafe.Thread, _ *web.Session, _ *web.Request) web.Response {
-					return web.Response{Status: 200, Body: "pong"}
-				})
+				if m.bytesBody {
+					ws.Handle("/ping", func(_ *killsafe.Thread, _ *web.Session, _ *web.Request) web.Response {
+						return web.Response{Status: 200, BodyBytes: pongBytes}
+					})
+				} else {
+					ws.Handle("/ping", func(_ *killsafe.Thread, _ *web.Session, _ *web.Request) web.Response {
+						return web.Response{Status: 200, Body: "pong"}
+					})
+				}
 				s, err := netsvc.Serve(th, ws, m.cfg)
 				if err != nil {
 					b.Fatal(err)
@@ -801,6 +874,7 @@ func BenchmarkNetsvcServedRequest(b *testing.B) {
 				if err := cl.get("/ping"); err != nil {
 					b.Fatal(err)
 				}
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if err := cl.get("/ping"); err != nil {

@@ -25,41 +25,77 @@ func After(rt *Runtime, d time.Duration) Event {
 }
 
 func (e *alarmEvt) poll(op *syncOp, idx int) bool {
-	if e.rt.nowLocked().Before(e.at) {
+	if e.rt.now().Before(e.at) {
 		return false
 	}
-	commitOpLocked(op, idx, Unit{})
+	if !op.claim() {
+		return false
+	}
+	finalizeCommit(op, idx, Unit{})
 	return true
 }
 
-func (e *alarmEvt) register(w *waiter) {
+func (e *alarmEvt) enroll(w *waiter) bool {
 	rt := e.rt
+	// Re-check under no lock: an alarm has no wait queue of its own, and
+	// unlike a rendezvous there is no lost-wakeup window to close — a
+	// deadline that passes after this check is caught by the timer callback
+	// (AfterFunc with a non-positive duration fires immediately) or, in
+	// deterministic mode, by the next AdvanceToNextAlarm step.
+	if !rt.now().Before(e.at) {
+		return e.poll(w.op, w.idx)
+	}
 	if rt.det.Load() {
 		// Deterministic mode: no real timer. The registration sits in the
 		// runtime's virtual alarm list until the scheduler decides that
 		// time passes (AdvanceToNextAlarm).
-		rt.addAlarmLocked(w, e.at)
-		return
+		rt.mu.Lock()
+		rt.valarms = append(rt.valarms, valarm{
+			op: w.op, idx: w.idx, w: w, at: e.at, gen: w.gen.Load(),
+		})
+		rt.mu.Unlock()
+		return false
 	}
 	// The timer callback can outlive the sync (Stop does not wait for an
-	// in-flight callback), and waiter records are recycled; the captured
-	// generation fences a stale callback off a reused record.
-	gen := w.gen
+	// in-flight callback) and waiter records are recycled, so the callback
+	// captures the op and generation now, on the owning goroutine, and
+	// validates the generation twice: once before claiming (cheap filter)
+	// and once after (the claim's CAS synchronizes with acquireOp's
+	// opSyncing store, which is program-ordered after finish's gen bump on
+	// the owner — so a stale callback that claims a recycled op is
+	// guaranteed to observe the bumped generation and roll back).
+	gen := w.gen.Load()
+	op, idx := w.op, w.idx
 	w.timer = time.AfterFunc(time.Until(e.at), func() {
-		rt.mu.Lock()
-		// If the thread is suspended this is a no-op; the waiter stays
-		// in place and the resume path's re-poll sees the deadline has
-		// passed.
-		if w.gen == gen && commitSingleLocked(w, Unit{}) {
-			if h := rt.hook(); h != nil {
-				h.AlarmFire(w.op.th)
-			}
+		if w.gen.Load() != gen {
+			return
 		}
-		rt.mu.Unlock()
+		if !op.claim() {
+			return
+		}
+		if w.gen.Load() != gen {
+			op.unclaim()
+			return
+		}
+		// A suspended thread's alarm is a no-op here; the deadline has
+		// passed, so the resume path's re-poll sees it ready.
+		if !op.th.matchable.Load() {
+			op.unclaim()
+			return
+		}
+		th := op.th // snapshot: the op must not be touched post-commit
+		finalizeCommit(op, idx, Unit{})
+		if h := rt.hook(); h != nil {
+			h.AlarmFire(th)
+		}
 	})
+	return false
 }
 
-func (e *alarmEvt) unregister(*waiter) {}
+// cancel is a no-op: real timers are stopped by finish (which owns
+// w.timer), and virtual registrations are invalidated by the generation
+// bump in the same place.
+func (e *alarmEvt) cancel(*waiter) {}
 
 // Sleep blocks the thread for d. It is a safe point: the sleep is
 // interrupted by kill, extended by suspension, and aborted with ErrBreak

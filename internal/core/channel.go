@@ -1,18 +1,29 @@
 package core
 
+import "sync"
+
 // Chan is a synchronous (rendezvous) channel, the runtime's primitive
 // synchronization abstraction. A send and a receive commit simultaneously
 // and exchange one value; neither completes without the other. The
 // built-in channel is kill-safe: terminating the task on one end does not
 // endanger the task on the other end.
 //
+// Each channel owns its waiter queues under its own mutex: two threads
+// rendezvousing on different channels never touch a shared lock. The
+// two-party commit itself runs on the op claim protocol (see sync.go) —
+// both ops are claimed in thread-id order, validated, and finalized —
+// so the channel lock serializes only queue access on this channel, not
+// the commit.
+//
 // A channel's only purpose is to generate events; SendEvt and RecvEvt are
 // the primitives, and Send/Recv are Sync shorthands.
 type Chan struct {
-	rt    *Runtime
-	name  string
-	sendq []*waiter
-	recvq []*waiter
+	rt   *Runtime
+	name string
+
+	mu    sync.Mutex
+	sendw waitq
+	recvw waitq
 }
 
 // NewChan creates a channel.
@@ -52,91 +63,125 @@ func (c *Chan) Recv(th *Thread) (Value, error) {
 	return Sync(th, c.RecvEvt())
 }
 
-// compact drops removed waiters from q in place.
-func compact(q []*waiter) []*waiter {
-	out := q[:0]
-	for _, w := range q {
-		if !w.removed {
-			out = append(out, w)
+// match scans q (the opposite direction's waiter queue) for the first peer
+// that can commit against op right now and, on success, performs the
+// two-party commit: the receiver's op gets the transferred value, the
+// sender's op gets Unit. Caller holds c.mu.
+//
+// Both ops are claimed in thread-id order; a transiently claimed op is
+// spun out inside claim (see sync.go for why skipping would lose a
+// rendezvous and why the id order makes the spin deadlock-free). It
+// returns committed == true if op was committed here, and decided == true
+// if op was found already decided (terminal) — the caller's sync loop
+// observes the outcome.
+func match(q *waitq, op *syncOp, idx int, recvVal func(peer *waiter) (toPeer, toSelf Value)) (committed, decided bool) {
+	q.visit(func(w *waiter) (drop, cont bool) {
+		if w.op == op {
+			return false, true // self-pairing within one choice
 		}
-	}
-	return out
-}
-
-// findPeer scans a waiter queue for the first entry that can commit
-// against op right now. Caller holds rt.mu.
-func findPeer(q []*waiter, op *syncOp) *waiter {
-	for _, w := range q {
-		if w.removed || w.op == op || w.op.state != opSyncing {
-			continue
+		if s := w.op.state.Load(); s != opSyncing && s != opClaimed {
+			return true, true // spent registration; clear the slot
 		}
-		if !w.op.th.canCommitLocked() {
-			continue
+		first, second := op, w.op
+		if w.op.th.id < op.th.id {
+			first, second = w.op, op
 		}
-		return w
-	}
-	return nil
+		if !first.claim() {
+			if first == op {
+				decided = true
+				return false, false
+			}
+			return true, true // peer reached a terminal state; drop it
+		}
+		if !second.claim() {
+			first.unclaim()
+			if second == op {
+				decided = true
+				return false, false
+			}
+			return true, true
+		}
+		if !w.op.th.matchable.Load() {
+			// Suspended peer: leave it registered (the resume path
+			// re-polls it) and keep scanning.
+			second.unclaim()
+			first.unclaim()
+			return false, true
+		}
+		toPeer, toSelf := recvVal(w)
+		commitPair(w.op, w.idx, toPeer, op, idx, toSelf)
+		committed = true
+		return true, false
+	})
+	return committed, decided
 }
 
 func (e *chanSendEvt) poll(op *syncOp, idx int) bool {
-	e.ch.recvq = compact(e.ch.recvq)
-	peer := findPeer(e.ch.recvq, op)
-	if peer == nil {
-		return false
+	e.ch.mu.Lock()
+	committed, _ := e.matchLocked(op, idx)
+	e.ch.mu.Unlock()
+	return committed
+}
+
+func (e *chanSendEvt) matchLocked(op *syncOp, idx int) (bool, bool) {
+	return match(&e.ch.recvw, op, idx, func(*waiter) (Value, Value) {
+		return e.v, Unit{}
+	})
+}
+
+func (e *chanSendEvt) enroll(w *waiter) bool {
+	e.ch.mu.Lock()
+	committed, decided := e.matchLocked(w.op, w.idx)
+	if !committed && !decided {
+		e.ch.sendw.enqueue(w)
 	}
-	// Two-party commit: receiver gets the value, sender gets Unit.
-	commitOpLocked(peer.op, peer.idx, e.v)
-	commitOpLocked(op, idx, Unit{})
-	return true
+	e.ch.mu.Unlock()
+	return committed
 }
 
-func (e *chanSendEvt) register(w *waiter) {
-	e.ch.sendq = append(e.ch.sendq, w)
-}
-
-func (e *chanSendEvt) unregister(*waiter) {
-	e.ch.sendq = compact(e.ch.sendq)
+func (e *chanSendEvt) cancel(w *waiter) {
+	e.ch.mu.Lock()
+	e.ch.sendw.cancel(w)
+	e.ch.mu.Unlock()
 }
 
 func (e *chanRecvEvt) poll(op *syncOp, idx int) bool {
-	e.ch.sendq = compact(e.ch.sendq)
-	peer := findPeer(e.ch.sendq, op)
-	if peer == nil {
-		return false
+	e.ch.mu.Lock()
+	committed, _ := e.matchLocked(op, idx)
+	e.ch.mu.Unlock()
+	return committed
+}
+
+func (e *chanRecvEvt) matchLocked(op *syncOp, idx int) (bool, bool) {
+	return match(&e.ch.sendw, op, idx, func(peer *waiter) (Value, Value) {
+		return Unit{}, peer.base.(*chanSendEvt).v
+	})
+}
+
+func (e *chanRecvEvt) enroll(w *waiter) bool {
+	e.ch.mu.Lock()
+	committed, decided := e.matchLocked(w.op, w.idx)
+	if !committed && !decided {
+		e.ch.recvw.enqueue(w)
 	}
-	v := peer.base.(*chanSendEvt).v
-	commitOpLocked(peer.op, peer.idx, Unit{})
-	commitOpLocked(op, idx, v)
-	return true
+	e.ch.mu.Unlock()
+	return committed
 }
 
-func (e *chanRecvEvt) register(w *waiter) {
-	e.ch.recvq = append(e.ch.recvq, w)
+func (e *chanRecvEvt) cancel(w *waiter) {
+	e.ch.mu.Lock()
+	e.ch.recvw.cancel(w)
+	e.ch.mu.Unlock()
 }
 
-func (e *chanRecvEvt) unregister(*waiter) {
-	e.ch.recvq = compact(e.ch.recvq)
-}
-
-// doneEvt is the base event behind Thread.DoneEvt.
+// doneEvt is the base event behind Thread.DoneEvt, backed by the thread's
+// one-shot done signal.
 type doneEvt struct {
 	th *Thread
 }
 
 func (*doneEvt) isEvent() {}
 
-func (e *doneEvt) poll(op *syncOp, idx int) bool {
-	if !e.th.done {
-		return false
-	}
-	commitOpLocked(op, idx, Unit{})
-	return true
-}
-
-func (e *doneEvt) register(w *waiter) {
-	e.th.doneWaiters = append(e.th.doneWaiters, w)
-}
-
-func (e *doneEvt) unregister(*waiter) {
-	e.th.doneWaiters = compact(e.th.doneWaiters)
-}
+func (e *doneEvt) poll(op *syncOp, idx int) bool { return e.th.doneSig.poll(op, idx) }
+func (e *doneEvt) enroll(w *waiter) bool         { return e.th.doneSig.enroll(w) }
+func (e *doneEvt) cancel(w *waiter)              { e.th.doneSig.cancel(w) }

@@ -17,8 +17,9 @@ type Custodian struct {
 	closers  []io.Closer
 	dead     bool
 
-	// deadWaiters are sync waiters blocked on this custodian's dead event.
-	deadWaiters []*waiter
+	// deadSig fires (with Unit) when the custodian is shut down; DeadEvt
+	// is its event view. A custodian created dead fires it at birth.
+	deadSig oneshot
 }
 
 // NewCustodian creates a sub-custodian of parent. Shutting down the parent
@@ -38,6 +39,7 @@ func NewCustodian(parent *Custodian) *Custodian {
 	}
 	if parent.dead {
 		c.dead = true
+		c.deadSig.fire(Unit{})
 	} else {
 		parent.children[c] = struct{}{}
 	}
@@ -113,18 +115,19 @@ func (c *Custodian) shutdownLocked(closers []io.Closer) []io.Closer {
 	if h := c.rt.hook(); h != nil {
 		h.CustodianShutdown(c.id, len(c.threads))
 	}
-	for _, w := range c.deadWaiters {
-		commitSingleLocked(w, Unit{})
-	}
-	c.deadWaiters = nil
+	c.deadSig.fire(Unit{})
 	if c.parent != nil {
 		delete(c.parent.children, c)
 	}
 	for th := range c.threads {
 		delete(th.custodians, c)
-		// A thread that just lost its last custodian is now suspended;
-		// nothing to wake. Its blocked sync (if any) simply becomes
-		// unmatchable until the thread is resumed with a new custodian.
+		// A thread that just lost its last custodian is now suspended. The
+		// cached matchable flag must be recomputed here — it is what peers
+		// consult, without rt.mu, before committing a rendezvous with this
+		// thread. No wake: the thread itself has nothing to do about
+		// becoming unmatchable (a parked sync stays parked; peers skip it),
+		// and the resume path re-wakes it.
+		th.updateMatchableLocked()
 		if len(th.custodians) == 0 {
 			c.rt.traceLocked(TraceCondemned, th, "")
 		}
@@ -162,21 +165,9 @@ type custodianDeadEvt struct {
 
 func (*custodianDeadEvt) isEvent() {}
 
-func (e *custodianDeadEvt) poll(op *syncOp, idx int) bool {
-	if !e.c.dead {
-		return false
-	}
-	commitOpLocked(op, idx, Unit{})
-	return true
-}
-
-func (e *custodianDeadEvt) register(w *waiter) {
-	e.c.deadWaiters = append(e.c.deadWaiters, w)
-}
-
-func (e *custodianDeadEvt) unregister(*waiter) {
-	e.c.deadWaiters = compact(e.c.deadWaiters)
-}
+func (e *custodianDeadEvt) poll(op *syncOp, idx int) bool { return e.c.deadSig.poll(op, idx) }
+func (e *custodianDeadEvt) enroll(w *waiter) bool         { return e.c.deadSig.enroll(w) }
+func (e *custodianDeadEvt) cancel(w *waiter)              { e.c.deadSig.cancel(w) }
 
 // ManagedThreads returns the number of live threads directly controlled by
 // the custodian.

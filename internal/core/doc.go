@@ -14,7 +14,13 @@
 // operations — which is exactly the hazard window that kill-safe abstraction
 // design addresses.
 //
-// All scheduler and event state is protected by a single runtime lock, which
-// makes the two-party rendezvous commit of CML trivially atomic. The cost of
-// that choice is measured by the repository's benchmark harness.
+// Synchronization state is sharded: every event object (channel, semaphore,
+// oneshot) guards its own waiter queue with its own lock, and a rendezvous
+// commits by claiming the two syncOps involved (in thread-id order) with a
+// per-op CAS — no runtime-wide lock is held on the commit path. A small
+// bookkeeping lock (Runtime.mu) still covers thread lifecycle: spawn, kill,
+// suspend/resume, custodian membership, and the deterministic-mode trace.
+// Rendezvous on disjoint events therefore proceed in parallel; the lock
+// hierarchy and claim protocol are specified in DESIGN.md §21 and the
+// scaling consequences are measured by the repository's benchmark harness.
 package core

@@ -12,17 +12,22 @@ type Event interface {
 }
 
 // baseEvent is a primitive event that the sync engine can poll and block
-// on. All methods are called with the runtime lock held.
+// on. No lock is held at the call sites; each implementation takes its
+// own event object's lock internally (per the hierarchy documented in
+// sync.go) and commits through the op claim protocol.
 type baseEvent interface {
 	Event
 	// poll attempts to commit op's case idx immediately. It returns true
 	// if op was committed (by this base).
 	poll(op *syncOp, idx int) bool
-	// register adds a blocked waiter for this base.
-	register(w *waiter)
-	// unregister cleans up after a waiter that is no longer blocked.
-	// Queue-based bases may rely on the waiter's removed flag instead.
-	unregister(w *waiter)
+	// enroll atomically either commits w's op (the event became ready
+	// since it was polled — the check and the enqueue happen under the
+	// event's own lock, closing the lost-wakeup window) or adds w to the
+	// event's wait queue. It returns true iff this call committed the op.
+	enroll(w *waiter) bool
+	// cancel removes an abandoned waiter's registration (lost choice,
+	// break, kill, sync finished). O(1) for queue-backed events.
+	cancel(w *waiter)
 }
 
 // wrapFn is a wrap procedure: it receives the syncing thread and the
@@ -105,11 +110,14 @@ func Always(v Value) Event { return &alwaysEvt{v: v} }
 func Never() Event { return &neverEvt{} }
 
 func (a *alwaysEvt) poll(op *syncOp, idx int) bool {
-	commitOpLocked(op, idx, a.v)
+	if !op.claim() {
+		return false
+	}
+	finalizeCommit(op, idx, a.v)
 	return true
 }
-func (a *alwaysEvt) register(*waiter)   {}
-func (a *alwaysEvt) unregister(*waiter) {}
+func (a *alwaysEvt) enroll(w *waiter) bool { return a.poll(w.op, w.idx) }
+func (a *alwaysEvt) cancel(*waiter)        {}
 
 // neverEvt is not a baseEvent: flatten drops it entirely.
 
@@ -164,10 +172,7 @@ func flatten(th *Thread, op *syncOp, e Event, wrap1 wrapFn, wraps []wrapFn, nack
 		flatten(th, op, ev.fn(th), wrap1, wraps, nacks, depth+1)
 	case *nackGuardEvt:
 		sig := newNackSignal()
-		th.rt.mu.Lock()
-		op.nacks = append(op.nacks, sig)
-		idx := len(op.nacks) - 1
-		th.rt.mu.Unlock()
+		idx := op.addNack(sig)
 		n := make([]int, len(nacks)+1)
 		copy(n, nacks)
 		n[len(nacks)] = idx

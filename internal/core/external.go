@@ -26,12 +26,20 @@ import "sync"
 // thread that syncs long after the fact — observes the same value:
 // External doubles as a one-shot broadcast, which netsvc uses as its
 // drain signal.
+//
+// The cell's matching state is the shared oneshot core under its own
+// lock; the runtime lock is involved only in deterministic mode, where
+// completions are queued on the runtime's FIFO delivery queue.
 type External struct {
-	rt      *Runtime
-	fired   bool
-	queued  bool // deterministic mode: completed but not yet delivered
-	v       Value
-	waiters []*waiter
+	rt  *Runtime
+	sig oneshot
+
+	// Deterministic-mode delivery queue state, guarded by rt.mu: a
+	// completion is parked here until the scheduler performs a
+	// DeliverNextExternal step, so the commit point is a recorded
+	// scheduling decision rather than a race with the completer.
+	queued bool
+	qv     Value
 }
 
 // NewExternal creates an uncompleted cell.
@@ -41,39 +49,38 @@ func NewExternal(rt *Runtime) *External { return &External{rt: rt} }
 // returns false if the cell had already fired (the first value wins).
 // Safe to call from plain goroutines.
 func (x *External) Complete(v Value) bool {
-	x.rt.mu.Lock()
-	defer x.rt.mu.Unlock()
-	if x.fired || x.queued {
-		return false
-	}
 	if x.rt.det.Load() {
-		// Deterministic mode: completions are funneled through a FIFO
-		// delivery queue and land only when the scheduler performs a
-		// DeliverNextExternal step, so the commit point is a recorded
-		// scheduling decision rather than a race with the completer.
+		x.rt.mu.Lock()
+		if x.queued || x.sig.fired.Load() {
+			x.rt.mu.Unlock()
+			return false
+		}
 		x.queued = true
-		x.v = v
+		x.qv = v
 		x.rt.extq = append(x.rt.extq, x)
+		x.rt.mu.Unlock()
 		return true
 	}
-	x.fired = true
-	x.v = v
-	// A suspended waiter is skipped here and left registered; the resume
-	// path re-polls its sync, and poll sees fired. (Same discipline as
-	// nackSignal.)
-	for _, w := range x.waiters {
-		commitSingleLocked(w, x.v)
-	}
-	x.waiters = nil
-	return true
+	return x.sig.fire(v)
 }
+
+// deliver fires a det-mode queued completion. Called by the scheduler's
+// DeliverNextExternal step with rt.mu NOT held (fire commits waiters,
+// which must run above only leaf locks).
+func (x *External) deliver() { x.sig.fire(x.qv) }
 
 // Completed reports whether Complete has been called (in deterministic
 // mode the value may still be queued, awaiting its delivery step).
 func (x *External) Completed() bool {
+	if x.sig.fired.Load() {
+		return true
+	}
+	if !x.rt.det.Load() {
+		return false
+	}
 	x.rt.mu.Lock()
 	defer x.rt.mu.Unlock()
-	return x.fired || x.queued
+	return x.queued || x.sig.fired.Load()
 }
 
 // Evt returns an event that is ready once the cell has completed; its
@@ -86,21 +93,9 @@ type extEvt struct {
 
 func (*extEvt) isEvent() {}
 
-func (e *extEvt) poll(op *syncOp, idx int) bool {
-	if !e.x.fired {
-		return false
-	}
-	commitOpLocked(op, idx, e.x.v)
-	return true
-}
-
-func (e *extEvt) register(w *waiter) {
-	e.x.waiters = append(e.x.waiters, w)
-}
-
-func (e *extEvt) unregister(*waiter) {
-	e.x.waiters = compact(e.x.waiters)
-}
+func (e *extEvt) poll(op *syncOp, idx int) bool { return e.x.sig.poll(op, idx) }
+func (e *extEvt) enroll(w *waiter) bool         { return e.x.sig.enroll(w) }
+func (e *extEvt) cancel(w *waiter)              { e.x.sig.cancel(w) }
 
 // Start runs fn on a helper goroutine immediately; the cell completes
 // with fn's result. It returns the cell, so the two-step shape

@@ -18,12 +18,18 @@ import "sync/atomic"
 // 0 allocs/op — fenced by TestSingleEventSyncAllocFree). Tap arguments
 // are pointers and integers only; calling a tap never allocates.
 //
-// Locking contract: every tap except Pause is called with the runtime
-// lock held and must not block and must not call back into the runtime
-// (it may take the implementation's own lock; the order is always
-// runtime lock → instrumentation lock). Pause is called WITHOUT the
-// runtime lock; a deterministic scheduler blocks there until it grants
-// the thread the right to run, a passive observer must return promptly.
+// Locking contract: taps fire from the paths that produce them — some
+// under the runtime bookkeeping lock (lifecycle, custodian shutdown),
+// some from lock-free commit finalization, possibly with an event lock
+// held (SyncCommit, Runnable, AlarmFire), and some from a bare thread
+// goroutine (Blocked, Pause). A tap must not block and must not call
+// back into the runtime; it may take the implementation's own lock,
+// which is always innermost. Outside deterministic mode taps can fire
+// concurrently from many goroutines, so a passive implementation must be
+// thread-safe (internal/obs uses atomics and a seqlock); a deterministic
+// scheduler serializes execution, so its taps arrive sequentially. Pause
+// is where a deterministic scheduler blocks the thread until granted; a
+// passive observer must return promptly.
 type Instrumentation interface {
 	// Scheduler taps — the surface a sequential scheduler drives.
 
@@ -177,7 +183,7 @@ func (rt *Runtime) SetInstrumentation(i Instrumentation) {
 		panic("core: SetInstrumentation cannot change deterministic mode after threads were created")
 	}
 	if det {
-		rt.vnow = detEpoch
+		rt.vnow.Store(detEpoch.UnixNano())
 	}
 	rt.det.Store(det)
 	if i == nil {

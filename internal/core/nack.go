@@ -2,28 +2,22 @@ package core
 
 // nackSignal is a one-shot, level-triggered signal backing a nack-guard's
 // negative-acknowledgment event. Once fired it stays ready forever, so a
-// server can observe a client's withdrawal at any later time.
+// server can observe a client's withdrawal at any later time. It is a thin
+// wrapper over the shared oneshot core; firing takes only the signal's own
+// lock, so nack cascades never serialize on runtime-wide state.
 type nackSignal struct {
-	fired   bool
-	waiters []*waiter
+	sig oneshot
 }
 
 func newNackSignal() *nackSignal { return &nackSignal{} }
 
 func (n *nackSignal) event() Event { return &nackEvt{sig: n} }
 
-// fireLocked makes the signal ready and commits any matchable waiters.
-// Idempotent. Caller holds rt.mu.
-func (n *nackSignal) fireLocked() {
-	if n.fired {
-		return
-	}
-	n.fired = true
-	for _, w := range n.waiters {
-		commitSingleLocked(w, Unit{})
-	}
-	n.waiters = nil
-}
+// fire makes the signal ready and commits any committable waiters.
+// Idempotent; safe to call from any goroutine with any event lock NOT
+// held (it is called from commit finalization and from finish, both of
+// which run lock-free above the oneshot leaf lock).
+func (n *nackSignal) fire() { n.sig.fire(Unit{}) }
 
 // nackEvt is the event view of a nack signal.
 type nackEvt struct {
@@ -32,18 +26,6 @@ type nackEvt struct {
 
 func (*nackEvt) isEvent() {}
 
-func (e *nackEvt) poll(op *syncOp, idx int) bool {
-	if !e.sig.fired {
-		return false
-	}
-	commitOpLocked(op, idx, Unit{})
-	return true
-}
-
-func (e *nackEvt) register(w *waiter) {
-	e.sig.waiters = append(e.sig.waiters, w)
-}
-
-func (e *nackEvt) unregister(*waiter) {
-	e.sig.waiters = compact(e.sig.waiters)
-}
+func (e *nackEvt) poll(op *syncOp, idx int) bool { return e.sig.sig.poll(op, idx) }
+func (e *nackEvt) enroll(w *waiter) bool         { return e.sig.sig.enroll(w) }
+func (e *nackEvt) cancel(w *waiter)              { e.sig.sig.cancel(w) }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// oneshot is the shared core of every level-triggered, fire-once event
+// source: nack signals, External completion cells, thread done events, and
+// custodian dead events. Once fired it stays ready forever with a fixed
+// value.
+//
+// Firing uses the swap pattern: the waiter queue is detached under the
+// signal's own lock, and the commits run after the lock is released. A
+// commit can cascade (committing an op fires its losing nacks, which
+// commit further ops …), and the cascade may in principle reach this very
+// signal again; because the fired flag is set before any commit and the
+// queue is already empty, the re-entry is a cheap no-op instead of a
+// self-deadlock.
+type oneshot struct {
+	mu    sync.Mutex
+	fired atomic.Bool
+	v     Value
+	q     waitq
+}
+
+// commitRef is a (op, case) pair snapshotted from a waiter under the
+// owning event's lock. The commit runs after the lock is released, by
+// which time the waiter record itself may already be recycled by its
+// owner — so the ref, not the waiter, crosses the unlock.
+type commitRef struct {
+	op  *syncOp
+	idx int
+}
+
+// fire makes the signal ready with v and commits every waiter that can
+// commit right now. A suspended waiter is dropped from the queue but not
+// lost: the signal is level-triggered, so the resume path's re-poll
+// observes it ready. Idempotent; returns true if this call fired it.
+func (s *oneshot) fire(v Value) bool {
+	s.mu.Lock()
+	if s.fired.Load() {
+		s.mu.Unlock()
+		return false
+	}
+	s.v = v
+	s.fired.Store(true)
+	var refs []commitRef
+	s.q.visit(func(w *waiter) (drop, cont bool) {
+		refs = append(refs, commitRef{w.op, w.idx})
+		return true, true
+	})
+	s.mu.Unlock()
+	for _, r := range refs {
+		commitReady(r.op, r.idx, v)
+	}
+	return true
+}
+
+// poll attempts an immediate commit of op's case idx if the signal has
+// fired. The fired flag is an acquire load, so the value stored before
+// the release in fire is visible.
+func (s *oneshot) poll(op *syncOp, idx int) bool {
+	if !s.fired.Load() {
+		return false
+	}
+	if !op.claim() {
+		return false
+	}
+	finalizeCommit(op, idx, s.v)
+	return true
+}
+
+// enroll atomically either commits w (the signal fired) or enqueues it.
+// The fired check runs under the lock, so a concurrent fire either sees
+// the enqueued waiter or the enroll sees fired — never neither.
+func (s *oneshot) enroll(w *waiter) bool {
+	s.mu.Lock()
+	if s.fired.Load() {
+		s.mu.Unlock()
+		// Commit outside the lock: finalize may cascade through nack
+		// signals and the signal lock must stay a leaf.
+		if !w.op.claim() {
+			return false
+		}
+		finalizeCommit(w.op, w.idx, s.v)
+		return true
+	}
+	s.q.enqueue(w)
+	s.mu.Unlock()
+	return false
+}
+
+// cancel deregisters an abandoned waiter.
+func (s *oneshot) cancel(w *waiter) {
+	s.mu.Lock()
+	s.q.cancel(w)
+	s.mu.Unlock()
+}

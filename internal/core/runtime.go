@@ -5,7 +5,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // Value is the type carried by events and channels in the untyped core.
@@ -20,14 +19,29 @@ type Unit struct{}
 // threads, a custodian hierarchy, and the event system. Multiple runtimes
 // may coexist; threads, custodians, channels, and events must not be shared
 // across runtimes.
+//
+// The runtime lock mu guards *bookkeeping only*: the thread registry, the
+// custodian tree, suspension and yoking state, tracing, and the
+// deterministic-mode queues. No rendezvous path takes it — matching state
+// lives under per-event locks (Chan.mu, Semaphore.mu, oneshot.mu) and
+// commits go through the per-op claim protocol (sync.go) — so threads
+// rendezvousing on disjoint events scale across cores instead of
+// serializing on a global lock. mu is the outermost lock in the hierarchy:
+// holders may take event locks (the resume re-poll does) but never the
+// reverse.
 type Runtime struct {
 	mu sync.Mutex
 
 	root    *Custodian
 	threads map[int64]*Thread // live (not done) threads
 	nextID  int64
-	seq     uint64 // rotates poll order for fair choice
 	down    bool
+
+	// seq rotates poll order for fair choice. Atomic: the sync engine
+	// ticks it outside any lock, once per poll pass, exactly as the old
+	// global-lock engine did per pass — deterministic schedules depend on
+	// that rotation sequence.
+	seq atomic.Uint64
 
 	wg sync.WaitGroup // tracks spawned goroutines
 
@@ -46,15 +60,17 @@ type Runtime struct {
 	// Instrumentation state (see instrument.go) and deterministic-mode
 	// state (see sched.go). ins is nil in normal operation; every tap
 	// site is nil-guarded so the uninstrumented path is unchanged. It is
-	// an atomic pointer because gate/Pause read it outside the lock and
+	// an atomic pointer because taps fire from lock-free commit paths and
 	// a passive instrumentation may be installed on a live runtime. det
 	// is true iff the installed instrumentation is a deterministic
 	// scheduler; it is atomic so lock-free fast paths (Now, alarm
-	// registration) can test it cheaply.
+	// registration) can test it cheaply. vnow is the virtual clock in
+	// UnixNano form — atomic so alarm polls (which run under event locks
+	// and from the rt.mu-holding resume re-poll) never need a lock for it.
 	ins        atomicInsPointer
 	det        atomic.Bool
-	vnow       time.Time  // virtual clock, guarded by mu
-	valarms    []valarm   // virtual alarm registrations, guarded by mu
+	vnow       atomic.Int64
+	valarms    []valarm    // virtual alarm registrations, guarded by mu
 	extq       []*External // queued external completions, guarded by mu
 	nextCustID int64
 }
@@ -187,14 +203,15 @@ func (rt *Runtime) newThreadLocked(name string, c *Custodian) *Thread {
 		custodians:    make(map[*Custodian]struct{}),
 		beneficiaries: make(map[*Thread]struct{}),
 		yokedOwners:   make(map[*Thread]struct{}),
-		breaksOn:      true,
 	}
-	th.cond = sync.NewCond(&rt.mu)
+	th.parkCond = sync.NewCond(&th.parkMu)
+	th.breaksOn.Store(true)
 	if c != nil {
 		th.custodians[c] = struct{}{}
 		c.threads[th] = struct{}{}
 		th.current = c
 	}
+	th.updateMatchableLocked()
 	rt.threads[th.id] = th
 	rt.traceBufLocked(TraceSpawn, th, "")
 	if h := rt.hook(); h != nil {

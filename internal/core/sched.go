@@ -12,45 +12,37 @@ var detEpoch = time.Unix(1_000_000_000, 0)
 
 // Now returns the current time: the virtual clock in deterministic mode,
 // the wall clock otherwise. Timeout events (After) are built on it.
-func (rt *Runtime) Now() time.Time {
+func (rt *Runtime) Now() time.Time { return rt.now() }
+
+// now is the internal form. The virtual clock is an atomic nanosecond
+// counter so alarm polls — which run under event locks and from the
+// resume re-poll path — never need the runtime bookkeeping lock.
+func (rt *Runtime) now() time.Time {
 	if !rt.det.Load() {
 		return time.Now()
 	}
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.vnow
-}
-
-// nowLocked is Now for callers that already hold rt.mu.
-func (rt *Runtime) nowLocked() time.Time {
-	if rt.det.Load() {
-		return rt.vnow
-	}
-	return time.Now()
+	return time.Unix(0, rt.vnow.Load())
 }
 
 // valarm is a virtual-clock alarm registration: a parked sync waiter that
-// becomes ready when the virtual clock reaches at. The generation is
-// captured at registration; a recycled waiter record (gen bumped) makes
-// the stale entry inert.
+// becomes ready when the virtual clock reaches at. The op, case index,
+// and generation are captured at registration on the owning goroutine;
+// a recycled waiter record (gen bumped) makes the stale entry inert, and
+// the captured op means the entry never reads the mutable waiter fields.
 type valarm struct {
+	op  *syncOp
+	idx int
 	w   *waiter
 	at  time.Time
 	gen uint32
 }
 
-// addAlarmLocked registers a virtual alarm. Deterministic mode only;
-// caller holds rt.mu.
-func (rt *Runtime) addAlarmLocked(w *waiter, at time.Time) {
-	rt.valarms = append(rt.valarms, valarm{w: w, at: at, gen: w.gen})
-}
-
-// compactAlarmsLocked drops registrations whose waiter is gone, recycled,
+// compactAlarmsLocked drops registrations whose waiter has been recycled
 // or whose sync has been decided. Caller holds rt.mu.
 func (rt *Runtime) compactAlarmsLocked() {
 	live := rt.valarms[:0]
 	for _, a := range rt.valarms {
-		if a.gen == a.w.gen && !a.w.removed && a.w.op.state == opSyncing {
+		if a.gen == a.w.gen.Load() && a.op.state.Load() == opSyncing {
 			live = append(live, a)
 		}
 	}
@@ -69,12 +61,14 @@ func (rt *Runtime) PendingAlarms() int {
 // AdvanceToNextAlarm advances the virtual clock to the earliest pending
 // alarm deadline and fires every alarm that is now due. It returns false
 // if no alarm is pending. Deterministic mode only; the scheduler calls it
-// when it decides that "time passes" is the next step.
+// when it decides that "time passes" is the next step. The due alarms are
+// collected under rt.mu but committed after it is released: commits never
+// run under the bookkeeping lock.
 func (rt *Runtime) AdvanceToNextAlarm() bool {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	rt.compactAlarmsLocked()
 	if len(rt.valarms) == 0 {
+		rt.mu.Unlock()
 		return false
 	}
 	min := rt.valarms[0].at
@@ -83,25 +77,45 @@ func (rt *Runtime) AdvanceToNextAlarm() bool {
 			min = a.at
 		}
 	}
-	if min.After(rt.vnow) {
-		rt.vnow = min
+	if min.UnixNano() > rt.vnow.Load() {
+		rt.vnow.Store(min.UnixNano())
 	}
+	now := rt.vnow.Load()
+	var due []valarm
 	rest := rt.valarms[:0]
 	for _, a := range rt.valarms {
-		if a.at.After(rt.vnow) {
+		if a.at.UnixNano() > now {
 			rest = append(rest, a)
 			continue
 		}
-		// A suspended thread's alarm is simply dropped from the list: the
-		// clock has passed the deadline, so the resume path's re-poll
-		// observes it ready (same discipline as a fired real timer).
-		if commitSingleLocked(a.w, Unit{}) {
-			if h := rt.hook(); h != nil {
-				h.AlarmFire(a.w.op.th)
-			}
-		}
+		due = append(due, a)
 	}
 	rt.valarms = rest
+	rt.mu.Unlock()
+	for _, a := range due {
+		if a.gen != a.w.gen.Load() {
+			continue
+		}
+		if !a.op.claim() {
+			continue
+		}
+		if a.gen != a.w.gen.Load() {
+			a.op.unclaim()
+			continue
+		}
+		// A suspended thread's alarm is simply dropped: the clock has
+		// passed the deadline, so the resume path's re-poll observes it
+		// ready (same discipline as a fired real timer).
+		if !a.op.th.matchable.Load() {
+			a.op.unclaim()
+			continue
+		}
+		th := a.op.th // snapshot: the op must not be touched post-commit
+		finalizeCommit(a.op, a.idx, Unit{})
+		if h := rt.hook(); h != nil {
+			h.AlarmFire(th)
+		}
+	}
 	return true
 }
 
@@ -116,21 +130,19 @@ func (rt *Runtime) PendingDeliveries() int {
 // DeliverNextExternal delivers the oldest queued External completion:
 // the cell becomes fired and its waiters commit. It returns false if the
 // queue is empty. Deterministic mode only; completions queue in Complete
-// order and the scheduler chooses when each one lands.
+// order and the scheduler chooses when each one lands. The fire itself
+// runs after rt.mu is released, under the cell's own signal lock.
 func (rt *Runtime) DeliverNextExternal() bool {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	if len(rt.extq) == 0 {
+		rt.mu.Unlock()
 		return false
 	}
 	x := rt.extq[0]
 	rt.extq = rt.extq[1:]
 	x.queued = false
-	x.fired = true
-	for _, w := range x.waiters {
-		commitSingleLocked(w, x.v)
-	}
-	x.waiters = nil
+	rt.mu.Unlock()
+	x.deliver()
 	return true
 }
 

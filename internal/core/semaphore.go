@@ -1,13 +1,21 @@
 package core
 
+import "sync"
+
 // Semaphore is a counting semaphore integrated with the event system. A
 // wait event is ready when the count is positive; committing it decrements
 // the count atomically with the choice, so a semaphore wait can be
 // multiplexed with other events. A suspended thread cannot take a post.
+//
+// The count and waiter queue live under the semaphore's own mutex;
+// disjoint semaphores never contend. Commits go through the op claim
+// protocol (sync.go), so posting hands counts only to ops that are still
+// undecided and whose threads are matchable.
 type Semaphore struct {
-	rt      *Runtime
-	count   int
-	waiters []*waiter
+	rt    *Runtime
+	mu    sync.Mutex
+	count int
+	q     waitq
 }
 
 // NewSemaphore creates a semaphore with the given initial count.
@@ -20,39 +28,47 @@ func NewSemaphore(rt *Runtime, count int) *Semaphore {
 
 // Post increments the count and wakes a blocked waiter if one can commit.
 func (s *Semaphore) Post() {
-	s.rt.mu.Lock()
+	s.mu.Lock()
 	s.count++
 	s.drainLocked()
-	s.rt.mu.Unlock()
+	s.mu.Unlock()
 }
 
-// drainLocked hands available counts to matchable blocked waiters.
+// drainLocked hands available counts to committable blocked waiters.
+// Caller holds s.mu. A suspended waiter stays registered (the resume path
+// re-polls); a decided waiter's slot is cleared.
 func (s *Semaphore) drainLocked() {
 	if s.count == 0 {
 		return
 	}
-	s.waiters = compact(s.waiters)
-	for _, w := range s.waiters {
+	s.q.visit(func(w *waiter) (drop, cont bool) {
 		if s.count == 0 {
-			return
+			return false, false
 		}
-		if commitSingleLocked(w, Unit{}) {
-			s.count--
+		if !w.op.claim() {
+			return true, true // spent registration
 		}
-	}
+		if !w.op.th.matchable.Load() {
+			w.op.unclaim()
+			return false, true
+		}
+		s.count--
+		finalizeCommit(w.op, w.idx, Unit{})
+		return true, true
+	})
 }
 
 // Count returns the current count.
 func (s *Semaphore) Count() int {
-	s.rt.mu.Lock()
-	defer s.rt.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.count
 }
 
 // TryWait decrements the count if it is positive, without blocking.
 func (s *Semaphore) TryWait() bool {
-	s.rt.mu.Lock()
-	defer s.rt.mu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.count > 0 {
 		s.count--
 		return true
@@ -77,18 +93,41 @@ type semEvt struct {
 func (*semEvt) isEvent() {}
 
 func (e *semEvt) poll(op *syncOp, idx int) bool {
-	if e.s.count == 0 {
+	s := e.s
+	s.mu.Lock()
+	committed := s.takeLocked(op, idx)
+	s.mu.Unlock()
+	return committed
+}
+
+// takeLocked attempts to hand one count to op. Caller holds s.mu. The
+// count is decremented only after the claim succeeds, so a failed claim
+// (op decided elsewhere) never loses a count.
+func (s *Semaphore) takeLocked(op *syncOp, idx int) bool {
+	if s.count == 0 {
 		return false
 	}
-	e.s.count--
-	commitOpLocked(op, idx, Unit{})
+	if !op.claim() {
+		return false
+	}
+	s.count--
+	finalizeCommit(op, idx, Unit{})
 	return true
 }
 
-func (e *semEvt) register(w *waiter) {
-	e.s.waiters = append(e.s.waiters, w)
+func (e *semEvt) enroll(w *waiter) bool {
+	s := e.s
+	s.mu.Lock()
+	committed := s.takeLocked(w.op, w.idx)
+	if !committed && w.op.state.Load() == opSyncing {
+		s.q.enqueue(w)
+	}
+	s.mu.Unlock()
+	return committed
 }
 
-func (e *semEvt) unregister(*waiter) {
-	e.s.waiters = compact(e.s.waiters)
+func (e *semEvt) cancel(w *waiter) {
+	e.s.mu.Lock()
+	e.s.q.cancel(w)
+	e.s.mu.Unlock()
 }

@@ -2,16 +2,42 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Sync engine: flatten → poll → register → park → commit/abort.
+// Sync engine: flatten → poll → enroll → park → commit/abort.
 //
-// All matching state is protected by the runtime lock, which makes the
-// two-party rendezvous commit atomic: a commit marks both participating
-// sync operations committed in one critical section, so an event is chosen
-// exactly once and a withdrawal (nack) reliably excludes acceptance and
-// vice versa.
+// Matching state is no longer protected by one runtime-wide lock. Each
+// event source (channel, semaphore, one-shot signal) owns its waiter queue
+// under its own small mutex, and the unit of commitment is the sync
+// operation itself: syncOp.state is an atomic state machine and a commit
+// is a CAS "claim" of every participating op followed by a release store
+// of the final state. Two threads rendezvousing on disjoint events touch
+// disjoint locks and disjoint ops and never contend.
+//
+// The claim protocol (see DESIGN S21 for the full argument):
+//
+//   - opSyncing → opClaimed is the only transition available to a
+//     committer, and only via CAS, so at most one committer ever holds an
+//     op. The claimer either finalizes (→ opCommitted) or rolls back
+//     (→ opSyncing); kill and break bypass opClaimed and CAS straight to
+//     their terminal aborted states.
+//   - A claim attempt that observes opClaimed spins (the claim is
+//     transient: its holder finalizes or rolls back without blocking on
+//     any event lock), and gives up only on a terminal state. Skipping a
+//     transiently claimed peer instead of spinning would lose rendezvous:
+//     both parties could park with matching waiters enqueued.
+//   - Two-party commits claim both ops in thread-id order, so spin-wait
+//     edges always point toward higher ids and cannot form a cycle.
+//
+// Lock hierarchy (outer to inner): runtime bookkeeping lock (rt.mu) →
+// per-event lock (Chan.mu, Semaphore.mu, oneshot.mu, External state) →
+// op claim (CAS spin) → op.nackMu → per-thread park mutex. Commit paths
+// never take rt.mu or any event lock, which is what makes spinning on a
+// claim safe from any context, including while holding an event lock.
 //
 // The rendezvous path is allocation-conscious: syncOp records are pooled
 // per thread (a thread has at most one op in flight, plus rare nested ops
@@ -21,7 +47,8 @@ import (
 // without any heap allocation at all.
 
 const (
-	opSyncing = iota
+	opSyncing int32 = iota
+	opClaimed
 	opCommitted
 	opAbortedBreak
 	opAbortedKill
@@ -34,40 +61,93 @@ const syncInline = 4
 
 // syncOp is one in-flight Sync call.
 type syncOp struct {
-	th        *Thread
-	state     int
-	breakable bool // a pending break aborts the wait phase
-	chosen    int  // case index, valid when committed
+	th    *Thread
+	state atomic.Int32
+	// breakable: a pending break aborts the wait phase. Atomic because
+	// Break reads it through th.op while the record may be mid-recycle on
+	// the owner; an abort landing on the owner's *next* sync through that
+	// window is an acceptable (and indistinguishable) delivery of the
+	// asynchronous break.
+	breakable atomic.Bool
+	chosen    int // case index; written by the claimer before the opCommitted store
 	result    Value
 	prev      *syncOp // saved th.op (nested sync inside a guard procedure)
 	cases     []flatCase
 	waiters   []*waiter
-	nacks     []*nackSignal
+
+	// nacks are the nack signals created for this sync's nack-guards.
+	// flatten appends to the list while a kill can fire it concurrently,
+	// so the slice is guarded by nackMu; nnacks mirrors the length so the
+	// overwhelmingly common zero-nack case skips the lock entirely (a
+	// fire racing a concurrent append may miss the new signal, which is
+	// safe: finish fires every nack of an abandoned op).
+	nackMu sync.Mutex
+	nnacks atomic.Int32
+	nacks  []*nackSignal
 
 	casebuf [syncInline]flatCase
 	wbuf    [syncInline]waiter
 	wptrbuf [syncInline]*waiter
 }
 
-// waiter is a registration of one sync case in a base event's wait
-// structure.
+// waiter is a registration of one sync case in a base event's wait queue.
+// Its queue position (seg/slot) is guarded by the owning event's lock;
+// gen is atomic because alarm callbacks read it from timer goroutines.
 type waiter struct {
-	op      *syncOp
-	idx     int
-	base    baseEvent
-	removed bool
+	op   *syncOp
+	idx  int
+	base baseEvent
+	seg  *wseg // waitq segment holding this waiter, nil when not enqueued
+	slot int   // slot index within seg
 	// gen invalidates references that can outlive the sync: a real alarm
 	// timer callback and a virtual-clock alarm registration both capture
 	// the waiter together with its generation, and fire only if the
 	// generation still matches. finish bumps it, so a recycled waiter
 	// record can never be committed by a stale alarm.
-	gen   uint32
+	gen   atomic.Uint32
 	timer *time.Timer // real-clock alarm timer, stopped at deregistration
 }
 
-// acquireOpLocked returns a reset sync op, reusing the thread's cached
-// record when available. Caller holds rt.mu.
-func (t *Thread) acquireOpLocked() *syncOp {
+// claim moves the op from syncing to claimed, spinning out a transient
+// claim held by another committer. It returns false if the op has reached
+// a terminal state (committed or aborted). On success the caller owns the
+// op and must either finalize or unclaim it without blocking on any event
+// lock (spinners may be holding one).
+func (op *syncOp) claim() bool {
+	for {
+		if op.state.CompareAndSwap(opSyncing, opClaimed) {
+			return true
+		}
+		if s := op.state.Load(); s != opClaimed && s != opSyncing {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// unclaim rolls a claimed op back to syncing (the commit attempt found the
+// pairing invalid — e.g. the peer thread is suspended).
+func (op *syncOp) unclaim() { op.state.Store(opSyncing) }
+
+// claimAbort CASes a syncing op directly to an aborted terminal state,
+// spinning out transient claims. A committer that wins the race commits
+// first — the kill or break then linearizes after the commit, exactly as
+// it would have under a global lock.
+func (op *syncOp) claimAbort(target int32) bool {
+	for {
+		if op.state.CompareAndSwap(opSyncing, target) {
+			return true
+		}
+		if s := op.state.Load(); s != opClaimed && s != opSyncing {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
+// acquireOp returns a reset sync op, reusing the thread's cached record
+// when available. Owner goroutine only; no lock held.
+func (t *Thread) acquireOp() *syncOp {
 	op := t.opFree
 	if op == nil {
 		op = &syncOp{}
@@ -75,36 +155,46 @@ func (t *Thread) acquireOpLocked() *syncOp {
 		t.opFree = nil
 	}
 	op.th = t
-	op.state = opSyncing
 	op.chosen = 0
 	op.result = nil
 	op.cases = op.casebuf[:0]
 	op.waiters = op.wptrbuf[:0]
+	// The Syncing store is the fence that makes recycling safe against
+	// stale alarm callbacks: a callback that claims a recycled op
+	// synchronizes with this store and re-checks the waiter generation
+	// (bumped in finish, before the op returned to the pool) afterwards.
+	op.state.Store(opSyncing)
 	return op
 }
 
-// releaseOpLocked clears the op's references and caches it on the thread
-// for reuse. Caller holds rt.mu; no base event holds a pointer to the op
-// or its waiters anymore (finish deregistered them), and stale alarm
+// releaseOp clears the op's references and caches it on the thread for
+// reuse. Owner goroutine only; no base event holds a pointer to the op or
+// its waiters anymore (finish deregistered them), and stale alarm
 // references are fenced by the waiter generations bumped in finish.
-func (t *Thread) releaseOpLocked(op *syncOp) {
+func (t *Thread) releaseOp(op *syncOp) {
 	for i := range op.cases {
 		op.cases[i] = flatCase{}
 	}
 	op.cases = nil
 	op.waiters = nil
-	for i := range op.nacks {
-		op.nacks[i] = nil
+	if op.nnacks.Load() != 0 {
+		op.nackMu.Lock()
+		for i := range op.nacks {
+			op.nacks[i] = nil
+		}
+		op.nacks = op.nacks[:0]
+		op.nnacks.Store(0)
+		op.nackMu.Unlock()
 	}
-	op.nacks = op.nacks[:0]
 	op.result = nil
 	op.prev = nil
 	t.opFree = op
 }
 
-// newWaiterLocked returns a waiter for case idx, stored inline in the op
-// when a slot is free. Caller holds rt.mu.
-func (op *syncOp) newWaiterLocked(idx int) *waiter {
+// newWaiter returns a waiter for case idx, stored inline in the op when a
+// slot is free. Owner goroutine only; the record is published to other
+// goroutines by the event lock released inside enroll.
+func (op *syncOp) newWaiter(idx int) *waiter {
 	var w *waiter
 	if i := len(op.waiters); i < syncInline {
 		w = &op.wbuf[i]
@@ -114,61 +204,137 @@ func (op *syncOp) newWaiterLocked(idx int) *waiter {
 	w.op = op
 	w.idx = idx
 	w.base = op.cases[idx].base
-	w.removed = false
+	w.seg = nil
+	w.slot = 0
 	w.timer = nil
 	return w
 }
 
-// commitOpLocked marks op committed with the given case and value and
-// wakes its thread. Caller holds rt.mu and has verified op.state ==
-// opSyncing.
-func commitOpLocked(op *syncOp, idx int, v Value) {
-	op.state = opCommitted
+// finalizeCommit completes a commit: the caller has claimed op (state ==
+// opClaimed) and validated the pairing. It publishes the chosen case and
+// value, fires the nacks that do not cover the chosen case — promptly, so
+// that watchers (e.g. a manager thread's gave-up events) learn of the
+// outcome even before the syncing thread is rescheduled — and wakes the
+// op's thread.
+//
+// The opCommitted store is the publication point: the owner's sync loop
+// may observe it at any moment (it does not need the wake if it is mid
+// loop rather than parked) and race ahead into finish and op recycling.
+// Everything the tail needs — the thread, the case count, the losing
+// nacks — is therefore snapshotted while the claim is still held, and the
+// op is never touched after the store.
+func finalizeCommit(op *syncOp, idx int, v Value) {
+	th := op.th
+	ncases := len(op.cases)
+	losers := op.losingNacks(idx)
 	op.chosen = idx
 	op.result = v
-	// Fire the nacks that do not cover the chosen case, promptly, so
-	// that watchers (e.g. a manager thread's gave-up events) learn of
-	// the outcome even before the syncing thread is rescheduled.
-	fireLosingNacksLocked(op)
-	// A thread's cond has at most one waiter — its own goroutine — so a
-	// targeted signal is equivalent to a broadcast and skips the
-	// waiter-list scan on every rendezvous.
-	op.th.cond.Signal()
-	if h := op.th.rt.hook(); h != nil {
-		h.SyncCommit(op.th, len(op.cases), idx)
-		h.Runnable(op.th)
+	op.state.Store(opCommitted)
+	for _, n := range losers {
+		n.fire()
 	}
+	if h := th.rt.hook(); h != nil {
+		h.SyncCommit(th, ncases, idx)
+		h.Runnable(th)
+	}
+	th.wake()
 }
 
-// commitSingleLocked commits a blocked waiter from a "became ready" event
-// source (alarm fired, thread done, nack fired, semaphore posted). It is a
-// no-op unless the waiter is still live, its op undecided, and its thread
-// currently allowed to commit; a suspended thread's waiters are left in
-// place and re-polled when the thread is resumed.
-func commitSingleLocked(w *waiter, v Value) bool {
-	if w.removed || w.op.state != opSyncing || !w.op.th.canCommitLocked() {
+// commitPair completes a two-party rendezvous: the caller has claimed and
+// validated both ops. Both terminal states are stored before either side's
+// nacks fire, so the post-commit cascade (nack fires → further commits →
+// further claims) runs with no claim held anywhere — a cascade that
+// reaches back to either op observes opCommitted and backs off instead of
+// spinning on a claim its own goroutine holds. As in finalizeCommit, the
+// post-store tail works only on pre-store snapshots, because either owner
+// may observe its commit and recycle its op immediately. a is finalized
+// (nacks, hooks, wake) before b, which is the order deterministic traces
+// were recorded with (peer first, then self).
+func commitPair(a *syncOp, aIdx int, av Value, b *syncOp, bIdx int, bv Value) {
+	ath, bth := a.th, b.th
+	an, bn := len(a.cases), len(b.cases)
+	alosers := a.losingNacks(aIdx)
+	blosers := b.losingNacks(bIdx)
+	a.chosen, a.result = aIdx, av
+	b.chosen, b.result = bIdx, bv
+	a.state.Store(opCommitted)
+	b.state.Store(opCommitted)
+	for _, n := range alosers {
+		n.fire()
+	}
+	if h := ath.rt.hook(); h != nil {
+		h.SyncCommit(ath, an, aIdx)
+		h.Runnable(ath)
+	}
+	ath.wake()
+	for _, n := range blosers {
+		n.fire()
+	}
+	if h := bth.rt.hook(); h != nil {
+		h.SyncCommit(bth, bn, bIdx)
+		h.Runnable(bth)
+	}
+	bth.wake()
+}
+
+// commitReady is the single-party commit used by "became ready" event
+// sources (thread done, nack fired, cell completed). It is a no-op unless
+// the op is still undecided and its thread currently allowed to commit; a
+// suspended thread's registration is skipped (the resume path re-polls,
+// and level-triggered sources stay ready). The caller passes op and idx
+// it snapshotted under the owning event's lock — not the waiter, whose
+// fields the owner may already be recycling. Returns true if the commit
+// landed.
+func commitReady(op *syncOp, idx int, v Value) bool {
+	if !op.claim() {
 		return false
 	}
-	commitOpLocked(w.op, w.idx, v)
+	if !op.th.matchable.Load() {
+		op.unclaim()
+		return false
+	}
+	finalizeCommit(op, idx, v)
 	return true
 }
 
-// fireLosingNacksLocked fires every nack of a committed op that does not
-// cover the chosen case. The cover check scans the chosen case's (tiny)
+// losingNacks snapshots the nack signals that a commit of case idx must
+// fire (those not covering idx). Called while the op is claimed, before
+// the commit is published, so reading op.cases and op.nacks is safe.
+func (op *syncOp) losingNacks(idx int) []*nackSignal {
+	if op.nnacks.Load() == 0 {
+		return nil
+	}
+	op.nackMu.Lock()
+	covered := op.cases[idx].nackIdx
+	var out []*nackSignal
+	for i, n := range op.nacks {
+		if !containsIdx(covered, i) {
+			out = append(out, n)
+		}
+	}
+	op.nackMu.Unlock()
+	return out
+}
+
+// fireLosingNacks fires every nack of a committed op that does not cover
+// the chosen case. Owner-only (finish); remote committers snapshot via
+// losingNacks instead. The cover check scans the chosen case's (tiny)
 // nack-index list directly; no per-sync map is built.
-func fireLosingNacksLocked(op *syncOp) {
-	if len(op.nacks) == 0 {
+func (op *syncOp) fireLosingNacks() {
+	if op.nnacks.Load() == 0 {
 		return
 	}
+	op.nackMu.Lock()
 	var covered []int
-	if op.state == opCommitted {
+	if op.state.Load() == opCommitted {
 		covered = op.cases[op.chosen].nackIdx
 	}
 	for i, n := range op.nacks {
 		if !containsIdx(covered, i) {
-			n.fireLocked()
+			n.fire()
 		}
 	}
+	op.nackMu.Unlock()
 }
 
 func containsIdx(s []int, x int) bool {
@@ -180,54 +346,52 @@ func containsIdx(s []int, x int) bool {
 	return false
 }
 
-// fireAllNacksLocked fires every unfired nack of an abandoned op.
-func fireAllNacksLocked(op *syncOp) {
-	for _, n := range op.nacks {
-		n.fireLocked()
-	}
-}
-
-// repollLocked re-attempts immediate commits for a parked op whose thread
-// just became matchable again (resumed, or regained a custodian). Caller
-// holds rt.mu. It allocates nothing.
-func repollLocked(op *syncOp) {
-	if op.state != opSyncing || !op.th.canCommitLocked() {
+// fireAllNacks fires every unfired nack of an abandoned op.
+func (op *syncOp) fireAllNacks() {
+	if op.nnacks.Load() == 0 {
 		return
 	}
-	for i := range op.cases {
-		if op.cases[i].base.poll(op, i) {
-			return
-		}
+	op.nackMu.Lock()
+	for _, n := range op.nacks {
+		n.fire()
 	}
+	op.nackMu.Unlock()
+}
+
+// addNack records a nack signal created during flatten. The lock is
+// against a concurrent kill firing the list mid-flatten.
+func (op *syncOp) addNack(sig *nackSignal) int {
+	op.nackMu.Lock()
+	op.nacks = append(op.nacks, sig)
+	idx := len(op.nacks) - 1
+	op.nnacks.Store(int32(len(op.nacks)))
+	op.nackMu.Unlock()
+	return idx
 }
 
 // finish is the single exit path of syncImpl: restore the op stack,
-// deregister waiters, fire the nacks appropriate to the outcome (all of
-// them if the sync was abandoned; the losers only if it committed — those
-// already fired at commit time, and firing is idempotent), and recycle the
-// op record.
+// deregister waiters from their event queues, fire the nacks appropriate
+// to the outcome (all of them if the sync was abandoned; the losers only
+// if it committed — those already fired at commit time, and firing is
+// idempotent), and recycle the op record.
 func (op *syncOp) finish() {
 	th := op.th
-	rt := th.rt
-	rt.mu.Lock()
-	th.op = op.prev
+	th.op.Store(op.prev)
 	for _, w := range op.waiters {
-		w.removed = true
-		w.gen++
 		if w.timer != nil {
 			w.timer.Stop()
 			w.timer = nil
 		}
-		w.base.unregister(w)
+		w.base.cancel(w)
+		w.gen.Add(1)
 		w.base = nil
 	}
-	if op.state == opCommitted {
-		fireLosingNacksLocked(op)
+	if op.state.Load() == opCommitted {
+		op.fireLosingNacks()
 	} else {
-		fireAllNacksLocked(op)
+		op.fireAllNacks()
 	}
-	th.releaseOpLocked(op)
-	rt.mu.Unlock()
+	th.releaseOp(op)
 }
 
 // Sync blocks until one of the communications described by e is ready,
@@ -262,55 +426,77 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 
 	rt := th.rt
 
-	rt.mu.Lock()
-	op := th.acquireOpLocked()
-	op.breakable = enableBreak || th.breaksOn
-	op.prev = th.op // nested sync inside a guard procedure
-	th.op = op
+	op := th.acquireOp()
+	op.breakable.Store(enableBreak || th.breaksOn.Load())
+	op.prev = th.op.Load() // nested sync inside a guard procedure
+	th.op.Store(op)
 	// A break that is already pending is delivered at sync entry, before
 	// any event can be chosen.
-	if op.breakable && th.pendingBreak {
-		th.pendingBreak = false
-		th.op = op.prev
-		th.releaseOpLocked(op)
-		rt.mu.Unlock()
+	if op.breakable.Load() && th.pendingBreak.CompareAndSwap(true, false) {
+		th.op.Store(op.prev)
+		th.releaseOp(op)
 		return nil, ErrBreak
 	}
-	rt.mu.Unlock()
 
 	defer op.finish()
 
-	// Flatten outside the lock: guard procedures are arbitrary user code
-	// and may block, sync, or spawn. A kill or break arriving during
-	// flatten is observed below.
+	// Flatten before touching any queue: guard procedures are arbitrary
+	// user code and may block, sync, or spawn. A kill or break arriving
+	// during flatten is observed below.
 	flatten(th, op, e, nil, nil, nil, 0)
 
-	rt.mu.Lock()
 	for {
-		if th.killed {
-			rt.mu.Unlock()
+		// The wake token is read before the state checks: any wake-up
+		// that lands after this point bumps the token and makes the park
+		// below return immediately, so a commit, kill, break, or resume
+		// can never slip between the checks and the park.
+		tok := th.wakeToken()
+		if th.killed.Load() {
 			panic(killSentinel{th})
 		}
-		switch op.state {
+		switch op.state.Load() {
 		case opAbortedBreak:
-			th.pendingBreak = false
-			rt.mu.Unlock()
+			th.pendingBreak.Store(false)
 			return nil, ErrBreak
 		case opAbortedKill:
-			rt.mu.Unlock()
 			panic(killSentinel{th})
 		case opCommitted:
-			rt.mu.Unlock()
 			return applyWraps(th, op)
 		}
-		// A suspended thread must not poll or commit; park until
-		// resumed (peers skip it meanwhile).
-		if th.suspendedLocked() {
-			parkLocked(rt, th)
+		// A suspended thread must not poll or commit; park until resumed
+		// (peers skip it meanwhile — matchable is false).
+		if !th.matchable.Load() {
+			th.parkBlocked(tok)
 			continue
 		}
-		if len(op.waiters) == 0 {
-			// First pass (or re-entry after resume without registration).
+		if len(op.waiters) > 0 {
+			// Woken while registered but not decided: the wake was a
+			// resume (or a break with breaks disabled). Readiness may have
+			// accrued while the thread was unmatchable — peers skip a
+			// suspended waiter but keep its registration, and level-
+			// triggered sources (a fired signal, a passed alarm deadline)
+			// drop it — so re-poll every case. Owner-side re-polling is
+			// what keeps this race-free: only the owning goroutine ever
+			// reads op.cases outside a claim, so a remote resume path never
+			// touches an op that its owner may concurrently recycle. Case
+			// order, no fairness tick: this mirrors the re-poll the old
+			// global-lock design ran from the resume path itself.
+			repolled := false
+			for i := range op.cases {
+				if op.cases[i].base.poll(op, i) {
+					repolled = true
+					break
+				}
+			}
+			if repolled || op.state.Load() != opSyncing {
+				continue
+			}
+			th.parkBlocked(tok)
+			continue
+		}
+		{
+			// First pass (or re-entry after a lost claim race).
+			committed := false
 			switch n := len(op.cases); {
 			case n == 1:
 				// Single-event fast path: no choice bookkeeping. The
@@ -318,19 +504,24 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 				// path so deterministic-mode schedules (which depend on
 				// the rotation state of later multi-way choices) replay
 				// unchanged.
-				rt.seq++
+				rt.seq.Add(1)
 				if op.cases[0].base.poll(op, 0) {
 					continue
 				}
-				w := op.newWaiterLocked(0)
-				op.cases[0].base.register(w)
+				if op.state.Load() != opSyncing {
+					continue // decided while polling (kill, break, peer)
+				}
+				// enroll re-polls under the event's own lock, closing the
+				// poll-then-register window a global lock used to cover.
+				w := op.newWaiter(0)
+				if op.cases[0].base.enroll(w) {
+					continue
+				}
 				op.waiters = append(op.waiters, w)
 			case n > 1:
 				// Poll cases in rotating order for fairness across
 				// choice alternatives.
-				rt.seq++
-				start := int(rt.seq) % n
-				committed := false
+				start := int(rt.seq.Add(1)) % n
 				for k := 0; k < n; k++ {
 					i := (start + k) % n
 					if op.cases[i].base.poll(op, i) {
@@ -339,57 +530,46 @@ func syncImpl(th *Thread, e Event, enableBreak bool) (Value, error) {
 					}
 				}
 				if committed {
-					continue // handled above
+					continue
 				}
-				// Nothing ready: register and park.
+				// Nothing ready: enroll in case order. An enroll may
+				// itself commit (an event became ready since its poll);
+				// later cases are then never registered.
 				for i := range op.cases {
-					w := op.newWaiterLocked(i)
-					op.cases[i].base.register(w)
+					if op.state.Load() != opSyncing {
+						committed = true
+						break
+					}
+					w := op.newWaiter(i)
+					if op.cases[i].base.enroll(w) {
+						committed = true
+						break
+					}
 					op.waiters = append(op.waiters, w)
+				}
+				if committed {
+					continue
 				}
 			}
 		}
-		parkLocked(rt, th)
+		th.parkBlocked(tok)
 	}
-}
-
-// parkLocked blocks until the thread's state may have changed. With an
-// instrumentation installed the thread reports itself blocked first; in
-// deterministic mode it additionally, once woken, waits to be granted
-// its turn before acting on what it observed. Caller holds rt.mu; it is
-// held again on return.
-func parkLocked(rt *Runtime, th *Thread) {
-	if h := rt.hook(); h != nil {
-		h.Blocked(th)
-		th.cond.Wait()
-		if rt.det.Load() {
-			rt.mu.Unlock()
-			h.Pause(th)
-			rt.mu.Lock()
-		}
-		return
-	}
-	th.cond.Wait()
 }
 
 // applyWraps runs the chosen case's wrap procedures, innermost first, with
 // breaks implicitly disabled (the paper's rule: a break cannot interrupt
 // the post-commit phase unless a wrap explicitly re-enables breaks).
+// breaksOn is written only by the owning thread, so the save/restore needs
+// no lock.
 func applyWraps(th *Thread, op *syncOp) (Value, error) {
 	c := &op.cases[op.chosen]
 	v := op.result
 	if c.wrap1 == nil && len(c.wraps) == 0 {
 		return v, nil
 	}
-	th.rt.mu.Lock()
-	prev := th.breaksOn
-	th.breaksOn = false
-	th.rt.mu.Unlock()
-	defer func() {
-		th.rt.mu.Lock()
-		th.breaksOn = prev
-		th.rt.mu.Unlock()
-	}()
+	prev := th.breaksOn.Load()
+	th.breaksOn.Store(false)
+	defer th.breaksOn.Store(prev)
 	if c.wraps != nil {
 		// wraps were collected outside-in during flatten; apply inside-out.
 		for i := len(c.wraps) - 1; i >= 0; i-- {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Thread is a runtime thread: a unit of execution that, unlike a raw
@@ -13,15 +14,59 @@ import (
 // when every custodian controlling it has been shut down. Suspension takes
 // effect at the thread's next safe point; every runtime primitive is a safe
 // point. A suspended thread cannot commit a rendezvous.
+//
+// Thread state is split across three synchronization domains:
+//
+//   - Bookkeeping (custodian sets, yoking, suspension, done) lives under
+//     the runtime's bookkeeping lock rt.mu, which no rendezvous path takes.
+//   - Flags the lock-free commit and abort paths consult — killed,
+//     matchable, breaksOn, pendingBreak, the in-flight op — are atomics.
+//     matchable is the single predicate peers check before committing
+//     against this thread ("not done, not killed, not suspended"); it is
+//     recomputed under rt.mu whenever an input changes.
+//   - The park/wake channel is a per-thread mutex + condvar guarding a
+//     wake sequence number. A waker bumps the sequence and signals; a
+//     parker re-checks the sequence under the park lock, so a wake-up
+//     between "read token" and "park" is never lost. The park lock is a
+//     leaf: wake() is safe to call from any context, including commit
+//     finalization with event locks held.
 type Thread struct {
 	rt   *Runtime
 	id   int64
 	name string
-	// cond is signalled on state changes; shares rt.mu. Invariant: at most
-	// one goroutine — the thread's own — ever waits on it (gate and the
-	// sync park loop both run on the thread's goroutine), so wake-ups use
-	// the cheaper targeted Signal rather than Broadcast.
-	cond *sync.Cond
+
+	// Park/wake machinery. wakeSeq counts wake-ups; parkCond (on parkMu)
+	// carries the signal. Invariant: at most one goroutine — the thread's
+	// own — ever parks, so wake-ups use the cheaper targeted Signal.
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	wakeSeq  atomic.Uint64
+
+	// killed is set once, under rt.mu, and read lock-free by the owner's
+	// sync loop and safe points. matchable is maintained by
+	// updateMatchableLocked. breaksOn and pendingBreak are the break
+	// machinery: breaksOn is the thread's break-enabled parameter (dynamic
+	// extent managed by WithBreaks; written only by the owner outside the
+	// wait loop, read by Break), pendingBreak a delivered but not yet
+	// raised break signal.
+	killed       atomic.Bool
+	matchable    atomic.Bool
+	breaksOn     atomic.Bool
+	pendingBreak atomic.Bool
+
+	// op is the thread's in-flight sync operation, if it is blocked in
+	// Sync; published with release ordering after the op is initialized,
+	// so Break and Kill can abort it through the claim protocol. opFree
+	// caches one finished sync op for reuse (owner-only), so steady-state
+	// syncing allocates no op records.
+	op     atomic.Pointer[syncOp]
+	opFree *syncOp
+
+	// doneSig fires (with Unit) when the thread terminates; DoneEvt is its
+	// event view.
+	doneSig oneshot
+
+	// ---- Fields below are guarded by rt.mu. ----
 
 	// Controlling custodians (live ones only). Empty set => suspended.
 	custodians map[*Custodian]struct{}
@@ -37,26 +82,8 @@ type Thread struct {
 	yokedOwners   map[*Thread]struct{}
 
 	explicitSuspend bool
-	killed          bool
 	done            bool
 	err             *ThreadPanicError
-
-	// Break machinery. breaksOn is the thread's break-enabled parameter
-	// (dynamic extent managed by WithBreaks). pendingBreak is a delivered
-	// but not yet raised break signal; a second break while one is
-	// pending has no effect.
-	breaksOn     bool
-	pendingBreak bool
-
-	// op is the thread's in-flight sync operation, if it is blocked in
-	// Sync. Protected by rt.mu.
-	op *syncOp
-	// opFree caches one finished sync op for reuse, so steady-state
-	// syncing allocates no op records. Protected by rt.mu.
-	opFree *syncOp
-
-	// doneWaiters are sync waiters blocked on this thread's done event.
-	doneWaiters []*waiter
 }
 
 // ID returns the thread's runtime-unique identifier.
@@ -70,15 +97,58 @@ func (t *Thread) Runtime() *Runtime { return t.rt }
 
 func (t *Thread) String() string { return fmt.Sprintf("thread(%s#%d)", t.name, t.id) }
 
+// wakeToken samples the wake sequence. The owner reads it before checking
+// any state it might park on; parkUntilWake with that token returns
+// immediately if any wake landed in between.
+func (t *Thread) wakeToken() uint64 { return t.wakeSeq.Load() }
+
+// wake unparks the thread's goroutine (if parked) and invalidates any
+// token read before this call. Callable from any goroutine; parkMu is a
+// leaf lock.
+func (t *Thread) wake() {
+	t.parkMu.Lock()
+	t.wakeSeq.Add(1)
+	t.parkCond.Signal()
+	t.parkMu.Unlock()
+}
+
+// parkUntilWake blocks until a wake invalidates tok. Owner goroutine only.
+func (t *Thread) parkUntilWake(tok uint64) {
+	t.parkMu.Lock()
+	for t.wakeSeq.Load() == tok {
+		t.parkCond.Wait()
+	}
+	t.parkMu.Unlock()
+}
+
+// parkBlocked is parkUntilWake with the instrumentation protocol around
+// it: the thread reports itself blocked first and, in deterministic mode,
+// waits to be granted its turn (Pause) before acting on what it observed.
+func (t *Thread) parkBlocked(tok uint64) {
+	if h := t.rt.hook(); h != nil {
+		h.Blocked(t)
+		t.parkUntilWake(tok)
+		if t.rt.det.Load() {
+			h.Pause(t)
+		}
+		return
+	}
+	t.parkUntilWake(tok)
+}
+
 // suspendedLocked reports whether the thread may not run. Caller holds rt.mu.
 func (t *Thread) suspendedLocked() bool {
 	return t.explicitSuspend || len(t.custodians) == 0
 }
 
-// canCommitLocked reports whether the thread may take part in a rendezvous
-// commit right now. Caller holds rt.mu.
-func (t *Thread) canCommitLocked() bool {
-	return !t.done && !t.killed && !t.suspendedLocked()
+// updateMatchableLocked recomputes the lock-free matchable flag from the
+// bookkeeping state. Caller holds rt.mu and calls it after every change to
+// done, killed, explicit suspension, or the custodian set. A commit that
+// validated matchable just before it flips false linearizes before the
+// suspension, which takes effect at the thread's next safe point — the
+// same order a global lock would have produced.
+func (t *Thread) updateMatchableLocked() {
+	t.matchable.Store(!t.done && !t.killed.Load() && !t.suspendedLocked())
 }
 
 // Spawn creates a new thread running fn, controlled by this thread's
@@ -129,17 +199,19 @@ func (t *Thread) WithCustodian(c *Custodian, fn func()) {
 // deterministic mode it is also a scheduling decision: the thread pauses
 // and runs on only when the scheduler hook grants it.
 func (t *Thread) gate() {
-	t.rt.mu.Lock()
-	t.gateLocked()
-	t.rt.mu.Unlock()
+	t.gateWait()
 	if h := t.rt.hook(); h != nil {
 		h.Pause(t)
 	}
 }
 
-func (t *Thread) gateLocked() {
+// gateWait is gate without the trailing Pause; Checkpoint uses it so the
+// Pause lands after the break check, as a single safe-point decision.
+func (t *Thread) gateWait() {
 	for {
-		if t.killed {
+		tok := t.wakeToken()
+		t.rt.mu.Lock()
+		if t.killed.Load() {
 			t.rt.mu.Unlock()
 			// The unwind mutates shared state (custodian release, done
 			// waiters); in deterministic mode it must wait its turn like
@@ -150,12 +222,14 @@ func (t *Thread) gateLocked() {
 			panic(killSentinel{t})
 		}
 		if !t.suspendedLocked() {
+			t.rt.mu.Unlock()
 			return
 		}
+		t.rt.mu.Unlock()
 		if h := t.rt.hook(); h != nil {
 			h.Blocked(t)
 		}
-		t.cond.Wait()
+		t.parkUntilWake(tok)
 	}
 }
 
@@ -165,14 +239,8 @@ func (t *Thread) gateLocked() {
 // that do not otherwise touch runtime primitives should call it
 // periodically to remain controllable.
 func (t *Thread) Checkpoint() error {
-	t.rt.mu.Lock()
-	t.gateLocked()
-	brk := false
-	if t.pendingBreak && t.breaksOn {
-		t.pendingBreak = false
-		brk = true
-	}
-	t.rt.mu.Unlock()
+	t.gateWait()
+	brk := t.breaksOn.Load() && t.pendingBreak.CompareAndSwap(true, false)
 	if h := t.rt.hook(); h != nil {
 		h.Pause(t)
 	}
@@ -192,6 +260,7 @@ func (t *Thread) Suspend() {
 	t.rt.mu.Lock()
 	if !t.done {
 		t.explicitSuspend = true
+		t.updateMatchableLocked()
 		t.rt.traceLocked(TraceSuspend, t, "")
 	}
 	t.rt.mu.Unlock()
@@ -208,19 +277,21 @@ func (t *Thread) Kill() {
 }
 
 func (t *Thread) killLocked() {
-	if t.done || t.killed {
+	if t.done || t.killed.Load() {
 		return
 	}
-	t.killed = true
+	t.killed.Store(true)
+	t.updateMatchableLocked()
 	t.rt.traceLocked(TraceKill, t, "")
-	if t.op != nil && t.op.state == opSyncing {
-		t.op.state = opAbortedKill
-		// Fire the in-flight sync's nacks immediately so that servers
-		// waiting on gave-up events learn of the termination promptly;
-		// the killed goroutine unwinds at its next wake-up.
-		fireAllNacksLocked(t.op)
+	if op := t.op.Load(); op != nil {
+		if op.claimAbort(opAbortedKill) {
+			// Fire the in-flight sync's nacks immediately so that servers
+			// waiting on gave-up events learn of the termination promptly;
+			// the killed goroutine unwinds at its next wake-up.
+			op.fireAllNacks()
+		}
 	}
-	t.cond.Signal()
+	t.wake()
 	if h := t.rt.hook(); h != nil {
 		h.Runnable(t) // the goroutine must run once more, to unwind
 	}
@@ -232,7 +303,8 @@ func (t *Thread) markDoneLocked() {
 		return
 	}
 	t.done = true
-	t.killed = true
+	t.killed.Store(true)
+	t.updateMatchableLocked()
 	t.rt.traceBufLocked(TraceDone, t, "")
 	for c := range t.custodians {
 		delete(c.threads, t)
@@ -247,11 +319,8 @@ func (t *Thread) markDoneLocked() {
 	}
 	clear(t.beneficiaries)
 	delete(t.rt.threads, t.id)
-	for _, w := range t.doneWaiters {
-		commitSingleLocked(w, Unit{})
-	}
-	t.doneWaiters = nil
-	t.cond.Signal()
+	t.doneSig.fire(Unit{})
+	t.wake()
 	if h := t.rt.hook(); h != nil {
 		h.Done(t)
 	}
@@ -267,11 +336,7 @@ func (t *Thread) Done() bool {
 
 // Killed reports whether the thread has been killed, whether or not its
 // goroutine has finished unwinding yet. Done implies Killed.
-func (t *Thread) Killed() bool {
-	t.rt.mu.Lock()
-	defer t.rt.mu.Unlock()
-	return t.killed
-}
+func (t *Thread) Killed() bool { return t.killed.Load() }
 
 // Suspended reports whether the thread is currently suspended.
 func (t *Thread) Suspended() bool {
@@ -333,19 +398,22 @@ func (t *Thread) addCustodianLocked(c *Custodian, visited map[*Thread]struct{}) 
 }
 
 // wakeIfRunnableLocked re-enables a thread that may have just stopped
-// being suspended: wakes a gate-parked goroutine and re-polls an in-flight
-// sync so that the newly matchable thread can pair with waiting peers.
+// being suspended: recomputes matchable, wakes a parked goroutine, and
+// re-polls an in-flight sync so that the newly matchable thread can pair
+// with waiting peers. Caller holds rt.mu; the re-poll takes each event's
+// own lock underneath, per the lock hierarchy.
 func (t *Thread) wakeIfRunnableLocked() {
+	t.updateMatchableLocked()
 	if t.done || t.suspendedLocked() {
 		return
 	}
-	t.cond.Signal()
+	t.wake()
 	if h := t.rt.hook(); h != nil {
 		h.Runnable(t)
 	}
-	if t.op != nil && t.op.state == opSyncing {
-		repollLocked(t.op)
-	}
+	// No re-poll here: the woken thread's own sync loop re-polls its
+	// registered cases (owner-side re-poll). A remote re-poll would have to
+	// read op.cases, which only the owner — or a claim holder — may do.
 }
 
 // resumeLocked clears explicit suspension (the thread still cannot run if
@@ -380,44 +448,36 @@ func (t *Thread) resumeLocked(visited map[*Thread]struct{}) {
 func (t *Thread) Break() {
 	t.rt.mu.Lock()
 	defer t.rt.mu.Unlock()
-	if t.done || t.pendingBreak {
+	if t.done || !t.pendingBreak.CompareAndSwap(false, true) {
 		return
 	}
-	t.pendingBreak = true
 	t.rt.traceLocked(TraceBreak, t, "")
-	if t.op != nil && t.op.state == opSyncing && t.op.breakable {
-		t.op.state = opAbortedBreak
-		t.cond.Signal()
-	} else {
-		// Wake a gate-parked thread so Checkpoint can deliver.
-		t.cond.Signal()
+	if op := t.op.Load(); op != nil && op.breakable.Load() {
+		// The claim-abort either lands (the sync returns ErrBreak and
+		// consumes the pending flag) or loses to a commit, kill, or the
+		// sync finishing — in which case the pending flag survives for
+		// the thread's next breakable safe point.
+		op.claimAbort(opAbortedBreak)
 	}
+	// Wake a parked thread (sync wait or gate) so Checkpoint or the sync
+	// loop can deliver.
+	t.wake()
 	if h := t.rt.hook(); h != nil {
 		h.Runnable(t)
 	}
 }
 
 // BreaksEnabled reports the thread's break-enabled parameter.
-func (t *Thread) BreaksEnabled() bool {
-	t.rt.mu.Lock()
-	defer t.rt.mu.Unlock()
-	return t.breaksOn
-}
+func (t *Thread) BreaksEnabled() bool { return t.breaksOn.Load() }
 
 // WithBreaks runs fn with the thread's break-enabled parameter set to
 // enabled, restoring the previous value afterwards. It models
 // (parameterize ([break-enabled v]) ...). Note that merely enabling breaks
 // around Sync does not provide SyncEnableBreak's exclusive-or guarantee.
 func (t *Thread) WithBreaks(enabled bool, fn func()) {
-	t.rt.mu.Lock()
-	prev := t.breaksOn
-	t.breaksOn = enabled
-	t.rt.mu.Unlock()
-	defer func() {
-		t.rt.mu.Lock()
-		t.breaksOn = prev
-		t.rt.mu.Unlock()
-	}()
+	prev := t.breaksOn.Load()
+	t.breaksOn.Store(enabled)
+	defer t.breaksOn.Store(prev)
 	fn()
 }
 

@@ -164,8 +164,9 @@ func newConnWriter(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connWri
 			case buf := <-w.ch:
 				_, err := c.Write(buf)
 				// The store is ordered before the read on the session
-				// thread by the semaphore: Post releases rt.mu after the
-				// store, the waiter's commit acquires it before the read.
+				// thread by the semaphore: Post releases the semaphore's
+				// own lock after the store, the waiter's poll acquires it
+				// before the read.
 				w.err = err
 				w.sem.Post()
 			case <-w.quit:

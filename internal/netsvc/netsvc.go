@@ -423,6 +423,21 @@ func (s *Server) load() int64 {
 	return s.stats.active.Load() + s.pendingN.Load()
 }
 
+// pendingLoadWeight over-weights accepted-but-unclaimed connections in the
+// shard-assignment score. An active session may be an idle keep-alive, but
+// a deep pending queue means the engine's acceptor is not keeping up —
+// slots exhausted, servlets stalled, runtime busy — so a queued conn
+// predicts far more added latency than a served one. The weight makes the
+// fleet's least-loaded override shed assignment away from a hot shard well
+// before its pending backstop (MaxPending) starts refusing connections.
+const pendingLoadWeight = 4
+
+// assignScore is the load figure the sharded assigner compares: conns
+// being served plus pending-queue depth, the latter re-weighted.
+func (s *Server) assignScore() int64 {
+	return s.stats.active.Load() + pendingLoadWeight*s.pendingN.Load()
+}
+
 // shedConn answers an over-capacity connection straight from the pump
 // goroutine — a plain blocking write with a short deadline; the conn
 // never enters the runtime's world — and closes it. The refusal speaks

@@ -186,26 +186,29 @@ func (m *ShardedServer) acceptPump() {
 }
 
 // pick chooses the shard for the next connection: round-robin, with a
-// least-loaded override — the cursor's shard is kept unless some shard is
-// strictly less loaded, so a balanced fleet rotates evenly and a stalled
-// shard (slow servlet, drained slots) stops receiving new work. A
-// draining shard is routed around entirely; if every shard is draining
+// least-loaded override — the cursor's shard is kept unless some shard
+// scores strictly lower, so a balanced fleet rotates evenly and a stalled
+// shard (slow servlet, drained slots) stops receiving new work. The score
+// is load-aware, not just the draining flag: pending-queue depth is
+// over-weighted (see assignScore), so a shard whose acceptor has fallen
+// behind sheds new-conn assignment to its siblings while it catches up.
+// A draining shard is routed around entirely; if every shard is draining
 // (a single-shard fleet mid-handoff) the cursor is used anyway and the
 // engine's own refusal path answers.
 func (m *ShardedServer) pick() *shard {
 	n := uint64(len(m.shards))
 	cursor := m.shards[m.next.Add(1)%n]
 	var best *shard
-	var bestLoad int64
+	var bestScore int64
 	if !cursor.draining.Load() && !cursor.retired.Load() {
-		best, bestLoad = cursor, cursor.server().load()
+		best, bestScore = cursor, cursor.server().assignScore()
 	}
 	for _, sh := range m.shards {
 		if sh.draining.Load() || sh.retired.Load() {
 			continue
 		}
-		if l := sh.server().load(); best == nil || l < bestLoad {
-			best, bestLoad = sh, l
+		if l := sh.server().assignScore(); best == nil || l < bestScore {
+			best, bestScore = sh, l
 		}
 	}
 	if best == nil {
@@ -233,7 +236,7 @@ func (m *ShardedServer) rehome(c net.Conn, from int) bool {
 		if sh.idx == from || sh.draining.Load() || sh.retired.Load() {
 			continue
 		}
-		if l := sh.server().load(); best == nil || l < bestLoad {
+		if l := sh.server().assignScore(); best == nil || l < bestLoad {
 			best, bestLoad = sh, l
 		}
 	}

@@ -30,10 +30,43 @@ type Request struct {
 	Query  map[string]string
 }
 
-// Response is a servlet's answer.
+// Response is a servlet's answer. The body has two representations: Body
+// for the common literal-string case, and BodyBytes for servlets that
+// already hold the payload as bytes (a pooled buffer, a serialized
+// snapshot). When BodyBytes is non-nil it takes precedence, and the wire
+// codecs append it straight into the pooled connection batch buffer —
+// one copy onto the wire, no intermediate string conversion. The caller
+// must not mutate BodyBytes until the response has been written.
 type Response struct {
-	Status int
-	Body   string
+	Status    int
+	Body      string
+	BodyBytes []byte
+}
+
+// BodyLen returns the body length of whichever representation is set.
+func (r *Response) BodyLen() int {
+	if r.BodyBytes != nil {
+		return len(r.BodyBytes)
+	}
+	return len(r.Body)
+}
+
+// AppendBody appends the body to dst without an intermediate conversion.
+func (r *Response) AppendBody(dst []byte) []byte {
+	if r.BodyBytes != nil {
+		return append(dst, r.BodyBytes...)
+	}
+	return append(dst, r.Body...)
+}
+
+// BodyString returns the body as a string, converting (and copying) the
+// bytes form if that is what the servlet produced. Off the serving hot
+// path only; the codecs use AppendBody.
+func (r *Response) BodyString() string {
+	if r.BodyBytes != nil {
+		return string(r.BodyBytes)
+	}
+	return r.Body
 }
 
 // Servlet handles requests for one route. It runs on the session's thread,
@@ -260,11 +293,11 @@ func parseRequest(line string) *Request {
 }
 
 func writeResponse(th *core.Thread, conn *pipe.Conn, resp Response) error {
-	header := fmt.Sprintf("%d %d\n", resp.Status, len(resp.Body))
+	header := fmt.Sprintf("%d %d\n", resp.Status, resp.BodyLen())
 	if _, err := conn.WriteString(th, header); err != nil {
 		return err
 	}
-	_, err := conn.WriteString(th, resp.Body)
+	_, err := conn.WriteString(th, resp.BodyString())
 	return err
 }
 

@@ -94,16 +94,35 @@ func (httpCodec) Parse(buf []byte) (*Frame, []byte, error) {
 	return f, rest, nil
 }
 
+// appendHead serializes a response head directly onto dst: status line,
+// framing headers, blank line. Plain appends plus AppendInt instead of
+// fmt, so serializing into the pooled connection batch buffer allocates
+// nothing — the body copy in the caller is the only copy a response makes
+// between the servlet and the wire.
+func appendHead(dst []byte, proto string, status, contentLen int, connHdr string) []byte {
+	dst = append(dst, proto...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(status), 10)
+	dst = append(dst, ' ')
+	dst = append(dst, StatusText(status)...)
+	dst = append(dst, "\r\nContent-Length: "...)
+	dst = strconv.AppendInt(dst, int64(contentLen), 10)
+	dst = append(dst, "\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: "...)
+	dst = append(dst, connHdr...)
+	return append(dst, "\r\n\r\n"...)
+}
+
 // AppendResponse serializes one response, echoing the request's protocol
-// version in the status line.
+// version in the status line. The body is appended straight from the
+// servlet's representation (string or bytes) into dst — the zero-copy
+// response path: no fmt machinery, no intermediate buffer.
 func (httpCodec) AppendResponse(dst []byte, f *Frame, resp web.Response, close bool) []byte {
 	connHdr := "keep-alive"
 	if close {
 		connHdr = "close"
 	}
-	return fmt.Appendf(dst,
-		"%s %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: %s\r\n\r\n%s",
-		f.proto, resp.Status, StatusText(resp.Status), len(resp.Body), connHdr, resp.Body)
+	dst = appendHead(dst, f.proto, resp.Status, resp.BodyLen(), connHdr)
+	return resp.AppendBody(dst)
 }
 
 // AppendFault answers a connection-level fault. No request is in hand, so
@@ -112,9 +131,8 @@ func (httpCodec) AppendFault(dst []byte, status int, msg string) []byte {
 	if !strings.HasSuffix(msg, "\n") {
 		msg += "\n"
 	}
-	return fmt.Appendf(dst,
-		"HTTP/1.0 %d %s\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: close\r\n\r\n%s",
-		status, StatusText(status), len(msg), msg)
+	dst = appendHead(dst, "HTTP/1.0", status, len(msg), "close")
+	return append(dst, msg...)
 }
 
 // AppendOverload answers one admission-shed request with 503 plus a
@@ -131,9 +149,16 @@ func (httpCodec) AppendOverload(dst []byte, retryAfter time.Duration, close bool
 		sec = 1
 	}
 	const body = "overloaded\n"
-	return fmt.Appendf(dst,
-		"HTTP/1.1 503 %s\r\nRetry-After: %d\r\nContent-Length: %d\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: %s\r\n\r\n%s",
-		StatusText(503), sec, len(body), connHdr, body)
+	dst = append(dst, "HTTP/1.1 503 "...)
+	dst = append(dst, StatusText(503)...)
+	dst = append(dst, "\r\nRetry-After: "...)
+	dst = strconv.AppendInt(dst, int64(sec), 10)
+	dst = append(dst, "\r\nContent-Length: "...)
+	dst = strconv.AppendInt(dst, int64(len(body)), 10)
+	dst = append(dst, "\r\nContent-Type: text/plain; charset=utf-8\r\nConnection: "...)
+	dst = append(dst, connHdr...)
+	dst = append(dst, "\r\n\r\n"...)
+	return append(dst, body...)
 }
 
 // cutHead splits buf at the first blank line (CRLF CRLF or LF LF),

@@ -283,7 +283,7 @@ func (c *respCodec) AppendResponse(dst []byte, f *Frame, resp web.Response, _ bo
 	switch f.cmd {
 	case "get":
 		if resp.Status == 200 {
-			return appendBulk(dst, resp.Body)
+			return appendBulkResp(dst, &resp)
 		}
 		if resp.Status == 404 {
 			return append(dst, "$-1\r\n"...)
@@ -301,14 +301,14 @@ func (c *respCodec) AppendResponse(dst []byte, f *Frame, resp web.Response, _ bo
 		}
 	case "exec":
 		if resp.Status == 200 {
-			return appendExec(dst, resp.Body)
+			return appendExec(dst, resp.BodyString())
 		}
 	case "stats", "call":
 		if resp.Status == 200 {
-			return appendBulk(dst, resp.Body)
+			return appendBulkResp(dst, &resp)
 		}
 	}
-	return appendStatusErr(dst, resp.Status, resp.Body)
+	return appendStatusErr(dst, resp.Status, resp.BodyString())
 }
 
 // AppendFault encodes a connection-level fault as a RESP error.
@@ -347,8 +347,21 @@ func appendExec(dst []byte, body string) []byte {
 }
 
 func appendBulk(dst []byte, s string) []byte {
-	dst = fmt.Appendf(dst, "$%d\r\n", len(s))
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(len(s)), 10)
+	dst = append(dst, '\r', '\n')
 	dst = append(dst, s...)
+	return append(dst, '\r', '\n')
+}
+
+// appendBulkResp is appendBulk straight off the response's own body
+// representation: a BodyBytes payload reaches the batch buffer without
+// an intermediate string.
+func appendBulkResp(dst []byte, resp *web.Response) []byte {
+	dst = append(dst, '$')
+	dst = strconv.AppendInt(dst, int64(resp.BodyLen()), 10)
+	dst = append(dst, '\r', '\n')
+	dst = resp.AppendBody(dst)
 	return append(dst, '\r', '\n')
 }
 
