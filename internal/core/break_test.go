@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -175,6 +176,61 @@ func TestPlainSyncWithBreaksDisabledIgnoresBreak(t *testing.T) {
 			}
 		case <-time.After(5 * time.Second):
 			t.Fatal("timeout")
+		}
+	})
+}
+
+// A break aimed at a breakable sync must never land on the sync that
+// recycles the same op record with breaks disabled: Break re-verifies the
+// record under a claim before storing the abort. This hammers the recycle
+// window — a worker alternating an instantly-ready breakable sync with a
+// no-break rendezvous on the same pooled record — and asserts ErrBreak
+// never escapes the no-break region.
+func TestBreakStormNeverInterruptsNoBreakRegion(t *testing.T) {
+	withRuntime(t, func(rt *core.Runtime, th *core.Thread) {
+		const iters = 3000
+		ping := core.NewChan(rt)
+		var violations atomic.Int64
+		done := make(chan struct{})
+		th.Spawn("feeder", func(x *core.Thread) {
+			for i := 0; i < iters; i++ {
+				if err := ping.Send(x, i); err != nil {
+					return
+				}
+			}
+		})
+		w := th.Spawn("w", func(x *core.Thread) {
+			defer close(done)
+			for i := 0; i < iters; i++ {
+				// Breakable and instantly ready: consumes any pending break
+				// and briefly publishes a breakable op record for Break to
+				// stale-read before it is recycled below.
+				_, _ = core.Sync(x, core.Always(nil))
+				x.WithBreaks(false, func() {
+					_, err := core.Sync(x, ping.RecvEvt())
+					for err == core.ErrBreak {
+						// An aborted recv consumed no send; retry so the
+						// feeder's count stays aligned.
+						violations.Add(1)
+						_, err = core.Sync(x, ping.RecvEvt())
+					}
+				})
+			}
+		})
+		go func() {
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					w.Break()
+					runtime.Gosched()
+				}
+			}
+		}()
+		<-done
+		if n := violations.Load(); n != 0 {
+			t.Fatalf("%d break(s) delivered inside a no-break region", n)
 		}
 	})
 }

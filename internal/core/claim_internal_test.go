@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// Regression tests for how registration predicates treat opClaimed. A
+// claim is transient — the holder can roll it back via unclaim when its
+// pairing fails validation — so any predicate that decides "is this sync
+// still interested?" must drop only terminal ops. Treating opClaimed as
+// decided loses the registration: the claim rolls back to opSyncing with
+// no queue entry left, and the wakeup that entry existed for never comes.
+// The rollback window is a few instructions wide, so these tests drive
+// the internal state machine directly instead of racing the public API.
+
+// A sync enrolling on a semaphore while a concurrent committer transiently
+// holds its op must still be enqueued: if the claim rolls back, a later
+// Post has to find the registration, or the thread sleeps forever while
+// the count accumulates.
+func TestSemEnrollDuringTransientClaimStaysRegistered(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Shutdown()
+	err := rt.Run(func(th *Thread) {
+		s := NewSemaphore(rt, 0)
+		evt := s.WaitEvt().(*semEvt)
+		op := th.acquireOp()
+		defer op.finish()
+		op.cases = append(op.cases, flatCase{base: evt})
+		w := op.newWaiter(0)
+		if !op.claim() {
+			t.Fatal("claim of a fresh op failed")
+		}
+		if evt.enroll(w) {
+			t.Fatal("enroll committed against a zero count")
+		}
+		op.waiters = append(op.waiters, w)
+		op.unclaim() // the committer's validation failed; the claim rolls back
+		s.Post()
+		if st := op.state.Load(); st != opCommitted {
+			t.Fatalf("op state after Post = %d, want opCommitted — the registration was dropped while the op was transiently claimed", st)
+		}
+		if n := s.Count(); n != 0 {
+			t.Fatalf("count after a committed wait = %d, want 0", n)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// A virtual-alarm registration whose op is transiently claimed must
+// survive compaction: PendingAlarms is public API and can run concurrently
+// with commit paths, and a compaction that drops the entry in the rollback
+// window silently loses the sync's timeout — AdvanceToNextAlarm would
+// never wake it.
+func TestAlarmCompactionKeepsTransientlyClaimedOp(t *testing.T) {
+	rt := NewRuntime()
+	defer rt.Shutdown()
+	err := rt.Run(func(th *Thread) {
+		op := th.acquireOp()
+		defer op.finish()
+		evt := &alarmEvt{rt: rt, at: detEpoch.Add(time.Second)}
+		op.cases = append(op.cases, flatCase{base: evt})
+		w := op.newWaiter(0)
+		op.waiters = append(op.waiters, w)
+		rt.mu.Lock()
+		rt.valarms = append(rt.valarms, valarm{op: op, idx: 0, w: w, at: evt.at, gen: w.gen.Load()})
+		rt.mu.Unlock()
+
+		if !op.claim() {
+			t.Fatal("claim of a fresh op failed")
+		}
+		if n := rt.PendingAlarms(); n != 1 {
+			t.Fatalf("PendingAlarms with the op transiently claimed = %d, want 1 (registration compacted away)", n)
+		}
+		op.unclaim()
+		if n := rt.PendingAlarms(); n != 1 {
+			t.Fatalf("PendingAlarms after claim rollback = %d, want 1", n)
+		}
+		if !op.claimAbort(opAbortedKill) {
+			t.Fatal("claimAbort of a syncing op failed")
+		}
+		if n := rt.PendingAlarms(); n != 0 {
+			t.Fatalf("PendingAlarms with a terminal op = %d, want 0", n)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}

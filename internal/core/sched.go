@@ -38,11 +38,20 @@ type valarm struct {
 }
 
 // compactAlarmsLocked drops registrations whose waiter has been recycled
-// or whose sync has been decided. Caller holds rt.mu.
+// or whose sync has reached a terminal state. Caller holds rt.mu. An op
+// that is transiently opClaimed is live: the claim may roll back to
+// opSyncing (a pairing that fails validation), and since this can run
+// concurrently with commit paths (PendingAlarms is public API), dropping
+// the registration in that window would silently lose the alarm — a sync
+// whose only remaining ready source is its timeout would never be woken
+// by AdvanceToNextAlarm.
 func (rt *Runtime) compactAlarmsLocked() {
 	live := rt.valarms[:0]
 	for _, a := range rt.valarms {
-		if a.gen == a.w.gen.Load() && a.op.state.Load() == opSyncing {
+		if a.gen != a.w.gen.Load() {
+			continue
+		}
+		if st := a.op.state.Load(); st == opSyncing || st == opClaimed {
 			live = append(live, a)
 		}
 	}

@@ -119,8 +119,18 @@ func (e *semEvt) enroll(w *waiter) bool {
 	s := e.s
 	s.mu.Lock()
 	committed := s.takeLocked(w.op, w.idx)
-	if !committed && w.op.state.Load() == opSyncing {
-		s.q.enqueue(w)
+	if !committed {
+		// Enqueue unless the op is already terminal. opClaimed is a
+		// transient state — a concurrent committer's claim can roll back
+		// (a two-party pairing that fails on the peer, a commitReady that
+		// finds the thread unmatchable) — so skipping the registration in
+		// that window would let the op return to opSyncing with no queue
+		// entry: a later Post would find no waiter and the thread would
+		// sleep forever. A registration enqueued for an op that turns out
+		// terminal is harmless — drainLocked drops spent entries.
+		if st := w.op.state.Load(); st == opSyncing || st == opClaimed {
+			s.q.enqueue(w)
+		}
 	}
 	s.mu.Unlock()
 	return committed

@@ -65,9 +65,11 @@ type syncOp struct {
 	state atomic.Int32
 	// breakable: a pending break aborts the wait phase. Atomic because
 	// Break reads it through th.op while the record may be mid-recycle on
-	// the owner; an abort landing on the owner's *next* sync through that
-	// window is an acceptable (and indistinguishable) delivery of the
-	// asynchronous break.
+	// the owner — the read alone is therefore unreliable (the record may
+	// already carry the owner's *next* sync, which may have breaks
+	// disabled), so Break treats it only as a fast-path filter and
+	// re-verifies it under a claim, which freezes the record, before
+	// storing the abort (see Thread.Break).
 	breakable atomic.Bool
 	chosen    int // case index; written by the claimer before the opCommitted store
 	result    Value
@@ -171,7 +173,20 @@ func (t *Thread) acquireOp() *syncOp {
 // reuse. Owner goroutine only; no base event holds a pointer to the op or
 // its waiters anymore (finish deregistered them), and stale alarm
 // references are fenced by the waiter generations bumped in finish.
+//
+// The quiesce loop below is the recycling fence for transient claims:
+// Break's claim-verify (thread.go) can hold the op claimed at a moment
+// when the owner is about to recycle it — the pending-break return at
+// sync entry, or a guard-procedure panic that user code recovers from.
+// Waiting for the claim to resolve here guarantees the holder's final
+// state store (abort or rollback) lands before the record can be re-armed
+// for a successor sync, so a lagging rollback can never clobber the
+// successor's state. Claim holders never block on the owner, so the spin
+// terminates; on the fast path this is one uncontended atomic load.
 func (t *Thread) releaseOp(op *syncOp) {
+	for op.state.Load() == opClaimed {
+		runtime.Gosched()
+	}
 	for i := range op.cases {
 		op.cases[i] = flatCase{}
 	}

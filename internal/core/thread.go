@@ -453,11 +453,25 @@ func (t *Thread) Break() {
 	}
 	t.rt.traceLocked(TraceBreak, t, "")
 	if op := t.op.Load(); op != nil && op.breakable.Load() {
-		// The claim-abort either lands (the sync returns ErrBreak and
-		// consumes the pending flag) or loses to a commit, kill, or the
-		// sync finishing — in which case the pending flag survives for
-		// the thread's next breakable safe point.
-		op.claimAbort(opAbortedBreak)
+		// Abort via claim-then-verify rather than a direct CAS to the
+		// aborted state: between the breakable read above and the CAS, the
+		// owner can finish this sync, recycle the op record, and start a
+		// new sync on it — and the new sync may be running with breaks
+		// disabled. Holding the claim freezes the record (the owner's loop
+		// cannot exit while the op is claimed), so re-checking that the
+		// record is still the thread's current op and still breakable
+		// decides against the sync that would actually receive the abort.
+		// Either the abort lands (the sync returns ErrBreak and consumes
+		// the pending flag) or it is withheld — a lost race to a commit, a
+		// kill, or a non-breakable successor — and the pending flag
+		// survives for the thread's next breakable safe point.
+		if op.claim() {
+			if t.op.Load() == op && op.breakable.Load() {
+				op.state.Store(opAbortedBreak)
+			} else {
+				op.unclaim()
+			}
+		}
 	}
 	// Wake a parked thread (sync wait or gate) so Checkpoint or the sync
 	// loop can deliver.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -135,7 +136,12 @@ type connWriter struct {
 	quit    chan struct{}
 	sem     *core.Semaphore
 	doneEvt core.Event // hoisted sem.WaitEvt(): no per-write event allocs
-	err     error      // write error; stored by the pump before Post, read after Wait
+	// First write error, sticky. Atomic because with pumpSlots > 1 the
+	// session thread can read the error after reaping write N while the
+	// pump concurrently finishes write N+1 — the semaphore only orders
+	// stores for writes that have been waited on. Allocates only on the
+	// error path; nil-error writes never touch it.
+	err atomic.Pointer[error]
 
 	pumped [][]byte // batches with the pump, FIFO; len is the in-flight count
 	free   [][]byte // reclaimed buffers for future batches
@@ -162,12 +168,9 @@ func newConnWriter(rt *core.Runtime, cust *core.Custodian, c net.Conn) (*connWri
 		for {
 			select {
 			case buf := <-w.ch:
-				_, err := c.Write(buf)
-				// The store is ordered before the read on the session
-				// thread by the semaphore: Post releases the semaphore's
-				// own lock after the store, the waiter's poll acquires it
-				// before the read.
-				w.err = err
+				if _, err := c.Write(buf); err != nil {
+					w.err.CompareAndSwap(nil, &err)
+				}
 				w.sem.Post()
 			case <-w.quit:
 				return
@@ -208,6 +211,14 @@ func (w *connWriter) tryReap() {
 	}
 }
 
+// writeErr reports the connection's first write error, if any.
+func (w *connWriter) writeErr() error {
+	if p := w.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
 // reapOne waits (at a safe point) for the oldest in-flight write.
 func (w *connWriter) reapOne(th *core.Thread) error {
 	for len(w.pumped) > 0 {
@@ -217,7 +228,7 @@ func (w *connWriter) reapOne(th *core.Thread) error {
 		w.reclaim()
 		break
 	}
-	return w.err
+	return w.writeErr()
 }
 
 // reapAll waits for every in-flight write, so the wire holds everything
@@ -229,7 +240,7 @@ func (w *connWriter) reapAll(th *core.Thread) error {
 		}
 		w.reclaim()
 	}
-	return w.err
+	return w.writeErr()
 }
 
 // flush guarantees batch is with the pump on return: when both slots are

@@ -443,12 +443,14 @@ func (s *Server) assignScore() int64 {
 // never enters the runtime's world — and closes it. The refusal speaks
 // the listener's own protocol (a fresh codec, used once).
 func (s *Server) shedConn(c net.Conn) {
+	// Count the decision before the refusal is written: a client that has
+	// read the 503 must already observe it in Stats.
+	s.stats.shed.Add(1)
 	msg := s.newCodec().AppendFault(nil, 503, "server busy\n")
 	_ = c.SetWriteDeadline(time.Now().Add(time.Second))
 	_, _ = c.Write(msg)
 	s.cust.Unregister(c)
 	_ = c.Close()
-	s.stats.shed.Add(1)
 }
 
 // acceptLoop is the acceptor runtime thread: it claims pumped
@@ -558,15 +560,25 @@ func (s *Server) startConn(th *core.Thread, pc pendingConn) {
 	s.mu.Lock()
 	s.nextID++
 	cs.id = s.nextID
-	s.conns[cs.id] = cs
 	s.mu.Unlock()
-	s.stats.active.Add(1)
 
+	// cs.th must be assigned before cs is published in s.conns: Shutdown
+	// reads cs.th from the map under s.mu, so the session thread is
+	// spawned first and the insert is the publication point. The monitor
+	// is spawned only after the insert — its cleanup deletes cs from the
+	// map, and a session dying instantly must not race the delete past
+	// the insert (a stale entry would wedge Shutdown's drain loop).
 	th.WithCustodian(ccust, func() {
 		cs.th = th.Spawn(fmt.Sprintf("netsvc-conn-%d", cs.id), func(x *core.Thread) {
 			s.serveConn(x, cs)
 		})
 	})
+	s.mu.Lock()
+	s.conns[cs.id] = cs
+	s.threads[cs.th] = struct{}{}
+	s.mu.Unlock()
+	s.stats.active.Add(1)
+
 	var mon *core.Thread
 	th.WithCustodian(s.cust, func() {
 		mon = th.Spawn(fmt.Sprintf("netsvc-mon-%d", cs.id), func(x *core.Thread) {
@@ -574,7 +586,6 @@ func (s *Server) startConn(th *core.Thread, pc pendingConn) {
 		})
 	})
 	s.mu.Lock()
-	s.threads[cs.th] = struct{}{}
 	s.threads[mon] = struct{}{}
 	s.mu.Unlock()
 }

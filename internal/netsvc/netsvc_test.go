@@ -174,7 +174,14 @@ func TestEndToEndKillMidRequest(t *testing.T) {
 			}
 		}
 
+		// Killed and Drained tick at session teardown, which can lag the
+		// client-observed response or close; poll rather than snapshot.
+		deadline := time.Now().Add(5 * time.Second)
 		st := s.Stats()
+		for (st.Killed < 1 || st.Drained < survivors) && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+			st = s.Stats()
+		}
 		if st.Killed < 1 {
 			t.Errorf("stats.Killed = %d, want >= 1", st.Killed)
 		}

@@ -56,9 +56,16 @@ func TestShardedObsKillStorm(t *testing.T) {
 			t.Fatalf("get /ping: %v", err)
 		}
 	}
+	// Let the warm-up sessions drain first, and serialize the slow dials
+	// so each conn's load is visible before the next one is assigned: a
+	// /ping session still counted active (or a placement not yet
+	// registered) skews the least-loaded pick away from the 2-per-shard
+	// balance asserted below.
+	waitTotalActive(t, m, 0)
 	conns := make([]net.Conn, 0, 8)
 	for i := 0; i < 8; i++ {
 		conns = append(conns, dialSlow(t, addr))
+		waitTotalActive(t, m, int64(i+1))
 	}
 	defer func() {
 		for _, c := range conns {

@@ -64,6 +64,23 @@ func waitShardActive(t *testing.T, m *netsvc.ShardedServer, want int64) {
 	t.Fatalf("shards never reached %d active sessions each: %+v", want, m.ShardStats())
 }
 
+// waitTotalActive polls until the fleet serves want sessions in total.
+func waitTotalActive(t *testing.T, m *netsvc.ShardedServer, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var total int64
+		for _, s := range m.ShardStats() {
+			total += s.Active
+		}
+		if total == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("fleet never reached %d active sessions: %+v", want, m.ShardStats())
+}
+
 func TestServeShardedBasic(t *testing.T) {
 	base := runtime.NumGoroutine()
 	m, err := netsvc.ServeSharded(netsvc.Config{Shards: 2}, shardSetup)
@@ -137,6 +154,10 @@ func TestShardChaosIsolation(t *testing.T) {
 		conns = append(conns, dialSlow(t, addr))
 	}
 	waitShardActive(t, m, 1)
+	// Every dialed conn must be assigned before the pre-storm snapshot: a
+	// straggler landing on shard 3 mid-storm would read as cross-shard
+	// perturbation when it is really just late accept-pump delivery.
+	waitTotalActive(t, m, int64(len(conns)))
 	before := m.ShardStats()
 
 	// The storm: five rounds of "terminate every session on shard 0".
