@@ -1,12 +1,15 @@
 // Command explore drives the systematic concurrency explorer from the
-// command line: run seeded-random schedules of a scenario, replay a
+// command line: sweep schedules of a scenario (uniform or
+// coverage-guided, across a fleet of worker processes), replay a
 // recorded trace, shrink a failing trace, or record a single schedule.
 //
 //	explore list
 //	explore run -scenario queue-unsafe -seeds 100 [-expect stuck] [-out wedge.trace]
+//	explore run -scenario txn-kill-midlock -workers 4 -budget 60s -strategy coverage
 //	explore record -scenario queue -seed 7 -out run.trace
 //	explore replay -trace wedge.trace [-expect stuck]
 //	explore shrink -trace wedge.trace -out small.trace
+//	explore worker        (internal: fleet protocol on stdin/stdout)
 //
 // Exit status: 0 when the outcome matches expectations, 1 otherwise, 2
 // on usage errors. For run, the default expectation is pass (no failing
@@ -18,9 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/explore"
+	"repro/internal/explore/fleet"
 	"repro/internal/explore/scenarios"
 )
 
@@ -41,6 +44,13 @@ func main() {
 		cmdReplay(os.Args[2:])
 	case "shrink":
 		cmdShrink(os.Args[2:])
+	case "worker":
+		// The fleet driver re-execs this binary with `worker` and speaks
+		// the pipe protocol; nothing here is for human consumption.
+		if err := fleet.Serve(os.Stdin, os.Stdout, scenarios.ByName); err != nil {
+			fmt.Fprintf(os.Stderr, "explore worker: %v\n", err)
+			os.Exit(1)
+		}
 	default:
 		usage()
 	}
@@ -76,36 +86,63 @@ func optFlags(fs *flag.FlagSet) *explore.Options {
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	name := fs.String("scenario", "", "scenario name (required)")
-	seeds := fs.Int("seeds", 100, "number of seeds to explore")
+	seeds := fs.Int("seeds", 0, "number of schedules to explore (default 100, or unlimited with -budget)")
 	seed := fs.Int64("seed", 1, "base seed")
-	out := fs.String("out", "", "write the first failing trace here")
+	budget := fs.Duration("budget", 0, "wall-clock budget for the sweep (0: seeds only)")
+	strategy := fs.String("strategy", "uniform", "schedule strategy: uniform or coverage")
+	workers := fs.Int("workers", 1, "worker processes to shard schedules across")
+	pin := fs.String("pin", "", "directory to pin shrunk failing traces into")
+	findings := fs.Int("findings", 0, "distinct findings to collect before stopping (default 1)")
+	out := fs.String("out", "", "write the first failing (shrunk) trace here")
 	expect := fs.String("expect", "pass", "expected result: pass, stuck, or fail")
+	verbose := fs.Bool("v", false, "log fleet progress to stderr")
 	opts := optFlags(fs)
 	_ = fs.Parse(args)
 	if *name == "" {
 		fatal("run: -scenario is required")
 	}
 	sc := lookup(*name)
-	start := time.Now()
-	rep := explore.Explore(sc, *opts, *seed, *seeds)
-	fmt.Printf("scenario %s: %d schedules, %d decisions, %d faults injected in %v\n",
-		rep.Scenario, rep.Schedules, rep.Steps, rep.Faults, time.Since(start).Round(time.Millisecond))
-	for st, n := range rep.Outcomes {
-		fmt.Printf("  %-7s %d\n", st, n)
+
+	strat, ok := explore.ParseStrategy(*strategy)
+	if !ok {
+		fatal("run: unknown strategy %q (want uniform or coverage)", *strategy)
+	}
+	opts.Seeds = *seeds
+	if *seeds == 0 && *budget > 0 {
+		// A time budget with no explicit seed cap means "as many as fit".
+		opts.Seeds = 1 << 30
+	}
+	opts.BaseSeed = *seed
+	opts.Budget = *budget
+	opts.Strategy = strat
+	opts.Workers = *workers
+
+	cfg := fleet.Config{PinDir: *pin, MaxFindings: *findings}
+	if *workers > 1 {
+		exe, err := os.Executable()
+		if err != nil {
+			fatal("run: cannot locate own binary for worker re-exec: %v", err)
+		}
+		cfg.WorkerCommand = []string{exe, "worker"}
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	rep, err := fleet.Run(sc, *opts, cfg)
+	fmt.Print(rep.Summary())
+	if err != nil {
+		fatal("run: %v", err)
 	}
 	got := "pass"
-	if f := rep.FirstFailure; f != nil {
+	if len(rep.Findings) > 0 {
+		f := rep.Findings[0]
 		got = f.Status.String()
-		fmt.Printf("seed %d: %s", rep.FirstFailureSeed, f.Status)
-		if f.Err != nil {
-			fmt.Printf(" (%v)", f.Err)
-		}
-		fmt.Printf(" after %d decisions\n", len(f.Trace.Actions))
 		if *out != "" {
 			if err := f.Trace.WriteFile(*out); err != nil {
 				fatal("write %s: %v", *out, err)
 			}
-			fmt.Printf("replay trace written to %s\n", *out)
+			fmt.Printf("shrunk replay trace written to %s\n", *out)
 		}
 	}
 	exitExpect(*expect, got)
@@ -158,12 +195,8 @@ func cmdReplay(args []string) {
 		*name = tr.Scenario
 	}
 	sc := lookup(*name)
-	var o *explore.Outcome
-	if *lenient {
-		o = explore.ReplayLenient(sc, tr, *opts)
-	} else {
-		o = explore.Replay(sc, tr, *opts)
-	}
+	opts.Lenient = *lenient
+	o := explore.Replay(sc, tr, *opts)
 	fmt.Printf("scenario %s: %s (%d decisions executed)\n", sc.Name, o.Status, len(o.Trace.Actions))
 	if o.Err != nil {
 		fmt.Printf("  %v\n", o.Err)
@@ -193,7 +226,9 @@ func cmdShrink(args []string) {
 		fatal("%v", err)
 	}
 	sc := lookup(tr.Scenario)
-	o := explore.ReplayLenient(sc, tr, *opts)
+	lopts := *opts
+	lopts.Lenient = true
+	o := explore.Replay(sc, tr, lopts)
 	if !o.Failing() {
 		fatal("trace does not fail (%s); nothing to shrink", o.Status)
 	}

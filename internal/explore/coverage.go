@@ -1,0 +1,132 @@
+package explore
+
+import (
+	"hash/fnv"
+	"math/bits"
+)
+
+// Schedule coverage: the fleet's search signal.
+//
+// Two schedules are the "same interleaving" for coverage purposes when
+// their faults land at the same points of the victims' executions and
+// their virtual-clock / delivery traffic has the same shape. The grant
+// order between those points is deliberately ignored: it mostly encodes
+// how a thread's deterministic straight-line work was sliced, which a
+// seeded-random picker varies endlessly without reaching any new
+// behavior. Hashing the footprint instead of the raw decision sequence
+// is what lets a coverage map saturate — and what makes "distinct
+// hashes explored" a meaningful count of distinct interleavings rather
+// than a count of schedules run.
+
+// Footprint hashes a trace's (event-id, action-kind) footprint into one
+// 64-bit schedule-coverage key:
+//
+//   - every thread fault (kill, suspend, resume, break) contributes
+//     (kind, victim thread, victim's grant ordinal at injection) — the
+//     event id is "where in the victim's own execution the fault hit";
+//   - every custodian shutdown contributes (kind, custodian index,
+//     global grant ordinal);
+//   - clock advances and External deliveries contribute their
+//     log-bucketed totals (their exact positions are schedule slicing,
+//     but how many fired changes which timeouts and completions the run
+//     saw at all).
+//
+// Identical traces always hash equal; moving a single injected kill by
+// one victim grant hashes distinct.
+func Footprint(tr *Trace) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	mix := func(vs ...int64) {
+		for _, v := range vs {
+			for i := 0; i < 8; i++ {
+				b[i] = byte(v >> (8 * i))
+			}
+			_, _ = h.Write(b[:])
+		}
+	}
+	grants := make(map[int64]int64)
+	var total, clocks, delivers int64
+	for _, a := range tr.Actions {
+		switch a.Kind {
+		case ActRun:
+			grants[a.Thread]++
+			total++
+		case ActClock:
+			clocks++
+		case ActDeliver:
+			delivers++
+		case ActShutdown:
+			mix(int64(a.Kind), int64(a.Cust), total)
+		default: // thread faults
+			mix(int64(a.Kind), a.Thread, grants[a.Thread])
+		}
+	}
+	mix(-1, covBucket(clocks), covBucket(delivers))
+	return h.Sum64()
+}
+
+// covBucket compresses a count: exact up to 4, logarithmic above. The
+// first few clock fires or deliveries are individually meaningful (they
+// decide which timeout beat which grant); past that only the magnitude
+// is.
+func covBucket(n int64) int64 {
+	if n <= 4 {
+		return n
+	}
+	return 4 + int64(bits.Len64(uint64(n-4)))
+}
+
+// Preemptions counts the trace's preemptive context switches: grants to
+// a different thread while the previously granted thread was still
+// runnable (approximated as "is granted again later"). A switch forced
+// by the previous thread blocking or finishing is not a preemption —
+// CHESS-style preemption bounding orders the search by exactly this
+// number, because most concurrency bugs need only a handful of forced
+// switch points.
+func Preemptions(tr *Trace) int {
+	last := int64(-1)
+	lastIdx := make(map[int64]int, 8)
+	for i, a := range tr.Actions {
+		if a.Kind == ActRun {
+			lastIdx[a.Thread] = i
+		}
+	}
+	n := 0
+	for i, a := range tr.Actions {
+		if a.Kind != ActRun {
+			continue
+		}
+		if last >= 0 && a.Thread != last && lastIdx[last] > i {
+			n++
+		}
+		last = a.Thread
+	}
+	return n
+}
+
+// CoverageMap is a set of schedule footprints. The zero value is ready
+// to use. It is not safe for concurrent use; the driver owns it.
+type CoverageMap struct {
+	seen map[uint64]struct{}
+}
+
+// Add records h and reports whether it was novel.
+func (m *CoverageMap) Add(h uint64) bool {
+	if m.seen == nil {
+		m.seen = make(map[uint64]struct{})
+	}
+	if _, ok := m.seen[h]; ok {
+		return false
+	}
+	m.seen[h] = struct{}{}
+	return true
+}
+
+// Has reports whether h has been recorded.
+func (m *CoverageMap) Has(h uint64) bool {
+	_, ok := m.seen[h]
+	return ok
+}
+
+// Distinct returns the number of distinct footprints recorded.
+func (m *CoverageMap) Distinct() int { return len(m.seen) }

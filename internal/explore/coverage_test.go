@@ -1,0 +1,182 @@
+package explore
+
+import (
+	"testing"
+)
+
+func runs(threads ...int64) []Action {
+	out := make([]Action, len(threads))
+	for i, th := range threads {
+		out[i] = Action{Kind: ActRun, Thread: th}
+	}
+	return out
+}
+
+// Identical traces must hash equal — coverage is a pure function of the
+// decision sequence.
+func TestFootprintIdenticalTracesEqual(t *testing.T) {
+	mk := func() *Trace {
+		return &Trace{Actions: append(runs(1, 2, 1),
+			Action{Kind: ActKill, Thread: 2},
+			Action{Kind: ActRun, Thread: 1},
+			Action{Kind: ActClock},
+		)}
+	}
+	if Footprint(mk()) != Footprint(mk()) {
+		t.Fatal("identical traces hash differently")
+	}
+}
+
+// Moving a single injected kill by one victim grant must hash distinct:
+// the fault hits a different point of the victim's execution.
+func TestFootprintKillPositionDistinct(t *testing.T) {
+	early := &Trace{Actions: []Action{
+		{Kind: ActRun, Thread: 1},
+		{Kind: ActKill, Thread: 2}, // before victim's first grant
+		{Kind: ActRun, Thread: 2},
+		{Kind: ActRun, Thread: 1},
+	}}
+	late := &Trace{Actions: []Action{
+		{Kind: ActRun, Thread: 1},
+		{Kind: ActRun, Thread: 2},
+		{Kind: ActKill, Thread: 2}, // after it
+		{Kind: ActRun, Thread: 1},
+	}}
+	if Footprint(early) == Footprint(late) {
+		t.Fatal("kill at victim grant 0 and grant 1 hash equal")
+	}
+}
+
+// Pure grant-order slicing between fault points is deliberately NOT
+// distinct: the footprint ignores how straight-line work was interleaved.
+func TestFootprintIgnoresGrantSlicing(t *testing.T) {
+	a := &Trace{Actions: append(runs(1, 1, 2, 2), Action{Kind: ActKill, Thread: 2})}
+	b := &Trace{Actions: append(runs(1, 2, 1, 2), Action{Kind: ActKill, Thread: 2})}
+	if Footprint(a) != Footprint(b) {
+		t.Fatal("same fault point under different slicings hashed distinct")
+	}
+}
+
+func TestCovBucket(t *testing.T) {
+	for n := int64(0); n <= 4; n++ {
+		if covBucket(n) != n {
+			t.Fatalf("covBucket(%d) = %d, want exact", n, covBucket(n))
+		}
+	}
+	if covBucket(5) == covBucket(50) {
+		t.Fatal("magnitudes 5 and 50 share a bucket")
+	}
+	if covBucket(40) != covBucket(50) {
+		t.Fatal("nearby large magnitudes should share a bucket")
+	}
+}
+
+func TestPreemptions(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   []Action
+		want int
+	}{
+		{"straight-line", runs(1, 1, 1), 0},
+		// 1 is granted again later, so the switch to 2 preempted it.
+		{"one-preemption", runs(1, 2, 1), 1},
+		// 1 never runs again: the switch was forced (block/finish), free.
+		{"forced-switch", runs(1, 2, 2), 0},
+		// Switches at i=1,2,3 preempt (the displaced thread runs again
+		// later); the final grant follows 2's last slice, so it is free.
+		{"ping-pong", runs(1, 2, 1, 2, 1), 3},
+		// Deliveries and clock advances between grants are not switches.
+		{"clock-between", []Action{
+			{Kind: ActRun, Thread: 1}, {Kind: ActClock}, {Kind: ActRun, Thread: 1},
+		}, 0},
+	}
+	for _, tc := range cases {
+		if got := Preemptions(&Trace{Actions: tc.tr}); got != tc.want {
+			t.Errorf("%s: Preemptions = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestCoverageMap(t *testing.T) {
+	var m CoverageMap
+	if !m.Add(7) || m.Add(7) {
+		t.Fatal("Add novelty reporting wrong")
+	}
+	if !m.Has(7) || m.Has(8) || m.Distinct() != 1 {
+		t.Fatal("Has/Distinct wrong")
+	}
+}
+
+// The frontier drains lowest preemption tier first, FIFO within a tier,
+// and drops exact-duplicate prefixes.
+func TestFrontierTierOrder(t *testing.T) {
+	var f Frontier
+	deep := runs(1, 2, 1, 2, 1)  // 4 preemptions
+	shallowA := runs(1, 1, 2, 2) // 0
+	shallowB := runs(2, 2, 1, 1) // 0
+	f.Push(deep, 40)
+	f.Push(shallowA, 20)
+	f.Push(shallowB, 30)
+	f.Push(append([]Action(nil), shallowA...), 20) // duplicate: dropped
+	if f.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (dup not dropped?)", f.Len())
+	}
+	// The shallow tier drains first, round-robin within the tier, each
+	// prefix popping frontierMaxAttempts times before it retires. The
+	// source-trace length rides along with each prefix.
+	for i := 0; i < frontierMaxAttempts; i++ {
+		for _, want := range []struct {
+			prefix []Action
+			srcLen int
+		}{{shallowA, 20}, {shallowB, 30}} {
+			got, srcLen, ok := f.Pop()
+			if !ok || actionsHash(got) != actionsHash(want.prefix) || srcLen != want.srcLen {
+				t.Fatalf("shallow attempt %d: got %v (srcLen %d), want %v (srcLen %d)",
+					i, got, srcLen, want.prefix, want.srcLen)
+			}
+		}
+	}
+	// Only after the shallow prefixes retire does the deep tier pop.
+	for i := 0; i < frontierMaxAttempts; i++ {
+		got, srcLen, ok := f.Pop()
+		if !ok || actionsHash(got) != actionsHash(deep) || srcLen != 40 {
+			t.Fatalf("deep attempt %d: wrong prefix", i)
+		}
+	}
+	if _, _, ok := f.Pop(); ok {
+		t.Fatal("pop from exhausted frontier succeeded")
+	}
+	// A retired prefix can never re-enter: its dedup mark stays.
+	f.Push(shallowA, 20)
+	if f.Len() != 0 {
+		t.Fatal("retired prefix re-entered the frontier")
+	}
+}
+
+// Mutation prefixes cut at each fault — one prefix dropping it (so the
+// tail can land it later) and one keeping it — and fall back to the
+// half-trace for fault-free runs.
+func TestMutationPrefixes(t *testing.T) {
+	tr := &Trace{Actions: []Action{
+		{Kind: ActRun, Thread: 1},
+		{Kind: ActKill, Thread: 2},
+		{Kind: ActRun, Thread: 1},
+		{Kind: ActRun, Thread: 2},
+	}}
+	ps := mutationPrefixes(tr)
+	if len(ps) != 2 {
+		t.Fatalf("got %d prefixes, want 2 (drop-fault and keep-fault)", len(ps))
+	}
+	if len(ps[0]) != 1 || len(ps[1]) != 2 {
+		t.Fatalf("prefix lengths %d,%d, want 1,2", len(ps[0]), len(ps[1]))
+	}
+	if ps[1][1].Kind != ActKill {
+		t.Fatal("keep-fault prefix does not end at the fault")
+	}
+
+	plain := &Trace{Actions: runs(1, 2, 1, 2)}
+	ps = mutationPrefixes(plain)
+	if len(ps) != 1 || len(ps[0]) != 2 {
+		t.Fatalf("fault-free fallback: got %d prefixes (len %d), want half-trace", len(ps), len(ps[0]))
+	}
+}

@@ -1,0 +1,38 @@
+package explore
+
+// Deprecated shims for the pre-fleet explore API. They survive one
+// release so out-of-tree callers can migrate; nothing in this
+// repository calls them.
+
+// ExploreSeeds is the old positional Explore signature: n
+// seeded-random schedules from baseSeed, uniform strategy, one worker.
+//
+// Deprecated: set Options.Seeds and Options.BaseSeed and call
+// Explore(sc, opts).
+func ExploreSeeds(sc Scenario, opts Options, baseSeed int64, n int) *Report {
+	opts.Seeds = n
+	opts.BaseSeed = baseSeed
+	opts.Strategy = StrategyUniform
+	opts.Workers = 1
+	opts.Budget = 0
+	return Explore(sc, opts)
+}
+
+// ReplayLenient re-executes a trace tolerantly, skipping decisions that
+// are no longer available.
+//
+// Deprecated: set Options.Lenient and call Replay(sc, tr, opts).
+func ReplayLenient(sc Scenario, tr *Trace, opts Options) *Outcome {
+	opts.Lenient = true
+	return Replay(sc, tr, opts)
+}
+
+// NewLenientReplayPicker returns a lenient replayer for tr.
+//
+// Deprecated: use NewReplayPicker and set its Lenient field (or replay
+// through Replay with Options.Lenient).
+func NewLenientReplayPicker(tr *Trace) *ReplayPicker {
+	p := NewReplayPicker(tr)
+	p.Lenient = true
+	return p
+}

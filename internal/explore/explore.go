@@ -2,6 +2,7 @@ package explore
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -112,7 +113,10 @@ func (s Status) String() string {
 	return fmt.Sprintf("status(%d)", int(s))
 }
 
-// Options bound a run.
+// Options bound a run and configure a sweep. The per-run fields
+// (MaxSteps, FaultBudget, StepTimeout, FaultProb, Instrument, Lenient)
+// apply to every schedule; the sweep fields (Seeds, BaseSeed, Budget,
+// Strategy, Workers) drive Explore.
 type Options struct {
 	// MaxSteps caps the number of decisions before the run is declared
 	// Budget. Default 500.
@@ -131,6 +135,29 @@ type Options struct {
 	// deterministic controller: every tap reaches both, so a systematic
 	// run can be observed with the same vocabulary as a live server.
 	Instrument core.Instrumentation
+	// Lenient makes Replay tolerate decisions that are no longer
+	// available (they are skipped, and a trailing deterministic
+	// fallback keeps the run moving). The shrinker and flight-recorder
+	// forensics replay leniently; regression pins replay strictly.
+	Lenient bool
+
+	// Seeds caps the number of schedules an Explore sweep runs.
+	// Default 100.
+	Seeds int
+	// BaseSeed is the first fresh seed (fresh schedules use BaseSeed,
+	// BaseSeed+1, …). Default 1.
+	BaseSeed int64
+	// Budget, when positive, is a wall-clock cap on the sweep: no new
+	// schedule starts after it expires. 0 means seeds-only.
+	Budget time.Duration
+	// Strategy selects uniform seed sweeping or coverage-guided
+	// exploration. Default StrategyUniform.
+	Strategy Strategy
+	// Workers is the number of in-process worker goroutines Explore
+	// runs schedules on (each schedule still executes sequentially on
+	// its own deterministic runtime). Default 1. Process-level workers
+	// are the fleet package's job.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +172,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.FaultProb == 0 {
 		o.FaultProb = 0.25
+	}
+	if o.Seeds == 0 {
+		o.Seeds = 100
+	}
+	if o.BaseSeed == 0 {
+		o.BaseSeed = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 	return o
 }
@@ -337,16 +373,14 @@ func RunOnce(sc Scenario, p Picker, seed int64, opts Options) *Outcome {
 	}
 }
 
-// Replay re-executes a recorded trace strictly: any divergence from the
-// recorded decisions is a StatusError outcome.
+// Replay re-executes a recorded trace. By default the replay is
+// strict: any divergence from the recorded decisions is a StatusError
+// outcome. With opts.Lenient, unavailable decisions are skipped instead
+// — the shrinker and flight-recorder forensics are the customers.
 func Replay(sc Scenario, tr *Trace, opts Options) *Outcome {
-	return RunOnce(sc, NewReplayPicker(tr), tr.Seed, opts)
-}
-
-// ReplayLenient re-executes a trace tolerantly, skipping decisions that
-// are no longer available; the shrinker is its main customer.
-func ReplayLenient(sc Scenario, tr *Trace, opts Options) *Outcome {
-	return RunOnce(sc, NewLenientReplayPicker(tr), tr.Seed, opts)
+	p := NewReplayPicker(tr)
+	p.Lenient = opts.Lenient
+	return RunOnce(sc, p, tr.Seed, opts)
 }
 
 // Report aggregates an exploration sweep.
@@ -356,30 +390,97 @@ type Report struct {
 	Steps     int
 	Faults    int
 	Outcomes  map[Status]int
-	// FirstFailure is the first failing outcome (nil if every schedule
-	// passed) and FirstFailureSeed the seed that produced it.
+	// Distinct counts the distinct schedule footprints (Footprint
+	// hashes) the sweep observed — the "distinct interleavings" a
+	// strategy is buying with its budget.
+	Distinct int
+	// Elapsed is the sweep's wall-clock time.
+	Elapsed time.Duration
+	// FirstFailure is the first failing outcome in job order (nil if
+	// every schedule passed) and FirstFailureSeed the seed that
+	// produced it.
 	FirstFailure     *Outcome
 	FirstFailureSeed int64
 }
 
-// Explore runs n seeded-random schedules of sc (seeds baseSeed,
-// baseSeed+1, …) and stops at the first failing outcome, which carries
-// the replayable trace.
-func Explore(sc Scenario, opts Options, baseSeed int64, n int) *Report {
+// outcome rehydrates a JobResult into an Outcome (Err becomes opaque).
+func (r JobResult) outcome() *Outcome {
+	o := &Outcome{Status: r.Status, Trace: r.Trace, Steps: r.Steps, Faults: r.Faults}
+	if r.Err != "" {
+		o.Err = fmt.Errorf("%s", r.Err)
+	}
+	return o
+}
+
+// Explore sweeps schedules of sc as configured by opts — Seeds
+// schedules from BaseSeed under the chosen Strategy, across Workers
+// in-process workers, within Budget — and stops at the first failing
+// outcome (in job order), which carries the replayable trace. Results
+// are digested in job order, so a sweep is reproducible for a given
+// Options regardless of worker count.
+func Explore(sc Scenario, opts Options) *Report {
 	opts = opts.withDefaults()
+	d := NewDriver(opts)
 	rep := &Report{Scenario: sc.Name, Outcomes: make(map[Status]int)}
-	for i := 0; i < n; i++ {
-		seed := baseSeed + int64(i)
-		o := RunOnce(sc, NewRandomPicker(seed, opts.FaultProb), seed, opts)
-		rep.Schedules++
-		rep.Steps += o.Steps
-		rep.Faults += o.Faults
-		rep.Outcomes[o.Status]++
-		if o.Failing() {
-			rep.FirstFailure = o
-			rep.FirstFailureSeed = seed
-			return rep
+
+	jobs := make(chan Job, opts.Workers)
+	results := make(chan JobResult, opts.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				results <- j.Run(sc, opts)
+			}
+		}()
+	}
+
+	pending := make(map[int64]JobResult)
+	var nextObs int64
+	inflight := 0
+	for {
+		for inflight < opts.Workers {
+			j, ok := d.Next()
+			if !ok {
+				break
+			}
+			jobs <- j
+			inflight++
+		}
+		if inflight == 0 {
+			break
+		}
+		res := <-results
+		inflight--
+		pending[res.ID] = res
+		for {
+			r, ok := pending[nextObs]
+			if !ok {
+				break
+			}
+			delete(pending, nextObs)
+			nextObs++
+			d.Observe(r)
+			rep.Schedules++
+			rep.Steps += r.Steps
+			rep.Faults += r.Faults
+			rep.Outcomes[r.Status]++
+			if rep.FirstFailure == nil && r.Failing() {
+				rep.FirstFailure = r.outcome()
+				if r.Trace != nil {
+					rep.FirstFailureSeed = r.Trace.Seed
+				}
+				d.Stop()
+			}
+		}
+		if rep.FirstFailure != nil && inflight == 0 {
+			break
 		}
 	}
+	close(jobs)
+	wg.Wait()
+	rep.Distinct = d.Distinct()
+	rep.Elapsed = d.Elapsed()
 	return rep
 }

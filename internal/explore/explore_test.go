@@ -56,7 +56,7 @@ func TestRecordedRunReplays(t *testing.T) {
 // shrinker must cut it to a handful of decisions.
 func TestExplorerFindsUnsafeQueueWedge(t *testing.T) {
 	sc := scenarios.QueueUnsafe()
-	rep := explore.Explore(sc, explore.Options{}, 1, 100)
+	rep := explore.Explore(sc, explore.Options{Seeds: 100, BaseSeed: 1})
 	if rep.FirstFailure == nil {
 		t.Fatalf("no wedge found in %d schedules (outcomes: %v)", rep.Schedules, rep.Outcomes)
 	}
@@ -77,7 +77,7 @@ func TestExplorerFindsUnsafeQueueWedge(t *testing.T) {
 	if len(shrunk.Actions) > 20 {
 		t.Fatalf("shrunk trace has %d decisions, want <= 20", len(shrunk.Actions))
 	}
-	s := explore.ReplayLenient(sc, shrunk, explore.Options{})
+	s := explore.Replay(sc, shrunk, explore.Options{Lenient: true})
 	if s.Status != explore.StatusStuck {
 		t.Fatalf("shrunk trace replays to %v (err=%v), want stuck", s.Status, s.Err)
 	}
@@ -93,7 +93,7 @@ func TestKillSafeScenariosPassAllSchedules(t *testing.T) {
 		}
 		sc := sc
 		t.Run(sc.Name, func(t *testing.T) {
-			rep := explore.Explore(sc, explore.Options{}, 1, 40)
+			rep := explore.Explore(sc, explore.Options{Seeds: 40, BaseSeed: 1})
 			if rep.FirstFailure != nil {
 				t.Fatalf("seed %d failed with %v (err=%v):\n%s",
 					rep.FirstFailureSeed, rep.FirstFailure.Status, rep.FirstFailure.Err,

@@ -1,0 +1,195 @@
+package fleet_test
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/explore"
+	"repro/internal/explore/fleet"
+	"repro/internal/explore/scenarios"
+)
+
+// The worker-process tests re-exec this test binary: when the marker
+// variable is set, TestMain speaks the fleet protocol on stdin/stdout
+// instead of running tests — exactly what `explore worker` does.
+const workerEnv = "FLEET_TEST_WORKER"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(workerEnv) == "1" {
+		if err := fleet.Serve(os.Stdin, os.Stdout, scenarios.ByName); err != nil {
+			io.WriteString(os.Stderr, err.Error()+"\n")
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func mustScenario(t *testing.T, name string) explore.Scenario {
+	t.Helper()
+	sc, ok := scenarios.ByName(name)
+	if !ok {
+		t.Fatalf("scenario %q not registered", name)
+	}
+	return sc
+}
+
+func findingKeys(rep *fleet.Report) []uint64 {
+	keys := make([]uint64, len(rep.Findings))
+	for i, f := range rep.Findings {
+		keys[i] = f.Hash
+	}
+	return keys
+}
+
+// The fleet must find the unsafe queue's wedge, shrink it, dedup it, and
+// pin it with a repro that strictly replays to the same failure.
+func TestFleetFindsShrinksAndPinsWedge(t *testing.T) {
+	sc := mustScenario(t, "queue-unsafe")
+	dir := t.TempDir()
+	opts := explore.Options{Seeds: 200, BaseSeed: 1, Strategy: explore.StrategyCoverage}
+	rep, err := fleet.Run(sc, opts, fleet.Config{PinDir: dir, MaxFindings: 2})
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatalf("no findings in %d schedules (outcomes %v)", rep.Schedules, rep.Outcomes)
+	}
+	for i, f := range rep.Findings {
+		if f.Status != explore.StatusStuck {
+			t.Fatalf("finding %d: status %v, want stuck (err=%s)", i, f.Status, f.Err)
+		}
+		if len(f.Trace.Actions) >= f.ShrunkFrom {
+			t.Errorf("finding %d: shrink did not shrink (%d -> %d)", i, f.ShrunkFrom, len(f.Trace.Actions))
+		}
+		if f.Path == "" || f.Repro == "" {
+			t.Fatalf("finding %d: not pinned (path=%q repro=%q)", i, f.Path, f.Repro)
+		}
+		tr, err := explore.ReadTraceFile(f.Path)
+		if err != nil {
+			t.Fatalf("finding %d: read pin: %v", i, err)
+		}
+		// The pinned repro gates on a strict replay reaching f.Status.
+		o := explore.Replay(sc, tr, explore.Options{})
+		if o.Status != f.Status {
+			t.Fatalf("finding %d: pinned trace replays to %v, repro expects %v", i, o.Status, f.Status)
+		}
+	}
+	if len(rep.Findings) == 2 && rep.Findings[0].Hash == rep.Findings[1].Hash {
+		t.Fatal("dedup failed: two findings with the same shrunk-trace hash")
+	}
+}
+
+// Same driver seed, same options → same pinned findings, byte for byte.
+func TestFleetRunReproducible(t *testing.T) {
+	sc := mustScenario(t, "queue-unsafe")
+	opts := explore.Options{Seeds: 150, BaseSeed: 7, Strategy: explore.StrategyCoverage}
+	run := func(dir string) *fleet.Report {
+		rep, err := fleet.Run(sc, opts, fleet.Config{PinDir: dir, MaxFindings: 3})
+		if err != nil {
+			t.Fatalf("fleet run: %v", err)
+		}
+		return rep
+	}
+	a := run(t.TempDir())
+	dirB := t.TempDir()
+	b := run(dirB)
+	if !reflect.DeepEqual(findingKeys(a), findingKeys(b)) {
+		t.Fatalf("finding hashes differ across identical runs: %x vs %x", findingKeys(a), findingKeys(b))
+	}
+	if a.Schedules != b.Schedules || a.Distinct != b.Distinct {
+		t.Fatalf("run shape differs: %d/%d schedules, %d/%d distinct",
+			a.Schedules, b.Schedules, a.Distinct, b.Distinct)
+	}
+	for i := range a.Findings {
+		fa, fb := a.Findings[i], b.Findings[i]
+		if fa.Trace.EncodeToString() != fb.Trace.EncodeToString() {
+			t.Fatalf("finding %d traces differ across identical runs", i)
+		}
+		if filepath.Base(fa.Path) != filepath.Base(fb.Path) {
+			t.Fatalf("finding %d pinned under different names: %s vs %s", i, fa.Path, fb.Path)
+		}
+	}
+}
+
+// Worker count is an execution detail: 1 worker and 3 workers must
+// observe the same job stream and produce identical findings.
+func TestFleetWorkerCountInvariant(t *testing.T) {
+	sc := mustScenario(t, "queue-unsafe")
+	base := explore.Options{Seeds: 150, BaseSeed: 1, Strategy: explore.StrategyCoverage}
+	run := func(workers int) *fleet.Report {
+		opts := base
+		opts.Workers = workers
+		rep, err := fleet.Run(sc, opts, fleet.Config{MaxFindings: 3})
+		if err != nil {
+			t.Fatalf("fleet run (%d workers): %v", workers, err)
+		}
+		return rep
+	}
+	one, three := run(1), run(3)
+	if !reflect.DeepEqual(findingKeys(one), findingKeys(three)) {
+		t.Fatalf("findings differ by worker count: %x vs %x", findingKeys(one), findingKeys(three))
+	}
+	if one.Schedules != three.Schedules {
+		t.Fatalf("schedule counts differ by worker count: %d vs %d", one.Schedules, three.Schedules)
+	}
+}
+
+// The same sweep through real worker processes (this test binary
+// re-exec'd) must match the in-process run exactly — the protocol adds
+// serialization, not semantics.
+func TestFleetProcessWorkersMatchInProcess(t *testing.T) {
+	sc := mustScenario(t, "queue-unsafe")
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot locate test binary: %v", err)
+	}
+	t.Setenv(workerEnv, "1") // inherited by the re-exec'd children
+	opts := explore.Options{Seeds: 120, BaseSeed: 1, Strategy: explore.StrategyCoverage, Workers: 2}
+	procRep, err := fleet.Run(sc, opts, fleet.Config{
+		WorkerCommand: []string{exe},
+		MaxFindings:   2,
+	})
+	if err != nil {
+		t.Fatalf("process fleet run: %v", err)
+	}
+	inprocRep, err := fleet.Run(sc, opts, fleet.Config{MaxFindings: 2})
+	if err != nil {
+		t.Fatalf("in-process fleet run: %v", err)
+	}
+	if !reflect.DeepEqual(findingKeys(procRep), findingKeys(inprocRep)) {
+		t.Fatalf("process and in-process findings differ: %x vs %x",
+			findingKeys(procRep), findingKeys(inprocRep))
+	}
+	if procRep.Schedules != inprocRep.Schedules || procRep.Distinct != inprocRep.Distinct {
+		t.Fatalf("process/in-process run shape differs: %d/%d schedules, %d/%d distinct",
+			procRep.Schedules, inprocRep.Schedules, procRep.Distinct, inprocRep.Distinct)
+	}
+}
+
+// Coverage-guided exploration must buy meaningfully more distinct
+// interleavings than the uniform sweep at the same schedule budget.
+func TestCoverageBeatsUniformOnDistinct(t *testing.T) {
+	sc := mustScenario(t, "txn-kill-midlock")
+	const seeds = 60
+	run := func(strat explore.Strategy) int {
+		rep, err := fleet.Run(sc, explore.Options{Seeds: seeds, BaseSeed: 1, Strategy: strat}, fleet.Config{})
+		if err != nil {
+			t.Fatalf("fleet run (%v): %v", strat, err)
+		}
+		if len(rep.Findings) > 0 {
+			t.Fatalf("kill-safe scenario produced a finding under %v: %+v", strat, rep.Findings[0])
+		}
+		return rep.Distinct
+	}
+	uniform := run(explore.StrategyUniform)
+	coverage := run(explore.StrategyCoverage)
+	t.Logf("distinct interleavings over %d schedules: uniform %d, coverage %d", seeds, uniform, coverage)
+	if coverage <= uniform {
+		t.Fatalf("coverage strategy explored %d distinct interleavings, uniform %d — guidance is not paying",
+			coverage, uniform)
+	}
+}

@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/explore"
+)
+
+// The fleet pipe protocol is JSON lines over a byte stream — stdin/stdout
+// of a worker process, or an in-memory pipe for in-process workers. The
+// driver speaks first with one hello naming the scenario and the per-run
+// options; after that it streams jobs and the worker streams results,
+// one JSON object per line, until the driver closes its end. Traces and
+// prefixes cross the boundary in the trace text format, so the wire
+// shapes stay stable even as Action grows fields.
+const protoVersion = 1
+
+type helloMsg struct {
+	Proto       int     `json:"proto"`
+	Scenario    string  `json:"scenario"`
+	MaxSteps    int     `json:"maxSteps,omitempty"`
+	FaultBudget int     `json:"faultBudget,omitempty"`
+	StepTimeout int64   `json:"stepTimeoutNs,omitempty"`
+	FaultProb   float64 `json:"faultProb,omitempty"`
+}
+
+type jobMsg struct {
+	ID     int64  `json:"id"`
+	Seed   int64  `json:"seed"`
+	Bound  int    `json:"bound"`
+	Prefix string `json:"prefix,omitempty"`
+	SrcLen int    `json:"srcLen,omitempty"`
+}
+
+type resultMsg struct {
+	ID     int64  `json:"id"`
+	Status int    `json:"status"`
+	Err    string `json:"err,omitempty"`
+	Steps  int    `json:"steps"`
+	Faults int    `json:"faults"`
+	Trace  string `json:"trace,omitempty"`
+}
+
+func helloFor(scenario string, opts explore.Options) helloMsg {
+	return helloMsg{
+		Proto:       protoVersion,
+		Scenario:    scenario,
+		MaxSteps:    opts.MaxSteps,
+		FaultBudget: opts.FaultBudget,
+		StepTimeout: int64(opts.StepTimeout),
+		FaultProb:   opts.FaultProb,
+	}
+}
+
+func (m jobMsg) job() (explore.Job, error) {
+	j := explore.Job{ID: m.ID, Seed: m.Seed, Bound: m.Bound, SrcLen: m.SrcLen}
+	if m.Prefix != "" {
+		prefix, err := explore.DecodeActions(m.Prefix)
+		if err != nil {
+			return explore.Job{}, fmt.Errorf("fleet: job %d: bad prefix: %w", m.ID, err)
+		}
+		j.Prefix = prefix
+	}
+	return j, nil
+}
+
+func jobMsgFor(j explore.Job) jobMsg {
+	m := jobMsg{ID: j.ID, Seed: j.Seed, Bound: j.Bound, SrcLen: j.SrcLen}
+	if len(j.Prefix) > 0 {
+		m.Prefix = explore.EncodeActions(j.Prefix)
+	}
+	return m
+}
+
+func (m resultMsg) result() (explore.JobResult, error) {
+	r := explore.JobResult{
+		ID:     m.ID,
+		Status: explore.Status(m.Status),
+		Err:    m.Err,
+		Steps:  m.Steps,
+		Faults: m.Faults,
+	}
+	if m.Trace != "" {
+		tr, err := explore.DecodeTrace(strings.NewReader(m.Trace))
+		if err != nil {
+			return explore.JobResult{}, fmt.Errorf("fleet: result %d: bad trace: %w", m.ID, err)
+		}
+		r.Trace = tr
+	}
+	return r, nil
+}
+
+func resultMsgFor(r explore.JobResult) resultMsg {
+	m := resultMsg{
+		ID:     r.ID,
+		Status: int(r.Status),
+		Err:    r.Err,
+		Steps:  r.Steps,
+		Faults: r.Faults,
+	}
+	if r.Trace != nil {
+		m.Trace = r.Trace.EncodeToString()
+	}
+	return m
+}
+
+// Serve runs the worker side of the fleet protocol: read the hello,
+// resolve the scenario through lookup, then run every job that arrives
+// on r and write its result to w. Returns nil when the driver closes the
+// stream. This is what `explore worker` calls with os.Stdin/os.Stdout —
+// and what in-process workers call over an io.Pipe, so one code path
+// serves both.
+func Serve(r io.Reader, w io.Writer, lookup func(string) (explore.Scenario, bool)) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+
+	var hello helloMsg
+	if err := dec.Decode(&hello); err != nil {
+		return fmt.Errorf("fleet: read hello: %w", err)
+	}
+	if hello.Proto != protoVersion {
+		return fmt.Errorf("fleet: protocol version %d, worker speaks %d", hello.Proto, protoVersion)
+	}
+	sc, ok := lookup(hello.Scenario)
+	if !ok {
+		return fmt.Errorf("fleet: unknown scenario %q", hello.Scenario)
+	}
+	opts := explore.Options{
+		MaxSteps:    hello.MaxSteps,
+		FaultBudget: hello.FaultBudget,
+		FaultProb:   hello.FaultProb,
+	}
+	if hello.StepTimeout > 0 {
+		opts.StepTimeout = time.Duration(hello.StepTimeout)
+	}
+
+	for {
+		var jm jobMsg
+		if err := dec.Decode(&jm); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("fleet: read job: %w", err)
+		}
+		j, err := jm.job()
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(resultMsgFor(j.Run(sc, opts))); err != nil {
+			return fmt.Errorf("fleet: write result: %w", err)
+		}
+		if err := bw.Flush(); err != nil {
+			return fmt.Errorf("fleet: flush result: %w", err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+
+	"repro/internal/explore"
+)
+
+// event is what a worker pump delivers to the fleet loop: a result, or
+// the worker's death (err non-nil, or clean EOF with err == nil after
+// the driver closed its stdin).
+type event struct {
+	worker int
+	res    resultMsg
+	closed bool
+	err    error
+}
+
+// workerConn is one attached worker: a way to send it jobs and a way to
+// shut it down. Results come back on the shared event channel its pump
+// goroutine feeds.
+type workerConn struct {
+	enc   *json.Encoder
+	bw    *bufio.Writer
+	stdin io.Closer
+	wait  func() error // reap the process / goroutine; nil error on clean exit
+}
+
+func (wc *workerConn) send(m any) error {
+	if err := wc.enc.Encode(m); err != nil {
+		return err
+	}
+	return wc.bw.Flush()
+}
+
+// closeInput signals end-of-jobs; the worker drains and exits.
+func (wc *workerConn) closeInput() {
+	if wc.stdin != nil {
+		_ = wc.stdin.Close()
+		wc.stdin = nil
+	}
+}
+
+// pump decodes results from r into events until the stream ends.
+func pump(idx int, r io.Reader, events chan<- event) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rm resultMsg
+		if err := dec.Decode(&rm); err != nil {
+			if err == io.EOF {
+				events <- event{worker: idx, closed: true}
+			} else {
+				events <- event{worker: idx, closed: true, err: err}
+			}
+			return
+		}
+		events <- event{worker: idx, res: rm}
+	}
+}
+
+// startProcWorker launches argv as a worker process wired up over its
+// stdin/stdout; stderr passes through so a worker panic is visible.
+func startProcWorker(idx int, argv []string, hello helloMsg, events chan<- event) (*workerConn, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("fleet: start worker %v: %w", argv, err)
+	}
+	bw := bufio.NewWriter(stdin)
+	wc := &workerConn{enc: json.NewEncoder(bw), bw: bw, stdin: stdin, wait: cmd.Wait}
+	if err := wc.send(hello); err != nil {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("fleet: hello to worker: %w", err)
+	}
+	go pump(idx, stdout, events)
+	return wc, nil
+}
+
+// startInprocWorker runs Serve in a goroutine over in-memory pipes. The
+// protocol is still fully exercised — in-process is an execution detail,
+// not a separate code path.
+func startInprocWorker(idx int, sc explore.Scenario, hello helloMsg, events chan<- event) (*workerConn, error) {
+	jobR, jobW := io.Pipe()
+	resR, resW := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		err := Serve(jobR, resW, func(name string) (explore.Scenario, bool) {
+			return sc, name == sc.Name
+		})
+		_ = resW.CloseWithError(err) // nil err → clean EOF for the pump
+		done <- err
+	}()
+	bw := bufio.NewWriter(jobW)
+	wc := &workerConn{enc: json.NewEncoder(bw), bw: bw, stdin: jobW, wait: func() error { return <-done }}
+	if err := wc.send(hello); err != nil {
+		return nil, fmt.Errorf("fleet: hello to in-process worker: %w", err)
+	}
+	go pump(idx, resR, events)
+	return wc, nil
+}

@@ -1,0 +1,166 @@
+package explore
+
+// Frontier holds novelty-yielding schedule prefixes, tiered by their
+// preemption count: a prefix enters the frontier when the run it came
+// from produced a footprint the coverage map had not seen, and leaves
+// when the driver schedules a mutation of it (replay the prefix, then
+// explore a fresh random tail). Popping always drains the lowest tier
+// first, so low-preemption schedules are exhausted before deep ones —
+// the CHESS discipline, which finds most bugs within a preemption
+// budget of two or three.
+//
+// The frontier is deterministic: Push and Pop orders are pure functions
+// of the call sequence, so a driver that feeds it results in job order
+// generates the same mutations on every run. It is not safe for
+// concurrent use; the driver owns it.
+type Frontier struct {
+	tiers   [frontierTiers][]frontierEntry
+	dedup   map[uint64]struct{}
+	entries int
+}
+
+type frontierEntry struct {
+	prefix   []Action
+	srcLen   int // length of the trace the prefix was cut from
+	attempts int
+}
+
+const (
+	// frontierTiers buckets preemption counts; everything at or above
+	// frontierTiers-1 preemptions shares the deepest tier.
+	frontierTiers = 8
+	// frontierTierCap bounds each tier; pushing into a full tier evicts
+	// the tier's oldest entry. The newest prefixes come from the most
+	// recently discovered footprints — the search's leading edge — and
+	// the oldest have already had the most mutation attempts, so when
+	// novelty outpaces mutation the queue sheds its stalest material,
+	// not its freshest.
+	frontierTierCap = 2048
+	// frontierMaxAttempts is how many mutation tails each prefix gets
+	// before it is retired. One attempt is nowhere near enough: at the
+	// default fault probability a fresh tail re-places the fault only a
+	// grant or two past the cut, so walking a kill deep into the
+	// victim's execution takes a chain of re-tries per prefix. Popping
+	// re-queues the entry (round-robin within its tier) until the
+	// budget is spent.
+	frontierMaxAttempts = 24
+)
+
+// Push offers a prefix cut from a trace of srcLen actions. Duplicate
+// prefixes (by exact action-sequence hash) are dropped.
+func (f *Frontier) Push(prefix []Action, srcLen int) {
+	if len(prefix) == 0 {
+		return
+	}
+	if f.dedup == nil {
+		f.dedup = make(map[uint64]struct{})
+	}
+	h := actionsHash(prefix)
+	if _, ok := f.dedup[h]; ok {
+		return
+	}
+	tier := Preemptions(&Trace{Actions: prefix})
+	if tier >= frontierTiers {
+		tier = frontierTiers - 1
+	}
+	if len(f.tiers[tier]) >= frontierTierCap {
+		f.tiers[tier] = f.tiers[tier][1:]
+		f.entries--
+	}
+	f.dedup[h] = struct{}{}
+	f.tiers[tier] = append(f.tiers[tier], frontierEntry{prefix: prefix, srcLen: srcLen})
+	f.entries++
+}
+
+// Pop returns the oldest prefix from the lowest non-empty tier, along
+// with the length of the trace it was cut from (so a mutation tail can
+// scale its fault placement to the run's actual extent). The entry is
+// re-queued at its tier's tail for another attempt later — round-robin
+// across the tier's prefixes — until it has been popped
+// frontierMaxAttempts times, at which point it is retired for good
+// (the dedup mark stays, so it can never re-enter). ok is false when
+// the frontier is empty.
+func (f *Frontier) Pop() (prefix []Action, srcLen int, ok bool) {
+	for t := range f.tiers {
+		if q := f.tiers[t]; len(q) > 0 {
+			e := q[0]
+			e.attempts++
+			if e.attempts < frontierMaxAttempts {
+				f.tiers[t] = append(q[1:], e)
+			} else {
+				f.tiers[t] = q[1:]
+				f.entries--
+			}
+			return e.prefix, e.srcLen, true
+		}
+	}
+	return nil, 0, false
+}
+
+// Len reports the number of queued prefixes.
+func (f *Frontier) Len() int { return f.entries }
+
+// actionsHash hashes an exact action sequence (position-sensitive, no
+// coarsening — this is identity, not coverage).
+func actionsHash(actions []Action) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	for _, a := range actions {
+		mix(uint64(a.Kind))
+		mix(uint64(a.Thread))
+		mix(uint64(a.Cust))
+	}
+	return h
+}
+
+// mutationPrefixes derives the frontier candidates from a novel trace.
+// Two families of cuts:
+//
+//   - at each injected fault, the prefix that stops just short of it
+//     (so a mutated tail re-places the fault elsewhere — this is how
+//     the fleet walks kills past the uniform picker's geometric early
+//     bias) and the prefix that keeps it (so a second fault can land
+//     behind a proven-novel first one);
+//   - at a stride across the whole trace, so the walk has anchors at
+//     arbitrary depths of the execution, not only where faults have
+//     already landed — without these, re-placement is always relative
+//     to an old fault position and the deep interior of the
+//     fault-placement product space is reachable only by long chains.
+//
+// Capped to keep one novel run from flooding the frontier.
+func mutationPrefixes(tr *Trace) [][]Action {
+	const maxPrefixes = 24
+	var out [][]Action
+	add := func(end int) {
+		if end <= 0 || end >= len(tr.Actions) || len(out) >= maxPrefixes {
+			return
+		}
+		out = append(out, append([]Action(nil), tr.Actions[:end]...))
+	}
+	for i, a := range tr.Actions {
+		if a.Fault() {
+			add(i)
+			add(i + 1)
+		}
+	}
+	stride := len(tr.Actions) / 16
+	if stride < 8 {
+		stride = 8
+	}
+	for end := stride; end < len(tr.Actions); end += stride {
+		add(end)
+	}
+	if len(out) == 0 {
+		add(len(tr.Actions) / 2)
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Job is one unit of exploration work: run a single schedule of a
+// scenario. A fresh job (no Prefix) explores from scratch with the
+// seeded picker; a mutation job replays Prefix leniently and then
+// explores a fresh tail. Jobs are plain data so the fleet can ship them
+// to worker processes; given the same scenario and options, the same
+// job produces the same outcome anywhere.
+type Job struct {
+	// ID orders jobs; the driver processes results in ID order so a
+	// seeded run is reproducible regardless of worker count.
+	ID int64
+	// Seed seeds the random part of the picker.
+	Seed int64
+	// Bound caps preemptive context switches (negative: unbounded).
+	// Bounded jobs prefer continuing the last-granted thread once the
+	// budget is spent, which is what makes tier-0 schedules a small,
+	// exhaustible space.
+	Bound int
+	// Prefix, when non-empty, is replayed (leniently) before the seeded
+	// tail takes over.
+	Prefix []Action
+	// SrcLen is the length of the trace Prefix was cut from; the
+	// mutation tail scales its fault placement to the remaining extent.
+	// Zero means unknown.
+	SrcLen int
+}
+
+// JobResult is what a worker reports back: the outcome classification
+// plus the executed trace (the driver needs the trace for coverage
+// hashing and frontier mutation even on a pass — and for shrinking on a
+// failure). Err is a string because results cross a process boundary.
+type JobResult struct {
+	ID     int64
+	Status Status
+	Err    string
+	Steps  int
+	Faults int
+	Trace  *Trace
+}
+
+// Failing mirrors Outcome.Failing for wire-decoded results.
+func (r JobResult) Failing() bool {
+	return r.Status == StatusStuck || r.Status == StatusFail || r.Status == StatusError
+}
+
+// picker builds the job's picker. Fresh unbounded jobs use the plain
+// RandomPicker so the uniform strategy reproduces the historical seed
+// streams exactly; mutation jobs get the delayed-fault tail.
+func (j Job) picker(faultProb float64) Picker {
+	if len(j.Prefix) > 0 {
+		return &prefixPicker{prefix: j.Prefix, tail: newMutationTail(j.Seed, j.SrcLen-len(j.Prefix))}
+	}
+	if j.Bound < 0 {
+		return NewRandomPicker(j.Seed, faultProb)
+	}
+	return newBoundedPicker(j.Seed, faultProb, j.Bound)
+}
+
+// Run executes the job against sc and packages the outcome.
+func (j Job) Run(sc Scenario, opts Options) JobResult {
+	opts = opts.withDefaults()
+	o := RunOnce(sc, j.picker(opts.FaultProb), j.Seed, opts)
+	res := JobResult{
+		ID:     j.ID,
+		Status: o.Status,
+		Steps:  o.Steps,
+		Faults: o.Faults,
+		Trace:  o.Trace,
+	}
+	if o.Err != nil {
+		res.Err = o.Err.Error()
+	}
+	return res
+}
+
+// boundedPicker is a preemption-bounded random picker: it injects
+// faults like RandomPicker, but once its switch budget is spent it
+// keeps granting the last-granted thread for as long as that thread
+// stays grantable. Only a voluntary switch away from a still-grantable
+// thread consumes budget; switches forced by a block, a finish, or a
+// suspension are free, as are deliveries and clock advances.
+type boundedPicker struct {
+	rng       *rand.Rand
+	faultProb float64
+	bound     int
+	last      int64 // last granted thread id; -1 before the first grant
+}
+
+func newBoundedPicker(seed int64, faultProb float64, bound int) *boundedPicker {
+	return &boundedPicker{rng: rand.New(rand.NewSource(seed)), faultProb: faultProb, bound: bound, last: -1}
+}
+
+func (p *boundedPicker) Pick(step int, progress, faults []Action) (Action, error) {
+	if len(faults) > 0 && (len(progress) == 0 || p.rng.Float64() < p.faultProb) {
+		return faults[p.rng.Intn(len(faults))], nil
+	}
+	if len(progress) == 0 {
+		return Action{}, fmt.Errorf("explore: picker called with no available actions")
+	}
+	lastUp := false
+	for _, a := range progress {
+		if a.Kind == ActRun && a.Thread == p.last {
+			lastUp = true
+			break
+		}
+	}
+	pool := progress
+	if lastUp && p.bound <= 0 {
+		// Budget spent: the last thread keeps the token. Deliveries and
+		// clock advances stay available — their timing is not a thread
+		// preemption.
+		pool = pool[:0:0]
+		for _, a := range progress {
+			if a.Kind != ActRun || a.Thread == p.last {
+				pool = append(pool, a)
+			}
+		}
+	}
+	a := pool[p.rng.Intn(len(pool))]
+	if a.Kind == ActRun {
+		if lastUp && a.Thread != p.last {
+			p.bound--
+		}
+		p.last = a.Thread
+	}
+	return a, nil
+}
+
+// mutationTail explores the schedule after a replayed prefix. The
+// fresh pickers' per-decision coin flip lands a re-placed fault
+// geometrically close behind the cut — useless for walking a kill deep
+// into the victim's execution. The tail instead draws a multi-scale
+// delay up front (half uniform over the remaining extent of the source
+// run, so placements spread over the whole live region instead of
+// mostly overshooting the end; half log-uniform, probing near the cut)
+// and injects a fault at the first opportunity once the delay is
+// spent. A delay past the end of the run simply means no fault — the
+// fault-free completion of that prefix, also worth seeing occasionally.
+type mutationTail struct {
+	rng    *rand.Rand
+	extent int
+	used   int // decisions consumed since the tail took over
+	delay  int
+}
+
+// newMutationTail builds the tail for a prefix whose source trace had
+// extent more actions after the cut (<=0: unknown).
+func newMutationTail(seed int64, extent int) *mutationTail {
+	if extent < 32 {
+		extent = 32
+	}
+	p := &mutationTail{rng: rand.New(rand.NewSource(seed)), extent: extent}
+	p.delay = p.draw()
+	return p
+}
+
+// draw samples the next inter-fault delay: half uniform over what is
+// left of the source run's extent (global spread — shrinking as the
+// tail consumes decisions, so a second fault's delay doesn't overshoot
+// the end half the time), half log-uniform (local probing near the
+// previous cut or fault).
+func (p *mutationTail) draw() int {
+	if p.rng.Intn(2) == 0 {
+		rem := p.extent - p.used
+		if rem < 16 {
+			rem = 16
+		}
+		return p.rng.Intn(rem)
+	}
+	return p.rng.Intn(1 << uint(p.rng.Intn(10)))
+}
+
+func (p *mutationTail) Pick(step int, progress, faults []Action) (Action, error) {
+	p.used++
+	if len(faults) > 0 {
+		if p.delay <= 0 || len(progress) == 0 {
+			// Re-arm for the next fault: each remaining budget unit gets
+			// its own independent delay, so multi-fault placements cover
+			// the product space instead of clustering back-to-back.
+			p.delay = p.draw()
+			return faults[p.rng.Intn(len(faults))], nil
+		}
+		p.delay--
+	}
+	if len(progress) == 0 {
+		return Action{}, fmt.Errorf("explore: picker called with no available actions")
+	}
+	return progress[p.rng.Intn(len(progress))], nil
+}
+
+// prefixPicker replays a recorded prefix leniently (decisions no longer
+// available are skipped — the mutated world may have drifted) and then
+// hands over to the tail picker.
+type prefixPicker struct {
+	prefix []Action
+	pos    int
+	tail   Picker
+}
+
+func (p *prefixPicker) Pick(step int, progress, faults []Action) (Action, error) {
+	for p.pos < len(p.prefix) {
+		a := p.prefix[p.pos]
+		p.pos++
+		if available(a, progress, faults) {
+			return a, nil
+		}
+	}
+	return p.tail.Pick(step, progress, faults)
+}

@@ -53,13 +53,9 @@ type ReplayPicker struct {
 	Lenient bool
 }
 
-// NewReplayPicker returns a strict replayer for tr.
+// NewReplayPicker returns a strict replayer for tr; set Lenient before
+// the first Pick to tolerate unavailable decisions instead.
 func NewReplayPicker(tr *Trace) *ReplayPicker { return &ReplayPicker{trace: tr} }
-
-// NewLenientReplayPicker returns a lenient replayer for tr.
-func NewLenientReplayPicker(tr *Trace) *ReplayPicker {
-	return &ReplayPicker{trace: tr, Lenient: true}
-}
 
 func available(a Action, progress, faults []Action) bool {
 	for _, b := range progress {

@@ -1,0 +1,95 @@
+package scenarios
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/abstractions/supervise"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func init() {
+	Register(BreakerTrip())
+}
+
+// BreakerTrip drives the circuit breaker through its full state cycle
+// under fault injection: a failing client trips it, a permit holder may
+// be killed mid-call (the manager must observe the abandonment through
+// DoneEvt and count it as a failure), and a retrying survivor — whose
+// backoff sleeps advance the virtual clock past the cooldown — must
+// eventually be granted the half-open probe and succeed. The breaker's
+// transitions live in a single manager thread, so no schedule can
+// observe a torn state: the survivor finishing is the invariant.
+func BreakerTrip() explore.Scenario {
+	return explore.Scenario{
+		Name: "breaker-trip",
+		Desc: "a killed permit holder cannot wedge the breaker; a retrying client recovers it",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var failerErr, survErr error
+			var survOK bool
+			var brk *supervise.Breaker
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				brk = supervise.NewBreaker(th, supervise.BreakerOptions{
+					FailureThreshold: 1,
+					Cooldown:         50 * time.Millisecond,
+				})
+				tripped := core.NewChanNamed(rt, "failer-done")
+				failer := th.Spawn("failer", func(x *core.Thread) {
+					failerErr = brk.Do(x, func(*core.Thread) error { return errors.New("boom") })
+					_, _ = core.Sync(x, tripped.SendEvt(nil))
+				})
+				sim.MustFinish(failer)
+				// The holder keeps a permit in flight for a long virtual
+				// stretch — if the explorer kills it mid-hold, the manager
+				// must observe the abandonment via DoneEvt; if not, the hold
+				// ends in success, so every schedule stays live (an immortal
+				// parked holder could legitimately monopolize the half-open
+				// probe, which is starvation, not a breaker defect).
+				holder := th.Spawn("holder", func(x *core.Thread) {
+					_ = brk.Do(x, func(x *core.Thread) error {
+						_ = core.Sleep(x, 200*time.Millisecond)
+						return nil
+					})
+				})
+				sim.Victim(holder)
+				surv := th.Spawn("survivor", func(x *core.Thread) {
+					// Start only after the failer's call has returned: its
+					// failure outcome is then already in the manager's queue,
+					// so the trip is processed before any survivor request —
+					// the survivor always faces a tripped breaker.
+					_, _ = core.Sync(x, tripped.RecvEvt())
+					survErr = supervise.Retry(x, supervise.RetryPolicy{
+						MaxAttempts: 12,
+						BaseDelay:   60 * time.Millisecond, // > cooldown: each retry crosses it
+						MaxDelay:    60 * time.Millisecond,
+					}, func(int) error {
+						return brk.Do(x, func(*core.Thread) error { return nil })
+					})
+					survOK = survErr == nil
+				})
+				sim.MustFinish(surv)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill)
+			sim.LimitFaults(1)
+			sim.Check(func() error {
+				// The failer normally sees its own error; if the killed
+				// holder's abandonment tripped the breaker first, it is
+				// rejected instead — both prove a trip happened.
+				if failerErr == nil || (failerErr.Error() != "boom" && !errors.Is(failerErr, supervise.ErrBreakerOpen)) {
+					return fmt.Errorf("failer error = %v, want boom or breaker-open", failerErr)
+				}
+				if !survOK {
+					return fmt.Errorf("survivor never got through the breaker: %v", survErr)
+				}
+				if brk.Trips() < 1 {
+					return fmt.Errorf("breaker never tripped (trips=%d)", brk.Trips())
+				}
+				return nil
+			})
+		},
+	}
+}

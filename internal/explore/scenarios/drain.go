@@ -1,0 +1,165 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/abstractions/queue"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func init() {
+	Register(DrainKillMidhandoff())
+}
+
+// DrainKillMidhandoff models netsvc's shard drain/handoff protocol in
+// miniature. An old shard owns a queue of three jobs under its own
+// custodian; it serves job 0 itself, hands the queue handle over, and
+// retires — the escrow thread (the fleet's migration machinery, which a
+// drain never kills) shuts the old shard's custodian down and then moves
+// the remaining jobs to the replacement worker's queue, one per drain
+// command. Every escrow operation on the old queue runs *after* its
+// manager was suspended by the custodian shutdown, so each passing
+// schedule exercises the kill-safe resurrect path — the paper's central
+// mechanism is what makes the handoff sound. The drain driver issuing
+// the commands is the kill victim; a reaper watches its DoneEvt and
+// issues whatever commands remain, so a kill between any two handoff
+// steps changes who drives, never what moves. The invariant is exact
+// conservation with order: the old shard served [0], the replacement
+// serves [1 2], under every schedule and kill point.
+func DrainKillMidhandoff() explore.Scenario {
+	return explore.Scenario{
+		Name: "drain-kill-midhandoff",
+		Desc: "killing the drain driver mid-handoff neither loses nor duplicates a queued job",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			custA := core.NewCustodian(rt.RootCustodian())
+			handA := core.NewChanNamed(rt, "handoff-a")
+			handB := core.NewChanNamed(rt, "handoff-b")
+			cmd := core.NewChanNamed(rt, "drain-cmd")
+			done := core.NewChanNamed(rt, "drain-done")
+			var servedA, servedB []int
+			var escErr error
+			const jobs = 3
+
+			rt.SpawnIn(custA, "shard-a", func(th *core.Thread) {
+				qA := queue.New[int](th)
+				for i := 0; i < jobs; i++ {
+					if err := qA.Send(th, i); err != nil {
+						return
+					}
+				}
+				v, err := qA.Recv(th)
+				if err != nil {
+					return
+				}
+				servedA = append(servedA, v)
+				_, _ = core.Sync(th, handA.SendEvt(qA))
+			})
+
+			workerB := rt.Spawn("worker-b", func(th *core.Thread) {
+				qB := queue.New[int](th)
+				if _, err := core.Sync(th, handB.SendEvt(qB)); err != nil {
+					return
+				}
+				for i := 0; i < jobs-1; i++ {
+					v, err := qB.Recv(th)
+					if err != nil {
+						return
+					}
+					servedB = append(servedB, v)
+				}
+			})
+			sim.MustFinish(workerB)
+
+			escrow := rt.Spawn("escrow", func(x *core.Thread) {
+				vA, err := core.Sync(x, handA.RecvEvt())
+				if err != nil {
+					return
+				}
+				qA := vA.(*queue.Queue[int])
+				vB, err := core.Sync(x, handB.RecvEvt())
+				if err != nil {
+					return
+				}
+				qB := vB.(*queue.Queue[int])
+				// The old shard has handed over: retire it. Everything the
+				// escrow does with qA from here on goes through a manager
+				// this shutdown just suspended.
+				custA.Shutdown()
+				for moved := 0; moved < jobs-1; moved++ {
+					for {
+						if _, err := core.Sync(x, cmd.RecvEvt()); err == nil {
+							break
+						}
+					}
+					j, err := qA.Recv(x)
+					if err != nil {
+						escErr = err
+						return
+					}
+					if err := qB.Send(x, j); err != nil {
+						escErr = err
+						return
+					}
+				}
+				for {
+					if _, err := core.Sync(x, done.SendEvt(nil)); err == nil {
+						return
+					}
+				}
+			})
+			sim.MustFinish(escrow)
+
+			drainer := rt.Spawn("drainer", func(x *core.Thread) {
+				for i := 0; i < jobs-1; i++ {
+					for {
+						if _, err := core.Sync(x, cmd.SendEvt(nil)); err == nil {
+							break
+						}
+					}
+				}
+			})
+			sim.Victim(drainer)
+
+			reaper := rt.Spawn("drain-reaper", func(x *core.Thread) {
+				for {
+					if _, err := core.Sync(x, drainer.DoneEvt()); err == nil {
+						break
+					}
+				}
+				// Issue whatever commands the drainer did not get to; once
+				// the escrow stops accepting commands, only the done arm
+				// can commit.
+				for {
+					v, err := core.Sync(x, core.Choice(
+						core.Wrap(cmd.SendEvt(nil), func(core.Value) core.Value { return "sent" }),
+						core.Wrap(done.RecvEvt(), func(core.Value) core.Value { return "done" }),
+					))
+					if err != nil {
+						continue
+					}
+					if v == "done" {
+						return
+					}
+				}
+			})
+			sim.MustFinish(reaper)
+
+			sim.RestrictFaults(explore.ActKill)
+			sim.LimitFaults(1)
+			sim.Check(func() error {
+				if escErr != nil {
+					return fmt.Errorf("escrow queue op failed after custodian shutdown: %w", escErr)
+				}
+				if len(servedA) != 1 || servedA[0] != 0 {
+					return fmt.Errorf("old shard served %v, want [0]", servedA)
+				}
+				if len(servedB) != 2 || servedB[0] != 1 || servedB[1] != 2 {
+					return fmt.Errorf("replacement served %v, want [1 2]: a handoff step lost or reordered a job", servedB)
+				}
+				return nil
+			})
+		},
+	}
+}

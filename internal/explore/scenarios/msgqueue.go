@@ -1,0 +1,116 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/abstractions/msgqueue"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func init() {
+	Register(MsgQueueRemotePred())
+	Register(MsgQueueFIFO())
+}
+
+// MsgQueueRemotePred exercises remote predicate evaluation (DESIGN.md
+// finding #2): predicates run in fresh threads under the client's
+// custodian, and the reply must join the same sync as the request or the
+// manager self-deadlocks. A pure scheduling scenario — no faults — whose
+// recorded trace pins the regression.
+func MsgQueueRemotePred() explore.Scenario {
+	return explore.Scenario{
+		Name: "msgqueue-remote-pred",
+		Desc: "remote predicates answer without wedging the manager",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var got int
+			var gotErr error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				q := msgqueue.NewWith[int](th, msgqueue.Options{Nacks: true, RemotePredicates: true})
+				cons := th.Spawn("consumer", func(th *core.Thread) {
+					v, err := q.Recv(th, func(v int) bool { return v >= 2 })
+					got, gotErr = v, err
+				})
+				sim.MustFinish(cons)
+				prod := th.Spawn("producer", func(th *core.Thread) {
+					for _, v := range []int{1, 2, 3} {
+						if err := q.Send(th, v); err != nil {
+							return
+						}
+					}
+				})
+				sim.MustFinish(prod)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults() // pure scheduling
+			sim.Check(func() error {
+				if gotErr != nil {
+					return fmt.Errorf("consumer recv failed: %w", gotErr)
+				}
+				if got != 2 {
+					return fmt.Errorf("consumer received %d, want 2 (first value matching v>=2)", got)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// MsgQueueFIFO exercises selective dequeue ordering (DESIGN.md finding
+// #4): a receiver removing a middle element must not let another
+// receiver's scan skip untested items (high-water mark, not index). With
+// values 1,2,3 queued, the even-receiver must get 2 and the odd-receiver
+// must get 1 then 3, in FIFO order, under every schedule.
+func MsgQueueFIFO() explore.Scenario {
+	return explore.Scenario{
+		Name: "msgqueue-fifo",
+		Desc: "selective dequeue preserves FIFO for non-matching receivers",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var even int
+			var odd []int
+			var evenErr, oddErr error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				q := msgqueue.New[int](th)
+				x := th.Spawn("even-receiver", func(th *core.Thread) {
+					even, evenErr = q.Recv(th, func(v int) bool { return v%2 == 0 })
+				})
+				sim.MustFinish(x)
+				y := th.Spawn("odd-receiver", func(th *core.Thread) {
+					for i := 0; i < 2; i++ {
+						v, err := q.Recv(th, func(v int) bool { return v%2 == 1 })
+						if err != nil {
+							oddErr = err
+							return
+						}
+						odd = append(odd, v)
+					}
+				})
+				sim.MustFinish(y)
+				prod := th.Spawn("producer", func(th *core.Thread) {
+					for _, v := range []int{1, 2, 3} {
+						if err := q.Send(th, v); err != nil {
+							return
+						}
+					}
+				})
+				sim.MustFinish(prod)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults() // pure scheduling
+			sim.Check(func() error {
+				if evenErr != nil || oddErr != nil {
+					return fmt.Errorf("recv failed: even=%v odd=%v", evenErr, oddErr)
+				}
+				if even != 2 {
+					return fmt.Errorf("even receiver got %d, want 2", even)
+				}
+				if len(odd) != 2 || odd[0] != 1 || odd[1] != 3 {
+					return fmt.Errorf("odd receiver got %v, want [1 3] (FIFO)", odd)
+				}
+				return nil
+			})
+		},
+	}
+}

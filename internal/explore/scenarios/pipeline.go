@@ -1,0 +1,157 @@
+package scenarios
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/abstractions/pipe"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/web"
+	"repro/internal/wire"
+)
+
+func init() {
+	Register(PipelineKillMidwrite())
+}
+
+// PipelineKillMidwrite models the wire layer's torn-frame claim in
+// miniature: a server parses three pipelined HTTP/1.1 requests with the
+// wire codec and answers them in two batched flushes ([r0,r1] then
+// [r2]), each flush one atomic pipe write — exactly the netsvc contract,
+// where complete frames accumulate in a batch buffer and reach the write
+// pump whole. The explorer kills the server at any decision point; a
+// reaper closes the server's outgoing stream on its death (mirroring
+// netsvc's connection custodian). The client must always read to EOF and
+// must observe a whole, in-order prefix of the response stream at flush
+// granularity — 0, 2, or 3 complete frames and never a trailing partial
+// byte.
+func PipelineKillMidwrite() explore.Scenario {
+	return explore.Scenario{
+		Name: "pipeline-kill-midwrite",
+		Desc: "killing a server mid-pipeline never leaves a torn response frame",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var received []byte
+			var readErr error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				cli, srv := pipe.NewConnPair(th)
+				server := th.Spawn("wire-server", func(x *core.Thread) {
+					codec := wire.NewHTTP()
+					r := srv.Reader(x)
+					var buf, batch []byte
+					served := 0
+					chunk := make([]byte, 256)
+					for served < 3 {
+						f, rest, err := codec.Parse(buf)
+						if err != nil {
+							return
+						}
+						buf = rest
+						if f == nil {
+							n, err := r.Read(chunk)
+							if err != nil {
+								return
+							}
+							buf = append(buf, chunk[:n]...)
+							continue
+						}
+						resp := web.Response{Status: 200, Body: "hello " + strconv.Itoa(served) + "\n"}
+						batch = codec.AppendResponse(batch, f, resp, false)
+						served++
+						if served == 2 || served == 3 {
+							if _, err := srv.Write(x, batch); err != nil {
+								return
+							}
+							batch = nil
+						}
+					}
+					_ = srv.Close(x)
+				})
+				sim.Victim(server)
+				reaper := th.Spawn("conn-reaper", func(x *core.Thread) {
+					if _, err := core.Sync(x, server.DoneEvt()); err != nil {
+						return
+					}
+					_ = srv.Close(x)
+				})
+				sim.MustFinish(reaper)
+				client := th.Spawn("wire-client", func(x *core.Thread) {
+					var req bytes.Buffer
+					for i := 0; i < 3; i++ {
+						fmt.Fprintf(&req, "GET /hello?i=%d HTTP/1.1\r\n\r\n", i)
+					}
+					if _, err := cli.Write(x, req.Bytes()); err != nil {
+						return
+					}
+					received, readErr = io.ReadAll(cli.Reader(x))
+				})
+				sim.MustFinish(client)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill)
+			sim.Check(func() error {
+				if readErr != nil {
+					return fmt.Errorf("client read failed: %w", readErr)
+				}
+				bodies, leftover, err := parseHTTPResponses(received)
+				if err != nil {
+					return err
+				}
+				if leftover != 0 {
+					return fmt.Errorf("torn frame: %d trailing bytes after %d complete frames", leftover, len(bodies))
+				}
+				if n := len(bodies); n != 0 && n != 2 && n != 3 {
+					return fmt.Errorf("got %d complete frames, want 0, 2, or 3 (flush batch granularity)", n)
+				}
+				for i, b := range bodies {
+					if want := fmt.Sprintf("hello %d\n", i); b != want {
+						return fmt.Errorf("frame %d body %q, want %q", i, b, want)
+					}
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// parseHTTPResponses greedily parses complete HTTP response frames from
+// data, returning the bodies in order and the count of leftover bytes
+// that do not form a complete frame (0 means the stream ended exactly on
+// a frame boundary). A malformed head is an error — torn writes truncate,
+// they never corrupt.
+func parseHTTPResponses(data []byte) (bodies []string, leftover int, err error) {
+	for len(data) > 0 {
+		i := bytes.Index(data, []byte("\r\n\r\n"))
+		if i < 0 {
+			return bodies, len(data), nil
+		}
+		head := string(data[:i])
+		lines := strings.Split(head, "\r\n")
+		if !strings.HasPrefix(lines[0], "HTTP/1.1 200 ") {
+			return nil, 0, fmt.Errorf("bad status line %q", lines[0])
+		}
+		contentLn := -1
+		for _, ln := range lines[1:] {
+			if k, v, ok := strings.Cut(ln, ":"); ok && strings.EqualFold(k, "Content-Length") {
+				contentLn, err = strconv.Atoi(strings.TrimSpace(v))
+				if err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+		if contentLn < 0 {
+			return nil, 0, fmt.Errorf("frame without Content-Length: %q", head)
+		}
+		rest := data[i+4:]
+		if len(rest) < contentLn {
+			return bodies, len(data), nil
+		}
+		bodies = append(bodies, string(rest[:contentLn]))
+		data = rest[contentLn:]
+	}
+	return bodies, 0, nil
+}

@@ -1,0 +1,54 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/abstractions/pool"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func init() {
+	Register(Pool())
+}
+
+// Pool kills the holder of a capacity-1 resource pool's only token: the
+// kill-safe pool reclaims the token via the holder's done event and the
+// surviving acquirer must finish under every schedule. The holder parks
+// on Never, so the only way the survivor ever acquires is the reclaim
+// path — every passing schedule exercises it.
+func Pool() explore.Scenario {
+	return explore.Scenario{
+		Name: "pool",
+		Desc: "killing a token holder returns the token to the kill-safe pool",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var acqErr, relErr error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				p := pool.New(th, 1)
+				holder := th.Spawn("holder", func(th *core.Thread) {
+					if err := p.Acquire(th); err != nil {
+						return
+					}
+					_, _ = core.Sync(th, core.Never()) // hold until killed
+				})
+				sim.Victim(holder)
+				surv := th.Spawn("survivor", func(th *core.Thread) {
+					acqErr = p.Acquire(th)
+					if acqErr == nil {
+						relErr = p.Release(th)
+					}
+				})
+				sim.MustFinish(surv)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill)
+			sim.Check(func() error {
+				if acqErr != nil || relErr != nil {
+					return fmt.Errorf("survivor pool ops failed: acquire=%v release=%v", acqErr, relErr)
+				}
+				return nil
+			})
+		},
+	}
+}

@@ -1,0 +1,109 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/abstractions/queue"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func init() {
+	Register(QueueUnsafe())
+	Register(QueueKillSafe())
+}
+
+// queueScenario is the paper's motivating example. A creator task under
+// custodian A builds a queue, seeds it, and hands it to a survivor task
+// under custodian B. The explorer may shut custodian A down at any
+// decision point. With the kill-safe queue the survivor always finishes:
+// its operations resurrect the suspended manager via thread-resume. With
+// the unsafe queue there is a window — after the handoff, before the
+// survivor's last operation commits — where the shutdown suspends the
+// manager forever and the survivor wedges: StatusStuck.
+func queueScenario(name, desc string, unsafe bool) explore.Scenario {
+	return explore.Scenario{
+		Name: name,
+		Desc: desc,
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			custA := core.NewCustodian(rt.RootCustodian())
+			custB := core.NewCustodian(rt.RootCustodian())
+			hand := core.NewChanNamed(rt, "handoff")
+			var handed bool
+			var got []int
+			var opErr error
+			rt.SpawnIn(custA, "creator", func(th *core.Thread) {
+				var q *queue.Queue[int]
+				if unsafe {
+					q = queue.NewUnsafe[int](th)
+				} else {
+					q = queue.New[int](th)
+				}
+				if err := q.Send(th, 1); err != nil {
+					return
+				}
+				_, _ = core.Sync(th, hand.SendEvt(q))
+			})
+			surv := rt.SpawnIn(custB, "survivor", func(th *core.Thread) {
+				// If custodian A dies before the handoff the queue never
+				// escaped it; there is nothing for the survivor to use, so
+				// it finishes trivially. DeadEvt ready implies the creator
+				// is suspended, so the two arms are never both available.
+				v, err := core.Sync(th, core.Choice(
+					hand.RecvEvt(),
+					core.Wrap(custA.DeadEvt(), func(core.Value) core.Value { return nil }),
+				))
+				if err != nil || v == nil {
+					return
+				}
+				handed = true
+				q := v.(*queue.Queue[int])
+				a, err := q.Recv(th)
+				if err != nil {
+					opErr = err
+					return
+				}
+				if err := q.Send(th, 2); err != nil {
+					opErr = err
+					return
+				}
+				b, err := q.Recv(th)
+				if err != nil {
+					opErr = err
+					return
+				}
+				got = []int{a, b}
+			})
+			sim.MustFinish(surv)
+			sim.VictimCustodian(custA)
+			sim.RestrictFaults(explore.ActShutdown)
+			sim.Check(func() error {
+				if !handed {
+					return nil // custodian died pre-handoff; vacuous pass
+				}
+				if opErr != nil {
+					return fmt.Errorf("survivor queue op failed: %w", opErr)
+				}
+				if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+					return fmt.Errorf("survivor received %v, want [1 2]", got)
+				}
+				return nil
+			})
+		},
+	}
+}
+
+// QueueUnsafe is the wedge-finder: the explorer should report StatusStuck
+// on some schedule within a small seed budget.
+func QueueUnsafe() explore.Scenario {
+	return queueScenario("queue-unsafe",
+		"custodian shutdown wedges a survivor of the non-kill-safe queue", true)
+}
+
+// QueueKillSafe is the same world over the kill-safe queue: every
+// schedule must pass.
+func QueueKillSafe() explore.Scenario {
+	return queueScenario("queue",
+		"custodian shutdown never wedges a survivor of the kill-safe queue", false)
+}

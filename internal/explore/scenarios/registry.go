@@ -1,0 +1,61 @@
+// Package scenarios holds the explore scenarios for the repository's
+// kill-safe abstractions. Each scenario builds a small world on a
+// deterministic runtime, names the threads that must finish and the
+// faults the explorer may inject, and states the invariant that defines
+// success. The unsafe variants exist to be broken: the explorer finds the
+// schedule in which a custodian shutdown wedges a surviving task, which
+// is the paper's motivating failure.
+//
+// Scenarios self-register at init time: each scenario file carries an
+// init function calling Register, so every enumerator — the test suite,
+// cmd/explore -scenario, and the fleet's worker processes — sees the
+// identical set. A scenario file without a Register call is caught by
+// the registry test, not discovered as a silent gap in CI coverage.
+package scenarios
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/explore"
+)
+
+var registry = make(map[string]explore.Scenario)
+
+// Register adds a scenario to the registry. It is meant to be called
+// from init functions, one per scenario file; a duplicate or unnamed
+// registration panics (it is a programming error, and the panic happens
+// at init so any test run in the package reports it).
+func Register(sc explore.Scenario) {
+	if sc.Name == "" {
+		panic("scenarios: Register called with an unnamed scenario")
+	}
+	if sc.Setup == nil {
+		panic(fmt.Sprintf("scenarios: Register(%q) with nil Setup", sc.Name))
+	}
+	if _, dup := registry[sc.Name]; dup {
+		panic(fmt.Sprintf("scenarios: duplicate registration of %q", sc.Name))
+	}
+	registry[sc.Name] = sc
+}
+
+// All returns every registered scenario, sorted by name so every
+// enumerator — and every fleet worker — walks the same order.
+func All() []explore.Scenario {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]explore.Scenario, 0, len(names))
+	for _, name := range names {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// ByName looks a scenario up by name.
+func ByName(name string) (explore.Scenario, bool) {
+	sc, ok := registry[name]
+	return sc, ok
+}

@@ -31,13 +31,15 @@ func TestRecordedTracesReplay(t *testing.T) {
 		// the abandonment via DoneEvt and the retrying client crosses
 		// the cooldown on the virtual clock and recovers the breaker.
 		{"breaker-trip-holder-killed.trace", explore.StatusPass},
-		// kvtxn locking: a transfer owner killed while holding per-key
-		// locks; the txn manager's death watch spawns an aborter, the
+		// kvtxn locking: the transfer owner's custodian shut down
+		// mid-transaction (condemning it) and the mostly-dead thread
+		// then collected; the death watch spawns an aborter, the
 		// survivor's transfer commits, and the audit shows no wedged
 		// locks, parked waiters, or registry entries.
 		{"txn-kill-midlock.trace", explore.StatusPass},
-		// kvtxn OCC: a transfer owner killed around validate/install;
-		// prepare-marks are reclaimed and the sum invariant holds.
+		// kvtxn OCC: the same double termination around
+		// validate/install; prepare-marks are reclaimed and the sum
+		// invariant holds.
 		{"txn-kill-validate.trace", explore.StatusPass},
 		// wire: a server killed between the batched flushes of a
 		// pipelined response stream; the client sees a whole, in-order
@@ -48,6 +50,16 @@ func TestRecordedTracesReplay(t *testing.T) {
 		// is already down; the reaper finishes the drain and every job
 		// is served exactly once, in order.
 		{"drain-kill-midhandoff.trace", explore.StatusPass},
+		// Fleet-found, auto-shrunk wedge of the deliberately unsafe
+		// queue (no custodian protocol): pinned by
+		//
+		//	go run ./cmd/explore run -scenario queue-unsafe -workers 4 \
+		//	  -strategy coverage -findings 1 -pin .../testdata -expect stuck
+		//
+		// and expected to stay stuck — if a change accidentally makes the
+		// unsafe queue survive this schedule, the explorer's canary is
+		// broken.
+		{"queue-unsafe-04d53c940648a612.trace", explore.StatusStuck},
 	}
 	for _, tc := range cases {
 		tc := tc

@@ -1,0 +1,117 @@
+package scenarios
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/abstractions/supervise"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func init() {
+	Register(SupervisorRestart())
+}
+
+// SupervisorRestart runs a counter service under a supervisor and lets
+// the explorer kill the first incarnation at any decision point —
+// including mid-backoff — and shut the supervisor's custodian down. The
+// client must always finish: either it collects two values (served
+// across a restart if a kill landed) or it observes the supervisor's
+// DeadEvt and bails. Values may repeat across a restart (a kill between
+// a rendezvous commit and the sender's wrap loses the sender-side
+// increment) but must never regress. The leak invariant is the
+// acceptance criterion: once an incarnation's custodian is dead, the
+// incarnation is done or condemned (no live custodian keeps it
+// schedulable), and the dead custodian's accounting has drained.
+func SupervisorRestart() explore.Scenario {
+	return explore.Scenario{
+		Name: "supervisor-restart",
+		Desc: "kills and custodian shutdowns never wedge a supervised service's client",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var mu sync.Mutex // incarnation bookkeeping, written under grants
+			var incThreads []*core.Thread
+			var incCusts []*core.Custodian
+			var got []int
+			var supDead bool
+			var sup *supervise.Supervisor
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				sup = supervise.New(th, supervise.Options{
+					MaxRestarts: -1, // never escalate: restarts are the point
+					Window:      time.Hour,
+					BaseBackoff: 10 * time.Millisecond,
+					MaxBackoff:  40 * time.Millisecond,
+				})
+				sim.VictimCustodian(sup.Custodian())
+				echo := core.NewChanNamed(rt, "echo")
+				next := 0 // service state carried across incarnations
+				sup.Start(th, supervise.ChildSpec{Name: "counter", Policy: supervise.Permanent, Start: func(x *core.Thread) {
+					mu.Lock()
+					incThreads = append(incThreads, x)
+					incCusts = append(incCusts, x.CurrentCustodian())
+					first := len(incThreads) == 1
+					mu.Unlock()
+					if first {
+						// Only the first incarnation is a kill target; its
+						// replacements must be allowed to serve.
+						sim.Victim(x)
+					}
+					for {
+						_, _ = core.Sync(x, core.Wrap(echo.SendEvt(next), func(core.Value) core.Value {
+							next++
+							return nil
+						}))
+					}
+				}})
+				client := th.Spawn("client", func(x *core.Thread) {
+					for len(got) < 2 {
+						v, err := core.Sync(x, core.Choice(
+							echo.RecvEvt(),
+							core.Wrap(sup.DeadEvt(), func(core.Value) core.Value { return nil }),
+						))
+						if err != nil {
+							continue
+						}
+						if v == nil {
+							supDead = true
+							return
+						}
+						got = append(got, v.(int))
+					}
+				})
+				sim.MustFinish(client)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill, explore.ActShutdown)
+			sim.Check(func() error {
+				mu.Lock()
+				ths := append([]*core.Thread(nil), incThreads...)
+				ccs := append([]*core.Custodian(nil), incCusts...)
+				mu.Unlock()
+				for i := range ths {
+					if !ccs[i].Dead() {
+						continue // the live current incarnation
+					}
+					if n := ccs[i].ManagedThreads(); n != 0 {
+						return fmt.Errorf("incarnation %d: dead custodian still manages %d threads", i, n)
+					}
+					if !ths[i].Done() && len(ths[i].Custodians()) > 0 {
+						return fmt.Errorf("incarnation %d leaked: custodian dead but thread still owned", i)
+					}
+				}
+				if supDead {
+					return nil // client legitimately bailed on supervisor death
+				}
+				if len(got) != 2 {
+					return fmt.Errorf("client got %v, want two values", got)
+				}
+				if got[1] < got[0] {
+					return fmt.Errorf("service state regressed across restart: %v", got)
+				}
+				return nil
+			})
+		},
+	}
+}

@@ -1,0 +1,60 @@
+package scenarios
+
+import (
+	"fmt"
+
+	"repro/abstractions/swapchan"
+	"repro/internal/core"
+	"repro/internal/explore"
+)
+
+func init() {
+	Register(SwapChan())
+}
+
+// SwapChan kills one of two service swappers on the kill-safe swap
+// channel: the two client swaps must still finish under every schedule,
+// even when the victim dies mid-rendezvous (the manager completes the
+// committed exchange on the victim's behalf). One kill at most — with
+// both service swappers dead a client can legitimately wait forever for
+// a partner, which is starvation, not a kill-safety violation.
+func SwapChan() explore.Scenario {
+	return explore.Scenario{
+		Name: "swapchan",
+		Desc: "killing a swapper mid-rendezvous never wedges the kill-safe swap channel",
+		Setup: func(sim *explore.Sim) {
+			rt := sim.RT
+			var errA, errB error
+			owner := rt.Spawn("owner", func(th *core.Thread) {
+				s := swapchan.NewKillSafe[int](th)
+				for i := 0; i < 2; i++ {
+					v := th.Spawn(fmt.Sprintf("service-%d", i), func(th *core.Thread) {
+						for {
+							if _, err := s.Swap(th, 100); err != nil {
+								return
+							}
+						}
+					})
+					sim.Victim(v)
+				}
+				a := th.Spawn("client-a", func(th *core.Thread) {
+					_, errA = s.Swap(th, 1)
+				})
+				sim.MustFinish(a)
+				b := th.Spawn("client-b", func(th *core.Thread) {
+					_, errB = s.Swap(th, 2)
+				})
+				sim.MustFinish(b)
+			})
+			sim.MustFinish(owner)
+			sim.RestrictFaults(explore.ActKill)
+			sim.LimitFaults(1)
+			sim.Check(func() error {
+				if errA != nil || errB != nil {
+					return fmt.Errorf("client swap failed: a=%v b=%v", errA, errB)
+				}
+				return nil
+			})
+		},
+	}
+}

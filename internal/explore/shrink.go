@@ -12,6 +12,7 @@ func Shrink(sc Scenario, tr *Trace, opts Options, failing func(*Outcome) bool) (
 	if failing == nil {
 		failing = (*Outcome).Failing
 	}
+	opts.Lenient = true
 	cur := tr
 	replays := 0
 	improved := true
@@ -22,7 +23,7 @@ func Shrink(sc Scenario, tr *Trace, opts Options, failing func(*Outcome) bool) (
 				cand := &Trace{Scenario: cur.Scenario, Seed: cur.Seed}
 				cand.Actions = append(cand.Actions, cur.Actions[:off]...)
 				cand.Actions = append(cand.Actions, cur.Actions[off+chunk:]...)
-				o := ReplayLenient(sc, cand, opts)
+				o := Replay(sc, cand, opts)
 				replays++
 				if failing(o) && o.Trace != nil && len(o.Trace.Actions) < len(cur.Actions) {
 					cur = o.Trace

@@ -117,9 +117,76 @@ func (t *Trace) WriteFile(path string) error {
 	return f.Close()
 }
 
+// parseActionLine parses one action line of the trace format. ok is
+// false for lines that are not actions (headers, handled by the
+// caller).
+func parseActionLine(text string) (a Action, ok bool, err error) {
+	fields := strings.Fields(text)
+	arg := func() (int64, error) {
+		if len(fields) != 2 {
+			return 0, fmt.Errorf("explore: action %q needs one argument", text)
+		}
+		return strconv.ParseInt(fields[1], 10, 64)
+	}
+	switch fields[0] {
+	case "d":
+		return Action{Kind: ActDeliver}, true, nil
+	case "c":
+		return Action{Kind: ActClock}, true, nil
+	case "r", "k", "s", "u", "b":
+		n, err := arg()
+		if err != nil {
+			return Action{}, false, err
+		}
+		kind := map[string]ActionKind{"r": ActRun, "k": ActKill, "s": ActSuspend, "u": ActResume, "b": ActBreak}[fields[0]]
+		return Action{Kind: kind, Thread: n}, true, nil
+	case "x":
+		n, err := arg()
+		if err != nil {
+			return Action{}, false, err
+		}
+		return Action{Kind: ActShutdown, Cust: int(n)}, true, nil
+	}
+	return Action{}, false, nil
+}
+
+// EncodeActions renders a bare action sequence (no header) in the trace
+// line format, one action per line. It is the fleet protocol's prefix
+// encoding.
+func EncodeActions(actions []Action) string {
+	var sb strings.Builder
+	for _, a := range actions {
+		sb.WriteString(a.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// DecodeActions parses a bare action sequence as produced by
+// EncodeActions.
+func DecodeActions(s string) ([]Action, error) {
+	var out []Action
+	for _, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		a, ok, err := parseActionLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("explore: unknown action %q", line)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
 // DecodeTrace parses a trace file.
 func DecodeTrace(r io.Reader) (*Trace, error) {
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	if !sc.Scan() || sc.Text() != traceMagic {
 		return nil, fmt.Errorf("explore: not a trace file (want %q header)", traceMagic)
 	}
@@ -132,12 +199,6 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 			continue
 		}
 		fields := strings.Fields(text)
-		arg := func() (int64, error) {
-			if len(fields) != 2 {
-				return 0, fmt.Errorf("explore: trace line %d: %q needs one argument", line, text)
-			}
-			return strconv.ParseInt(fields[1], 10, 64)
-		}
 		switch fields[0] {
 		case "scenario":
 			if len(fields) != 2 {
@@ -145,30 +206,23 @@ func DecodeTrace(r io.Reader) (*Trace, error) {
 			}
 			t.Scenario = fields[1]
 		case "seed":
-			n, err := arg()
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("explore: trace line %d: malformed seed", line)
+			}
+			n, err := strconv.ParseInt(fields[1], 10, 64)
 			if err != nil {
 				return nil, err
 			}
 			t.Seed = n
-		case "d":
-			t.Actions = append(t.Actions, Action{Kind: ActDeliver})
-		case "c":
-			t.Actions = append(t.Actions, Action{Kind: ActClock})
-		case "r", "k", "s", "u", "b":
-			n, err := arg()
-			if err != nil {
-				return nil, err
-			}
-			kind := map[string]ActionKind{"r": ActRun, "k": ActKill, "s": ActSuspend, "u": ActResume, "b": ActBreak}[fields[0]]
-			t.Actions = append(t.Actions, Action{Kind: kind, Thread: n})
-		case "x":
-			n, err := arg()
-			if err != nil {
-				return nil, err
-			}
-			t.Actions = append(t.Actions, Action{Kind: ActShutdown, Cust: int(n)})
 		default:
-			return nil, fmt.Errorf("explore: trace line %d: unknown op %q", line, fields[0])
+			a, ok, err := parseActionLine(text)
+			if err != nil {
+				return nil, fmt.Errorf("explore: trace line %d: %w", line, err)
+			}
+			if !ok {
+				return nil, fmt.Errorf("explore: trace line %d: unknown op %q", line, fields[0])
+			}
+			t.Actions = append(t.Actions, a)
 		}
 	}
 	if err := sc.Err(); err != nil {

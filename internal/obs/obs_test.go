@@ -252,7 +252,7 @@ func TestExploreTeeRoundTrip(t *testing.T) {
 		t.Fatalf("scenario header %q, want %q", tr.Scenario, sc.Name)
 	}
 
-	rep := explore.ReplayLenient(sc, tr, explore.Options{})
+	rep := explore.Replay(sc, tr, explore.Options{Lenient: true})
 	if rep.Status == explore.StatusError {
 		t.Fatalf("lenient replay of recorded flight: %v\ntrace:\n%s", rep.Err, text)
 	}

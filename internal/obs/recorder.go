@@ -169,8 +169,8 @@ func SyncShape(arg int64) (cases, chosen int) {
 // (k/s/u/b/r with the thread id, c for alarm fires), and everything the
 // replay vocabulary cannot express — spawns, dones, rendezvous shapes,
 // custodian shutdowns by runtime id — becomes '#' comment lines, which
-// the decoder skips. The result parses with explore.DecodeTrace, and
-// explore.ReplayLenient can drive a scenario with it, skipping decisions
+// the decoder skips. The result parses with explore.DecodeTrace, and a
+// lenient explore.Replay can drive a scenario with it, skipping decisions
 // that are not available in the reconstructed world.
 func (r *Recorder) TraceText(scenario string, seed int64) string {
 	var sb strings.Builder
